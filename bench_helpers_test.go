@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pta"
+	"repro/internal/smt"
+)
+
+// pta1 returns the linear-solver-off points-to options (the ablation of
+// §3.1.1).
+func pta1() pta.Options {
+	return pta.Options{DisableLinearSolver: true}
+}
+
+// runSMTWorkload solves a batch of representative path-condition queries:
+// branch correlations, arithmetic ranges, and equality chains.
+func runSMTWorkload(b *testing.B) {
+	b.Helper()
+	// Feasible: a chain of implications with a consistent range.
+	s := smt.NewSolver()
+	tb := s.TB
+	x := tb.IntVar("x")
+	prev := tb.BoolVar("c0")
+	s.Assert(prev)
+	for i := 1; i < 12; i++ {
+		c := tb.BoolVar(fmt.Sprintf("c%d", i))
+		s.Assert(tb.Implies(prev, c))
+		prev = c
+	}
+	s.Assert(tb.Implies(prev, tb.Gt(x, tb.Int(3))))
+	s.Assert(tb.Lt(x, tb.Int(10)))
+	if s.Check() != smt.Sat {
+		b.Fatal("expected sat")
+	}
+
+	// Infeasible: complementary guards plus an arithmetic contradiction.
+	s2 := smt.NewSolver()
+	tb2 := s2.TB
+	y := tb2.IntVar("y")
+	g := tb2.BoolVar("g")
+	s2.Assert(tb2.Eq(g, tb2.Gt(y, tb2.Int(0))))
+	s2.Assert(g)
+	s2.Assert(tb2.Lt(y, tb2.Int(0)))
+	if s2.Check() != smt.Unsat {
+		b.Fatal("expected unsat")
+	}
+}

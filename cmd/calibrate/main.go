@@ -1,0 +1,49 @@
+// Command calibrate measures the layered baseline's Andersen propagation
+// work and FSVFG edge counts per subject at a given scale. The numbers
+// justify the timeout-budget defaults in internal/bench (the paper's
+// ">135 KLoC times out" boundary): pick budgets between the work of the
+// largest subject that must finish (gcc) and the smallest that must time
+// out (git).
+//
+// Usage:
+//
+//	calibrate [-scale 15] [-max-kloc 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/pta"
+	"repro/internal/vfg"
+	"repro/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 15, "lines per paper-KLoC")
+	maxKLoC := flag.Int("max-kloc", 600, "skip subjects larger than this (quadratic cost)")
+	flag.Parse()
+
+	fmt.Printf("%-14s %8s %14s %12s\n", "subject", "lines", "andersen-work", "fsvfg-edges")
+	for _, s := range workload.Subjects {
+		if s.PaperKLoC > *maxKLoC {
+			fmt.Printf("%-14s %8s %14s %12s\n", s.Name, "-", "(skipped)", "-")
+			continue
+		}
+		gen := workload.Generate(s, workload.GenOptions{Scale: *scale})
+		m, err := baseline.BuildBaselineModule(gen.Units)
+		if err != nil {
+			fmt.Printf("%-14s error: %v\n", s.Name, err)
+			continue
+		}
+		ap := pta.Andersen(m)
+		g, gerr := vfg.Build(m, ap, vfg.Options{})
+		edges := g.NumEdges()
+		note := ""
+		if gerr != nil {
+			note = " (aborted)"
+		}
+		fmt.Printf("%-14s %8d %14d %12d%s\n", s.Name, gen.Lines, ap.Iterations, edges, note)
+	}
+}

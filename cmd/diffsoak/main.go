@@ -1,0 +1,33 @@
+// Command diffsoak runs extended differential-testing campaigns: many more
+// programs and seeds than the unit test budget allows. Intended for soak
+// runs during development; exits non-zero on the first disagreement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/difftest"
+)
+
+func main() {
+	n := flag.Int("n", 500, "programs per seed")
+	seeds := flag.Int("seeds", 8, "number of seeds")
+	flag.Parse()
+	total := 0
+	for s := int64(1); s <= int64(*seeds); s++ {
+		bad, err := difftest.RunMany(s*7919, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffsoak:", err)
+			os.Exit(2)
+		}
+		total += *n
+		if len(bad) > 0 {
+			fmt.Printf("seed %d: %d disagreements; first:\n%s\n", s, len(bad), bad[0].Program.Src)
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d ok (%d programs, %d total)\n", s, *n, total)
+	}
+	fmt.Printf("soak clean: %d programs, analysis exact on all\n", total)
+}

@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthesized workloads. See EXPERIMENTS.md for a
+// captured run and the paper-vs-measured discussion.
+//
+// Usage:
+//
+//	experiments [-run all|fig7|fig8|fig9|fig10|table1|table2|table3|juliet|ablations] [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	runSel := flag.String("run", "all", "experiment to run (all, fig7, fig8, fig9, fig10, table1, table2, table3, juliet, depthsweep, ablations)")
+	scale := flag.Int("scale", 15, "generated lines per paper-KLoC")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale}
+	want := func(name string) bool { return *runSel == "all" || *runSel == name }
+
+	needSubjects := false
+	for _, n := range []string{"fig7", "fig8", "fig9", "fig10", "table1"} {
+		if want(n) {
+			needSubjects = true
+		}
+	}
+
+	fmt.Printf("Pinpoint reproduction — experiment harness (scale=%d lines/paper-KLoC)\n\n", *scale)
+
+	if needSubjects {
+		fmt.Fprintln(os.Stderr, "running 30 subjects (Pinpoint + SVF baseline)...")
+		runs, err := bench.RunAllSubjects(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig7") {
+			fmt.Print(bench.RenderFigure7(runs))
+		}
+		if want("fig8") {
+			fmt.Print(bench.RenderFigure8(runs))
+		}
+		if want("fig9") {
+			fmt.Print(bench.RenderFigure9(runs))
+		}
+		if want("fig10") {
+			fmt.Print(bench.RenderFigure10(runs))
+		}
+		if want("table1") {
+			fmt.Print(bench.RenderTable1(runs))
+		}
+	}
+	if want("table2") {
+		fmt.Fprintln(os.Stderr, "running taint checkers on mysql...")
+		taint, err := bench.RunTaint(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderTable2(taint))
+	}
+	if want("table3") {
+		fmt.Fprintln(os.Stderr, "running Infer-like and CSA-like baselines...")
+		rows, err := bench.RunUnitConfinedBaselines(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderTable3(rows))
+	}
+	if want("juliet") {
+		fmt.Fprintln(os.Stderr, "running the 1421-case Juliet recall suite...")
+		jr, err := bench.RunJuliet()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderJuliet(jr))
+	}
+	if want("depthsweep") {
+		fmt.Fprintln(os.Stderr, "running calling-context depth sweep...")
+		rows, err := bench.RunDepthSweep(cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderDepthSweep(rows))
+	}
+	if want("ablations") {
+		fmt.Fprintln(os.Stderr, "running ablations...")
+		ab, err := bench.RunAblations(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderAblations(ab))
+	}
+	if *runSel != "all" && !isKnown(*runSel) {
+		fatal(fmt.Errorf("unknown experiment %q", *runSel))
+	}
+}
+
+func isKnown(name string) bool {
+	known := "all fig7 fig8 fig9 fig10 table1 table2 table3 juliet depthsweep ablations"
+	for _, k := range strings.Fields(known) {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

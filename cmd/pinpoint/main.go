@@ -1,0 +1,178 @@
+// Command pinpoint analyzes MiniC source files with the full holistic
+// pipeline and reports source–sink bugs.
+//
+// Usage:
+//
+//	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref]
+//	         [-depth N] [-no-path-sensitivity] [-stats] file.mc...
+//
+// Each file is one compilation unit. Exit status is 1 when any bug is
+// reported (so the tool slots into CI), 2 on usage or analysis errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+var checkerFactories = map[string]func() *checkers.Spec{
+	"uaf":               checkers.UseAfterFree,
+	"double-free":       checkers.DoubleFree,
+	"path-traversal":    checkers.PathTraversal,
+	"data-transmission": checkers.DataTransmission,
+	"null-deref":        checkers.NullDeref,
+}
+
+func main() {
+	sel := flag.String("checkers", "uaf", "comma-separated checker list: uaf, double-free, path-traversal, data-transmission, null-deref, memory-leak")
+	depth := flag.Int("depth", 6, "maximum nested call depth")
+	noPS := flag.Bool("no-path-sensitivity", false, "skip SMT feasibility checks (report all candidates)")
+	stats := flag.Bool("stats", false, "print engine statistics")
+	witness := flag.Bool("witness", false, "print the satisfying branch assignment for each report")
+	dump := flag.String("dump", "", "write Graphviz DOT for one function: 'cfg:<func>' or 'seg:<func>' (then exit)")
+	format := flag.String("format", "text", "report format: text or json")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pinpoint: no input files")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var units []minic.NamedSource
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		units = append(units, minic.NamedSource{Name: path, Src: string(data)})
+	}
+
+	a, err := core.BuildFromSource(units, core.BuildOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pinpoint: %d functions, %d IR instructions, %d SEG nodes, %d SEG edges; build %s\n",
+			a.Sizes.Functions, a.Sizes.Lines, a.Sizes.SEGNodes, a.Sizes.SEGEdges, a.Timings.Total())
+	}
+	if *dump != "" {
+		kind, fn, ok := strings.Cut(*dump, ":")
+		f := a.Module.ByName[fn]
+		if !ok || f == nil {
+			fatal(fmt.Errorf("bad -dump %q: want cfg:<func> or seg:<func> with a defined function", *dump))
+		}
+		switch kind {
+		case "cfg":
+			fmt.Print(ir.DotCFG(f))
+		case "seg":
+			fmt.Print(a.SEGs[f].Dot())
+		default:
+			fatal(fmt.Errorf("bad -dump kind %q", kind))
+		}
+		return
+	}
+
+	opts := detect.Options{
+		MaxCallDepth:           *depth,
+		DisablePathSensitivity: *noPS,
+	}
+	total := 0
+	var jsonReports []jsonReport
+	for _, name := range strings.Split(*sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "memory-leak" {
+			reports, st := detect.FindLeaks(a.Prog, opts)
+			for _, r := range reports {
+				if *format == "json" {
+					jsonReports = append(jsonReports, jsonReport{
+						Checker: "memory-leak", Kind: r.Kind.String(),
+						SourceFile: r.Pos.File, SourceLine: r.Pos.Line,
+						SourceFunc: r.Fn, Witness: r.Witness,
+					})
+					continue
+				}
+				fmt.Println(r)
+				if *witness && len(r.Witness) > 0 {
+					fmt.Printf("    leaks when: %s\n", strings.Join(r.Witness, ", "))
+				}
+			}
+			total += len(reports)
+			if *stats {
+				fmt.Fprintf(os.Stderr, "pinpoint: memory-leak: %d allocations, %d escaped, %d SMT queries\n",
+					st.Allocs, st.Escaped, st.SMTQueries)
+			}
+			continue
+		}
+		mk, ok := checkerFactories[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown checker %q", name))
+		}
+		reports, st := a.Check(mk(), opts)
+		for _, r := range reports {
+			if *format == "json" {
+				jsonReports = append(jsonReports, jsonReport{
+					Checker:    r.Checker,
+					SourceFile: r.SourcePos.File, SourceLine: r.SourcePos.Line,
+					SourceFunc: r.SourceFn,
+					SinkFile:   r.SinkPos.File, SinkLine: r.SinkPos.Line,
+					SinkFunc: r.SinkFn,
+					PathLen:  r.PathLen, Contexts: r.Contexts,
+					Witness: r.Witness,
+				})
+				continue
+			}
+			fmt.Println(r)
+			if *witness && len(r.Witness) > 0 {
+				fmt.Printf("    trigger: %s\n", strings.Join(r.Witness, ", "))
+			}
+		}
+		total += len(reports)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "pinpoint: %s: %d sources, %d candidates, %d SMT queries (%d sat/%d unsat), %s solving\n",
+				name, st.Sources, st.Candidates, st.SMTQueries, st.SMTSat, st.SMTUnsat, st.SMTTime)
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jsonReports == nil {
+			jsonReports = []jsonReport{}
+		}
+		if err := enc.Encode(jsonReports); err != nil {
+			fatal(err)
+		}
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the machine-readable report shape emitted by -format json.
+type jsonReport struct {
+	Checker    string   `json:"checker"`
+	Kind       string   `json:"kind,omitempty"`
+	SourceFile string   `json:"sourceFile"`
+	SourceLine int      `json:"sourceLine"`
+	SourceFunc string   `json:"sourceFunc"`
+	SinkFile   string   `json:"sinkFile,omitempty"`
+	SinkLine   int      `json:"sinkLine,omitempty"`
+	SinkFunc   string   `json:"sinkFunc,omitempty"`
+	PathLen    int      `json:"pathLen,omitempty"`
+	Contexts   int      `json:"contexts,omitempty"`
+	Witness    []string `json:"witness,omitempty"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pinpoint:", err)
+	os.Exit(2)
+}

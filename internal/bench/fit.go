@@ -1,0 +1,73 @@
+// Package bench implements the experiment harness: it generates the
+// evaluation subjects, runs Pinpoint and the baselines over them, measures
+// time/memory, fits scalability curves, and renders each table and figure
+// of the paper's evaluation section (§5).
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearFit is a least-squares fit y = a·x + b with its coefficient of
+// determination R² — the statistic of Figure 10 (the paper reports
+// R² > 0.9 for both time and memory versus program size and concludes
+// observed linear scalability).
+type LinearFit struct {
+	A, B float64
+	R2   float64
+}
+
+// FitLinear computes the least-squares line through (x[i], y[i]).
+func FitLinear(xs, ys []float64) LinearFit {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return LinearFit{R2: math.NaN()}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{R2: math.NaN()}
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+
+	mean := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := a*xs[i] + b
+		ssTot += (ys[i] - mean) * (ys[i] - mean)
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{A: a, B: b, R2: r2}
+}
+
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.4g*x + %.4g (R^2 = %.4f)", f.A, f.B, f.R2)
+}
+
+// FitPower fits y = c·x^k by linear regression in log space (used to
+// characterize the baseline's superlinear growth).
+func FitPower(xs, ys []float64) (c, k, r2 float64) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	f := FitLinear(lx, ly)
+	return math.Exp(f.B), f.A, f.R2
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// MemUsage captures the memory cost of running f: the cumulative
+// allocation volume (TotalAlloc delta — deterministic and monotone, the
+// primary metric) and the live heap after the call with f's results still
+// referenced (HeapAlloc after a GC).
+type MemUsage struct {
+	// AllocBytes is the total allocation volume of f.
+	AllocBytes uint64
+	// LiveBytes is the live heap growth attributable to f's results.
+	LiveBytes uint64
+}
+
+// MeasureMem runs f and reports its memory usage and duration. The
+// function's return value must keep its data structures reachable so
+// LiveBytes reflects retained memory.
+func MeasureMem(f func() any) (any, MemUsage, time.Duration) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	result := f()
+	dur := time.Since(t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	runtime.GC()
+	var m2 runtime.MemStats
+	runtime.ReadMemStats(&m2)
+	mu := MemUsage{
+		AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+	}
+	if m2.HeapAlloc > m0.HeapAlloc {
+		mu.LiveBytes = m2.HeapAlloc - m0.HeapAlloc
+	}
+	runtime.KeepAlive(result)
+	return result, mu, dur
+}
+
+// MB renders bytes as mebibytes.
+func MB(b uint64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// table is a small helper around tabwriter.
+type table struct {
+	b strings.Builder
+	w *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.b.WriteString(title + "\n")
+	t.b.WriteString(strings.Repeat("=", len(title)) + "\n")
+	t.w = tabwriter.NewWriter(&t.b, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.w, strings.Join(cells, "\t"))
+}
+
+func (t *table) done(footer string) string {
+	t.w.Flush()
+	if footer != "" {
+		t.b.WriteString(footer + "\n")
+	}
+	t.b.WriteString("\n")
+	return t.b.String()
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// RenderFigure7 prints the SEG-vs-FSVFG build-time comparison (Figure 7):
+// per subject ordered by size, both build times, with the baseline's
+// timeouts marked exactly as in the paper.
+func RenderFigure7(runs []*SubjectRun) string {
+	t := newTable("Figure 7 — time cost: building SEG vs building FSVFG (subjects ordered by size)")
+	t.row("subject", "lines", "SEG build", "FSVFG build", "speedup")
+	sorted := bySize(runs)
+	for _, r := range sorted {
+		fs := dur(r.SVFBuildTime)
+		sp := ""
+		if r.SVFTimedOut {
+			fs = "TIMEOUT"
+			sp = "unbounded"
+		} else if r.SEGTime > 0 {
+			sp = fmt.Sprintf("%.1fx", float64(r.SVFBuildTime)/float64(r.SEGTime))
+		}
+		t.row(r.Subject.Name, fmt.Sprint(r.Lines), dur(r.SEGTime), fs, sp)
+	}
+	return t.done("Paper shape: comparable below the threshold, FSVFG times out above it while SEG stays sub-linear-feeling (paper: up to >400x faster, timeout at >135 paper-KLoC).")
+}
+
+// RenderFigure8 prints the build memory comparison (Figure 8).
+func RenderFigure8(runs []*SubjectRun) string {
+	t := newTable("Figure 8 — memory cost: building SEG vs building FSVFG")
+	t.row("subject", "lines", "SEG alloc MB", "SEG nodes+edges", "FSVFG alloc MB", "FSVFG nodes+edges")
+	for _, r := range bySize(runs) {
+		fsMem := fmt.Sprintf("%.1f", MB(r.SVFBuildMem.AllocBytes))
+		fsSize := fmt.Sprintf("%d+%d", r.SVFNodes, r.SVFEdges)
+		if r.SVFTimedOut {
+			fsMem += " (TIMEOUT)"
+		}
+		t.row(r.Subject.Name, fmt.Sprint(r.Lines),
+			fmt.Sprintf("%.1f", MB(r.SEGMem.AllocBytes)),
+			fmt.Sprintf("%d+%d", r.SEGNodes, r.SEGEdges),
+			fsMem, fsSize)
+	}
+	return t.done("Paper shape: FSVFG needs 40-60G more at scale; here the FSVFG edge count grows superlinearly while the SEG stays linear.")
+}
+
+// RenderFigure9 prints the total checker memory comparison (Figure 9).
+func RenderFigure9(runs []*SubjectRun) string {
+	t := newTable("Figure 9 — memory cost: SEG-based vs FSVFG-based checker (build + check)")
+	t.row("subject", "lines", "Pinpoint total MB", "SVF total MB")
+	for _, r := range bySize(runs) {
+		pin := MB(r.SEGMem.AllocBytes + r.CheckMem.AllocBytes)
+		svf := fmt.Sprintf("%.1f", MB(r.SVFBuildMem.AllocBytes))
+		if r.SVFTimedOut {
+			svf += " (fail: FSVFG not built)"
+		}
+		t.row(r.Subject.Name, fmt.Sprint(r.Lines), fmt.Sprintf("%.1f", pin), svf)
+	}
+	return t.done("")
+}
+
+// RenderFigure10 prints the scalability fits (Figure 10): Pinpoint time and
+// memory versus program size with R².
+func RenderFigure10(runs []*SubjectRun) string {
+	var xs, ts, ms []float64
+	for _, r := range bySize(runs) {
+		xs = append(xs, float64(r.Lines))
+		ts = append(ts, (r.SEGTime+r.CheckTime).Seconds()*1000) // ms
+		ms = append(ms, MB(r.SEGMem.AllocBytes+r.CheckMem.AllocBytes))
+	}
+	timeFit := FitLinear(xs, ts)
+	memFit := FitLinear(xs, ms)
+	_, kTime, _ := FitPower(xs, ts)
+	_, kMem, _ := FitPower(xs, ms)
+
+	t := newTable("Figure 10 — scalability of the SEG-based checker (linear fits)")
+	t.row("metric", "fit", "R^2", "power-law exponent")
+	t.row("time (ms)", fmt.Sprintf("%.4g*lines%+.4g", timeFit.A, timeFit.B), fmt.Sprintf("%.4f", timeFit.R2), fmt.Sprintf("%.2f", kTime))
+	t.row("memory (MB)", fmt.Sprintf("%.4g*lines%+.4g", memFit.A, memFit.B), fmt.Sprintf("%.4f", memFit.R2), fmt.Sprintf("%.2f", kMem))
+	return t.done("Paper: both fits have R^2 > 0.9 — observed linear scalability. Exponent near 1.0 confirms it independently.")
+}
+
+// RenderTable1 prints the use-after-free checker comparison (Table 1).
+func RenderTable1(runs []*SubjectRun) string {
+	t := newTable("Table 1 — results of use-after-free checkers (Pinpoint vs SVF baseline)")
+	t.row("origin", "subject", "lines", "Pinpoint #FP", "Pinpoint #Rep", "FP rate", "SVF #Rep", "paper Pin #Rep", "paper SVF #Rep")
+	totalRep, totalFP, totalSVF := 0, 0, 0
+	for _, r := range runs {
+		fpRate := "0"
+		if r.Reports > 0 {
+			fpRate = fmt.Sprintf("%.1f%%", 100*float64(r.FP)/float64(r.Reports))
+		}
+		svf := fmt.Sprint(r.SVFReports)
+		switch {
+		case r.SVFTimedOut:
+			svf = "NA (build timeout)"
+		case r.SVFCheckTimedOut:
+			svf = fmt.Sprintf(">%d (check timeout)", r.SVFReports)
+		default:
+			totalSVF += r.SVFReports
+		}
+		paperSVF := fmt.Sprint(r.Subject.PaperSVFReports)
+		if r.Subject.PaperSVFReports < 0 {
+			paperSVF = "NA"
+		}
+		t.row(r.Subject.Origin, r.Subject.Name, fmt.Sprint(r.Lines),
+			fmt.Sprint(r.FP), fmt.Sprint(r.Reports), fpRate, svf,
+			fmt.Sprint(r.Subject.PaperPinpointReports), paperSVF)
+		totalRep += r.Reports
+		totalFP += r.FP
+	}
+	rate := 0.0
+	if totalRep > 0 {
+		rate = 100 * float64(totalFP) / float64(totalRep)
+	}
+	footer := fmt.Sprintf("Totals: Pinpoint %d reports, %d FP (%.1f%%); SVF %d reports on finished subjects.\nPaper: 14 reports, 2 FP (14.3%%); SVF ~10,000 reports, no TPs found in sampling.",
+		totalRep, totalFP, rate, totalSVF)
+	return t.done(footer)
+}
+
+// RenderTable2 prints the taint checker summary (Table 2).
+func RenderTable2(taint []*TaintRun) string {
+	t := newTable("Table 2 — SEG-based taint analysis on mysql")
+	t.row("checker", "memory MB", "time", "#FP/#Reports", "FP rate", "paper")
+	paper := map[string]string{
+		"path-traversal":    "11/56 (43.1G, 1.4hr)",
+		"data-transmission": "24/92 (52.6G, 1.5hr)",
+	}
+	for _, tr := range taint {
+		rate := 0.0
+		if tr.Reports > 0 {
+			rate = 100 * float64(tr.FP) / float64(tr.Reports)
+		}
+		t.row(tr.Checker, fmt.Sprintf("%.1f", MB(tr.Mem.AllocBytes)), dur(tr.Time),
+			fmt.Sprintf("%d/%d", tr.FP, tr.Reports), fmt.Sprintf("%.1f%%", rate), paper[tr.Checker])
+	}
+	return t.done("Paper overall taint FP rate: 23.6%. Sanitizers are unmodeled by design (§4.1), so the opaque (sanitized) flows are reported and counted as FPs.")
+}
+
+// RenderTable3 prints the Infer/CSA comparison (Table 3).
+func RenderTable3(rows []*BaselineRun) string {
+	t := newTable("Table 3 — results of Infer-like and CSA-like baselines (use-after-free)")
+	t.row("subject", "lines(paper KLoC)", "tool", "time", "#FP/#Rep", "missed true bugs")
+	totFP := map[string]int{}
+	totRep := map[string]int{}
+	totMiss := map[string]int{}
+	for _, r := range rows {
+		missed := r.Subject.TrueBugs - r.TP
+		t.row(r.Subject.Name, fmt.Sprint(r.Subject.PaperKLoC), r.Tool, dur(r.Time),
+			fmt.Sprintf("%d/%d", r.FP, r.Reports), fmt.Sprint(missed))
+		totFP[r.Tool] += r.FP
+		totRep[r.Tool] += r.Reports
+		totMiss[r.Tool] += missed
+	}
+	footer := fmt.Sprintf("Totals: Infer-like %d/%d FP/rep, %d bugs missed; CSA-like %d/%d FP/rep, %d bugs missed.\nPaper: Infer 35/35 all-FP; CSA 24/26 FP (2 TP); both confined to single compilation units.",
+		totFP["Infer"], totRep["Infer"], totMiss["Infer"],
+		totFP["CSA"], totRep["CSA"], totMiss["CSA"])
+	return t.done(footer)
+}
+
+// RenderJuliet prints the recall experiment (§5.1.2).
+func RenderJuliet(r *JulietResult) string {
+	t := newTable("Juliet recall — use-after-free / double-free corpus")
+	t.row("metric", "value", "paper")
+	t.row("cases", fmt.Sprint(r.Total), "1421")
+	t.row("flaw types", fmt.Sprint(r.FlawTypes), "51")
+	t.row("detected", fmt.Sprintf("%d (%.1f%%)", r.Detected, 100*float64(r.Detected)/float64(r.Total)), "1421 (100%)")
+	t.row("time", dur(r.Time), "-")
+	footer := ""
+	if len(r.MissedByFlaw) > 0 {
+		var keys []string
+		for k := range r.MissedByFlaw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		footer = "Missed flaw types: "
+		for _, k := range keys {
+			footer += fmt.Sprintf("%s(%d) ", k, r.MissedByFlaw[k])
+		}
+	}
+	return t.done(footer)
+}
+
+func bySize(runs []*SubjectRun) []*SubjectRun {
+	out := append([]*SubjectRun(nil), runs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lines < out[j].Lines })
+	return out
+}
+
+var _ = workload.Subjects // keep the import for documentation references

@@ -1,0 +1,250 @@
+// Package cfg provides control-flow-graph analyses over IR functions:
+// reverse postorder, dominators and post-dominators (Cooper–Harvey–Kennedy),
+// dominance frontiers (Cytron), and control dependence
+// (Ferrante–Ottenstein–Warren), which the SEG encodes as Lc-labeled edges
+// (Pinpoint Definition 3.2).
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ReversePostorder returns the blocks of f in reverse postorder of a DFS
+// from the entry.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Topological returns a topological order of an acyclic CFG, or an error if
+// the CFG has a cycle. The analysis pipeline guarantees acyclic CFGs (loops
+// are unrolled during lowering); passes that rely on that call this to fail
+// loudly if the invariant breaks.
+func Topological(f *ir.Func) ([]*ir.Block, error) {
+	order := ReversePostorder(f)
+	idx := make(map[*ir.Block]int, len(order))
+	for i, b := range order {
+		idx[b] = i
+	}
+	for _, b := range order {
+		for _, s := range b.Succs {
+			if idx[s] <= idx[b] {
+				return nil, fmt.Errorf("cfg: %s has a back edge %s->%s", f.Name, b, s)
+			}
+		}
+	}
+	return order, nil
+}
+
+// DomTree is a dominator (or post-dominator) tree.
+type DomTree struct {
+	// Root is the tree root: the entry for dominators, the exit for
+	// post-dominators.
+	Root *ir.Block
+	// Idom maps each block to its immediate (post-)dominator; the root
+	// maps to nil.
+	Idom map[*ir.Block]*ir.Block
+	// Children is the inverse of Idom.
+	Children map[*ir.Block][]*ir.Block
+	// Order assigns each reachable block its index in the fixpoint
+	// iteration order (reverse postorder from Root along the direction
+	// of the analysis).
+	Order map[*ir.Block]int
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for x := b; x != nil; x = t.Idom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominators computes the dominator tree of f.
+func Dominators(f *ir.Func) *DomTree {
+	return buildDomTree(f.Entry, func(b *ir.Block) []*ir.Block { return b.Succs },
+		func(b *ir.Block) []*ir.Block { return b.Preds })
+}
+
+// PostDominators computes the post-dominator tree of f, rooted at the unique
+// exit block.
+func PostDominators(f *ir.Func) *DomTree {
+	if f.Exit == nil {
+		panic("cfg: function has no exit block")
+	}
+	return buildDomTree(f.Exit, func(b *ir.Block) []*ir.Block { return b.Preds },
+		func(b *ir.Block) []*ir.Block { return b.Succs })
+}
+
+// buildDomTree runs the Cooper–Harvey–Kennedy iterative algorithm over the
+// graph induced by fwd (successors in the direction away from root) and bwd
+// (predecessors toward root).
+func buildDomTree(root *ir.Block, fwd, bwd func(*ir.Block) []*ir.Block) *DomTree {
+	// Reverse postorder from root along fwd.
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range fwd(b) {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(root)
+	rpo := make([]*ir.Block, len(post))
+	for i := range post {
+		rpo[len(post)-1-i] = post[i]
+	}
+	order := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+
+	idom := map[*ir.Block]*ir.Block{root: root}
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == root {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range bwd(b) {
+				if _, ok := order[p]; !ok {
+					continue // unreachable from root in this direction
+				}
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	t := &DomTree{
+		Root:     root,
+		Idom:     make(map[*ir.Block]*ir.Block, len(idom)),
+		Children: make(map[*ir.Block][]*ir.Block),
+		Order:    order,
+	}
+	for b, d := range idom {
+		if b == root {
+			t.Idom[b] = nil
+			continue
+		}
+		t.Idom[b] = d
+		t.Children[d] = append(t.Children[d], b)
+	}
+	return t
+}
+
+// DominanceFrontier computes DF(b) for every block (Cytron et al.).
+func DominanceFrontier(f *ir.Func, dt *DomTree) map[*ir.Block][]*ir.Block {
+	df := make(map[*ir.Block]map[*ir.Block]bool)
+	add := func(b, w *ir.Block) {
+		if df[b] == nil {
+			df[b] = make(map[*ir.Block]bool)
+		}
+		df[b][w] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != nil && runner != dt.Idom[b] {
+				add(runner, b)
+				runner = dt.Idom[runner]
+			}
+		}
+	}
+	out := make(map[*ir.Block][]*ir.Block, len(df))
+	for b, set := range df {
+		for w := range set {
+			out[b] = append(out[b], w)
+		}
+	}
+	return out
+}
+
+// CDep records that a block executes only when the branch terminating
+// Branch takes the edge selected by OnTrue. The branch condition value is
+// Branch.Term().Args[0].
+type CDep struct {
+	Branch *ir.Block
+	OnTrue bool
+}
+
+// Cond returns the SSA value of the controlling branch condition.
+func (c CDep) Cond() *ir.Value { return c.Branch.Term().Args[0] }
+
+// ControlDeps computes the control dependences of every block using
+// post-dominance (Ferrante–Ottenstein–Warren): B is control dependent on
+// edge (A→S) iff B post-dominates S but does not post-dominate A. Only
+// two-way branches generate dependences; jumps are unconditional.
+func ControlDeps(f *ir.Func, pdt *DomTree) map[*ir.Block][]CDep {
+	out := make(map[*ir.Block][]CDep)
+	for _, a := range f.Blocks {
+		term := a.Term()
+		if term == nil || term.Op != ir.OpBr {
+			continue
+		}
+		for i, s := range term.Blocks {
+			onTrue := i == 0
+			// Walk the post-dominator tree from s up to (but not
+			// including) ipdom(a); every node visited is control
+			// dependent on (a, onTrue).
+			stop := pdt.Idom[a]
+			for x := s; x != nil && x != stop; x = pdt.Idom[x] {
+				out[x] = append(out[x], CDep{Branch: a, OnTrue: onTrue})
+				if x == pdt.Root {
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+const diamondSrc = `
+int f(bool c) {
+	int x = 0;
+	if (c) { x = 1; } else { x = 2; }
+	return x;
+}`
+
+func TestReversePostorder(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	f := m.ByName["f"]
+	rpo := ReversePostorder(f)
+	if rpo[0] != f.Entry {
+		t.Fatal("RPO does not start at entry")
+	}
+	idx := map[*ir.Block]int{}
+	for i, b := range rpo {
+		idx[b] = i
+	}
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("RPO covers %d blocks of %d", len(rpo), len(f.Blocks))
+	}
+	// In an acyclic CFG, RPO is topological.
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if idx[s] <= idx[b] {
+				t.Fatalf("edge %s->%s violates topological order", b, s)
+			}
+		}
+	}
+}
+
+func TestTopological(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	if _, err := Topological(m.ByName["f"]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologicalDetectsCycle(t *testing.T) {
+	f := ir.NewFunc("loop", minic.VoidType, 0, minic.Pos{})
+	a := f.NewBlock()
+	b := f.NewBlock()
+	f.Entry = a
+	f.Exit = b
+	f.Append(a, ir.Instr{Op: ir.OpJmp, Blocks: []*ir.Block{b}})
+	f.Append(b, ir.Instr{Op: ir.OpJmp, Blocks: []*ir.Block{a}})
+	ir.Connect(a, b)
+	ir.Connect(b, a)
+	if _, err := Topological(f); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	f := m.ByName["f"]
+	dt := Dominators(f)
+	// Entry dominates everything.
+	for _, b := range f.Blocks {
+		if !dt.Dominates(f.Entry, b) {
+			t.Errorf("entry does not dominate %s", b)
+		}
+	}
+	// Find the branch and its successors.
+	var branch *ir.Block
+	for _, b := range f.Blocks {
+		if term := b.Term(); term != nil && term.Op == ir.OpBr {
+			branch = b
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch block")
+	}
+	thenB, elseB := branch.Succs[0], branch.Succs[1]
+	if dt.Dominates(thenB, elseB) || dt.Dominates(elseB, thenB) {
+		t.Error("branch arms dominate each other")
+	}
+	// The join is dominated by the branch block, not by either arm.
+	join := thenB.Succs[0]
+	if dt.Idom[join] != branch {
+		t.Errorf("idom(join) = %v, want %v", dt.Idom[join], branch)
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	f := m.ByName["f"]
+	pdt := PostDominators(f)
+	for _, b := range f.Blocks {
+		if !pdt.Dominates(f.Exit, b) {
+			t.Errorf("exit does not post-dominate %s", b)
+		}
+	}
+	var branch *ir.Block
+	for _, b := range f.Blocks {
+		if term := b.Term(); term != nil && term.Op == ir.OpBr {
+			branch = b
+		}
+	}
+	thenB := branch.Succs[0]
+	join := thenB.Succs[0]
+	// The join post-dominates the branch; the arms do not.
+	if !pdt.Dominates(join, branch) {
+		t.Error("join does not post-dominate branch")
+	}
+	if pdt.Dominates(thenB, branch) {
+		t.Error("then-arm post-dominates branch")
+	}
+}
+
+func TestDominanceFrontierDiamond(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	f := m.ByName["f"]
+	dt := Dominators(f)
+	df := DominanceFrontier(f, dt)
+	var branch *ir.Block
+	for _, b := range f.Blocks {
+		if term := b.Term(); term != nil && term.Op == ir.OpBr {
+			branch = b
+		}
+	}
+	thenB, elseB := branch.Succs[0], branch.Succs[1]
+	join := thenB.Succs[0]
+	for _, arm := range []*ir.Block{thenB, elseB} {
+		found := false
+		for _, w := range df[arm] {
+			if w == join {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("DF(%s) = %v, want to contain %s", arm, df[arm], join)
+		}
+	}
+	// The join is not in its own idom's frontier... but the branch must
+	// not contain the join (branch dominates join).
+	for _, w := range df[branch] {
+		if w == join {
+			t.Errorf("DF(branch) contains dominated join")
+		}
+	}
+}
+
+func TestControlDepsDiamond(t *testing.T) {
+	m := lowerSrc(t, diamondSrc)
+	f := m.ByName["f"]
+	pdt := PostDominators(f)
+	cd := ControlDeps(f, pdt)
+	var branch *ir.Block
+	for _, b := range f.Blocks {
+		if term := b.Term(); term != nil && term.Op == ir.OpBr {
+			branch = b
+		}
+	}
+	thenB, elseB := branch.Succs[0], branch.Succs[1]
+	join := thenB.Succs[0]
+	// Arms are control dependent on the branch with matching polarity.
+	checkDep := func(b *ir.Block, wantTrue bool) {
+		deps := cd[b]
+		if len(deps) != 1 || deps[0].Branch != branch || deps[0].OnTrue != wantTrue {
+			t.Errorf("cd[%s] = %+v, want branch=%s onTrue=%v", b, deps, branch, wantTrue)
+		}
+	}
+	checkDep(thenB, true)
+	checkDep(elseB, false)
+	// The join and entry have no control dependences.
+	if len(cd[join]) != 0 {
+		t.Errorf("cd[join] = %+v, want empty", cd[join])
+	}
+	if len(cd[f.Entry]) != 0 {
+		t.Errorf("cd[entry] = %+v, want empty", cd[f.Entry])
+	}
+	// CDep.Cond returns the branch condition value.
+	if c := cd[thenB][0].Cond(); c == nil || c.Type.Base != "bool" {
+		t.Errorf("Cond() = %v", c)
+	}
+}
+
+func TestControlDepsNested(t *testing.T) {
+	m := lowerSrc(t, `
+void f(bool a, bool b) {
+	if (a) {
+		if (b) {
+			g();
+		}
+	}
+}`)
+	f := m.ByName["f"]
+	pdt := PostDominators(f)
+	cd := ControlDeps(f, pdt)
+	// The block containing the call to g must be control dependent on
+	// both branches.
+	var callBlock *ir.Block
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpCall && in.Callee == "g" {
+				callBlock = blk
+			}
+		}
+	}
+	if callBlock == nil {
+		t.Fatal("call block not found")
+	}
+	if len(cd[callBlock]) != 1 {
+		t.Fatalf("cd[call] = %+v, want exactly the inner branch (outer is transitive)", cd[callBlock])
+	}
+	inner := cd[callBlock][0]
+	if !inner.OnTrue {
+		t.Error("inner dep polarity wrong")
+	}
+	// The inner branch block is itself control dependent on the outer.
+	outerDeps := cd[inner.Branch]
+	if len(outerDeps) != 1 || !outerDeps[0].OnTrue {
+		t.Errorf("cd[inner branch] = %+v", outerDeps)
+	}
+}
+
+func TestDominatorsLinear(t *testing.T) {
+	m := lowerSrc(t, "void f() { g(); h(); }")
+	f := m.ByName["f"]
+	dt := Dominators(f)
+	pdt := PostDominators(f)
+	for _, b := range f.Blocks {
+		if b != f.Entry && dt.Idom[b] == nil {
+			t.Errorf("%s has no idom", b)
+		}
+		if b != f.Exit && pdt.Idom[b] == nil {
+			t.Errorf("%s has no ipdom", b)
+		}
+	}
+}
+
+// TestQuickDominatorsVsBruteForce validates the iterative dominator
+// algorithm against the definition on random acyclic CFGs: a dominates b
+// iff every entry→b path passes through a (checked by deleting a and
+// testing reachability).
+func TestQuickDominatorsVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		f := randomDAGFunc(rng)
+		dt := Dominators(f)
+		reachableWithout := func(skip *ir.Block) map[*ir.Block]bool {
+			seen := map[*ir.Block]bool{}
+			var dfs func(*ir.Block)
+			dfs = func(b *ir.Block) {
+				if b == skip || seen[b] {
+					return
+				}
+				seen[b] = true
+				for _, s := range b.Succs {
+					dfs(s)
+				}
+			}
+			if f.Entry != skip {
+				dfs(f.Entry)
+			}
+			return seen
+		}
+		for _, a := range f.Blocks {
+			without := reachableWithout(a)
+			for _, b := range f.Blocks {
+				wantDom := a == b || !without[b]
+				if got := dt.Dominates(a, b); got != wantDom {
+					t.Fatalf("trial %d: Dominates(%s,%s) = %v, want %v\n%s",
+						trial, a, b, got, wantDom, f)
+				}
+			}
+		}
+		// Post-dominators: the same property on the reversed graph.
+		pdt := PostDominators(f)
+		reachesExitWithout := func(skip *ir.Block) map[*ir.Block]bool {
+			seen := map[*ir.Block]bool{}
+			var dfs func(*ir.Block)
+			dfs = func(b *ir.Block) {
+				if b == skip || seen[b] {
+					return
+				}
+				seen[b] = true
+				for _, p := range b.Preds {
+					dfs(p)
+				}
+			}
+			if f.Exit != skip {
+				dfs(f.Exit)
+			}
+			return seen
+		}
+		for _, a := range f.Blocks {
+			without := reachesExitWithout(a)
+			for _, b := range f.Blocks {
+				wantPDom := a == b || !without[b]
+				if got := pdt.Dominates(a, b); got != wantPDom {
+					t.Fatalf("trial %d: PostDominates(%s,%s) = %v, want %v\n%s",
+						trial, a, b, got, wantPDom, f)
+				}
+			}
+		}
+	}
+}
+
+// randomDAGFunc builds a random valid acyclic CFG: forward-only edges, all
+// blocks reachable from entry, all paths ending in the single exit.
+func randomDAGFunc(rng *rand.Rand) *ir.Func {
+	n := 3 + rng.Intn(8)
+	f := ir.NewFunc("rand", minic.VoidType, 0, minic.Pos{})
+	c := f.NewParam("c", minic.BoolType, false)
+	blocks := make([]*ir.Block, n)
+	for i := range blocks {
+		blocks[i] = f.NewBlock()
+	}
+	f.Entry = blocks[0]
+	f.Exit = blocks[n-1]
+	for i := 0; i < n-1; i++ {
+		// Pick 1 or 2 distinct forward targets.
+		t1 := i + 1 + rng.Intn(n-1-i)
+		if rng.Intn(2) == 0 {
+			t2 := i + 1 + rng.Intn(n-1-i)
+			if t2 != t1 {
+				f.Append(blocks[i], ir.Instr{Op: ir.OpBr, Args: []*ir.Value{c},
+					Blocks: []*ir.Block{blocks[t1], blocks[t2]}})
+				ir.Connect(blocks[i], blocks[t1])
+				ir.Connect(blocks[i], blocks[t2])
+				continue
+			}
+		}
+		f.Append(blocks[i], ir.Instr{Op: ir.OpJmp, Blocks: []*ir.Block{blocks[t1]}})
+		ir.Connect(blocks[i], blocks[t1])
+	}
+	f.Append(blocks[n-1], ir.Instr{Op: ir.OpRet})
+	// Some middle blocks may be unreachable from entry; prune them so the
+	// invariants hold.
+	reach := map[*ir.Block]bool{}
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry)
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			var preds []*ir.Block
+			for _, p := range b.Preds {
+				if reach[p] {
+					preds = append(preds, p)
+				}
+			}
+			b.Preds = preds
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	return f
+}

@@ -1,0 +1,224 @@
+// Package checkers defines the source–sink specifications of the bug
+// detectors built on the Pinpoint engine (§4.1): use-after-free,
+// double-free, and the two taint checkers evaluated in the paper
+// (path-traversal and data-transmission vulnerabilities), plus a
+// null-dereference checker as an extension.
+//
+// A checker is purely declarative: it names the SEG vertices that originate
+// a dangerous value (sources), the vertices that consume one (sinks), and a
+// few policy bits (whether sinks must execute after the source; whether the
+// tracked value should be widened backward to its allocation roots so
+// aliases of the freed object are covered). The demand-driven engine in
+// package detect interprets the spec.
+package checkers
+
+import (
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/seg"
+)
+
+// Source is a dangerous-value origin.
+type Source struct {
+	// Val is the tracked SSA value.
+	Val *ir.Value
+	// At is the instruction after which the value is dangerous (the free
+	// for UAF; the defining call for taint).
+	At *ir.Instr
+	// Cond is the condition under which the source fires (the control
+	// dependence of At), in the function-local condition domain.
+	Cond *cond.Cond
+}
+
+// Spec is a checker definition.
+type Spec struct {
+	// Name identifies the checker in reports.
+	Name string
+	// LocalSources extracts the sources of one function's SEG.
+	LocalSources func(g *seg.Graph) []Source
+	// IsSink reports whether a use vertex consumes the dangerous value.
+	// The source's originating instruction is provided so checkers can
+	// exclude it (a free is not its own sink).
+	IsSink func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool
+	// OrderingRequired demands the sink execute after the source (UAF
+	// semantics); taint flows are ordered by data dependence already.
+	OrderingRequired bool
+	// WidenToRoots walks backward from the source value to its
+	// allocation roots before searching forward, so sibling aliases of
+	// the freed object are tracked too.
+	WidenToRoots bool
+	// SourceCalls maps external callee names to the fact that their
+	// return value is a source (taint checkers).
+	SourceCalls map[string]bool
+	// SinkCalls maps external callee names to the argument positions
+	// that are sinks (-1 = every argument).
+	SinkCalls map[string]int
+	// PropagateCalls are external callees whose return value carries the
+	// taint of their arguments (str_copy-style transfer functions).
+	PropagateCalls map[string]bool
+	// SanitizerCalls are external predicates that, when guarding a sink,
+	// neutralize the flow: a candidate whose sink is control-dependent on
+	// a sanitizer call over the tainted value is suppressed. The paper's
+	// checkers deliberately leave this empty (§4.1, §5.3) and count the
+	// resulting reports as false positives; WithSanitizers opts in.
+	SanitizerCalls map[string]bool
+}
+
+// WithSanitizers returns a copy of the spec with sanitizer modeling
+// enabled — the extension the paper defers. The FP rate of the taint
+// checkers drops accordingly (see the sanitizer test and bench).
+func (s *Spec) WithSanitizers(names ...string) *Spec {
+	out := *s
+	out.SanitizerCalls = make(map[string]bool, len(names))
+	for _, n := range names {
+		out.SanitizerCalls[n] = true
+	}
+	return &out
+}
+
+// freeSources extracts free-instruction sources (shared by UAF and
+// double-free).
+func freeSources(g *seg.Graph) []Source {
+	var out []Source
+	for _, n := range g.ByRole[seg.RoleFreeArg] {
+		out = append(out, Source{
+			Val:  n.Val,
+			At:   n.Instr,
+			Cond: g.CD(n.Instr),
+		})
+	}
+	return out
+}
+
+// UseAfterFree reports dereferences (and re-frees) of freed values; this is
+// the checker of the paper's headline experiment (§5.1, Table 1).
+func UseAfterFree() *Spec {
+	return &Spec{
+		Name:         "use-after-free",
+		LocalSources: freeSources,
+		IsSink: func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool {
+			if n.Instr == sourceAt || n.Instr.Synthetic {
+				return false
+			}
+			return n.Role == seg.RoleDerefAddr || n.Role == seg.RoleFreeArg
+		},
+		OrderingRequired: true,
+		WidenToRoots:     true,
+	}
+}
+
+// DoubleFree restricts the UAF sinks to second frees.
+func DoubleFree() *Spec {
+	return &Spec{
+		Name:         "double-free",
+		LocalSources: freeSources,
+		IsSink: func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool {
+			return n.Role == seg.RoleFreeArg && n.Instr != sourceAt
+		},
+		OrderingRequired: true,
+		WidenToRoots:     true,
+	}
+}
+
+// taintSources extracts receivers of source calls.
+func taintSources(names map[string]bool) func(g *seg.Graph) []Source {
+	return func(g *seg.Graph) []Source {
+		var out []Source
+		for _, b := range g.Fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || !names[in.Callee] {
+					continue
+				}
+				if len(in.Dsts) == 0 || in.Dsts[0] == nil {
+					continue
+				}
+				out = append(out, Source{Val: in.Dsts[0], At: in, Cond: g.CD(in)})
+			}
+		}
+		return out
+	}
+}
+
+// callArgSink builds an IsSink predicate from a callee→argument map.
+func callArgSink(sinks map[string]int) func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool {
+	return func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool {
+		if n.Role != seg.RoleCallArg {
+			return false
+		}
+		pos, ok := sinks[n.Instr.Callee]
+		if !ok {
+			return false
+		}
+		return pos < 0 || pos == n.ArgIdx
+	}
+}
+
+// PathTraversal models CWE-23: user-controlled input reaching a file-path
+// operation (§4.1). Sanitizers are deliberately not modeled, matching the
+// paper's taint checkers.
+func PathTraversal() *Spec {
+	sources := map[string]bool{
+		"user_input": true, "read_line": true, "fgetc": true, "recv_str": true,
+	}
+	sinks := map[string]int{
+		"open_file": 0, "fopen_path": 0, "remove_file": 0, "exec_path": 0,
+	}
+	return &Spec{
+		Name:         "path-traversal",
+		LocalSources: taintSources(sources),
+		IsSink:       callArgSink(sinks),
+		SourceCalls:  sources,
+		SinkCalls:    sinks,
+		PropagateCalls: map[string]bool{
+			"str_copy": true, "str_cat": true, "to_path": true,
+		},
+	}
+}
+
+// DataTransmission models CWE-402: sensitive data leaking to a network
+// transmission sink (§4.1).
+func DataTransmission() *Spec {
+	sources := map[string]bool{
+		"getpass": true, "read_secret": true, "load_key": true,
+	}
+	sinks := map[string]int{
+		"send_data": 0, "sendto_net": 0, "write_socket": 0, "log_remote": 0,
+	}
+	return &Spec{
+		Name:         "data-transmission",
+		LocalSources: taintSources(sources),
+		IsSink:       callArgSink(sinks),
+		SourceCalls:  sources,
+		SinkCalls:    sinks,
+		PropagateCalls: map[string]bool{
+			"str_copy": true, "str_cat": true, "encode_buf": true,
+		},
+	}
+}
+
+// NullDeref reports dereferences of values that may be null — an extension
+// checker demonstrating the framework's generality beyond the paper's
+// evaluation.
+func NullDeref() *Spec {
+	return &Spec{
+		Name: "null-deref",
+		LocalSources: func(g *seg.Graph) []Source {
+			var out []Source
+			seen := map[*ir.Value]bool{}
+			for _, b := range g.Fn.Blocks {
+				for _, in := range b.Instrs {
+					for _, a := range in.Args {
+						if a.Kind == ir.VConstNull && !seen[a] {
+							seen[a] = true
+							out = append(out, Source{Val: a, At: in, Cond: g.Info.Conds.True()})
+						}
+					}
+				}
+			}
+			return out
+		},
+		IsSink: func(g *seg.Graph, n *seg.Node, sourceAt *ir.Instr) bool {
+			return n.Role == seg.RoleDerefAddr && !n.Instr.Synthetic
+		},
+	}
+}

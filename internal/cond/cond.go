@@ -1,0 +1,318 @@
+// Package cond provides the symbolic condition representation used across
+// the analysis, together with the linear-time contradiction solver of
+// Pinpoint §3.1.1.
+//
+// A condition is a hash-consed boolean DAG over opaque atoms. Atoms are
+// identified by integer IDs handed out by the client (typically SSA value IDs
+// of branch variables or comparison expressions). Hash consing guarantees
+// that structurally equal conditions are pointer-equal, which keeps the
+// graphs compact (the "compact encoding" property of the SEG) and makes
+// memoized traversals cheap.
+package cond
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the node forms of a condition DAG.
+type Kind uint8
+
+const (
+	// KTrue is the always-true condition.
+	KTrue Kind = iota
+	// KFalse is the always-false condition.
+	KFalse
+	// KAtom is an opaque boolean atom (e.g. a branch variable).
+	KAtom
+	// KNot is logical negation of a single operand.
+	KNot
+	// KAnd is n-ary conjunction.
+	KAnd
+	// KOr is n-ary disjunction.
+	KOr
+)
+
+// Cond is an immutable node in a condition DAG. Nodes must be created
+// through a Builder; the zero value is not meaningful.
+type Cond struct {
+	kind Kind
+	atom int     // valid when kind == KAtom
+	ops  []*Cond // operands for KNot (1) / KAnd / KOr (>= 2)
+	id   int     // unique per Builder, used for memoization keys
+}
+
+// Kind reports the node form.
+func (c *Cond) Kind() Kind { return c.kind }
+
+// Atom returns the atom ID of a KAtom node.
+func (c *Cond) Atom() int {
+	if c.kind != KAtom {
+		panic("cond: Atom called on non-atom")
+	}
+	return c.atom
+}
+
+// Ops returns the operand list. Callers must not mutate it.
+func (c *Cond) Ops() []*Cond { return c.ops }
+
+// ID returns the node's unique ID within its Builder.
+func (c *Cond) ID() int { return c.id }
+
+// IsTrue reports whether c is the constant true.
+func (c *Cond) IsTrue() bool { return c.kind == KTrue }
+
+// IsFalse reports whether c is the constant false.
+func (c *Cond) IsFalse() bool { return c.kind == KFalse }
+
+// String renders the condition in a readable infix form. Atom IDs are
+// printed as "aN"; clients with richer atom names should render themselves.
+func (c *Cond) String() string {
+	var b strings.Builder
+	c.write(&b)
+	return b.String()
+}
+
+func (c *Cond) write(b *strings.Builder) {
+	switch c.kind {
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KAtom:
+		fmt.Fprintf(b, "a%d", c.atom)
+	case KNot:
+		b.WriteString("!")
+		if c.ops[0].kind == KAnd || c.ops[0].kind == KOr {
+			b.WriteString("(")
+			c.ops[0].write(b)
+			b.WriteString(")")
+		} else {
+			c.ops[0].write(b)
+		}
+	case KAnd, KOr:
+		sep := " & "
+		if c.kind == KOr {
+			sep = " | "
+		}
+		b.WriteString("(")
+		for i, op := range c.ops {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			op.write(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Builder hash-conses condition nodes. It is not safe for concurrent use;
+// each analysis pipeline owns one Builder.
+type Builder struct {
+	trueC  *Cond
+	falseC *Cond
+	atoms  map[int]*Cond
+	nots   map[int]*Cond    // operand id -> node
+	nary   map[string]*Cond // structural key -> node
+	nextID int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	b := &Builder{
+		atoms: make(map[int]*Cond),
+		nots:  make(map[int]*Cond),
+		nary:  make(map[string]*Cond),
+	}
+	b.trueC = b.newNode(KTrue, 0, nil)
+	b.falseC = b.newNode(KFalse, 0, nil)
+	return b
+}
+
+func (b *Builder) newNode(k Kind, atom int, ops []*Cond) *Cond {
+	c := &Cond{kind: k, atom: atom, ops: ops, id: b.nextID}
+	b.nextID++
+	return c
+}
+
+// NumNodes returns the number of distinct nodes created so far. The bench
+// harness uses it as a deterministic size/memory proxy.
+func (b *Builder) NumNodes() int { return b.nextID }
+
+// True returns the constant true condition.
+func (b *Builder) True() *Cond { return b.trueC }
+
+// False returns the constant false condition.
+func (b *Builder) False() *Cond { return b.falseC }
+
+// Atom returns the (hash-consed) atom with the given ID.
+func (b *Builder) Atom(id int) *Cond {
+	if c, ok := b.atoms[id]; ok {
+		return c
+	}
+	c := b.newNode(KAtom, id, nil)
+	b.atoms[id] = c
+	return c
+}
+
+// Not returns the negation of c, applying constant folding, double-negation
+// elimination, and hash consing.
+func (b *Builder) Not(c *Cond) *Cond {
+	switch c.kind {
+	case KTrue:
+		return b.falseC
+	case KFalse:
+		return b.trueC
+	case KNot:
+		return c.ops[0]
+	}
+	if n, ok := b.nots[c.id]; ok {
+		return n
+	}
+	n := b.newNode(KNot, 0, []*Cond{c})
+	b.nots[c.id] = n
+	return n
+}
+
+// And returns the conjunction of the given conditions with flattening,
+// deduplication, constant folding, and complementary-literal elimination
+// (x & !x == false).
+func (b *Builder) And(cs ...*Cond) *Cond {
+	return b.buildNary(KAnd, cs)
+}
+
+// Or returns the disjunction of the given conditions with the dual
+// simplifications of And.
+func (b *Builder) Or(cs ...*Cond) *Cond {
+	return b.buildNary(KOr, cs)
+}
+
+// Implies returns (!a | b).
+func (b *Builder) Implies(a, c *Cond) *Cond {
+	return b.Or(b.Not(a), c)
+}
+
+func (b *Builder) buildNary(k Kind, cs []*Cond) *Cond {
+	// Identity and absorbing elements.
+	unit, zero := b.trueC, b.falseC
+	if k == KOr {
+		unit, zero = b.falseC, b.trueC
+	}
+	// Flatten nested nodes of the same kind, drop units, detect zeros.
+	flat := make([]*Cond, 0, len(cs))
+	var flatten func(c *Cond) bool
+	flatten = func(c *Cond) bool {
+		if c == zero {
+			return false
+		}
+		if c == unit {
+			return true
+		}
+		if c.kind == k {
+			for _, op := range c.ops {
+				if !flatten(op) {
+					return false
+				}
+			}
+			return true
+		}
+		flat = append(flat, c)
+		return true
+	}
+	for _, c := range cs {
+		if c == nil {
+			panic("cond: nil operand")
+		}
+		if !flatten(c) {
+			return zero
+		}
+	}
+	if len(flat) == 0 {
+		return unit
+	}
+	// Sort by node ID and deduplicate; detect x and !x pairs.
+	sort.Slice(flat, func(i, j int) bool { return flat[i].id < flat[j].id })
+	out := flat[:0]
+	var prev *Cond
+	for _, c := range flat {
+		if c == prev {
+			continue
+		}
+		out = append(out, c)
+		prev = c
+	}
+	seen := make(map[int]bool, len(out))
+	for _, c := range out {
+		seen[c.id] = true
+	}
+	for _, c := range out {
+		if c.kind == KNot && seen[c.ops[0].id] {
+			return zero
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	key := naryKey(k, out)
+	if n, ok := b.nary[key]; ok {
+		return n
+	}
+	ops := make([]*Cond, len(out))
+	copy(ops, out)
+	n := b.newNode(k, 0, ops)
+	b.nary[key] = n
+	return n
+}
+
+func naryKey(k Kind, ops []*Cond) string {
+	var sb strings.Builder
+	if k == KAnd {
+		sb.WriteByte('&')
+	} else {
+		sb.WriteByte('|')
+	}
+	for _, op := range ops {
+		fmt.Fprintf(&sb, ",%d", op.id)
+	}
+	return sb.String()
+}
+
+// Atoms returns the set of atom IDs appearing anywhere in c.
+func Atoms(c *Cond) map[int]bool {
+	out := make(map[int]bool)
+	seen := make(map[int]bool)
+	var walk func(*Cond)
+	walk = func(n *Cond) {
+		if seen[n.id] {
+			return
+		}
+		seen[n.id] = true
+		if n.kind == KAtom {
+			out[n.atom] = true
+			return
+		}
+		for _, op := range n.ops {
+			walk(op)
+		}
+	}
+	walk(c)
+	return out
+}
+
+// Size returns the number of distinct nodes reachable from c.
+func Size(c *Cond) int {
+	seen := make(map[int]bool)
+	var walk func(*Cond)
+	walk = func(n *Cond) {
+		if seen[n.id] {
+			return
+		}
+		seen[n.id] = true
+		for _, op := range n.ops {
+			walk(op)
+		}
+	}
+	walk(c)
+	return len(seen)
+}

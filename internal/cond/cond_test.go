@@ -1,0 +1,260 @@
+package cond
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	b := NewBuilder()
+	if !b.True().IsTrue() || b.True().IsFalse() {
+		t.Fatal("True() broken")
+	}
+	if !b.False().IsFalse() || b.False().IsTrue() {
+		t.Fatal("False() broken")
+	}
+	if b.True() != b.True() || b.False() != b.False() {
+		t.Fatal("constants not hash-consed")
+	}
+}
+
+func TestAtomHashConsing(t *testing.T) {
+	b := NewBuilder()
+	if b.Atom(1) != b.Atom(1) {
+		t.Fatal("same atom not pointer-equal")
+	}
+	if b.Atom(1) == b.Atom(2) {
+		t.Fatal("distinct atoms pointer-equal")
+	}
+}
+
+func TestNotFolding(t *testing.T) {
+	b := NewBuilder()
+	a := b.Atom(1)
+	if b.Not(b.True()) != b.False() {
+		t.Fatal("!true != false")
+	}
+	if b.Not(b.False()) != b.True() {
+		t.Fatal("!false != true")
+	}
+	if b.Not(b.Not(a)) != a {
+		t.Fatal("double negation not eliminated")
+	}
+	if b.Not(a) != b.Not(a) {
+		t.Fatal("Not not hash-consed")
+	}
+}
+
+func TestAndSimplifications(t *testing.T) {
+	b := NewBuilder()
+	a1, a2 := b.Atom(1), b.Atom(2)
+	if b.And() != b.True() {
+		t.Fatal("empty And != true")
+	}
+	if b.And(a1) != a1 {
+		t.Fatal("unary And not identity")
+	}
+	if b.And(a1, b.True()) != a1 {
+		t.Fatal("true not dropped from And")
+	}
+	if b.And(a1, b.False()) != b.False() {
+		t.Fatal("false does not absorb And")
+	}
+	if b.And(a1, a1) != a1 {
+		t.Fatal("duplicate operand not removed")
+	}
+	if b.And(a1, b.Not(a1)) != b.False() {
+		t.Fatal("a & !a != false")
+	}
+	if b.And(a1, a2) != b.And(a2, a1) {
+		t.Fatal("And not canonicalized by operand order")
+	}
+	// Flattening: (a1 & a2) & a1 == a1 & a2.
+	if b.And(b.And(a1, a2), a1) != b.And(a1, a2) {
+		t.Fatal("nested And not flattened")
+	}
+}
+
+func TestOrSimplifications(t *testing.T) {
+	b := NewBuilder()
+	a1, a2 := b.Atom(1), b.Atom(2)
+	if b.Or() != b.False() {
+		t.Fatal("empty Or != false")
+	}
+	if b.Or(a1, b.False()) != a1 {
+		t.Fatal("false not dropped from Or")
+	}
+	if b.Or(a1, b.True()) != b.True() {
+		t.Fatal("true does not absorb Or")
+	}
+	if b.Or(a1, b.Not(a1)) != b.True() {
+		t.Fatal("a | !a != true")
+	}
+	if b.Or(a1, a2) != b.Or(a2, a1) {
+		t.Fatal("Or not canonicalized")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	b := NewBuilder()
+	a := b.Atom(1)
+	if b.Implies(b.True(), a) != a {
+		t.Fatal("true => a should be a")
+	}
+	if b.Implies(a, b.True()) != b.True() {
+		t.Fatal("a => true should be true")
+	}
+	if b.Implies(a, a) != b.True() {
+		t.Fatal("a => a should be true")
+	}
+}
+
+func TestAtomsAndSize(t *testing.T) {
+	b := NewBuilder()
+	c := b.And(b.Atom(1), b.Or(b.Atom(2), b.Not(b.Atom(3))))
+	atoms := Atoms(c)
+	for _, want := range []int{1, 2, 3} {
+		if !atoms[want] {
+			t.Fatalf("atom %d missing from %v", want, atoms)
+		}
+	}
+	if len(atoms) != 3 {
+		t.Fatalf("got %d atoms, want 3", len(atoms))
+	}
+	if s := Size(c); s < 4 {
+		t.Fatalf("Size = %d, want >= 4", s)
+	}
+}
+
+func TestLinearSolverPaperRules(t *testing.T) {
+	b := NewBuilder()
+	ls := NewLinearSolver()
+	a1, a2, a3 := b.Atom(1), b.Atom(2), b.Atom(3)
+
+	cases := []struct {
+		name  string
+		c     *Cond
+		unsat bool
+	}{
+		{"atom", a1, false},
+		{"contradiction", b.And(a1, b.Not(a1)), true},
+		{"deep contradiction", b.And(a1, a2, b.And(a3, b.Not(a2))), true},
+		{"neg of conj", b.Not(b.And(a1, b.Not(a1))), false},
+		{"or hides contradiction", b.Or(b.And(a1, b.Not(a1)), a2), false},
+		// (a1 | a2) & !a1 & !a2: P = {}, N = {1,2}; no overlap, so the
+		// linear filter must conservatively say "possibly sat" even
+		// though the condition is really unsat.
+		{"incomplete", b.And(b.Or(a1, a2), b.Not(a1), b.Not(a2)), false},
+		{"false", b.False(), true},
+		{"true", b.True(), false},
+	}
+	for _, tc := range cases {
+		// Builder simplification may already fold some of these to
+		// false; both paths must agree with the expected verdict.
+		if got := ls.ApparentlyUnsat(tc.c); got != tc.unsat {
+			t.Errorf("%s: ApparentlyUnsat(%s) = %v, want %v", tc.name, tc.c, got, tc.unsat)
+		}
+	}
+}
+
+// Disable builder-level complementary-literal folding is not possible, so to
+// exercise the P/N propagation through Or we construct conditions whose
+// contradiction spans operands of an And of Ors.
+func TestLinearSolverOrIntersection(t *testing.T) {
+	b := NewBuilder()
+	ls := NewLinearSolver()
+	a1, a2 := b.Atom(1), b.Atom(2)
+	// (a1 | (a1 & a2)): P = {1}, N = {}.
+	c1 := b.Or(a1, b.And(a1, a2))
+	// !a1: P = {}, N = {1}. Conjunction has P∩N = {1} -> unsat.
+	c := b.And(c1, b.Not(a1))
+	if !ls.ApparentlyUnsat(c) {
+		t.Fatalf("expected apparent unsat for %s", c)
+	}
+}
+
+func TestAndFeasible(t *testing.T) {
+	b := NewBuilder()
+	ls := NewLinearSolver()
+	a := b.Atom(1)
+	c, ok := ls.AndFeasible(b, a, b.Not(a))
+	if ok || !c.IsFalse() {
+		t.Fatal("contradictory guard not pruned")
+	}
+	c, ok = ls.AndFeasible(b, a, b.Atom(2))
+	if !ok || c.IsFalse() {
+		t.Fatal("feasible guard pruned")
+	}
+	if ls.Queries != 2 || ls.Unsat != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", ls.Queries, ls.Unsat)
+	}
+}
+
+// Property: the builder never produces a node that the linear solver calls
+// unsat unless the node is literally False — because builder simplification
+// already removes complementary literals at a single level, any remaining
+// apparent contradiction must span levels.
+func TestQuickBuilderVsLinear(t *testing.T) {
+	b := NewBuilder()
+	ls := NewLinearSolver()
+	f := func(ids []uint8, negs []bool) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		ops := make([]*Cond, 0, len(ids))
+		for i, id := range ids {
+			c := b.Atom(int(id % 8))
+			if i < len(negs) && negs[i] {
+				c = b.Not(c)
+			}
+			ops = append(ops, c)
+		}
+		c := b.And(ops...)
+		// Single-level And: builder folding and linear solver must agree.
+		return c.IsFalse() == ls.ApparentlyUnsat(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And/Or are commutative and idempotent under hash consing.
+func TestQuickCommutative(t *testing.T) {
+	b := NewBuilder()
+	f := func(x, y uint8, neg bool) bool {
+		cx, cy := b.Atom(int(x%16)), b.Atom(int(y%16))
+		if neg {
+			cy = b.Not(cy)
+		}
+		return b.And(cx, cy) == b.And(cy, cx) &&
+			b.Or(cx, cy) == b.Or(cy, cx) &&
+			b.And(cx, cx) == cx && b.Or(cy, cy) == cy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := NewBuilder()
+	c := b.And(b.Atom(1), b.Not(b.Or(b.Atom(2), b.Atom(3))))
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	// Smoke-check the pieces are present.
+	for _, frag := range []string{"a1", "a2", "a3", "!"} {
+		if !contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+// Package core wires the full Pinpoint pipeline (the architecture of
+// Figure 6 in the paper):
+//
+//	MiniC source
+//	  → parse (minic)
+//	  → lower to CFG IR, unroll loops, normalize returns (lower)
+//	  → SSA + gating conditions + control dependence (ssa)
+//	  → Mod/Ref side-effect analysis (modref)
+//	  → connector transformation: Aux params / Aux returns (transform)
+//	  → local quasi path-sensitive points-to analysis (pta)
+//	  → symbolic expression graphs (seg)
+//	  → demand-driven global value-flow detection (detect + checkers)
+//
+// It also records per-stage wall-clock timings and structural size
+// statistics, which the experiment harness uses to regenerate the paper's
+// figures.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/seg"
+	"repro/internal/ssa"
+	"repro/internal/transform"
+)
+
+// BuildOptions configures the front half of the pipeline.
+type BuildOptions struct {
+	// PTA tunes the local points-to analysis (ablations).
+	PTA pta.Options
+	// DisableConnectors skips the connector transformation — the
+	// ablation approximating a design without §3.1.2's model (side
+	// effects stay invisible across calls).
+	DisableConnectors bool
+	// Workers runs the per-function stages (SSA conversion, points-to
+	// analysis, SEG construction) concurrently on that many goroutines.
+	// 0 or 1 means sequential; negative means GOMAXPROCS. Everything the
+	// paper's design makes function-local parallelizes trivially — the
+	// cross-function stages (Mod/Ref, connectors, detection) stay
+	// sequential.
+	Workers int
+}
+
+// Timings records per-stage durations.
+type Timings struct {
+	Parse     time.Duration
+	Lower     time.Duration
+	SSA       time.Duration
+	ModRef    time.Duration
+	Transform time.Duration
+	PTA       time.Duration
+	SEG       time.Duration
+}
+
+// Total sums all stages.
+func (t Timings) Total() time.Duration {
+	return t.Parse + t.Lower + t.SSA + t.ModRef + t.Transform + t.PTA + t.SEG
+}
+
+// SEGBuild sums the stages that constitute "building the SEG" in the
+// paper's Figure 7 comparison (everything after parsing).
+func (t Timings) SEGBuild() time.Duration {
+	return t.Lower + t.SSA + t.ModRef + t.Transform + t.PTA + t.SEG
+}
+
+// Sizes records structural size statistics, the deterministic memory proxy
+// reported next to measured heap numbers.
+type Sizes struct {
+	Lines     int // IR instructions
+	Functions int
+	SEGNodes  int
+	SEGEdges  int
+	CondNodes int
+}
+
+// Analysis is a fully built program analysis ready for checking.
+type Analysis struct {
+	Module  *ir.Module
+	Infos   map[*ir.Func]*ssa.Info
+	SEGs    map[*ir.Func]*seg.Graph
+	Prog    *detect.Program
+	ModRef  *modref.Result
+	Timings Timings
+	Sizes   Sizes
+	// PTAStats aggregates the local points-to counters across functions.
+	PTAStats pta.Stats
+}
+
+// BuildFromSource parses and analyzes a set of translation units.
+func BuildFromSource(units []minic.NamedSource, opts BuildOptions) (*Analysis, error) {
+	t0 := time.Now()
+	prog, err := minic.ParseProgram(units)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	parse := time.Since(t0)
+	a, err := BuildFromAST(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	a.Timings.Parse = parse
+	return a, nil
+}
+
+// BuildFromAST runs the pipeline on a parsed program.
+func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
+	a := &Analysis{
+		Infos: make(map[*ir.Func]*ssa.Info),
+		SEGs:  make(map[*ir.Func]*seg.Graph),
+	}
+
+	t0 := time.Now()
+	m, err := lower.Program(prog)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	a.Module = m
+	a.Timings.Lower = time.Since(t0)
+
+	t0 = time.Now()
+	infos := make([]*ssa.Info, len(m.Funcs))
+	if err := forEachFunc(m.Funcs, opts.Workers, func(i int, f *ir.Func) error {
+		inf, err := ssa.Transform(f)
+		if err != nil {
+			return fmt.Errorf("ssa %s: %w", f.Name, err)
+		}
+		infos[i] = inf
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, f := range m.Funcs {
+		a.Infos[f] = infos[i]
+	}
+	a.Timings.SSA = time.Since(t0)
+
+	t0 = time.Now()
+	a.ModRef = modref.Analyze(m)
+	a.Timings.ModRef = time.Since(t0)
+
+	if !opts.DisableConnectors {
+		t0 = time.Now()
+		if err := transform.Apply(m, a.ModRef); err != nil {
+			return nil, fmt.Errorf("transform: %w", err)
+		}
+		a.Timings.Transform = time.Since(t0)
+	}
+
+	t0 = time.Now()
+	prs := make([]*pta.Result, len(m.Funcs))
+	graphs := make([]*seg.Graph, len(m.Funcs))
+	if err := forEachFunc(m.Funcs, opts.Workers, func(i int, f *ir.Func) error {
+		pr, err := pta.Analyze(f, a.Infos[f], opts.PTA)
+		if err != nil {
+			return fmt.Errorf("pta %s: %w", f.Name, err)
+		}
+		prs[i] = pr
+		graphs[i] = seg.Build(f, a.Infos[f], pr)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, f := range m.Funcs {
+		pr := prs[i]
+		a.PTAStats.GuardsPruned += pr.Stats.GuardsPruned
+		a.PTAStats.GuardsKept += pr.Stats.GuardsKept
+		a.PTAStats.CapWidened += pr.Stats.CapWidened
+		a.PTAStats.LinearQueries += pr.Stats.LinearQueries
+		a.PTAStats.LinearUnsat += pr.Stats.LinearUnsat
+		g := graphs[i]
+		a.SEGs[f] = g
+		a.Sizes.SEGNodes += g.NumNodes()
+		a.Sizes.SEGEdges += g.NumEdges()
+	}
+	// PTA and SEG run fused per function; attribute the fused time to
+	// the PTA stage and leave SEG assembly accounted as zero-extra.
+	a.Timings.PTA = time.Since(t0)
+
+	a.Sizes.Lines = m.LineCount()
+	a.Sizes.Functions = len(m.Funcs)
+	for _, inf := range a.Infos {
+		a.Sizes.CondNodes += inf.Conds.NumNodes()
+	}
+
+	a.Prog = detect.NewProgram(m, a.Infos, a.SEGs)
+	return a, nil
+}
+
+// Check runs one checker over the analysis.
+func (a *Analysis) Check(spec *checkers.Spec, opts detect.Options) ([]detect.Report, detect.Stats) {
+	eng := detect.NewEngine(a.Prog, spec, opts)
+	return eng.Run()
+}
+
+// forEachFunc applies fn to every function, on `workers` goroutines when
+// workers > 1 (negative selects GOMAXPROCS). The first error wins.
+func forEachFunc(funcs []*ir.Func, workers int, fn func(i int, f *ir.Func) error) error {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(funcs) < 2 {
+		for i, f := range funcs {
+			if err := fn(i, f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int64
+	)
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				if err := fn(i, funcs[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,502 @@
+package detect_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/minic"
+)
+
+func check(t *testing.T, src string, spec *checkers.Spec, opts detect.Options) ([]detect.Report, detect.Stats) {
+	t.Helper()
+	a, err := core.BuildFromSource([]minic.NamedSource{{Name: "t.mc", Src: src}}, core.BuildOptions{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return a.Check(spec, opts)
+}
+
+func TestUAFIntraproceduralBasic(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	sink(*p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v, want 1", reports)
+	}
+}
+
+func TestUAFNoBugWhenUseBeforeFree(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *p = malloc();
+	sink(*p);
+	free(p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 0 {
+		t.Fatalf("false positive on use-before-free: %v", reports)
+	}
+}
+
+func TestUAFInfeasiblePathPruned(t *testing.T) {
+	// free under c, use under !c: path-sensitive analysis must prune.
+	reports, stats := check(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (!c) { sink(*p); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 0 {
+		t.Fatalf("false positive on infeasible path: %v", reports)
+	}
+	// The contradictory flow is discharged either by the linear filter
+	// (cheap) or by the SMT solver; it must have been considered.
+	if stats.LinearFiltered == 0 && stats.SMTUnsat == 0 {
+		t.Fatalf("infeasible path never considered: %+v", stats)
+	}
+}
+
+func TestUAFFeasibleSameCondition(t *testing.T) {
+	// free under c, use under c: feasible.
+	reports, _ := check(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (c) { sink(*p); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("missed same-condition UAF: %v", reports)
+	}
+}
+
+func TestUAFArithmeticConditions(t *testing.T) {
+	// free under x > 0, use under x < 0: arithmetic infeasibility.
+	reports, _ := check(t, `
+void f(int x) {
+	int *p = malloc();
+	if (x > 0) { free(p); }
+	if (x < 0) { sink(*p); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 0 {
+		t.Fatalf("arithmetic contradiction not pruned: %v", reports)
+	}
+	reports2, _ := check(t, `
+void f(int x) {
+	int *p = malloc();
+	if (x > 0) { free(p); }
+	if (x > 1) { sink(*p); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports2) != 1 {
+		t.Fatalf("compatible ranges wrongly pruned: %v", reports2)
+	}
+}
+
+func TestUAFThroughMemory(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *c = malloc();
+	int **slot = malloc();
+	*slot = c;
+	free(c);
+	int *u = *slot;
+	sink(*u);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("memory-mediated UAF missed: %v", reports)
+	}
+}
+
+func TestUAFAliasViaObjectRoots(t *testing.T) {
+	// q aliases p via the shared malloc; free(p) then *q.
+	reports, _ := check(t, `
+void f() {
+	int *p = malloc();
+	int *q = p;
+	free(p);
+	sink(*q);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("alias UAF missed: %v", reports)
+	}
+}
+
+func TestUAFInterproceduralCalleeFrees(t *testing.T) {
+	// VF3 pattern: callee frees its parameter; caller uses afterwards.
+	reports, _ := check(t, `
+void release(int *x) { free(x); }
+void f() {
+	int *p = malloc();
+	release(p);
+	sink(*p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("callee-frees UAF missed: %v", reports)
+	}
+}
+
+func TestUAFInterproceduralCalleeUses(t *testing.T) {
+	// VF4 pattern: freed value passed into a callee that dereferences.
+	reports, _ := check(t, `
+void useit(int *x) { sink(*x); }
+void f() {
+	int *p = malloc();
+	free(p);
+	useit(p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("callee-uses UAF missed: %v", reports)
+	}
+}
+
+func TestUAFReturnedFreedValue(t *testing.T) {
+	// VF2 pattern: callee returns a freed pointer.
+	reports, _ := check(t, `
+int *makefreed() {
+	int *p = malloc();
+	free(p);
+	return p;
+}
+void f() {
+	int *q = makefreed();
+	sink(*q);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("returned-freed UAF missed: %v", reports)
+	}
+}
+
+func TestUAFNoBugCalleeUsesBeforeCallerFrees(t *testing.T) {
+	reports, _ := check(t, `
+void useit(int *x) { sink(*x); }
+void f() {
+	int *p = malloc();
+	useit(p);
+	free(p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 0 {
+		t.Fatalf("false positive (use before free across call): %v", reports)
+	}
+}
+
+// TestMotivatingExample reproduces Figure 1/2 of the paper: the
+// use-after-free hides behind an inter-procedural store via bar, guarded by
+// θ1 ∧ θ3 ∧ θ2, while qux's values are irrelevant.
+func TestMotivatingExample(t *testing.T) {
+	reports, stats := check(t, `
+void foo(int *a, bool t1, bool t2) {
+	int **ptr = malloc();
+	*ptr = a;
+	if (t1) {
+		bar(ptr);
+	} else {
+		qux(ptr);
+	}
+	int *f = *ptr;
+	if (t2) { sink(*f); }
+}
+void bar(int **q) {
+	int *c = malloc();
+	if (*q != null) {
+		*q = c;
+		free(c);
+	} else {
+		if (input()) { *q = source_b(); }
+	}
+}
+void qux(int **r) {
+	if (input()) { *r = source_d(); } else { *r = source_e(); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("motivating example: reports = %v, want exactly the bar->foo UAF", reports)
+	}
+	r := reports[0]
+	if r.SourceFn != "bar" || r.SinkFn != "foo" {
+		t.Errorf("report spans %s -> %s, want bar -> foo", r.SourceFn, r.SinkFn)
+	}
+	if r.Contexts < 2 {
+		t.Errorf("contexts = %d, want >= 2 (inter-procedural)", r.Contexts)
+	}
+	if stats.SMTQueries == 0 {
+		t.Error("no SMT query was made")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	reports, _ := check(t, `
+void f(bool c) {
+	int *p = malloc();
+	free(p);
+	free(p);
+}`, checkers.DoubleFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("double free missed: %v", reports)
+	}
+	// Exclusive branches: no double free.
+	reports2, _ := check(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); } else { free(p); }
+}`, checkers.DoubleFree(), detect.Options{})
+	if len(reports2) != 0 {
+		t.Fatalf("false double-free on exclusive branches: %v", reports2)
+	}
+}
+
+func TestTaintPathTraversal(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *path = user_input();
+	open_file(path);
+}`, checkers.PathTraversal(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("taint flow missed: %v", reports)
+	}
+}
+
+func TestTaintInterprocedural(t *testing.T) {
+	reports, _ := check(t, `
+int *fetch() { return user_input(); }
+void consume(int *p) { open_file(p); }
+void f() {
+	int *d = fetch();
+	consume(d);
+}`, checkers.PathTraversal(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("inter-procedural taint missed: %v", reports)
+	}
+}
+
+func TestTaintPropagationThroughTransfer(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *raw = user_input();
+	int *path = to_path(raw);
+	open_file(path);
+}`, checkers.PathTraversal(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("transfer-function taint missed: %v", reports)
+	}
+}
+
+func TestTaintNoFlowNoReport(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *a = user_input();
+	int *b = safe_constant();
+	open_file(b);
+	log_local(a);
+}`, checkers.PathTraversal(), detect.Options{})
+	if len(reports) != 0 {
+		t.Fatalf("spurious taint report: %v", reports)
+	}
+}
+
+func TestDataTransmission(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *secret = getpass();
+	send_data(secret);
+}`, checkers.DataTransmission(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("data transmission missed: %v", reports)
+	}
+}
+
+func TestNullDeref(t *testing.T) {
+	reports, _ := check(t, `
+void f(bool c) {
+	int *p = null;
+	if (c) { p = malloc(); }
+	if (!c) { sink(*p); }
+}`, checkers.NullDeref(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("null deref missed: %v", reports)
+	}
+}
+
+func TestPathInsensitiveAblationReportsMore(t *testing.T) {
+	src := `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (!c) { sink(*p); }
+}`
+	sensitive, _ := check(t, src, checkers.UseAfterFree(), detect.Options{})
+	insensitive, _ := check(t, src, checkers.UseAfterFree(), detect.Options{DisablePathSensitivity: true})
+	if len(sensitive) != 0 {
+		t.Fatalf("path-sensitive run has FP: %v", sensitive)
+	}
+	if len(insensitive) != 1 {
+		t.Fatalf("path-insensitive run should report the infeasible candidate: %v", insensitive)
+	}
+}
+
+func TestDeepCallChain(t *testing.T) {
+	// Free five levels down, use at top: within the depth budget of 6.
+	reports, _ := check(t, `
+void l5(int *p) { free(p); }
+void l4(int *p) { l5(p); }
+void l3(int *p) { l4(p); }
+void l2(int *p) { l3(p); }
+void f() {
+	int *p = malloc();
+	l2(p);
+	sink(*p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("deep chain UAF missed: %v", reports)
+	}
+}
+
+func TestCallDepthBound(t *testing.T) {
+	// Free eight levels down: beyond MaxCallDepth=3 the search truncates.
+	src := `
+void l8(int *p) { free(p); }
+void l7(int *p) { l8(p); }
+void l6(int *p) { l7(p); }
+void l5(int *p) { l6(p); }
+void l4(int *p) { l5(p); }
+void l3(int *p) { l4(p); }
+void l2(int *p) { l3(p); }
+void f() {
+	int *p = malloc();
+	l2(p);
+	sink(*p);
+}`
+	reports, stats := check(t, src, checkers.UseAfterFree(), detect.Options{MaxCallDepth: 3})
+	if len(reports) != 0 {
+		t.Fatalf("depth bound not respected: %v", reports)
+	}
+	if stats.TruncatedSearches == 0 {
+		t.Error("no truncation recorded")
+	}
+	// With the default depth it is found.
+	reports2, _ := check(t, src, checkers.UseAfterFree(), detect.Options{MaxCallDepth: 10})
+	if len(reports2) != 1 {
+		t.Fatalf("deep bug missed at depth 10: %v", reports2)
+	}
+}
+
+func TestCrossUnitUAF(t *testing.T) {
+	// Bug spanning two compilation units (the Infer/CSA baselines cannot
+	// see this; Pinpoint must).
+	a, err := core.BuildFromSource([]minic.NamedSource{
+		{Name: "unit1.mc", Src: `
+void release(int *x) { free(x); }`},
+		{Name: "unit2.mc", Src: `
+void f() {
+	int *p = malloc();
+	release(p);
+	sink(*p);
+}`},
+	}, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, _ := a.Check(checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("cross-unit UAF missed: %v", reports)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	sink(*p);
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 || reports[0].String() == "" {
+		t.Fatal("report rendering broken")
+	}
+}
+
+func TestReportWitness(t *testing.T) {
+	reports, _ := check(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (c) { sink(*p); }
+}`, checkers.UseAfterFree(), detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	w := reports[0].Witness
+	if len(w) == 0 {
+		t.Fatal("no witness extracted")
+	}
+	// The witness must set the branch condition c to true.
+	found := false
+	for _, entry := range w {
+		if strings.Contains(entry, "= true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("witness lacks the triggering assignment: %v", w)
+	}
+}
+
+func TestWitnessEmptyWhenPathInsensitive(t *testing.T) {
+	reports, _ := check(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	sink(*p);
+}`, checkers.UseAfterFree(), detect.Options{DisablePathSensitivity: true})
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if len(reports[0].Witness) != 0 {
+		t.Fatalf("unexpected witness without SMT: %v", reports[0].Witness)
+	}
+}
+
+func TestSanitizerModelingExtension(t *testing.T) {
+	src := `
+void f() {
+	int *path = user_input();
+	if (validate_path(path) > 0) {
+		open_file(path);
+	}
+}
+void g() {
+	int *path = user_input();
+	open_file(path);
+}`
+	// Paper configuration: sanitizers unmodeled, both flows reported.
+	plain, _ := check(t, src, checkers.PathTraversal(), detect.Options{})
+	if len(plain) != 2 {
+		t.Fatalf("unmodeled sanitizers: reports = %v, want 2", plain)
+	}
+	// Extension: the guarded flow in f is suppressed, g still reported.
+	spec := checkers.PathTraversal().WithSanitizers("validate_path")
+	guarded, _ := check(t, src, spec, detect.Options{})
+	if len(guarded) != 1 {
+		t.Fatalf("sanitizer modeling: reports = %v, want 1", guarded)
+	}
+	if guarded[0].SourceFn != "g" {
+		t.Fatalf("wrong flow survived: %v", guarded)
+	}
+}
+
+func TestSanitizerMustGuardTheTaintedValue(t *testing.T) {
+	// The sanitizer checks an unrelated value: suppression must not fire.
+	src := `
+void f(int *other) {
+	int *path = user_input();
+	if (validate_path(other) > 0) {
+		open_file(path);
+	}
+}`
+	spec := checkers.PathTraversal().WithSanitizers("validate_path")
+	reports, _ := check(t, src, spec, detect.Options{})
+	if len(reports) != 1 {
+		t.Fatalf("unrelated sanitizer suppressed a real flow: %v", reports)
+	}
+}

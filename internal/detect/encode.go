@@ -1,0 +1,407 @@
+package detect
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/seg"
+	"repro/internal/smt"
+)
+
+// checkCandidate builds and solves the SMT query for a candidate path —
+// the realization of Equations 1–3 of the paper:
+//
+//   - CD(v@s) for every step's statement (control dependence);
+//   - v(i-1) = v(i) for equality-preserving flow steps;
+//   - the Ld edge labels (already folded into the per-instance conditions
+//     during the search);
+//   - DD(·) closures for every mentioned value, recursively and memoized;
+//   - actual=formal / return=receiver equalities at context boundaries.
+//
+// All variables are renamed per context instance, which is exactly the
+// cloning-based context sensitivity of §3.3.1(2).
+func (e *Engine) checkCandidate(c *candidate) smt.Result {
+	start := time.Now()
+	defer func() {
+		e.stats.SMTTime += time.Since(start)
+		e.stats.SMTQueries++
+	}()
+
+	s := smt.NewSolver()
+	enc := &encoder{
+		eng:    e,
+		s:      s,
+		ddDone: make(map[ddKey]bool),
+		cdDone: make(map[cdKey]bool),
+		budget: e.opts.SMTBudget,
+		instFn: make(map[int]*ir.Func),
+		atoms:  make(map[string]atomOrigin),
+	}
+	for inst, ic := range c.conds {
+		enc.instFn[inst] = ic.fn
+	}
+	for _, st := range c.steps {
+		if _, ok := enc.instFn[st.inst]; !ok {
+			// Instance without extra conditions: derive from the step's
+			// node.
+			if st.node.Instr != nil {
+				enc.instFn[st.inst] = st.node.Instr.Block.Fn
+			} else if st.node.Val != nil && st.node.Val.Def != nil {
+				enc.instFn[st.inst] = st.node.Val.Def.Block.Fn
+			}
+		}
+	}
+
+	// Per-instance accumulated conditions (edge labels + CDs collected
+	// during the search) plus their DD closures.
+	for inst, ic := range c.conds {
+		enc.assertCond(inst, ic.fn, ic.cond)
+	}
+
+	// Equality chain along the path. Equality holds for steps whose
+	// receiving value is defined by an equality-preserving instruction
+	// (copy, φ, load); operator results relate by DD instead.
+	for i := 1; i < len(c.steps); i++ {
+		prev, cur := c.steps[i-1], c.steps[i]
+		if prev.inst != cur.inst {
+			continue // boundaries carry their own equalities
+		}
+		if prev.node.Kind != seg.NValue || cur.node.Kind != seg.NValue {
+			continue
+		}
+		def := cur.node.Val.Def
+		if def == nil {
+			continue
+		}
+		switch def.Op {
+		case ir.OpCopy, ir.OpPhi, ir.OpLoad:
+			a := enc.valueTerm(prev.inst, prev.node.Val)
+			b := enc.valueTerm(cur.inst, cur.node.Val)
+			if a.Sort == b.Sort {
+				s.Assert(s.TB.Eq(a, b))
+			}
+			enc.emitDD(prev.inst, prev.node.Val)
+			enc.emitDD(cur.inst, cur.node.Val)
+		}
+	}
+
+	// Boundary equalities.
+	for _, bd := range c.bounds {
+		if !bd.equality {
+			continue
+		}
+		a := enc.valueTerm(bd.instA, bd.valA)
+		b := enc.valueTerm(bd.instB, bd.valB)
+		if a.Sort == b.Sort {
+			s.Assert(s.TB.Eq(a, b))
+		}
+		enc.emitDD(bd.instA, bd.valA)
+		enc.emitDD(bd.instB, bd.valB)
+	}
+
+	// Control dependence of every step statement (use vertices and value
+	// definitions alike), with DD of the controlling atoms.
+	for _, st := range c.steps {
+		if st.node.Instr == nil {
+			continue
+		}
+		fn := enc.instFn[st.inst]
+		if fn == nil {
+			continue
+		}
+		g := e.prog.SEGs[fn]
+		enc.assertCond(st.inst, fn, g.CD(st.node.Instr))
+	}
+
+	res := s.Check()
+	switch res {
+	case smt.Sat:
+		e.stats.SMTSat++
+		e.lastWitness = extractWitness(s, enc)
+	case smt.Unsat:
+		e.stats.SMTUnsat++
+	default:
+		e.stats.SMTUnknown++
+	}
+	return res
+}
+
+// extractWitness renders the model of the branch atoms as trigger hints,
+// sorted for determinism.
+func extractWitness(s *smt.Solver, enc *encoder) []string {
+	model := s.BoolModel()
+	var out []string
+	for name, origin := range enc.atoms {
+		v, ok := model[name]
+		if !ok {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s@%s#%d = %v", origin.val.Name, origin.fn.Name, origin.inst, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+type ddKey struct {
+	inst int
+	vid  int
+}
+
+type cdKey struct {
+	inst int
+	cid  int
+}
+
+type encoder struct {
+	eng    *Engine
+	s      *smt.Solver
+	ddDone map[ddKey]bool
+	cdDone map[cdKey]bool
+	budget int
+	instFn map[int]*ir.Func
+	// atoms maps SMT variable names of branch atoms back to the program
+	// value and context they came from, for witness extraction.
+	atoms map[string]atomOrigin
+}
+
+type atomOrigin struct {
+	inst int
+	val  *ir.Value
+	fn   *ir.Func
+}
+
+// valueTerm returns the SMT term of a value within a context instance.
+func (e *encoder) valueTerm(inst int, v *ir.Value) *smt.Term {
+	tb := e.s.TB
+	switch v.Kind {
+	case ir.VConstInt:
+		return tb.Int(v.IntVal)
+	case ir.VConstBool:
+		return tb.Bool(v.BoolVal)
+	case ir.VConstNull:
+		return tb.Int(0)
+	}
+	name := fmt.Sprintf("i%d.v%d", inst, v.ID)
+	if v.Type.Base == "bool" && v.Type.Ptr == 0 {
+		return tb.BoolVar(name)
+	}
+	return tb.IntVar(name)
+}
+
+// assertCond asserts a condition-DAG formula, translating atoms to boolean
+// value terms and emitting their DD closures.
+func (e *encoder) assertCond(inst int, fn *ir.Func, c *cond.Cond) {
+	t := e.condTerm(inst, fn, c)
+	if debugSMT {
+		fmt.Printf("SMT assert cond: %s\n", t)
+	}
+	e.s.Assert(t)
+}
+
+// debugSMT dumps every assertion (set via the PINPOINT_DEBUG_SMT env var).
+var debugSMT = os.Getenv("PINPOINT_DEBUG_SMT") != ""
+
+func (e *encoder) condTerm(inst int, fn *ir.Func, c *cond.Cond) *smt.Term {
+	tb := e.s.TB
+	switch c.Kind() {
+	case cond.KTrue:
+		return tb.True()
+	case cond.KFalse:
+		return tb.False()
+	case cond.KAtom:
+		v := e.eng.prog.Infos[fn].AtomValue[c.Atom()]
+		if v == nil {
+			// Unknown atom: opaque boolean.
+			return tb.BoolVar(fmt.Sprintf("i%d.a%d", inst, c.Atom()))
+		}
+		e.emitDD(inst, v)
+		t := e.valueTerm(inst, v)
+		if e.atoms != nil && t.Kind == smt.TVar {
+			e.atoms[t.Name] = atomOrigin{inst: inst, val: v, fn: fn}
+		}
+		return t
+	case cond.KNot:
+		return tb.Not(e.condTerm(inst, fn, c.Ops()[0]))
+	case cond.KAnd:
+		parts := make([]*smt.Term, len(c.Ops()))
+		for i, op := range c.Ops() {
+			parts[i] = e.condTerm(inst, fn, op)
+		}
+		return tb.And(parts...)
+	default: // KOr
+		parts := make([]*smt.Term, len(c.Ops()))
+		for i, op := range c.Ops() {
+			parts[i] = e.condTerm(inst, fn, op)
+		}
+		return tb.Or(parts...)
+	}
+}
+
+// emitDD asserts the data-dependence constraints defining a value,
+// recursively and bounded by the budget. Constraints use the disjunctive
+// form (the value equals one of its possible definitions under that
+// definition's condition), which stays sound when conditions were widened.
+func (e *encoder) emitDD(inst int, v *ir.Value) {
+	if v.IsConst() {
+		return
+	}
+	key := ddKey{inst: inst, vid: v.ID}
+	if e.ddDone[key] {
+		return
+	}
+	e.ddDone[key] = true
+	if e.budget <= 0 {
+		return
+	}
+	e.budget--
+
+	def := v.Def
+	if debugSMT {
+		fmt.Printf("SMT DD: i%d v%d (%s) def=%v\n", inst, v.ID, v, def)
+	}
+	if def == nil {
+		// Parameter or undef: a free variable; its range is constrained
+		// at boundaries.
+		return
+	}
+	fn := def.Block.Fn
+	tb := e.s.TB
+	vt := e.valueTerm(inst, v)
+
+	switch def.Op {
+	case ir.OpCopy:
+		at := e.valueTerm(inst, def.Args[0])
+		if at.Sort == vt.Sort {
+			e.s.Assert(tb.Eq(vt, at))
+		}
+		e.emitDD(inst, def.Args[0])
+	case ir.OpUn:
+		a := def.Args[0]
+		at := e.valueTerm(inst, a)
+		switch def.Sub {
+		case "-":
+			e.s.Assert(tb.Eq(vt, tb.Neg(at)))
+		case "!":
+			if at.Sort == smt.SortBool && vt.Sort == smt.SortBool {
+				e.s.Assert(tb.Eq(vt, tb.Not(at)))
+			}
+		}
+		e.emitDD(inst, a)
+	case ir.OpBin:
+		e.emitBinDD(inst, v, def)
+	case ir.OpPhi:
+		gates := e.eng.prog.Infos[fn].Gates[def]
+		var arms []*smt.Term
+		for i, a := range def.Args {
+			at := e.valueTerm(inst, a)
+			if at.Sort != vt.Sort {
+				continue
+			}
+			g := tb.True()
+			if gates != nil {
+				g = e.condTerm(inst, fn, gates[i])
+			}
+			arms = append(arms, tb.And(g, tb.Eq(vt, at)))
+			e.emitDD(inst, a)
+		}
+		if len(arms) > 0 {
+			e.s.Assert(tb.Or(arms...))
+		}
+	case ir.OpLoad:
+		sources := e.eng.prog.SEGs[fn].PTA.LoadSources[def]
+		var arms []*smt.Term
+		for _, gv := range sources {
+			wt := e.valueTerm(inst, gv.Val)
+			if wt.Sort != vt.Sort {
+				continue
+			}
+			arms = append(arms, tb.And(e.condTerm(inst, fn, gv.Cond), tb.Eq(vt, wt)))
+			e.emitDD(inst, gv.Val)
+		}
+		if len(arms) > 0 {
+			e.s.Assert(tb.Or(arms...))
+		}
+	case ir.OpMalloc, ir.OpAlloc, ir.OpGlobalAddr:
+		// Allocation addresses are non-null.
+		e.s.Assert(tb.Ne(vt, tb.Int(0)))
+	case ir.OpFieldAddr:
+		// An uninterpreted, per-field offset function: injective enough
+		// for congruence reasoning, and field addresses of non-null
+		// bases are non-null.
+		base := e.valueTerm(inst, def.Args[0])
+		if base.Sort == smt.SortInt {
+			e.s.Assert(tb.Eq(vt, tb.App("field$"+def.Sub, smt.SortInt, base)))
+		}
+		e.s.Assert(tb.Ne(vt, tb.Int(0)))
+		e.emitDD(inst, def.Args[0])
+	case ir.OpCall:
+		// Receiver: free variable (summaries constrain it only through
+		// boundary equalities on traversed paths).
+	}
+}
+
+// emitBinDD encodes a binary operator definition.
+func (e *encoder) emitBinDD(inst int, v *ir.Value, def *ir.Instr) {
+	tb := e.s.TB
+	vt := e.valueTerm(inst, v)
+	a, b := def.Args[0], def.Args[1]
+	at, bt := e.valueTerm(inst, a), e.valueTerm(inst, b)
+	boolOperands := at.Sort == smt.SortBool || bt.Sort == smt.SortBool
+
+	defer func() {
+		e.emitDD(inst, a)
+		e.emitDD(inst, b)
+	}()
+
+	if vt.Sort == smt.SortBool {
+		var cmp *smt.Term
+		switch def.Sub {
+		case "==":
+			if at.Sort == bt.Sort {
+				cmp = tb.Eq(at, bt)
+			}
+		case "!=":
+			if at.Sort == bt.Sort {
+				cmp = tb.Ne(at, bt)
+			}
+		case "<":
+			if !boolOperands {
+				cmp = tb.Lt(at, bt)
+			}
+		case "<=":
+			if !boolOperands {
+				cmp = tb.Le(at, bt)
+			}
+		case ">":
+			if !boolOperands {
+				cmp = tb.Gt(at, bt)
+			}
+		case ">=":
+			if !boolOperands {
+				cmp = tb.Ge(at, bt)
+			}
+		}
+		if cmp != nil {
+			e.s.Assert(tb.Eq(vt, cmp))
+		}
+		return
+	}
+	if boolOperands {
+		return
+	}
+	switch def.Sub {
+	case "+":
+		e.s.Assert(tb.Eq(vt, tb.Add(at, bt)))
+	case "-":
+		e.s.Assert(tb.Eq(vt, tb.Sub(at, bt)))
+	case "*":
+		e.s.Assert(tb.Eq(vt, tb.Mul(at, bt)))
+	case "/", "%":
+		// Uninterpreted: congruence only.
+		e.s.Assert(tb.Eq(vt, tb.App("op"+def.Sub, smt.SortInt, at, bt)))
+	}
+}

@@ -1,0 +1,239 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/pta"
+	"repro/internal/seg"
+	"repro/internal/smt"
+	"repro/internal/summary"
+)
+
+// Memory-leak detection — the classic "source without a mandatory sink"
+// value-flow property (Fastcheck/Saber, cited in §1 of the paper). Unlike
+// the source–sink checkers, a leak is the *absence* of a flow: an
+// allocation leaks when, on some feasible path, its value reaches no free.
+//
+// The checker is path-sensitive in the Pinpoint style: it collects every
+// free the allocation may reach together with the conditions under which
+// that free executes, then asks the SMT solver whether
+//
+//	CD(malloc) ∧ ¬(cond(free₁) ∨ cond(free₂) ∨ …)
+//
+// is satisfiable. Escaping allocations — returned past the program
+// boundary, stored into caller-visible or global memory, or passed to an
+// unknown external — are conservatively assumed freed elsewhere.
+
+// LeakKind classifies leak reports.
+type LeakKind uint8
+
+const (
+	// LeakNeverFreed: no free is reachable from the allocation at all.
+	LeakNeverFreed LeakKind = iota
+	// LeakConditional: frees exist but some feasible path avoids all of
+	// them.
+	LeakConditional
+)
+
+func (k LeakKind) String() string {
+	if k == LeakNeverFreed {
+		return "never-freed"
+	}
+	return "conditionally-freed"
+}
+
+// LeakReport is one leaked allocation.
+type LeakReport struct {
+	Fn    string
+	Pos   minic.Pos
+	Alloc *ir.Instr
+	Kind  LeakKind
+	// Witness is a branch assignment avoiding every reachable free
+	// (LeakConditional only).
+	Witness []string
+}
+
+func (r LeakReport) String() string {
+	return fmt.Sprintf("[memory-leak] allocation at %s (%s) is %s", r.Pos, r.Fn, r.Kind)
+}
+
+// LeakStats counts the checker's effort.
+type LeakStats struct {
+	Allocs     int
+	Escaped    int
+	SMTQueries int
+}
+
+// FindLeaks scans every allocation site of the program.
+func FindLeaks(prog *Program, opts Options) ([]LeakReport, LeakStats) {
+	opts = opts.withDefaults()
+	lc := &leakChecker{
+		prog:  prog,
+		opts:  opts,
+		flows: summary.NewTable(),
+		frees: make(map[*ir.Func]map[int]bool),
+	}
+	lc.computeFreesParam()
+
+	var reports []LeakReport
+	var stats LeakStats
+	for _, f := range prog.Module.Funcs {
+		g := prog.SEGs[f]
+		if g == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpMalloc {
+					continue
+				}
+				stats.Allocs++
+				rep, escaped := lc.checkAlloc(f, g, in, &stats)
+				if escaped {
+					stats.Escaped++
+				}
+				if rep != nil {
+					reports = append(reports, *rep)
+				}
+			}
+		}
+	}
+	return reports, stats
+}
+
+type leakChecker struct {
+	prog  *Program
+	opts  Options
+	flows *summary.Table
+	// frees[f][i] reports that f (transitively) may free its i-th
+	// parameter.
+	frees map[*ir.Func]map[int]bool
+}
+
+// computeFreesParam builds the transitive may-free-parameter relation by
+// iterating over the whole program to a fixpoint (the call graph is small
+// relative to the SEGs; a global loop converges in few rounds).
+func (lc *leakChecker) computeFreesParam() {
+	for _, f := range lc.prog.Module.Funcs {
+		lc.frees[f] = make(map[int]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range lc.prog.Module.Funcs {
+			g := lc.prog.SEGs[f]
+			if g == nil {
+				continue
+			}
+			for _, p := range f.Params {
+				if lc.frees[f][p.ParamIdx] {
+					continue
+				}
+				if lc.paramMayFree(g, p) {
+					lc.frees[f][p.ParamIdx] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (lc *leakChecker) paramMayFree(g *seg.Graph, p *ir.Value) bool {
+	for _, fl := range lc.flows.FlowsFrom(g, g.ValueNode(p)) {
+		term := fl.Terminal()
+		switch term.Role {
+		case seg.RoleFreeArg:
+			return true
+		case seg.RoleCallArg:
+			if callee, ok := lc.prog.Module.ByName[term.Instr.Callee]; ok {
+				if lc.frees[callee][term.ArgIdx] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkAlloc analyzes one allocation; it returns a report (or nil) and
+// whether the value escapes.
+func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, stats *LeakStats) (*LeakReport, bool) {
+	type reachedFree struct {
+		flow summary.Flow
+	}
+	var frees []reachedFree
+	escaped := false
+
+	for _, fl := range lc.flows.FlowsFrom(g, g.ValueNode(alloc.Dst)) {
+		term := fl.Terminal()
+		switch term.Role {
+		case seg.RoleFreeArg:
+			frees = append(frees, reachedFree{flow: fl})
+		case seg.RoleCallArg:
+			callee, known := lc.prog.Module.ByName[term.Instr.Callee]
+			if !known {
+				// Passed to an external: assume it takes ownership.
+				escaped = true
+				continue
+			}
+			if lc.frees[callee][term.ArgIdx] {
+				// A callee may free it; treat like a reached free with
+				// the call's conditions.
+				frees = append(frees, reachedFree{flow: fl})
+			}
+		case seg.RoleRetArg:
+			// Returned: ownership moves to callers; with no callers the
+			// program boundary takes it.
+			escaped = true
+		case seg.RoleStoreVal:
+			// Stored: escapes if the target may be caller-visible or
+			// global memory. Stores into program-local stack or heap
+			// cells keep the value tracked (the SEG's load edges carry
+			// it onward).
+			for _, gl := range g.PTA.StoredAt[term.Instr] {
+				if gl.Loc.Kind != pta.LAlloc && gl.Loc.Kind != pta.LMalloc {
+					escaped = true
+				}
+			}
+		}
+	}
+	if escaped {
+		return nil, true
+	}
+	if len(frees) == 0 {
+		return &LeakReport{
+			Fn: f.Name, Pos: alloc.Pos, Alloc: alloc, Kind: LeakNeverFreed,
+		}, false
+	}
+
+	// Path-sensitive residue: is there an execution where the allocation
+	// happens but none of the reached frees does?
+	stats.SMTQueries++
+	eng := &Engine{prog: lc.prog, opts: lc.opts}
+	s := smt.NewSolver()
+	enc := &encoder{
+		eng:    eng,
+		s:      s,
+		ddDone: make(map[ddKey]bool),
+		cdDone: make(map[cdKey]bool),
+		budget: lc.opts.SMTBudget,
+		instFn: map[int]*ir.Func{0: f},
+		atoms:  make(map[string]atomOrigin),
+	}
+	// The allocation executes...
+	enc.assertCond(0, f, g.CD(alloc))
+	// ...and every reached free is avoided.
+	for _, rf := range frees {
+		c := rf.flow.Cond(g)
+		t := enc.condTerm(0, f, c)
+		s.Assert(s.TB.Not(t))
+	}
+	if s.Check() != smt.Sat {
+		return nil, false
+	}
+	return &LeakReport{
+		Fn: f.Name, Pos: alloc.Pos, Alloc: alloc, Kind: LeakConditional,
+		Witness: extractWitness(s, enc),
+	}, false
+}

@@ -1,0 +1,200 @@
+// Package detect implements Pinpoint's demand-driven, compositional,
+// context- and path-sensitive global value-flow analysis (§3.3).
+//
+// Given the per-function SEGs, a checker spec (package checkers) and a
+// source, the engine searches forward along value-flow edges, composing
+// memoized local flows (package summary) across function boundaries:
+//
+//   - at a call argument it descends into the callee's parameter (the
+//     context grows by the call site — cloning-based context sensitivity);
+//   - at a return operand it pops back to the originating call site's
+//     receiver, or, when the search started inside the callee, ascends to
+//     every caller (capped);
+//   - when the tracked value is a parameter of the source's own function,
+//     the search likewise ascends: the caller's actual argument is the
+//     dangling value after the call (the VF3 pattern of §3.3.2).
+//
+// Each candidate source→sink path is translated to an SMT query
+// implementing Equations 1–3: the conjunction of edge conditions, control
+// dependences, inter-procedural boundary equalities, and the recursive
+// data-dependence closure DD(·), with every variable renamed per context
+// instance. Apparently-contradictory candidates are discarded by the
+// linear-time solver first; only survivors reach the SMT solver.
+package detect
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/seg"
+	"repro/internal/smt"
+	"repro/internal/ssa"
+)
+
+// CallSite locates one call instruction.
+type CallSite struct {
+	Fn    *ir.Func
+	Instr *ir.Instr
+}
+
+// Program bundles the whole-program analysis artifacts.
+type Program struct {
+	Module  *ir.Module
+	Infos   map[*ir.Func]*ssa.Info
+	SEGs    map[*ir.Func]*seg.Graph
+	Callers map[*ir.Func][]CallSite
+}
+
+// NewProgram indexes the call sites of a fully analyzed module.
+func NewProgram(m *ir.Module, infos map[*ir.Func]*ssa.Info, segs map[*ir.Func]*seg.Graph) *Program {
+	p := &Program{
+		Module:  m,
+		Infos:   infos,
+		SEGs:    segs,
+		Callers: make(map[*ir.Func][]CallSite),
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if callee, ok := m.ByName[in.Callee]; ok {
+					p.Callers[callee] = append(p.Callers[callee], CallSite{Fn: f, Instr: in})
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Options tunes the engine. The zero value selects paper-like defaults.
+type Options struct {
+	// MaxCallDepth bounds the number of function instances on one path
+	// (the paper uses six nested levels).
+	MaxCallDepth int
+	// MaxExpansions bounds search work per source.
+	MaxExpansions int
+	// MaxCandidates bounds candidate paths per source.
+	MaxCandidates int
+	// MaxCallers bounds call sites enumerated per ascent.
+	MaxCallers int
+	// DisablePathSensitivity skips the SMT feasibility check and reports
+	// every candidate (the path-sensitivity ablation).
+	DisablePathSensitivity bool
+	// SMTBudget bounds DD constraints emitted per query.
+	SMTBudget int
+	// MaxReportsPerChecker stops after this many reports (0 = unlimited).
+	MaxReportsPerChecker int
+	// SameUnitOnly confines the search to one compilation unit (the
+	// Infer-/CSA-like baselines of §5.4 analyze one unit at a time).
+	SameUnitOnly bool
+	// IgnoreOrdering drops the happens-after requirement of
+	// ordering-sensitive checkers (a deliberate imprecision of the
+	// Infer-like baseline).
+	IgnoreOrdering bool
+	// DisableLinearFilter turns off the linear-time contradiction
+	// pre-filter on accumulated path conditions, sending every candidate
+	// to the SMT solver (the §3.1.1 ablation).
+	DisableLinearFilter bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCallDepth == 0 {
+		o.MaxCallDepth = 6
+	}
+	if o.MaxExpansions == 0 {
+		o.MaxExpansions = 8000
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 128
+	}
+	if o.MaxCallers == 0 {
+		o.MaxCallers = 8
+	}
+	if o.SMTBudget == 0 {
+		o.SMTBudget = 500
+	}
+	return o
+}
+
+// Report is one warning.
+type Report struct {
+	Checker   string
+	SourceFn  string
+	SinkFn    string
+	SourcePos minic.Pos
+	SinkPos   minic.Pos
+	Source    *ir.Instr
+	Sink      *ir.Instr
+	// PathLen is the number of SEG vertices on the witnessing path.
+	PathLen int
+	// Contexts is the number of function instances traversed.
+	Contexts int
+	// Verdict records the SMT result (Sat unless path sensitivity is
+	// disabled, in which case candidates are reported unchecked).
+	Verdict smt.Result
+	// Witness is a satisfying assignment of the branch conditions along
+	// the path — the trigger recipe for the bug. Entries look like
+	// "c@f = true". Empty when path sensitivity is disabled.
+	Witness []string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("[%s] value from %s (%s) reaches %s (%s); path %d vertices, %d contexts",
+		r.Checker, r.SourcePos, r.SourceFn, r.SinkPos, r.SinkFn, r.PathLen, r.Contexts)
+}
+
+// Stats aggregates engine effort counters.
+type Stats struct {
+	Sources           int
+	Expansions        int
+	Candidates        int
+	LinearFiltered    int
+	SMTQueries        int
+	SMTSat            int
+	SMTUnsat          int
+	SMTUnknown        int
+	SMTTime           time.Duration
+	SummaryCapHits    int
+	TruncatedSearches int
+}
+
+// instCond tracks the accumulated local condition of one context instance.
+type instCond struct {
+	fn   *ir.Func
+	cond *cond.Cond
+}
+
+// boundary is an inter-procedural value equality (actual=formal or
+// return=receiver) between two context instances.
+type boundary struct {
+	instA int
+	valA  *ir.Value
+	instB int
+	valB  *ir.Value
+	// equality is false for taint-transfer steps through external
+	// calls, where the value changes but the property propagates.
+	equality bool
+}
+
+// gstep is one SEG vertex on a global path, tagged with its instance.
+type gstep struct {
+	inst int
+	node *seg.Node
+}
+
+// candidate is a complete source→sink path awaiting feasibility checking.
+type candidate struct {
+	steps     []gstep
+	bounds    []boundary
+	conds     map[int]*instCond
+	sink      *seg.Node
+	sinkInst  int
+	sourceAt  *ir.Instr
+	sourceFn  *ir.Func
+	instances int
+}

@@ -1,0 +1,196 @@
+// Package difftest cross-validates the static analysis against concrete
+// execution. It generates small random MiniC programs from a restricted
+// grammar — branch conditions depend only on the entry function's boolean
+// parameters — so ground truth is computable exactly: enumerate all 2^k
+// parameter assignments, execute each with the interpreter, and record
+// whether any execution triggers a use-after-free or double-free.
+//
+// On this program class Pinpoint is expected to be *exact*: the SMT path
+// conditions decide parameter-only guards completely, the happens-after
+// check matches CFG order, and the call depths stay within budget. Any
+// divergence — a missed triggerable bug or a report nothing can trigger —
+// is a real defect in the analysis (or the interpreter) and the test
+// prints the offending program.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// Program is one generated test case.
+type Program struct {
+	Src    string
+	Params int // boolean parameters of entry
+}
+
+// condExpr renders a random guard over the boolean parameters.
+func condExpr(rng *rand.Rand, params int) string {
+	p := func() string { return fmt.Sprintf("c%d", rng.Intn(params)) }
+	switch rng.Intn(4) {
+	case 0:
+		return p()
+	case 1:
+		return "!" + p()
+	case 2:
+		return p() + " && " + p()
+	default:
+		return p() + " || " + p()
+	}
+}
+
+// Generate builds one random program. The grammar:
+//
+//   - 2-3 malloc'd pointers plus up to one alias per pointer;
+//   - 4-10 statements: conditional/unconditional frees, dereferences,
+//     and calls to generated helpers that free or dereference their
+//     argument;
+//   - all conditions over entry's boolean parameters only.
+func Generate(rng *rand.Rand) Program {
+	params := 1 + rng.Intn(3)
+	nPtrs := 2 + rng.Intn(2)
+
+	var b strings.Builder
+	helpers := 0
+	b.WriteString("struct Cell { int *ca; int *cb; };\n")
+
+	var body []string
+	ptr := func() string { return fmt.Sprintf("p%d", rng.Intn(nPtrs)) }
+
+	nStmts := 4 + rng.Intn(7)
+	for i := 0; i < nStmts; i++ {
+		target := ptr()
+		var action string
+		switch rng.Intn(9) {
+		case 8:
+			// Route through a struct field and dereference.
+			field := "ca"
+			if rng.Intn(2) == 0 {
+				field = "cb"
+			}
+			action = fmt.Sprintf("struct Cell *t%d = malloc(); t%d->%s = %s; int *f%d = t%d->%s; int n%d = *f%d; keep(n%d);",
+				i, i, field, target, i, i, field, i, i, i)
+		case 6:
+			// Route the pointer through heap memory, then dereference.
+			action = fmt.Sprintf("int **s%d = malloc(); *s%d = %s; int *l%d = *s%d; int m%d = *l%d; keep(m%d);",
+				i, i, target, i, i, i, i, i)
+		case 7:
+			// A helper that frees only under its own boolean argument.
+			helpers++
+			fmt.Fprintf(&b, "void hcfree%d(int *x, bool g) { if (g) { free(x); } }\n", helpers)
+			action = fmt.Sprintf("hcfree%d(%s, %s);", helpers, target, fmt.Sprintf("c%d", rng.Intn(params)))
+		case 0:
+			action = fmt.Sprintf("free(%s);", target)
+		case 1:
+			action = fmt.Sprintf("int v%d = *%s; keep(v%d);", i, target, i)
+		case 2:
+			helpers++
+			fmt.Fprintf(&b, "void hfree%d(int *x) { free(x); }\n", helpers)
+			action = fmt.Sprintf("hfree%d(%s);", helpers, target)
+		case 3:
+			helpers++
+			fmt.Fprintf(&b, "void huse%d(int *x) { int v = *x; keep(v); }\n", helpers)
+			action = fmt.Sprintf("huse%d(%s);", helpers, target)
+		case 4:
+			// Alias then use the alias.
+			action = fmt.Sprintf("int *a%d = %s; int w%d = *a%d; keep(w%d);", i, target, i, i, i)
+		default:
+			helpers++
+			fmt.Fprintf(&b, "int *hid%d(int *x) { return x; }\n", helpers)
+			action = fmt.Sprintf("int *r%d = hid%d(%s); int u%d = *r%d; keep(u%d);", i, helpers, target, i, i, i)
+		}
+		if rng.Intn(3) > 0 {
+			body = append(body, fmt.Sprintf("\tif (%s) { %s }", condExpr(rng, params), action))
+		} else {
+			body = append(body, "\t"+action)
+		}
+	}
+
+	var sig []string
+	for i := 0; i < params; i++ {
+		sig = append(sig, fmt.Sprintf("bool c%d", i))
+	}
+	fmt.Fprintf(&b, "void entry(%s) {\n", strings.Join(sig, ", "))
+	for i := 0; i < nPtrs; i++ {
+		fmt.Fprintf(&b, "\tint *p%d = malloc();\n", i)
+	}
+	for _, s := range body {
+		b.WriteString(s + "\n")
+	}
+	b.WriteString("}\n")
+	return Program{Src: b.String(), Params: params}
+}
+
+// Verdict is one comparison outcome.
+type Verdict struct {
+	Program Program
+	// AnalysisBug: the UAF checker reported at least one warning.
+	AnalysisBug bool
+	// TruthBug: some parameter assignment triggers a UAF or double-free.
+	TruthBug bool
+	// TriggerMask is the first triggering assignment (valid if TruthBug).
+	TriggerMask uint
+}
+
+// Agrees reports soundness+exactness agreement.
+func (v Verdict) Agrees() bool { return v.AnalysisBug == v.TruthBug }
+
+// Compare computes both verdicts for one program.
+func Compare(p Program) (Verdict, error) {
+	v := Verdict{Program: p}
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "diff.mc", Src: p.Src}})
+	if err != nil {
+		return v, fmt.Errorf("parse: %w\n%s", err, p.Src)
+	}
+
+	// Ground truth: every assignment of the boolean parameters.
+	for mask := uint(0); mask < 1<<p.Params; mask++ {
+		args := make([]interp.Value, p.Params)
+		for i := 0; i < p.Params; i++ {
+			args[i] = interp.BoolV(mask&(1<<i) != 0)
+		}
+		res, err := interp.Run(prog, "entry", args, interp.Options{})
+		if err != nil {
+			return v, fmt.Errorf("interp mask=%b: %w\n%s", mask, err, p.Src)
+		}
+		if res.Has(interp.EvUseAfterFree) || res.Has(interp.EvDoubleFree) {
+			v.TruthBug = true
+			v.TriggerMask = mask
+			break
+		}
+	}
+
+	// Static verdict.
+	a, err := core.BuildFromSource([]minic.NamedSource{{Name: "diff.mc", Src: p.Src}}, core.BuildOptions{})
+	if err != nil {
+		return v, fmt.Errorf("build: %w\n%s", err, p.Src)
+	}
+	reports, _ := a.Check(checkers.UseAfterFree(), detect.Options{})
+	v.AnalysisBug = len(reports) > 0
+	return v, nil
+}
+
+// RunMany generates and compares n programs with the given seed; it
+// returns all disagreements.
+func RunMany(seed int64, n int) ([]Verdict, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var bad []Verdict
+	for i := 0; i < n; i++ {
+		p := Generate(rng)
+		v, err := Compare(p)
+		if err != nil {
+			return bad, err
+		}
+		if !v.Agrees() {
+			bad = append(bad, v)
+		}
+	}
+	return bad, nil
+}

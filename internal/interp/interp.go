@@ -1,0 +1,649 @@
+// Package interp is a concrete interpreter for MiniC ASTs. It executes a
+// program with a real heap — objects with identity, a freed bit, and cells —
+// and records the memory-safety events the static checkers predict:
+// use-after-free, double-free, and null dereferences.
+//
+// Its role in this repository is ground truth: the differential test
+// harness (package difftest) enumerates all inputs of small generated
+// programs, executes them here, and compares the set of *actually
+// triggerable* bugs against the static analysis verdict. The analysis is
+// expected to be exact on that restricted program class — every
+// divergence is a bug in one of the two.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// Kind discriminates runtime values.
+type Kind uint8
+
+const (
+	// KInt is an integer.
+	KInt Kind = iota
+	// KBool is a boolean.
+	KBool
+	// KPtr is a pointer to an object cell.
+	KPtr
+	// KNull is the null pointer.
+	KNull
+)
+
+// Value is a concrete runtime value.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Bool bool
+	Obj  *Object
+}
+
+// IntV, BoolV, NullV construct values.
+func IntV(v int64) Value { return Value{Kind: KInt, Int: v} }
+func BoolV(v bool) Value { return Value{Kind: KBool, Bool: v} }
+func NullV() Value       { return Value{Kind: KNull} }
+
+// Object is one heap allocation with a default cell plus named field cells
+// for struct use (array elements collapse; fields do not).
+type Object struct {
+	ID     int
+	Cell   Value
+	Fields map[string]Value
+	Freed  bool
+	// FreedAt is the statement that freed the object.
+	FreedAt minic.Pos
+}
+
+func (o *Object) getField(f string) Value {
+	if o.Fields == nil {
+		return Value{Kind: KInt}
+	}
+	return o.Fields[f]
+}
+
+func (o *Object) setField(f string, v Value) {
+	if o.Fields == nil {
+		o.Fields = make(map[string]Value)
+	}
+	o.Fields[f] = v
+}
+
+// EventKind classifies recorded memory-safety events.
+type EventKind uint8
+
+const (
+	// EvUseAfterFree: a freed object's cell was loaded or stored.
+	EvUseAfterFree EventKind = iota
+	// EvDoubleFree: free of an already-freed object.
+	EvDoubleFree
+	// EvNullDeref: dereference of null.
+	EvNullDeref
+)
+
+var eventNames = [...]string{"use-after-free", "double-free", "null-deref"}
+
+func (k EventKind) String() string { return eventNames[k] }
+
+// Event is one recorded memory-safety violation.
+type Event struct {
+	Kind EventKind
+	// At is the statement performing the violating access.
+	At minic.Pos
+	// FreedAt is the free site (UAF/double-free).
+	FreedAt minic.Pos
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s at %s (freed at %s)", e.Kind, e.At, e.FreedAt)
+}
+
+// Result is one execution's outcome.
+type Result struct {
+	Events []Event
+	// Steps counts executed statements (budget accounting).
+	Steps int
+	// Return is the entry function's return value.
+	Return Value
+}
+
+// Has reports whether an event of the given kind was recorded.
+func (r *Result) Has(kind EventKind) bool {
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Options bounds execution.
+type Options struct {
+	// MaxSteps aborts runaway executions (default 100000).
+	MaxSteps int
+	// ExternReturn supplies return values for external calls by name;
+	// unlisted externals return 0.
+	ExternReturn map[string]Value
+}
+
+// budgetError distinguishes step exhaustion.
+type budgetError struct{}
+
+func (budgetError) Error() string { return "interp: step budget exhausted" }
+
+// IsBudget reports whether err is the step-budget error.
+func IsBudget(err error) bool {
+	_, ok := err.(budgetError)
+	return ok
+}
+
+type interp struct {
+	prog    *minic.Program
+	funcs   map[string]*minic.FuncDecl
+	globals map[string]*cell
+	res     *Result
+	opts    Options
+	nextObj int
+}
+
+// cell is an addressable storage location (a local, global, or heap cell).
+// Address-taken variables and heap cells carry an obj; all reads and writes
+// of such cells go through the object so aliases stay coherent. A non-empty
+// field selects a struct field cell of the object.
+type cell struct {
+	v Value
+	// obj is set when the cell's storage lives in an Object.
+	obj   *Object
+	field string
+}
+
+func (c *cell) get() Value {
+	if c.obj != nil {
+		if c.field != "" {
+			return c.obj.getField(c.field)
+		}
+		return c.obj.Cell
+	}
+	return c.v
+}
+
+func (c *cell) set(v Value) {
+	if c.obj != nil {
+		if c.field != "" {
+			c.obj.setField(c.field, v)
+			return
+		}
+		c.obj.Cell = v
+		return
+	}
+	c.v = v
+}
+
+// Run executes entry(args...) and returns the recorded events.
+func Run(prog *minic.Program, entry string, args []Value, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100000
+	}
+	in := &interp{
+		prog:    prog,
+		funcs:   make(map[string]*minic.FuncDecl),
+		globals: make(map[string]*cell),
+		res:     &Result{},
+		opts:    opts,
+	}
+	for _, f := range prog.Funcs() {
+		in.funcs[f.Name] = f
+	}
+	for _, file := range prog.Files {
+		for _, g := range file.Globals {
+			c := &cell{v: zeroValue(g.Type)}
+			in.globals[g.Name] = c
+		}
+	}
+	// Globals with initializers evaluate in an empty scope.
+	for _, file := range prog.Files {
+		for _, g := range file.Globals {
+			if g.Init != nil {
+				v, err := in.eval(g.Init, newScope(nil))
+				if err != nil {
+					return in.res, err
+				}
+				in.globals[g.Name].v = v
+			}
+		}
+	}
+	fn, ok := in.funcs[entry]
+	if !ok {
+		return in.res, fmt.Errorf("interp: no function %q", entry)
+	}
+	ret, err := in.call(fn, args)
+	if err != nil {
+		return in.res, err
+	}
+	in.res.Return = ret
+	return in.res, nil
+}
+
+func zeroValue(t minic.Type) Value {
+	switch {
+	case t.IsPointer():
+		return NullV()
+	case t.Base == "bool":
+		return BoolV(false)
+	default:
+		return IntV(0)
+	}
+}
+
+// scope is a lexical environment of cells.
+type scope struct {
+	parent *scope
+	vars   map[string]*cell
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: make(map[string]*cell)}
+}
+
+func (s *scope) lookup(name string) (*cell, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if c, ok := cur.vars[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (in *interp) step(pos minic.Pos) error {
+	in.res.Steps++
+	if in.res.Steps > in.opts.MaxSteps {
+		return budgetError{}
+	}
+	return nil
+}
+
+func (in *interp) call(fn *minic.FuncDecl, args []Value) (Value, error) {
+	sc := newScope(nil)
+	for i, p := range fn.Params {
+		v := zeroValue(p.Type)
+		if i < len(args) {
+			v = args[i]
+		}
+		sc.vars[p.Name] = &cell{v: v}
+	}
+	var ret Value
+	err := in.execBlock(fn.Body, sc, &ret)
+	if err == errReturn {
+		err = nil
+	}
+	return ret, err
+}
+
+// errReturn marks a return statement's unwind.
+var errReturn = fmt.Errorf("interp: return")
+
+func (in *interp) execBlock(b *minic.BlockStmt, sc *scope, ret *Value) error {
+	inner := newScope(sc)
+	for _, st := range b.Stmts {
+		if err := in.exec(st, inner, ret); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) exec(st minic.Stmt, sc *scope, ret *Value) error {
+	if err := in.step(st.StmtPos()); err != nil {
+		return err
+	}
+	switch s := st.(type) {
+	case *minic.BlockStmt:
+		return in.execBlock(s, sc, ret)
+	case *minic.DeclStmt:
+		v := zeroValue(s.Decl.Type)
+		if s.Decl.Init != nil {
+			iv, err := in.eval(s.Decl.Init, sc)
+			if err != nil {
+				return err
+			}
+			v = iv
+		}
+		sc.vars[s.Decl.Name] = &cell{v: v}
+		return nil
+	case *minic.AssignStmt:
+		return in.assign(s, sc)
+	case *minic.IfStmt:
+		cv, err := in.eval(s.Cond, sc)
+		if err != nil {
+			return err
+		}
+		if truthy(cv) {
+			return in.exec(s.Then, newScope(sc), ret)
+		}
+		if s.Else != nil {
+			return in.exec(s.Else, newScope(sc), ret)
+		}
+		return nil
+	case *minic.WhileStmt:
+		for {
+			cv, err := in.eval(s.Cond, sc)
+			if err != nil {
+				return err
+			}
+			if !truthy(cv) {
+				return nil
+			}
+			if err := in.exec(s.Body, newScope(sc), ret); err != nil {
+				return err
+			}
+			if err := in.step(s.Pos); err != nil {
+				return err
+			}
+		}
+	case *minic.ReturnStmt:
+		if s.Value != nil {
+			v, err := in.eval(s.Value, sc)
+			if err != nil {
+				return err
+			}
+			*ret = v
+		}
+		return errReturn
+	case *minic.ExprStmt:
+		_, err := in.eval(s.X, sc)
+		return err
+	default:
+		return fmt.Errorf("interp: unknown statement %T", st)
+	}
+}
+
+func truthy(v Value) bool {
+	switch v.Kind {
+	case KBool:
+		return v.Bool
+	case KInt:
+		return v.Int != 0
+	case KPtr:
+		return true
+	default:
+		return false
+	}
+}
+
+func (in *interp) assign(s *minic.AssignStmt, sc *scope) error {
+	v, err := in.eval(s.Value, sc)
+	if err != nil {
+		return err
+	}
+	c, err := in.lvalue(s.Target, sc)
+	if err != nil {
+		return err
+	}
+	if c == nil {
+		return nil // store through null already reported
+	}
+	c.set(v)
+	return nil
+}
+
+// lvalue resolves an assignable expression to its cell, recording UAF /
+// null-deref events for bad targets (returning nil to skip the store).
+func (in *interp) lvalue(e minic.Expr, sc *scope) (*cell, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		if c, ok := sc.lookup(x.Name); ok {
+			return c, nil
+		}
+		if c, ok := in.globals[x.Name]; ok {
+			return c, nil
+		}
+		return nil, fmt.Errorf("interp: %s: undefined %q", x.Pos, x.Name)
+	case *minic.UnaryExpr:
+		if x.Op != "*" {
+			return nil, fmt.Errorf("interp: %s: bad assignment target", x.Pos)
+		}
+		pv, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		return in.derefCell(pv, x.Pos), nil
+	case *minic.ArrowExpr:
+		pv, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		c := in.derefCell(pv, x.Pos)
+		if c != nil {
+			c.field = x.Field
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("interp: bad assignment target %T", e)
+}
+
+// derefCell checks a pointer value and returns its target cell (nil after
+// recording a violation).
+func (in *interp) derefCell(pv Value, at minic.Pos) *cell {
+	switch pv.Kind {
+	case KNull:
+		in.res.Events = append(in.res.Events, Event{Kind: EvNullDeref, At: at})
+		return nil
+	case KPtr:
+		if pv.Obj.Freed {
+			in.res.Events = append(in.res.Events, Event{
+				Kind: EvUseAfterFree, At: at, FreedAt: pv.Obj.FreedAt,
+			})
+			// Keep executing: the dangling cell still exists.
+		}
+		return &cell{v: pv.Obj.Cell, obj: pv.Obj}
+	default:
+		// Dereferencing a non-pointer: treat as null-like.
+		in.res.Events = append(in.res.Events, Event{Kind: EvNullDeref, At: at})
+		return nil
+	}
+}
+
+func (in *interp) eval(e minic.Expr, sc *scope) (Value, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return IntV(x.Val), nil
+	case *minic.BoolLit:
+		return BoolV(x.Val), nil
+	case *minic.NullLit:
+		return NullV(), nil
+	case *minic.Ident:
+		if c, ok := sc.lookup(x.Name); ok {
+			return c.get(), nil
+		}
+		if c, ok := in.globals[x.Name]; ok {
+			return c.get(), nil
+		}
+		return Value{}, fmt.Errorf("interp: %s: undefined %q", x.Pos, x.Name)
+	case *minic.ArrowExpr:
+		c, err := in.lvalue(x, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if c == nil {
+			return IntV(0), nil
+		}
+		return c.get(), nil
+	case *minic.UnaryExpr:
+		return in.evalUnary(x, sc)
+	case *minic.BinaryExpr:
+		return in.evalBinary(x, sc)
+	case *minic.CallExpr:
+		return in.evalCall(x, sc)
+	default:
+		return Value{}, fmt.Errorf("interp: unknown expression %T", e)
+	}
+}
+
+func (in *interp) evalUnary(x *minic.UnaryExpr, sc *scope) (Value, error) {
+	switch x.Op {
+	case "*":
+		pv, err := in.eval(x.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		c := in.derefCell(pv, x.Pos)
+		if c == nil {
+			return IntV(0), nil
+		}
+		return c.get(), nil
+	case "&":
+		id, ok := x.X.(*minic.Ident)
+		if !ok {
+			return Value{}, fmt.Errorf("interp: %s: '&' needs a variable", x.Pos)
+		}
+		// Address-of is modeled by boxing the variable into an object
+		// whose cell shadows it. For the differential-test grammar,
+		// address-of is not generated, so a faithful-enough model
+		// suffices: create a pseudo object aliased to the cell.
+		c, okc := sc.lookup(id.Name)
+		if !okc {
+			if g, okg := in.globals[id.Name]; okg {
+				c = g
+			} else {
+				return Value{}, fmt.Errorf("interp: %s: undefined %q", x.Pos, id.Name)
+			}
+		}
+		if c.obj == nil {
+			// Box the variable: from now on all accesses to the cell go
+			// through the object, so pointer aliases stay coherent.
+			in.nextObj++
+			c.obj = &Object{ID: in.nextObj, Cell: c.v}
+		}
+		return Value{Kind: KPtr, Obj: c.obj}, nil
+	case "-":
+		v, err := in.eval(x.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntV(-v.Int), nil
+	case "!":
+		v, err := in.eval(x.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(!truthy(v)), nil
+	}
+	return Value{}, fmt.Errorf("interp: unary %q", x.Op)
+}
+
+func (in *interp) evalBinary(x *minic.BinaryExpr, sc *scope) (Value, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := in.eval(x.X, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "&&" && !truthy(l) {
+			return BoolV(false), nil
+		}
+		if x.Op == "||" && truthy(l) {
+			return BoolV(true), nil
+		}
+		r, err := in.eval(x.Y, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(truthy(r)), nil
+	}
+	l, err := in.eval(x.X, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := in.eval(x.Y, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "+":
+		return IntV(l.Int + r.Int), nil
+	case "-":
+		return IntV(l.Int - r.Int), nil
+	case "*":
+		return IntV(l.Int * r.Int), nil
+	case "/":
+		if r.Int == 0 {
+			return IntV(0), nil
+		}
+		return IntV(l.Int / r.Int), nil
+	case "%":
+		if r.Int == 0 {
+			return IntV(0), nil
+		}
+		return IntV(l.Int % r.Int), nil
+	case "==":
+		return BoolV(equalValues(l, r)), nil
+	case "!=":
+		return BoolV(!equalValues(l, r)), nil
+	case "<":
+		return BoolV(l.Int < r.Int), nil
+	case "<=":
+		return BoolV(l.Int <= r.Int), nil
+	case ">":
+		return BoolV(l.Int > r.Int), nil
+	case ">=":
+		return BoolV(l.Int >= r.Int), nil
+	}
+	return Value{}, fmt.Errorf("interp: binary %q", x.Op)
+}
+
+func equalValues(l, r Value) bool {
+	if l.Kind == KPtr || r.Kind == KPtr {
+		return l.Kind == r.Kind && l.Obj == r.Obj
+	}
+	if l.Kind == KNull || r.Kind == KNull {
+		return l.Kind == r.Kind
+	}
+	if l.Kind == KBool && r.Kind == KBool {
+		return l.Bool == r.Bool
+	}
+	return l.Int == r.Int
+}
+
+func (in *interp) evalCall(x *minic.CallExpr, sc *scope) (Value, error) {
+	switch x.Fun {
+	case "malloc":
+		in.nextObj++
+		return Value{Kind: KPtr, Obj: &Object{ID: in.nextObj}}, nil
+	case "free":
+		pv, err := in.eval(x.Args[0], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if pv.Kind == KPtr {
+			if pv.Obj.Freed {
+				in.res.Events = append(in.res.Events, Event{
+					Kind: EvDoubleFree, At: x.Pos, FreedAt: pv.Obj.FreedAt,
+				})
+			} else {
+				pv.Obj.Freed = true
+				pv.Obj.FreedAt = x.Pos
+			}
+		}
+		return pv, nil
+	}
+	var args []Value
+	for _, a := range x.Args {
+		v, err := in.eval(a, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		args = append(args, v)
+	}
+	fn, ok := in.funcs[x.Fun]
+	if !ok {
+		// External: configured return or zero.
+		if v, okr := in.opts.ExternReturn[x.Fun]; okr {
+			return v, nil
+		}
+		return IntV(0), nil
+	}
+	v, err := in.call(fn, args)
+	if err == errReturn {
+		err = nil
+	}
+	return v, err
+}

@@ -1,0 +1,390 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func run(t *testing.T, src, entry string, args ...Value) *Result {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(prog, entry, args, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndReturn(t *testing.T) {
+	res := run(t, `
+int f(int a, int b) {
+	int s = a * 3 + b;
+	if (s > 10) { s = s - 1; }
+	return s;
+}`, "f", IntV(4), IntV(2))
+	if res.Return.Int != 13 {
+		t.Fatalf("return = %v, want 13", res.Return)
+	}
+	if len(res.Events) != 0 {
+		t.Fatalf("events = %v", res.Events)
+	}
+}
+
+func TestWhileLoopConcrete(t *testing.T) {
+	res := run(t, `
+int sum(int n) {
+	int s = 0;
+	while (n > 0) {
+		s = s + n;
+		n = n - 1;
+	}
+	return s;
+}`, "sum", IntV(5))
+	if res.Return.Int != 15 {
+		t.Fatalf("sum(5) = %v", res.Return)
+	}
+}
+
+func TestHeapAndAliasing(t *testing.T) {
+	res := run(t, `
+int f() {
+	int *p = malloc();
+	*p = 7;
+	int *q = p;
+	*q = 9;
+	return *p;
+}`, "f")
+	if res.Return.Int != 9 {
+		t.Fatalf("aliased store lost: %v", res.Return)
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	res := run(t, `
+int f() {
+	int *p = malloc();
+	*p = 1;
+	free(p);
+	return *p;
+}`, "f")
+	if !res.Has(EvUseAfterFree) {
+		t.Fatalf("UAF not recorded: %v", res.Events)
+	}
+}
+
+func TestUseBeforeFreeClean(t *testing.T) {
+	res := run(t, `
+int f() {
+	int *p = malloc();
+	*p = 1;
+	int v = *p;
+	free(p);
+	return v;
+}`, "f")
+	if len(res.Events) != 0 {
+		t.Fatalf("spurious events: %v", res.Events)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	res := run(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	free(p);
+}`, "f")
+	if !res.Has(EvDoubleFree) {
+		t.Fatalf("double free not recorded: %v", res.Events)
+	}
+}
+
+func TestNullDeref(t *testing.T) {
+	res := run(t, `
+int f() {
+	int *p = null;
+	return *p;
+}`, "f")
+	if !res.Has(EvNullDeref) {
+		t.Fatalf("null deref not recorded: %v", res.Events)
+	}
+}
+
+func TestConditionalPathsRespectInputs(t *testing.T) {
+	src := `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (!c) { int v = *p; keep(v); }
+}`
+	// c=true: free but no use. c=false: use but no free. Never both.
+	for _, c := range []bool{true, false} {
+		res := run(t, src, "f", BoolV(c))
+		if res.Has(EvUseAfterFree) {
+			t.Fatalf("c=%v: spurious UAF", c)
+		}
+	}
+	src2 := `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	if (c) { int v = *p; keep(v); }
+}`
+	res := run(t, src2, "f", BoolV(true))
+	if !res.Has(EvUseAfterFree) {
+		t.Fatal("correlated UAF missed")
+	}
+}
+
+func TestInterproceduralFree(t *testing.T) {
+	res := run(t, `
+void release(int *x) { free(x); }
+int f() {
+	int *p = malloc();
+	release(p);
+	return *p;
+}`, "f")
+	if !res.Has(EvUseAfterFree) {
+		t.Fatalf("cross-function UAF missed: %v", res.Events)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	res := run(t, `
+int g;
+int f() {
+	g = 5;
+	int x = g + 1;
+	return x;
+}`, "f")
+	if res.Return.Int != 6 {
+		t.Fatalf("global handling broken: %v", res.Return)
+	}
+}
+
+func TestAddressTaken(t *testing.T) {
+	res := run(t, `
+int f() {
+	int x = 1;
+	int *p = &x;
+	*p = 42;
+	return x;
+}`, "f")
+	if res.Return.Int != 42 {
+		t.Fatalf("address-of aliasing broken: %v", res.Return)
+	}
+}
+
+func TestHeapIndirection(t *testing.T) {
+	res := run(t, `
+int f() {
+	int *obj = malloc();
+	*obj = 3;
+	int **slot = malloc();
+	*slot = obj;
+	int *back = *slot;
+	return *back;
+}`, "f")
+	if res.Return.Int != 3 {
+		t.Fatalf("double indirection broken: %v", res.Return)
+	}
+}
+
+func TestExternReturn(t *testing.T) {
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: `
+int f() { return query(); }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, "f", nil, Options{ExternReturn: map[string]Value{"query": IntV(99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.Int != 99 {
+		t.Fatalf("extern return = %v", res.Return)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: `
+void f() {
+	int i = 0;
+	while (i < 1000000) { i = i + 1; }
+}`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, "f", nil, Options{MaxSteps: 100})
+	if !IsBudget(err) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// otherwise the null deref fires.
+	res := run(t, `
+bool f(int *p) {
+	return p != null && *p > 0;
+}`, "f", NullV())
+	if res.Has(EvNullDeref) {
+		t.Fatalf("short-circuit broken: %v", res.Events)
+	}
+	if res.Return.Bool {
+		t.Fatal("wrong result")
+	}
+}
+
+func TestArithmeticOperators(t *testing.T) {
+	res := run(t, `
+int f(int a, int b) {
+	int q = a / b;
+	int r = a % b;
+	int m = -a;
+	int z = a / 0;
+	int w = a % 0;
+	return q * 100 + r * 10 + m + z + w;
+}`, "f", IntV(7), IntV(2))
+	// 3*100 + 1*10 + (-7) + 0 + 0 = 303.
+	if res.Return.Int != 303 {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	res := run(t, `
+bool f(int a, int b) {
+	bool x = a < b;
+	bool y = a <= b;
+	bool z = a > b;
+	bool w = a >= b;
+	bool e = a == b;
+	bool n = a != b;
+	return x && y && !z && !w && !e && n || false;
+}`, "f", IntV(1), IntV(2))
+	if !res.Return.Bool {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestGlobalInitializer(t *testing.T) {
+	res := run(t, `
+int g = 40;
+int f() { return g + 2; }`, "f")
+	if res.Return.Int != 42 {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestPointerEquality(t *testing.T) {
+	res := run(t, `
+bool f() {
+	int *a = malloc();
+	int *b = malloc();
+	int *c = a;
+	return a == c && a != b && b != null;
+}`, "f")
+	if !res.Return.Bool {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestForLoopInterp(t *testing.T) {
+	res := run(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 1; i <= n; i = i + 1) {
+		s = s + i;
+	}
+	return s;
+}`, "f", IntV(10))
+	if res.Return.Int != 55 {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t", Src: "void f() { }"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, "nope", nil, Options{}); err == nil {
+		t.Fatal("missing entry accepted")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	res := run(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	int v = *p;
+	keep(v);
+}`, "f")
+	if len(res.Events) == 0 || res.Events[0].String() == "" {
+		t.Fatal("event rendering broken")
+	}
+}
+
+func TestStructFields(t *testing.T) {
+	res := run(t, `
+struct Point { int x; int y; };
+int f() {
+	struct Point *p = malloc();
+	p->x = 3;
+	p->y = 4;
+	return p->x * 10 + p->y;
+}`, "f")
+	if res.Return.Int != 34 {
+		t.Fatalf("got %v", res.Return)
+	}
+}
+
+func TestStructFieldPointerUAF(t *testing.T) {
+	res := run(t, `
+struct Node { int *data; };
+void f() {
+	struct Node *n = malloc();
+	int *d = malloc();
+	n->data = d;
+	free(d);
+	int *back = n->data;
+	int v = *back;
+	keep(v);
+}`, "f")
+	if !res.Has(EvUseAfterFree) {
+		t.Fatalf("struct-routed UAF missed: %v", res.Events)
+	}
+}
+
+func TestStructFreedBaseAccess(t *testing.T) {
+	res := run(t, `
+struct Box { int v; };
+int f() {
+	struct Box *b = malloc();
+	b->v = 9;
+	free(b);
+	return b->v;
+}`, "f")
+	if !res.Has(EvUseAfterFree) {
+		t.Fatalf("freed-base field access missed: %v", res.Events)
+	}
+}
+
+func TestStructFieldsIndependent(t *testing.T) {
+	res := run(t, `
+struct Pair { int a; int b; };
+int f() {
+	struct Pair *p = malloc();
+	p->a = 1;
+	p->b = 2;
+	p->a = 10;
+	return p->a + p->b;
+}`, "f")
+	if res.Return.Int != 12 {
+		t.Fatalf("fields not independent: %v", res.Return)
+	}
+}

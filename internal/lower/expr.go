@@ -1,0 +1,242 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// expr lowers an expression; hint suggests the result type when the
+// expression alone cannot determine it (malloc, external calls, null).
+func (lw *lowerer) expr(e minic.Expr, hint minic.Type) (*ir.Value, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return lw.f.ConstInt(x.Val), nil
+	case *minic.BoolLit:
+		return lw.f.ConstBool(x.Val), nil
+	case *minic.NullLit:
+		return lw.f.ConstNull(), nil
+	case *minic.Ident:
+		return lw.loadIdent(x)
+	case *minic.UnaryExpr:
+		return lw.unary(x, hint)
+	case *minic.BinaryExpr:
+		return lw.binary(x)
+	case *minic.ArrowExpr:
+		addr, err := lw.fieldAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		var t minic.Type
+		if addr.Type.IsPointer() {
+			t = addr.Type.Elem()
+		} else {
+			t = minic.IntType
+		}
+		v := lw.tmp(t)
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: v, Args: []*ir.Value{addr}, Pos: x.Pos})
+		return v, nil
+	case *minic.CallExpr:
+		return lw.call(x, hint)
+	default:
+		return nil, fmt.Errorf("lower: unknown expression %T", e)
+	}
+}
+
+// fieldAddr lowers &(base->field): the base pointer is evaluated and an
+// OpFieldAddr computes the field's address.
+func (lw *lowerer) fieldAddr(x *minic.ArrowExpr) (*ir.Value, error) {
+	base, err := lw.expr(x.X, minic.IntType.Pointer())
+	if err != nil {
+		return nil, err
+	}
+	ft := lw.fieldType(base.Type, x.Field)
+	addr := lw.tmp(ft.Pointer())
+	lw.emit(ir.Instr{Op: ir.OpFieldAddr, Dst: addr, Sub: x.Field, Args: []*ir.Value{base}, Pos: x.Pos})
+	return addr, nil
+}
+
+func (lw *lowerer) loadIdent(id *minic.Ident) (*ir.Value, error) {
+	b, g, err := lw.resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case g != nil:
+		addr := lw.tmp(g.Type.Pointer())
+		lw.emit(ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: g.Name, Pos: id.Pos})
+		v := lw.tmp(g.Type)
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: v, Args: []*ir.Value{addr}, Pos: id.Pos})
+		return v, nil
+	case b.slot != nil:
+		v := lw.tmp(b.typ)
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: v, Args: []*ir.Value{b.slot}, Pos: id.Pos})
+		return v, nil
+	default:
+		return b.reg, nil
+	}
+}
+
+func (lw *lowerer) unary(x *minic.UnaryExpr, hint minic.Type) (*ir.Value, error) {
+	switch x.Op {
+	case "*":
+		addr, err := lw.expr(x.X, hint.Pointer())
+		if err != nil {
+			return nil, err
+		}
+		var t minic.Type
+		if addr.Type.IsPointer() {
+			t = addr.Type.Elem()
+		} else {
+			t = minic.IntType
+		}
+		v := lw.tmp(t)
+		lw.emit(ir.Instr{Op: ir.OpLoad, Dst: v, Args: []*ir.Value{addr}, Pos: x.Pos})
+		return v, nil
+	case "&":
+		id, ok := x.X.(*minic.Ident)
+		if !ok {
+			return nil, fmt.Errorf("%s: '&' requires a variable operand", x.Pos)
+		}
+		b, g, err := lw.resolve(id)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case g != nil:
+			addr := lw.tmp(g.Type.Pointer())
+			lw.emit(ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: g.Name, Pos: x.Pos})
+			return addr, nil
+		case b.slot != nil:
+			return b.slot, nil
+		default:
+			return nil, fmt.Errorf("%s: internal: %q address-taken but not spilled", x.Pos, id.Name)
+		}
+	case "-", "!":
+		v, err := lw.expr(x.X, hint)
+		if err != nil {
+			return nil, err
+		}
+		t := v.Type
+		if x.Op == "!" {
+			t = minic.BoolType
+		}
+		d := lw.tmp(t)
+		lw.emit(ir.Instr{Op: ir.OpUn, Dst: d, Sub: x.Op, Args: []*ir.Value{v}, Pos: x.Pos})
+		return d, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown unary operator %q", x.Pos, x.Op)
+	}
+}
+
+func (lw *lowerer) binary(x *minic.BinaryExpr) (*ir.Value, error) {
+	switch x.Op {
+	case "&&", "||":
+		return lw.shortCircuit(x)
+	}
+	a, err := lw.expr(x.X, minic.IntType)
+	if err != nil {
+		return nil, err
+	}
+	b, err := lw.expr(x.Y, a.Type)
+	if err != nil {
+		return nil, err
+	}
+	t := a.Type
+	switch x.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		t = minic.BoolType
+	}
+	d := lw.tmp(t)
+	lw.emit(ir.Instr{Op: ir.OpBin, Dst: d, Sub: x.Op, Args: []*ir.Value{a, b}, Pos: x.Pos})
+	return d, nil
+}
+
+// shortCircuit lowers && and || into control flow:
+//
+//	t = X; if (t) { t = Y }        for &&  (skip Y when X is false)
+//	t = X; if (!t) { t = Y }       for ||
+//
+// The join's phi (created by SSA construction) carries the gate condition,
+// so the evaluation-order semantics surface in path conditions.
+func (lw *lowerer) shortCircuit(x *minic.BinaryExpr) (*ir.Value, error) {
+	a, err := lw.boolExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	t := lw.tmp(minic.BoolType)
+	lw.emit(ir.Instr{Op: ir.OpCopy, Dst: t, Args: []*ir.Value{a}, Pos: x.Pos})
+	evalY := lw.f.NewBlock()
+	join := lw.f.NewBlock()
+	if x.Op == "&&" {
+		lw.emitBr(a, evalY, join, x.Pos)
+	} else {
+		lw.emitBr(a, join, evalY, x.Pos)
+	}
+	lw.cur = evalY
+	b, err := lw.boolExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	lw.emit(ir.Instr{Op: ir.OpCopy, Dst: t, Args: []*ir.Value{b}, Pos: x.Pos})
+	lw.emitJmp(join, x.Pos)
+	lw.cur = join
+	return t, nil
+}
+
+func (lw *lowerer) call(x *minic.CallExpr, hint minic.Type) (*ir.Value, error) {
+	switch x.Fun {
+	case mallocName:
+		if len(x.Args) != 0 {
+			return nil, fmt.Errorf("%s: malloc takes no arguments", x.Pos)
+		}
+		t := hint
+		if !t.IsPointer() {
+			t = minic.IntType.Pointer()
+		}
+		d := lw.tmp(t)
+		lw.emit(ir.Instr{Op: ir.OpMalloc, Dst: d, Pos: x.Pos})
+		return d, nil
+	case freeName:
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("%s: free takes one argument", x.Pos)
+		}
+		p, err := lw.expr(x.Args[0], minic.IntType.Pointer())
+		if err != nil {
+			return nil, err
+		}
+		lw.emit(ir.Instr{Op: ir.OpFree, Args: []*ir.Value{p}, Pos: x.Pos})
+		return p, nil
+	}
+	var args []*ir.Value
+	for _, a := range x.Args {
+		v, err := lw.expr(a, minic.IntType)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	// Result type: known callee's declared return; externals get the
+	// hint (or int when called for effect).
+	var retT minic.Type
+	if sig, ok := lw.sigs[x.Fun]; ok {
+		retT = sig
+	} else {
+		retT = hint
+		if retT.IsVoid() {
+			retT = minic.IntType
+		}
+	}
+	var dst *ir.Value
+	if !retT.IsVoid() {
+		dst = lw.tmp(retT)
+	}
+	lw.emit(ir.Instr{Op: ir.OpCall, Dsts: []*ir.Value{dst}, Callee: x.Fun, Args: args, Pos: x.Pos})
+	if dst == nil {
+		// Void call in expression position: produce a dummy 0 so the
+		// caller always gets a value.
+		return lw.f.ConstInt(0), nil
+	}
+	return dst, nil
+}

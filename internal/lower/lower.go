@@ -1,0 +1,561 @@
+// Package lower translates MiniC ASTs into the CFG-based IR of package ir.
+//
+// Lowering applies the soundiness policies of Pinpoint §4.2 at the earliest
+// possible stage:
+//
+//   - while-loops are unrolled once (the body is guarded by the condition
+//     and executed at most one time);
+//   - functions are normalized to a single return (the paper's language
+//     assumes one return statement per function);
+//   - short-circuit && and || become explicit control flow so their
+//     evaluation order contributes branch conditions;
+//   - malloc/free are intrinsics; all other undefined callees remain
+//     external calls that the checkers model by name.
+//
+// Local variables whose address is never taken stay virtual registers and
+// are later SSA-renamed; address-taken locals get an explicit stack slot
+// (OpAlloc) accessed through loads and stores, exactly the memory the local
+// points-to analysis reasons about.
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Intrinsic names recognized by lowering.
+const (
+	mallocName = "malloc"
+	freeName   = "free"
+)
+
+// Program lowers a parsed program into an IR module.
+func Program(prog *minic.Program) (*ir.Module, error) {
+	m := ir.NewModule()
+	m.Units = len(prog.Files)
+	for _, file := range prog.Files {
+		for _, g := range file.Globals {
+			m.AddGlobal(&ir.Global{Name: g.Name, Type: g.Type})
+		}
+	}
+	// Pre-collect signatures so forward calls resolve their return type,
+	// and struct layouts so field accesses resolve their types.
+	sigs := make(map[string]minic.Type)
+	for _, fn := range prog.Funcs() {
+		sigs[fn.Name] = fn.Ret
+	}
+	structs := make(map[string][]minic.Param)
+	for _, file := range prog.Files {
+		for _, sd := range file.Structs {
+			structs[sd.Name] = sd.Fields
+		}
+	}
+	for _, file := range prog.Files {
+		for _, fn := range file.Funcs {
+			lf, err := lowerFuncWithStructs(m, fn, sigs, structs)
+			if err != nil {
+				return nil, err
+			}
+			m.AddFunc(lf)
+		}
+	}
+	return m, nil
+}
+
+// Func lowers a single function into IR. Callee return types are resolved
+// from functions already registered in m.
+func Func(m *ir.Module, decl *minic.FuncDecl) (*ir.Func, error) {
+	sigs := make(map[string]minic.Type, len(m.Funcs))
+	for _, f := range m.Funcs {
+		sigs[f.Name] = f.Ret
+	}
+	return lowerFunc(m, decl, sigs)
+}
+
+func lowerFunc(m *ir.Module, decl *minic.FuncDecl, sigs map[string]minic.Type) (*ir.Func, error) {
+	return lowerFuncWithStructs(m, decl, sigs, nil)
+}
+
+func lowerFuncWithStructs(m *ir.Module, decl *minic.FuncDecl, sigs map[string]minic.Type, structs map[string][]minic.Param) (*ir.Func, error) {
+	lw := &lowerer{
+		m:       m,
+		f:       ir.NewFunc(decl.Name, decl.Ret, decl.Unit, decl.Pos),
+		scopes:  []map[string]binding{{}},
+		addrOf:  collectAddressTaken(decl),
+		sigs:    sigs,
+		structs: structs,
+	}
+	f := lw.f
+	f.Entry = f.NewBlock()
+	lw.cur = f.Entry
+
+	// Exit block with single return.
+	f.Exit = f.NewBlock()
+	if !decl.Ret.IsVoid() {
+		lw.retVar = f.NewVar("ret$"+decl.Name, decl.Ret)
+		f.Append(f.Exit, ir.Instr{Op: ir.OpRet, Args: []*ir.Value{lw.retVar}, Pos: decl.Pos})
+	} else {
+		f.Append(f.Exit, ir.Instr{Op: ir.OpRet, Pos: decl.Pos})
+	}
+
+	// Parameters. Address-taken parameters are spilled to a slot.
+	for _, p := range decl.Params {
+		pv := f.NewParam(p.Name, p.Type, false)
+		if lw.addrOf[p.Name] {
+			slot := lw.emitAlloc(p.Name, p.Type, decl.Pos)
+			lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{slot, pv}, Pos: decl.Pos})
+			lw.bind(p.Name, binding{slot: slot, typ: p.Type})
+		} else {
+			lw.bind(p.Name, binding{reg: pv, typ: p.Type})
+		}
+	}
+
+	if err := lw.stmt(decl.Body); err != nil {
+		return nil, err
+	}
+	// Fall-through at end of body: default return value.
+	if lw.cur != nil {
+		if lw.retVar != nil {
+			lw.emit(ir.Instr{Op: ir.OpCopy, Dst: lw.retVar, Args: []*ir.Value{lw.defaultValue(decl.Ret)}, Pos: decl.Pos})
+		}
+		lw.emitJmp(f.Exit, decl.Pos)
+	}
+	// Drop unreachable empty shells (blocks never jumped to).
+	pruneUnreachable(f)
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("lower %s: %w", decl.Name, err)
+	}
+	return f, nil
+}
+
+// binding is a name resolution result: either a register variable or a
+// memory slot address.
+type binding struct {
+	reg  *ir.Value // register variable (nil if in memory)
+	slot *ir.Value // address of stack slot (nil if register)
+	typ  minic.Type
+}
+
+type lowerer struct {
+	m       *ir.Module
+	f       *ir.Func
+	cur     *ir.Block // nil after a terminator, until a new block starts
+	scopes  []map[string]binding
+	addrOf  map[string]bool
+	sigs    map[string]minic.Type
+	structs map[string][]minic.Param
+	retVar  *ir.Value
+	tmpN    int
+}
+
+// fieldType resolves the type of base->field, where base is a pointer to a
+// struct. Unknown structs or fields default to int (soundy typing).
+func (lw *lowerer) fieldType(base minic.Type, field string) minic.Type {
+	if !base.IsPointer() {
+		return minic.IntType
+	}
+	elem := base.Elem()
+	for _, f := range lw.structs[elem.StructName()] {
+		if f.Name == field {
+			return f.Type
+		}
+	}
+	return minic.IntType
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]binding{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) bind(name string, b binding) {
+	lw.scopes[len(lw.scopes)-1][name] = b
+}
+
+func (lw *lowerer) lookup(name string) (binding, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if b, ok := lw.scopes[i][name]; ok {
+			return b, true
+		}
+	}
+	return binding{}, false
+}
+
+func (lw *lowerer) emit(in ir.Instr) *ir.Instr {
+	if lw.cur == nil {
+		// Unreachable code (after return); emit into a fresh dead block
+		// that pruneUnreachable removes.
+		lw.cur = lw.f.NewBlock()
+	}
+	return lw.f.Append(lw.cur, in)
+}
+
+func (lw *lowerer) emitJmp(to *ir.Block, pos minic.Pos) {
+	if lw.cur == nil {
+		return
+	}
+	lw.f.Append(lw.cur, ir.Instr{Op: ir.OpJmp, Blocks: []*ir.Block{to}, Pos: pos})
+	ir.Connect(lw.cur, to)
+	lw.cur = nil
+}
+
+func (lw *lowerer) emitBr(cond *ir.Value, t, e *ir.Block, pos minic.Pos) {
+	if lw.cur == nil {
+		return
+	}
+	lw.f.Append(lw.cur, ir.Instr{Op: ir.OpBr, Args: []*ir.Value{cond}, Blocks: []*ir.Block{t, e}, Pos: pos})
+	ir.Connect(lw.cur, t)
+	ir.Connect(lw.cur, e)
+	lw.cur = nil
+}
+
+func (lw *lowerer) emitAlloc(name string, t minic.Type, pos minic.Pos) *ir.Value {
+	slot := lw.f.NewVar("&"+name, t.Pointer())
+	lw.emit(ir.Instr{Op: ir.OpAlloc, Dst: slot, Sub: name, Pos: pos})
+	return slot
+}
+
+func (lw *lowerer) tmp(t minic.Type) *ir.Value {
+	lw.tmpN++
+	return lw.f.NewVar(fmt.Sprintf("t%d", lw.tmpN), t)
+}
+
+func (lw *lowerer) defaultValue(t minic.Type) *ir.Value {
+	switch {
+	case t.IsPointer():
+		return lw.f.ConstNull()
+	case t.Base == "bool":
+		return lw.f.ConstBool(false)
+	default:
+		return lw.f.ConstInt(0)
+	}
+}
+
+func (lw *lowerer) stmt(s minic.Stmt) error {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		lw.pushScope()
+		for _, inner := range st.Stmts {
+			if err := lw.stmt(inner); err != nil {
+				return err
+			}
+		}
+		lw.popScope()
+		return nil
+	case *minic.DeclStmt:
+		return lw.declStmt(st)
+	case *minic.AssignStmt:
+		return lw.assignStmt(st)
+	case *minic.IfStmt:
+		return lw.ifStmt(st)
+	case *minic.WhileStmt:
+		// Unroll once: while (c) S  ==>  if (c) { S }.
+		return lw.ifStmt(&minic.IfStmt{Pos: st.Pos, Cond: st.Cond, Then: st.Body})
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			v, err := lw.expr(st.Value, lw.f.Ret)
+			if err != nil {
+				return err
+			}
+			if lw.retVar != nil {
+				lw.emit(ir.Instr{Op: ir.OpCopy, Dst: lw.retVar, Args: []*ir.Value{v}, Pos: st.Pos})
+			}
+		} else if lw.retVar != nil {
+			lw.emit(ir.Instr{Op: ir.OpCopy, Dst: lw.retVar, Args: []*ir.Value{lw.defaultValue(lw.f.Ret)}, Pos: st.Pos})
+		}
+		lw.emitJmp(lw.f.Exit, st.Pos)
+		return nil
+	case *minic.ExprStmt:
+		_, err := lw.expr(st.X, minic.VoidType)
+		return err
+	default:
+		return fmt.Errorf("lower: unknown statement %T", s)
+	}
+}
+
+func (lw *lowerer) declStmt(st *minic.DeclStmt) error {
+	d := st.Decl
+	var init *ir.Value
+	if d.Init != nil {
+		v, err := lw.expr(d.Init, d.Type)
+		if err != nil {
+			return err
+		}
+		init = v
+	} else {
+		init = lw.defaultValue(d.Type)
+	}
+	if lw.addrOf[d.Name] {
+		slot := lw.emitAlloc(d.Name, d.Type, d.Pos)
+		lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{slot, init}, Pos: d.Pos})
+		lw.bind(d.Name, binding{slot: slot, typ: d.Type})
+	} else {
+		reg := lw.f.NewVar(d.Name, d.Type)
+		lw.emit(ir.Instr{Op: ir.OpCopy, Dst: reg, Args: []*ir.Value{init}, Pos: d.Pos})
+		lw.bind(d.Name, binding{reg: reg, typ: d.Type})
+	}
+	return nil
+}
+
+func (lw *lowerer) assignStmt(st *minic.AssignStmt) error {
+	switch target := st.Target.(type) {
+	case *minic.Ident:
+		b, global, err := lw.resolve(target)
+		if err != nil {
+			return err
+		}
+		v, verr := lw.expr(st.Value, bindingType(b, global, lw.m))
+		if verr != nil {
+			return verr
+		}
+		return lw.storeTo(target, b, global, v, st.Pos)
+	case *minic.ArrowExpr: // p->f = v
+		addr, err := lw.fieldAddr(target)
+		if err != nil {
+			return err
+		}
+		var hint minic.Type
+		if addr.Type.IsPointer() {
+			hint = addr.Type.Elem()
+		} else {
+			hint = minic.IntType
+		}
+		v, err := lw.expr(st.Value, hint)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{addr, v}, Pos: st.Pos})
+		return nil
+	case *minic.UnaryExpr: // *e = v (possibly multi-level)
+		if target.Op != "*" {
+			return fmt.Errorf("%s: invalid assignment target", st.Pos)
+		}
+		addr, err := lw.expr(target.X, minic.VoidType)
+		if err != nil {
+			return err
+		}
+		var hint minic.Type
+		if addr.Type.IsPointer() {
+			hint = addr.Type.Elem()
+		} else {
+			hint = minic.IntType
+		}
+		v, err := lw.expr(st.Value, hint)
+		if err != nil {
+			return err
+		}
+		lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{addr, v}, Pos: st.Pos})
+		return nil
+	default:
+		return fmt.Errorf("%s: invalid assignment target", st.Pos)
+	}
+}
+
+// resolve looks up an identifier as a local binding or a global.
+func (lw *lowerer) resolve(id *minic.Ident) (binding, *ir.Global, error) {
+	if b, ok := lw.lookup(id.Name); ok {
+		return b, nil, nil
+	}
+	if g, ok := lw.m.GlobalByName[id.Name]; ok {
+		return binding{}, g, nil
+	}
+	return binding{}, nil, fmt.Errorf("%s: undefined variable %q", id.Pos, id.Name)
+}
+
+func bindingType(b binding, g *ir.Global, m *ir.Module) minic.Type {
+	if g != nil {
+		return g.Type
+	}
+	return b.typ
+}
+
+func (lw *lowerer) storeTo(id *minic.Ident, b binding, g *ir.Global, v *ir.Value, pos minic.Pos) error {
+	switch {
+	case g != nil:
+		addr := lw.tmp(g.Type.Pointer())
+		lw.emit(ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: g.Name, Pos: pos})
+		lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{addr, v}, Pos: pos})
+	case b.slot != nil:
+		lw.emit(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{b.slot, v}, Pos: pos})
+	case b.reg != nil:
+		if b.reg.Kind == ir.VParam {
+			// Parameters are immutable SSA values; introduce a shadow
+			// register on first write.
+			shadow := lw.f.NewVar(id.Name, b.typ)
+			lw.emit(ir.Instr{Op: ir.OpCopy, Dst: shadow, Args: []*ir.Value{v}, Pos: pos})
+			lw.rebind(id.Name, binding{reg: shadow, typ: b.typ})
+		} else {
+			lw.emit(ir.Instr{Op: ir.OpCopy, Dst: b.reg, Args: []*ir.Value{v}, Pos: pos})
+		}
+	default:
+		return fmt.Errorf("%s: cannot assign to %q", pos, id.Name)
+	}
+	return nil
+}
+
+// rebind updates the innermost scope that binds name.
+func (lw *lowerer) rebind(name string, b binding) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if _, ok := lw.scopes[i][name]; ok {
+			lw.scopes[i][name] = b
+			return
+		}
+	}
+	lw.bind(name, b)
+}
+
+func (lw *lowerer) ifStmt(st *minic.IfStmt) error {
+	cond, err := lw.boolExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.f.NewBlock()
+	var elseB *ir.Block
+	join := lw.f.NewBlock()
+	if st.Else != nil {
+		elseB = lw.f.NewBlock()
+		lw.emitBr(cond, thenB, elseB, st.Pos)
+	} else {
+		lw.emitBr(cond, thenB, join, st.Pos)
+	}
+	lw.cur = thenB
+	if err := lw.stmt(st.Then); err != nil {
+		return err
+	}
+	lw.emitJmp(join, st.Pos)
+	if elseB != nil {
+		lw.cur = elseB
+		if err := lw.stmt(st.Else); err != nil {
+			return err
+		}
+		lw.emitJmp(join, st.Pos)
+	}
+	if len(join.Preds) == 0 {
+		// Both arms returned; everything after is unreachable.
+		lw.cur = nil
+		removeBlock(lw.f, join)
+		return nil
+	}
+	lw.cur = join
+	return nil
+}
+
+// boolExpr lowers a condition into a bool-typed value, materializing a named
+// branch variable so that path conditions have stable atoms.
+func (lw *lowerer) boolExpr(e minic.Expr) (*ir.Value, error) {
+	v, err := lw.expr(e, minic.BoolType)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type.Base == "bool" && v.Type.Ptr == 0 {
+		return v, nil
+	}
+	// Coerce: c = (v != 0) for ints, (v != null) for pointers.
+	var zero *ir.Value
+	if v.Type.IsPointer() {
+		zero = lw.f.ConstNull()
+	} else {
+		zero = lw.f.ConstInt(0)
+	}
+	c := lw.tmp(minic.BoolType)
+	lw.emit(ir.Instr{Op: ir.OpBin, Dst: c, Sub: "!=", Args: []*ir.Value{v, zero}, Pos: e.ExprPos()})
+	return c, nil
+}
+
+func pruneUnreachable(f *ir.Func) {
+	reach := map[*ir.Block]bool{f.Entry: true}
+	work := []*ir.Block{f.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		var preds []*ir.Block
+		for _, p := range b.Preds {
+			if reach[p] {
+				preds = append(preds, p)
+			}
+		}
+		b.Preds = preds
+	}
+	f.Blocks = kept
+}
+
+func removeBlock(f *ir.Func, b *ir.Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// collectAddressTaken finds all variable names whose address is taken
+// anywhere in the function.
+func collectAddressTaken(fn *minic.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	var walkExpr func(e minic.Expr)
+	var walkStmt func(s minic.Stmt)
+	walkExpr = func(e minic.Expr) {
+		switch x := e.(type) {
+		case *minic.UnaryExpr:
+			if x.Op == "&" {
+				if id, ok := x.X.(*minic.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			walkExpr(x.X)
+		case *minic.BinaryExpr:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *minic.CallExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s minic.Stmt) {
+		switch st := s.(type) {
+		case *minic.BlockStmt:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *minic.DeclStmt:
+			if st.Decl.Init != nil {
+				walkExpr(st.Decl.Init)
+			}
+		case *minic.AssignStmt:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *minic.IfStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *minic.WhileStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *minic.ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value)
+			}
+		case *minic.ExprStmt:
+			walkExpr(st.X)
+		}
+	}
+	walkStmt(fn.Body)
+	return out
+}

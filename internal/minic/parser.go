@@ -1,0 +1,669 @@
+package minic
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniC.
+//
+// Grammar (EBNF, informally):
+//
+//	file     = { decl } .
+//	decl     = type ident ( funcRest | varRest ) .
+//	funcRest = "(" [ params ] ")" block .
+//	varRest  = [ "=" expr ] ";" .
+//	type     = ( "int" | "bool" | "void" ) { "*" } .
+//	block    = "{" { stmt } "}" .
+//	stmt     = block | ifStmt | whileStmt | returnStmt | declStmt
+//	         | assignOrExprStmt .
+//	assignOrExprStmt = lvalue "=" expr ";" | expr ";" .
+//	expr     = orExpr .
+//	orExpr   = andExpr { "||" andExpr } .
+//	andExpr  = cmpExpr { "&&" cmpExpr } .
+//	cmpExpr  = addExpr [ ( "=="|"!="|"<"|"<="|">"|">=" ) addExpr ] .
+//	addExpr  = mulExpr { ( "+" | "-" ) mulExpr } .
+//	mulExpr  = unary { ( "*" | "/" | "%" ) unary } .
+//	unary    = ( "-" | "!" | "*" | "&" ) unary | primary .
+//	primary  = ident [ "(" args ")" ] | int | "true" | "false" | "null"
+//	         | "(" expr ")" .
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser returns a Parser over a pre-lexed token stream.
+func NewParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// ParseFile lexes and parses one translation unit.
+func ParseFile(name, src string) (*File, error) {
+	toks, err := Lex(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser(toks)
+	return p.File(name)
+}
+
+// ParseProgram parses a set of named translation units into one Program.
+// Order of the units map is not significant; files are sorted by the caller
+// when determinism matters.
+func ParseProgram(units []NamedSource) (*Program, error) {
+	prog := &Program{}
+	for i, u := range units {
+		f, err := ParseFile(u.Name, u.Src)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", u.Name, err)
+		}
+		for _, fn := range f.Funcs {
+			fn.Unit = i
+		}
+		prog.Files = append(prog.Files, f)
+	}
+	return prog, nil
+}
+
+// NamedSource pairs a unit name with its source text.
+type NamedSource struct {
+	Name string
+	Src  string
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s", k, t)}
+}
+
+func (p *Parser) atType() bool {
+	switch p.cur().Kind {
+	case TokKwInt, TokKwBool, TokKwVoid, TokKwStruct:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.cur().Kind {
+	case TokKwInt:
+		t = IntType
+	case TokKwBool:
+		t = BoolType
+	case TokKwVoid:
+		t = VoidType
+	case TokKwStruct:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return t, err
+		}
+		t = StructType(name.Lit)
+		for p.accept(TokStar) {
+			t = t.Pointer()
+		}
+		return t, nil
+	default:
+		return t, &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected type, found %s", p.cur())}
+	}
+	p.next()
+	for p.accept(TokStar) {
+		t = t.Pointer()
+	}
+	return t, nil
+}
+
+// File parses a whole translation unit until EOF.
+func (p *Parser) File(name string) (*File, error) {
+	f := &File{Name: name}
+	for !p.at(TokEOF) {
+		// A struct type declaration: "struct Name { ... };".
+		if p.at(TokKwStruct) && p.toks[p.pos+1].Kind == TokIdent && p.toks[p.pos+2].Kind == TokLBrace {
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokLParen) {
+			fn, err := p.parseFuncRest(typ, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		} else {
+			vd, err := p.parseVarRest(typ, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, vd)
+		}
+	}
+	return f, nil
+}
+
+// parseStructDecl parses "struct Name { type field; ... };".
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	kw := p.next() // struct
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Pos: kw.Pos, Name: nameTok.Lit}
+	for !p.at(TokRBrace) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, Param{Name: fn.Lit, Type: ft})
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+func (p *Parser) parseFuncRest(ret Type, nameTok Token) (*FuncDecl, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: nameTok.Pos, Name: nameTok.Lit, Ret: ret}
+	if !p.at(TokRParen) {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Name: pn.Lit, Type: pt})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseVarRest(typ Type, nameTok Token) (*VarDecl, error) {
+	vd := &VarDecl{Pos: nameTok.Pos, Name: nameTok.Lit, Type: typ}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, &Error{Pos: p.cur().Pos, Msg: "unexpected EOF in block"}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume '}'
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		t := p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if !p.at(TokSemi) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	}
+	if p.atType() {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vd, err := p.parseVarRest(typ, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: vd}, nil
+	}
+	return p.parseAssignOrExpr()
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+// parseFor desugars `for (init; cond; post) body` into
+// `{ init; while (cond) { body; post; } }`. Any of the three clauses may be
+// empty; an empty condition means true.
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	if !p.at(TokSemi) {
+		if p.atType() {
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			nameTok, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			vd, err := p.parseVarRest(typ, nameTok) // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			init = &DeclStmt{Decl: vd}
+		} else {
+			st, err := p.parseAssignOrExpr() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			init = st
+		}
+	} else {
+		p.next() // empty init: consume ';'
+	}
+	var cond Expr = &BoolLit{Pos: t.Pos, Val: true}
+	if !p.at(TokSemi) {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cond = c
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if !p.at(TokRParen) {
+		// The post clause is an assignment or expression without the
+		// trailing semicolon; parse the expression form manually.
+		start := p.cur().Pos
+		lhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(TokAssign) {
+			if !isLvalue(lhs) {
+				return nil, &Error{Pos: start, Msg: "left side of '=' is not assignable"}
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			post = &AssignStmt{Pos: start, Target: lhs, Value: rhs}
+		} else {
+			post = &ExprStmt{Pos: start, X: lhs}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	loopBody := &BlockStmt{Pos: t.Pos, Stmts: []Stmt{body}}
+	if post != nil {
+		loopBody.Stmts = append(loopBody.Stmts, post)
+	}
+	out := &BlockStmt{Pos: t.Pos}
+	if init != nil {
+		out.Stmts = append(out.Stmts, init)
+	}
+	out.Stmts = append(out.Stmts, &WhileStmt{Pos: t.Pos, Cond: cond, Body: loopBody})
+	return out, nil
+}
+
+func (p *Parser) parseAssignOrExpr() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		if !isLvalue(lhs) {
+			return nil, &Error{Pos: start, Msg: "left side of '=' is not assignable"}
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: start, Target: lhs, Value: rhs}, nil
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: start, X: lhs}, nil
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *ArrowExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == "*"
+	}
+	return false
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		t := p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: t.Pos, Op: "||", X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		t := p.next()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: t.Pos, Op: "&&", X: x, Y: y}
+	}
+	return x, nil
+}
+
+var cmpOps = map[TokKind]string{
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		t := p.next()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: t.Pos, Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		t := p.next()
+		op := "+"
+		if t.Kind == TokMinus {
+			op = "-"
+		}
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: t.Pos, Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return x, nil
+		}
+		t := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: t.Pos, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	var op string
+	switch p.cur().Kind {
+	case TokMinus:
+		op = "-"
+	case TokBang:
+		op = "!"
+	case TokStar:
+		op = "*"
+	case TokAmp:
+		op = "&"
+	default:
+		return p.parsePostfix()
+	}
+	t := p.next()
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &UnaryExpr{Pos: t.Pos, Op: op, X: x}, nil
+}
+
+// parsePostfix parses a primary followed by "->field" chains.
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokArrow) {
+		t := p.next()
+		f, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		x = &ArrowExpr{Pos: t.Pos, X: x, Field: f.Lit}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		if p.accept(TokLParen) {
+			call := &CallExpr{Pos: t.Pos, Fun: t.Lit}
+			if !p.at(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Lit}, nil
+	case TokInt:
+		p.next()
+		var v int64
+		for _, c := range t.Lit {
+			v = v*10 + int64(c-'0')
+		}
+		return &IntLit{Pos: t.Pos, Val: v}, nil
+	case TokKwTrue:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Val: true}, nil
+	case TokKwFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Val: false}, nil
+	case TokKwNull:
+		p.next()
+		return &NullLit{Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected expression, found %s", t)}
+}

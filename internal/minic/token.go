@@ -1,0 +1,150 @@
+// Package minic implements the frontend for MiniC, the small C-like language
+// this reproduction analyzes. MiniC matches the formal language of Pinpoint
+// §3: integer and pointer values, assignments, binary/unary operations,
+// k-level loads and stores, branches, calls, and returns. Loops are allowed
+// in the surface syntax and are unrolled once during lowering, mirroring the
+// paper's soundiness choices (§4.2).
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt // integer literal
+
+	// Keywords.
+	TokKwInt
+	TokKwBool
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwStruct
+	TokKwReturn
+	TokKwTrue
+	TokKwFalse
+	TokKwNull
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokSemi
+	TokComma
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp    // &
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokBang   // !
+	TokEq     // ==
+	TokNe     // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokArrow // ->
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:      "EOF",
+	TokIdent:    "identifier",
+	TokInt:      "integer",
+	TokKwInt:    "'int'",
+	TokKwBool:   "'bool'",
+	TokKwVoid:   "'void'",
+	TokKwIf:     "'if'",
+	TokKwElse:   "'else'",
+	TokKwWhile:  "'while'",
+	TokKwFor:    "'for'",
+	TokKwStruct: "'struct'",
+	TokKwReturn: "'return'",
+	TokKwTrue:   "'true'",
+	TokKwFalse:  "'false'",
+	TokKwNull:   "'null'",
+	TokLParen:   "'('",
+	TokRParen:   "')'",
+	TokLBrace:   "'{'",
+	TokRBrace:   "'}'",
+	TokSemi:     "';'",
+	TokComma:    "','",
+	TokAssign:   "'='",
+	TokPlus:     "'+'",
+	TokMinus:    "'-'",
+	TokStar:     "'*'",
+	TokSlash:    "'/'",
+	TokPercent:  "'%'",
+	TokAmp:      "'&'",
+	TokAndAnd:   "'&&'",
+	TokOrOr:     "'||'",
+	TokBang:     "'!'",
+	TokEq:       "'=='",
+	TokNe:       "'!='",
+	TokLt:       "'<'",
+	TokLe:       "'<='",
+	TokGt:       "'>'",
+	TokGe:       "'>='",
+	TokArrow:    "'->'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int":    TokKwInt,
+	"bool":   TokKwBool,
+	"void":   TokKwVoid,
+	"if":     TokKwIf,
+	"else":   TokKwElse,
+	"while":  TokKwWhile,
+	"for":    TokKwFor,
+	"struct": TokKwStruct,
+	"return": TokKwReturn,
+	"true":   TokKwTrue,
+	"false":  TokKwFalse,
+	"null":   TokKwNull,
+}
+
+// Pos is a source position (1-based line and column) within a named file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Lit  string // identifier text or integer literal text
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

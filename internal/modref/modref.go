@@ -1,0 +1,307 @@
+// Package modref computes function side-effect summaries: which memory
+// access paths rooted at formal parameters or globals each function
+// references (loads) or modifies (stores), the MOD/REF sets of Pinpoint
+// §3.1.2.
+//
+// The analysis tags SSA pointer values with access paths (root, depth),
+// where root is a formal parameter or a global and depth counts
+// dereferences from the root. A load through an address tagged (r, k)
+// references *(r, k+1); a store through it modifies *(r, k+1). Call sites
+// import the callee's summary, composing the callee's root-relative paths
+// with the tags of the actual arguments, so the analysis runs bottom-up
+// over the call graph; strongly connected components (recursion) iterate to
+// a fixpoint. Access paths deeper than MaxDepth are dropped — the standard
+// soundy depth cut-off.
+package modref
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// MaxDepth is the deepest access path tracked.
+const MaxDepth = 3
+
+// Root identifies an access-path root: parameter index or global name.
+type Root struct {
+	Param  int // parameter index, or -1 for globals
+	Global string
+}
+
+// IsGlobal reports whether the root is a global variable.
+func (r Root) IsGlobal() bool { return r.Param < 0 }
+
+// Path is an access path *(root, depth) with depth >= 1.
+type Path struct {
+	Root  Root
+	Depth int
+}
+
+// Summary is a function's side-effect summary.
+type Summary struct {
+	Ref map[Path]bool
+	Mod map[Path]bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{Ref: make(map[Path]bool), Mod: make(map[Path]bool)}
+}
+
+// Paths returns the union of Ref and Mod paths, sorted: parameters before
+// globals, then by root, then by depth. The connector transformation relies
+// on this order being deterministic.
+func (s *Summary) Paths() []Path {
+	set := make(map[Path]bool, len(s.Ref)+len(s.Mod))
+	for p := range s.Ref {
+		set[p] = true
+	}
+	for p := range s.Mod {
+		set[p] = true
+	}
+	out := make([]Path, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessPath(out[i], out[j]) })
+	return out
+}
+
+func lessPath(a, b Path) bool {
+	ag, bg := a.Root.IsGlobal(), b.Root.IsGlobal()
+	if ag != bg {
+		return !ag
+	}
+	if !ag {
+		if a.Root.Param != b.Root.Param {
+			return a.Root.Param < b.Root.Param
+		}
+	} else if a.Root.Global != b.Root.Global {
+		return a.Root.Global < b.Root.Global
+	}
+	return a.Depth < b.Depth
+}
+
+// Result maps functions to their summaries.
+type Result struct {
+	Summaries map[*ir.Func]*Summary
+}
+
+// Analyze computes Mod/Ref summaries for every function in m, bottom-up
+// over the call graph.
+func Analyze(m *ir.Module) *Result {
+	res := &Result{Summaries: make(map[*ir.Func]*Summary, len(m.Funcs))}
+	for _, f := range m.Funcs {
+		res.Summaries[f] = NewSummary()
+	}
+	for _, scc := range CallGraphSCCs(m) {
+		// Iterate to a fixpoint; this also covers self-recursion within
+		// singleton SCCs.
+		for changed := true; changed; {
+			changed = false
+			for _, f := range scc {
+				if analyzeFunc(f, m, res) {
+					changed = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// tag is the access-path annotation of an SSA value.
+type tag struct {
+	root  Root
+	depth int
+	ok    bool
+}
+
+// analyzeFunc recomputes f's summary; it reports whether it grew.
+func analyzeFunc(f *ir.Func, m *ir.Module, res *Result) bool {
+	sum := res.Summaries[f]
+	before := len(sum.Ref) + len(sum.Mod)
+
+	tags := make(map[*ir.Value]tag)
+	for _, p := range f.Params {
+		tags[p] = tag{root: Root{Param: p.ParamIdx}, ok: true}
+	}
+	addRef := func(tg tag, extra int) {
+		d := tg.depth + extra
+		if d >= 1 && d <= MaxDepth {
+			sum.Ref[Path{Root: tg.root, Depth: d}] = true
+		}
+	}
+	addMod := func(tg tag, extra int) {
+		d := tg.depth + extra
+		if d >= 1 && d <= MaxDepth {
+			sum.Mod[Path{Root: tg.root, Depth: d}] = true
+		}
+	}
+
+	// Blocks are visited in layout order; since defs dominate uses and
+	// the CFG is acyclic, a single pass over blocks in topological order
+	// would suffice, but iterating keeps this robust to any ordering.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpGlobalAddr:
+					// The address of global g is a root pointer at
+					// depth 0, exactly like a parameter: loading
+					// through it references *(g, 1), the global's own
+					// cell.
+					tags[in.Dst] = tag{root: Root{Param: -1, Global: in.Sub}, ok: true}
+				case ir.OpCopy, ir.OpUn, ir.OpBin, ir.OpFieldAddr:
+					// Pointer arithmetic and field selection keep the
+					// base's tag (array elements and, across function
+					// boundaries, fields collapse).
+					if t, ok := tags[in.Args[0]]; ok && t.ok {
+						tags[in.Dst] = t
+					}
+				case ir.OpPhi:
+					// Propagate only when all operands agree.
+					var t tag
+					agree := true
+					for i, a := range in.Args {
+						at, ok := tags[a]
+						if !ok || !at.ok {
+							agree = false
+							break
+						}
+						if i == 0 {
+							t = at
+						} else if at != t {
+							agree = false
+							break
+						}
+					}
+					if agree {
+						tags[in.Dst] = t
+					}
+				case ir.OpLoad:
+					if t, ok := tags[in.Args[0]]; ok && t.ok {
+						addRef(t, 1)
+						nt := t
+						nt.depth++
+						if nt.depth < MaxDepth {
+							tags[in.Dst] = nt
+						}
+					}
+				case ir.OpStore:
+					if t, ok := tags[in.Args[0]]; ok && t.ok {
+						addMod(t, 1)
+					}
+				case ir.OpCall:
+					callee, known := m.ByName[in.Callee]
+					if !known {
+						continue
+					}
+					cs := res.Summaries[callee]
+					importSummary(sum, cs, in, tags)
+				}
+			}
+		}
+	}
+	return len(sum.Ref)+len(sum.Mod) > before
+}
+
+// importSummary composes a callee summary into the caller at a call site.
+func importSummary(sum *Summary, callee *Summary, call *ir.Instr, tags map[*ir.Value]tag) {
+	apply := func(p Path, dst map[Path]bool) {
+		if p.Root.IsGlobal() {
+			// Global paths are caller paths verbatim: globals are
+			// program-wide roots.
+			if p.Depth <= MaxDepth {
+				dst[p] = true
+			}
+			return
+		}
+		j := p.Root.Param
+		if j >= len(call.Args) {
+			return
+		}
+		t, ok := tags[call.Args[j]]
+		if !ok || !t.ok {
+			return
+		}
+		// The callee's *(param_j, k) is the caller's *(root, depth+k).
+		d := t.depth + p.Depth
+		if d >= 1 && d <= MaxDepth {
+			dst[Path{Root: t.root, Depth: d}] = true
+		}
+	}
+	for p := range callee.Ref {
+		apply(p, sum.Ref)
+	}
+	for p := range callee.Mod {
+		apply(p, sum.Mod)
+	}
+}
+
+// CallGraphSCCs returns the strongly connected components of the call graph
+// in bottom-up (callee-first) order, via Tarjan's algorithm.
+func CallGraphSCCs(m *ir.Module) [][]*ir.Func {
+	callees := make(map[*ir.Func][]*ir.Func, len(m.Funcs))
+	for _, f := range m.Funcs {
+		seen := make(map[*ir.Func]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if g, ok := m.ByName[in.Callee]; ok && !seen[g] {
+					seen[g] = true
+					callees[f] = append(callees[f], g)
+				}
+			}
+		}
+	}
+
+	index := make(map[*ir.Func]int)
+	low := make(map[*ir.Func]int)
+	onStack := make(map[*ir.Func]bool)
+	var stack []*ir.Func
+	var sccs [][]*ir.Func
+	counter := 0
+
+	var strongconnect func(f *ir.Func)
+	strongconnect = func(f *ir.Func) {
+		index[f] = counter
+		low[f] = counter
+		counter++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, g := range callees[f] {
+			if _, ok := index[g]; !ok {
+				strongconnect(g)
+				if low[g] < low[f] {
+					low[f] = low[g]
+				}
+			} else if onStack[g] && index[g] < low[f] {
+				low[f] = index[g]
+			}
+		}
+		if low[f] == index[f] {
+			var scc []*ir.Func
+			for {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[g] = false
+				scc = append(scc, g)
+				if g == f {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, f := range m.Funcs {
+		if _, ok := index[f]; !ok {
+			strongconnect(f)
+		}
+	}
+	// Tarjan emits SCCs in reverse topological order of the condensation
+	// — exactly callee-first, which bottom-up analysis wants.
+	return sccs
+}

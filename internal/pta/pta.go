@@ -1,0 +1,478 @@
+// Package pta implements Pinpoint's local, quasi path-sensitive points-to
+// analysis (§3.1.1), the first stage of the holistic design.
+//
+// The analysis runs per function, after the connector transformation, on an
+// acyclic SSA CFG. It tracks:
+//
+//   - the guarded points-to set of every SSA pointer value: pairs (location,
+//     condition) over abstract locations (stack slots, heap allocations,
+//     globals, and opaque "external" locations for connector roots);
+//   - the guarded contents of every location: pairs (value, condition)
+//     stating "under this condition the location holds this value".
+//
+// Conditions are boolean DAGs over branch atoms. At control-flow joins,
+// pairs arriving from different predecessors are guarded with the join
+// gates (the same conditions gating φ operands); contradictory guards are
+// pruned by the linear-time solver of package cond — never by the SMT
+// solver, which is the point: about 70% of path conditions built here are
+// satisfiable and will be solved again at the bug-finding stage anyway
+// (paper §3.1.1), so filtering only the "easy" unsatisfiable ones removes
+// redundant work without paying SMT costs twice.
+//
+// The key product consumed by SEG construction is LoadSources: for every
+// load, the guarded set of stored values that may reach it — the
+// memory-induced data-dependence edges of the SEG.
+package pta
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// LocKind discriminates abstract memory locations.
+type LocKind uint8
+
+const (
+	// LAlloc is a stack slot (per OpAlloc site).
+	LAlloc LocKind = iota
+	// LMalloc is a heap object (per OpMalloc site).
+	LMalloc
+	// LGlobal is a global variable's cell.
+	LGlobal
+	// LExt is the opaque pointee of an external root pointer (a
+	// parameter, aux parameter, or call-received pointer). Distinct
+	// roots are assumed unaliased (paper §4.2).
+	LExt
+	// LNull is the null pseudo-location.
+	LNull
+)
+
+// Loc is an abstract memory location.
+type Loc struct {
+	Kind  LocKind
+	Instr *ir.Instr // alloc/malloc site (LAlloc, LMalloc)
+	Val   *ir.Value // root value (LExt)
+	Name  string    // global name (LGlobal)
+	// Field distinguishes struct fields of locally-allocated objects
+	// ("" = the whole object / non-struct cell). External and global
+	// objects collapse their fields (the connector model is
+	// field-insensitive across function boundaries; see DESIGN.md).
+	Field string
+}
+
+func (l Loc) String() string {
+	base := ""
+	switch l.Kind {
+	case LAlloc:
+		base = fmt.Sprintf("alloc#%d", l.Instr.ID)
+	case LMalloc:
+		base = fmt.Sprintf("malloc#%d", l.Instr.ID)
+	case LGlobal:
+		base = "@" + l.Name
+	case LExt:
+		base = "ext(" + l.Val.String() + ")"
+	default:
+		base = "null"
+	}
+	if l.Field != "" {
+		base += "." + l.Field
+	}
+	return base
+}
+
+// GuardedLoc is a location with the condition under which it is pointed to.
+type GuardedLoc struct {
+	Loc  Loc
+	Cond *cond.Cond
+}
+
+// GuardedVal is a stored value with the condition under which it is the
+// content of a location (or, in LoadSources, flows to the load).
+type GuardedVal struct {
+	Val  *ir.Value
+	Cond *cond.Cond
+}
+
+// Options tunes the analysis; the zero value is the paper configuration.
+type Options struct {
+	// DisableLinearSolver turns off infeasible-guard pruning (ablation:
+	// "what if we never filtered easy-unsat conditions").
+	DisableLinearSolver bool
+	// CondSizeCap bounds guard sizes; larger guards widen to true.
+	// 0 means the default (64 nodes).
+	CondSizeCap int
+}
+
+// Stats reports analysis effort counters.
+type Stats struct {
+	// GuardsPruned counts guarded pairs dropped as apparently unsat.
+	GuardsPruned int
+	// GuardsKept counts guarded pairs that survived feasibility checks.
+	GuardsKept int
+	// CapWidened counts guards widened to true by the size cap.
+	CapWidened int
+	// LinearQueries/LinearUnsat mirror the linear solver counters.
+	LinearQueries int
+	LinearUnsat   int
+}
+
+// Result is the per-function analysis result.
+type Result struct {
+	Fn   *ir.Func
+	Info *ssa.Info
+	// PTS is the guarded points-to set of each pointer value.
+	PTS map[*ir.Value][]GuardedLoc
+	// LoadSources maps each load to the guarded values reaching it.
+	LoadSources map[*ir.Instr][]GuardedVal
+	// StoredAt maps each store instruction to its guarded target
+	// locations (used by checkers that reason about writes).
+	StoredAt map[*ir.Instr][]GuardedLoc
+	Stats    Stats
+}
+
+// state is the memory state at a program point: contents of locations.
+type state map[Loc][]GuardedVal
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for l, vs := range s {
+		out[l] = vs // slices are copy-on-write; see setContents
+	}
+	return out
+}
+
+type analyzer struct {
+	f    *ir.Func
+	inf  *ssa.Info
+	res  *Result
+	ls   *cond.LinearSolver
+	opts Options
+	cap  int
+}
+
+// Analyze runs the quasi path-sensitive points-to analysis on f.
+func Analyze(f *ir.Func, inf *ssa.Info, opts Options) (*Result, error) {
+	order, err := cfg.Topological(f)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		f:   f,
+		inf: inf,
+		res: &Result{
+			Fn:          f,
+			Info:        inf,
+			PTS:         make(map[*ir.Value][]GuardedLoc),
+			LoadSources: make(map[*ir.Instr][]GuardedVal),
+			StoredAt:    make(map[*ir.Instr][]GuardedLoc),
+		},
+		ls:   cond.NewLinearSolver(),
+		opts: opts,
+		cap:  opts.CondSizeCap,
+	}
+	if a.cap == 0 {
+		a.cap = 64
+	}
+
+	exits := make(map[*ir.Block]state, len(order))
+	for _, b := range order {
+		st := a.mergePreds(b, exits)
+		for _, in := range b.Instrs {
+			a.transfer(st, in)
+		}
+		exits[b] = st
+	}
+	a.res.Stats.LinearQueries = a.ls.Queries
+	a.res.Stats.LinearUnsat = a.ls.Unsat
+	return a.res, nil
+}
+
+// feasible checks (and conjoins) a guard; pruned guards return ok=false.
+func (a *analyzer) feasible(parts ...*cond.Cond) (*cond.Cond, bool) {
+	c := a.inf.Conds.And(parts...)
+	if c.IsFalse() {
+		a.res.Stats.GuardsPruned++
+		return c, false
+	}
+	if !a.opts.DisableLinearSolver && a.ls.ApparentlyUnsat(c) {
+		a.res.Stats.GuardsPruned++
+		return a.inf.Conds.False(), false
+	}
+	a.res.Stats.GuardsKept++
+	if cond.Size(c) > a.cap {
+		a.res.Stats.CapWidened++
+		return a.inf.Conds.True(), true
+	}
+	return c, true
+}
+
+// mergePreds computes the block-entry state from predecessor exits, gating
+// pairs with the join gates. Pairs identical across all predecessors pass
+// through untouched to keep conditions compact.
+func (a *analyzer) mergePreds(b *ir.Block, exits map[*ir.Block]state) state {
+	switch len(b.Preds) {
+	case 0:
+		return make(state)
+	case 1:
+		return exits[b.Preds[0]].clone()
+	}
+	gates := a.inf.JoinGates(b)
+	// Collect all locations mentioned by any predecessor.
+	locs := make(map[Loc]bool)
+	for _, p := range b.Preds {
+		for l := range exits[p] {
+			locs[l] = true
+		}
+	}
+	out := make(state, len(locs))
+	for l := range locs {
+		// Fast path: identical slices in all preds.
+		first := exits[b.Preds[0]][l]
+		same := true
+		for _, p := range b.Preds[1:] {
+			if !sameGuardedVals(exits[p][l], first) {
+				same = false
+				break
+			}
+		}
+		if same {
+			if first != nil {
+				out[l] = first
+			}
+			continue
+		}
+		var merged []GuardedVal
+		for _, p := range b.Preds {
+			g := gates[p]
+			for _, gv := range exits[p][l] {
+				c, ok := a.feasible(gv.Cond, g)
+				if !ok {
+					continue
+				}
+				merged = append(merged, GuardedVal{Val: gv.Val, Cond: c})
+			}
+		}
+		out[l] = dedupGuarded(a.inf.Conds, merged)
+	}
+	return out
+}
+
+func sameGuardedVals(x, y []GuardedVal) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupGuarded groups pairs by value, Or-ing their conditions.
+func dedupGuarded(cb *cond.Builder, in []GuardedVal) []GuardedVal {
+	if len(in) < 2 {
+		return in
+	}
+	idx := make(map[*ir.Value]int, len(in))
+	out := in[:0]
+	for _, gv := range in {
+		if i, ok := idx[gv.Val]; ok {
+			out[i].Cond = cb.Or(out[i].Cond, gv.Cond)
+			continue
+		}
+		idx[gv.Val] = len(out)
+		out = append(out, gv)
+	}
+	return out
+}
+
+// ptsOf returns the guarded points-to set of v, computing the base cases
+// for parameters and constants lazily.
+func (a *analyzer) ptsOf(v *ir.Value) []GuardedLoc {
+	if p, ok := a.res.PTS[v]; ok {
+		return p
+	}
+	var p []GuardedLoc
+	tr := a.inf.Conds.True()
+	switch {
+	case v.Kind == ir.VConstNull:
+		p = []GuardedLoc{{Loc: Loc{Kind: LNull}, Cond: tr}}
+	case v.Kind == ir.VParam && v.Type.IsPointer():
+		p = []GuardedLoc{{Loc: Loc{Kind: LExt, Val: v}, Cond: tr}}
+	case v.Type.IsPointer():
+		// Opaque pointer with no recorded definition semantics.
+		p = []GuardedLoc{{Loc: Loc{Kind: LExt, Val: v}, Cond: tr}}
+	}
+	a.res.PTS[v] = p
+	return p
+}
+
+func (a *analyzer) setPTS(v *ir.Value, p []GuardedLoc) {
+	a.res.PTS[v] = dedupLocs(a.inf.Conds, p)
+}
+
+func dedupLocs(cb *cond.Builder, in []GuardedLoc) []GuardedLoc {
+	if len(in) < 2 {
+		return in
+	}
+	idx := make(map[Loc]int, len(in))
+	out := in[:0]
+	for _, gl := range in {
+		if i, ok := idx[gl.Loc]; ok {
+			out[i].Cond = cb.Or(out[i].Cond, gl.Cond)
+			continue
+		}
+		idx[gl.Loc] = len(out)
+		out = append(out, gl)
+	}
+	return out
+}
+
+func (a *analyzer) transfer(st state, in *ir.Instr) {
+	tr := a.inf.Conds.True()
+	switch in.Op {
+	case ir.OpAlloc:
+		a.setPTS(in.Dst, []GuardedLoc{{Loc: Loc{Kind: LAlloc, Instr: in}, Cond: tr}})
+	case ir.OpMalloc:
+		a.setPTS(in.Dst, []GuardedLoc{{Loc: Loc{Kind: LMalloc, Instr: in}, Cond: tr}})
+	case ir.OpGlobalAddr:
+		a.setPTS(in.Dst, []GuardedLoc{{Loc: Loc{Kind: LGlobal, Name: in.Sub}, Cond: tr}})
+	case ir.OpFieldAddr:
+		// Field-sensitive for local objects: the field address denotes a
+		// distinct cell of the base object. Opaque (external/global)
+		// objects keep a single collapsed cell, matching the
+		// field-insensitive connector interface.
+		var p []GuardedLoc
+		for _, gl := range a.ptsOf(in.Args[0]) {
+			switch gl.Loc.Kind {
+			case LNull:
+				continue
+			case LAlloc, LMalloc:
+				nl := gl.Loc
+				nl.Field = in.Sub
+				p = append(p, GuardedLoc{Loc: nl, Cond: gl.Cond})
+			default:
+				p = append(p, gl)
+			}
+		}
+		if len(p) == 0 {
+			p = []GuardedLoc{{Loc: Loc{Kind: LExt, Val: in.Dst}, Cond: tr}}
+		}
+		a.setPTS(in.Dst, p)
+	case ir.OpCopy:
+		if in.Dst.Type.IsPointer() {
+			a.setPTS(in.Dst, a.ptsOf(in.Args[0]))
+		}
+	case ir.OpUn:
+		if in.Dst.Type.IsPointer() {
+			a.setPTS(in.Dst, a.ptsOf(in.Args[0]))
+		}
+	case ir.OpBin:
+		if in.Dst.Type.IsPointer() {
+			// Pointer arithmetic: the result may point wherever either
+			// operand points (array elements collapse).
+			var p []GuardedLoc
+			for _, arg := range in.Args {
+				if arg.Type.IsPointer() {
+					p = append(p, a.ptsOf(arg)...)
+				}
+			}
+			a.setPTS(in.Dst, p)
+		}
+	case ir.OpPhi:
+		if in.Dst.Type.IsPointer() {
+			gates := a.inf.Gates[in]
+			var p []GuardedLoc
+			for i, arg := range in.Args {
+				g := tr
+				if gates != nil {
+					g = gates[i]
+				}
+				for _, gl := range a.ptsOf(arg) {
+					c, ok := a.feasible(gl.Cond, g)
+					if !ok {
+						continue
+					}
+					p = append(p, GuardedLoc{Loc: gl.Loc, Cond: c})
+				}
+			}
+			a.setPTS(in.Dst, p)
+		}
+	case ir.OpLoad:
+		a.transferLoad(st, in)
+	case ir.OpStore:
+		a.transferStore(st, in)
+	case ir.OpCall:
+		for _, d := range in.Dsts {
+			if d != nil && d.Type.IsPointer() {
+				a.setPTS(d, []GuardedLoc{{Loc: Loc{Kind: LExt, Val: d}, Cond: tr}})
+			}
+		}
+	}
+}
+
+func (a *analyzer) transferLoad(st state, in *ir.Instr) {
+	addrPts := a.ptsOf(in.Args[0])
+	var sources []GuardedVal
+	for _, gl := range addrPts {
+		if gl.Loc.Kind == LNull {
+			continue
+		}
+		for _, gv := range st[gl.Loc] {
+			c, ok := a.feasible(gl.Cond, gv.Cond)
+			if !ok {
+				continue
+			}
+			sources = append(sources, GuardedVal{Val: gv.Val, Cond: c})
+		}
+	}
+	sources = dedupGuarded(a.inf.Conds, sources)
+	a.res.LoadSources[in] = sources
+
+	if in.Dst.Type.IsPointer() {
+		var p []GuardedLoc
+		for _, gv := range sources {
+			for _, gl := range a.ptsOf(gv.Val) {
+				c, ok := a.feasible(gl.Cond, gv.Cond)
+				if !ok {
+					continue
+				}
+				p = append(p, GuardedLoc{Loc: gl.Loc, Cond: c})
+			}
+		}
+		if len(p) == 0 {
+			// Unknown content: opaque pointee.
+			p = []GuardedLoc{{Loc: Loc{Kind: LExt, Val: in.Dst}, Cond: a.inf.Conds.True()}}
+		}
+		a.setPTS(in.Dst, p)
+	}
+}
+
+func (a *analyzer) transferStore(st state, in *ir.Instr) {
+	addrPts := a.ptsOf(in.Args[0])
+	a.res.StoredAt[in] = addrPts
+	v := in.Args[1]
+	if len(addrPts) == 1 && addrPts[0].Cond.IsTrue() && addrPts[0].Loc.Kind != LNull {
+		// Strong update: in an acyclic CFG every location is a
+		// singleton, so a must-aliased store kills prior contents.
+		st[addrPts[0].Loc] = []GuardedVal{{Val: v, Cond: a.inf.Conds.True()}}
+		return
+	}
+	for _, gl := range addrPts {
+		if gl.Loc.Kind == LNull {
+			continue
+		}
+		old := st[gl.Loc]
+		// Copy-on-write: never mutate a slice shared with another
+		// block's state.
+		nv := make([]GuardedVal, 0, len(old)+1)
+		nv = append(nv, old...)
+		nv = append(nv, GuardedVal{Val: v, Cond: gl.Cond})
+		st[gl.Loc] = dedupGuarded(a.inf.Conds, nv)
+	}
+}

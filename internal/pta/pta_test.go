@@ -1,0 +1,356 @@
+package pta
+
+import (
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/ssa"
+	"repro/internal/transform"
+)
+
+// buildAnalyzed runs the full local pipeline: parse, lower, SSA, modref,
+// transform, pta.
+func buildAnalyzed(t *testing.T, src string) (*ir.Module, map[string]*Result) {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	infos := make(map[string]*ssa.Info)
+	for _, f := range m.Funcs {
+		inf, err := ssa.Transform(f)
+		if err != nil {
+			t.Fatalf("ssa %s: %v", f.Name, err)
+		}
+		infos[f.Name] = inf
+	}
+	mr := modref.Analyze(m)
+	if err := transform.Apply(m, mr); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	results := make(map[string]*Result)
+	for _, f := range m.Funcs {
+		r, err := Analyze(f, infos[f.Name], Options{})
+		if err != nil {
+			t.Fatalf("pta %s: %v", f.Name, err)
+		}
+		results[f.Name] = r
+	}
+	return m, results
+}
+
+func findInstr(f *ir.Func, op ir.Op, nth int) *ir.Instr {
+	count := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				if count == nth {
+					return in
+				}
+				count++
+			}
+		}
+	}
+	return nil
+}
+
+func TestMallocPointsTo(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+void f() {
+	int *p = malloc();
+	*p = 3;
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	ml := findInstr(f, ir.OpMalloc, 0)
+	pts := r.PTS[ml.Dst]
+	if len(pts) != 1 || pts[0].Loc.Kind != LMalloc || pts[0].Loc.Instr != ml {
+		t.Fatalf("pts(malloc dst) = %v", pts)
+	}
+	// The load sees the stored constant 3.
+	ld := findInstr(f, ir.OpLoad, 0)
+	srcs := r.LoadSources[ld]
+	if len(srcs) != 1 || srcs[0].Val.Kind != ir.VConstInt || srcs[0].Val.IntVal != 3 {
+		t.Fatalf("load sources = %v", srcs)
+	}
+	if !srcs[0].Cond.IsTrue() {
+		t.Errorf("unconditional flow has cond %s", srcs[0].Cond)
+	}
+}
+
+func TestStrongUpdateKillsOldContent(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+void f() {
+	int *p = malloc();
+	*p = 1;
+	*p = 2;
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	ld := findInstr(f, ir.OpLoad, 0)
+	srcs := r.LoadSources[ld]
+	if len(srcs) != 1 || srcs[0].Val.IntVal != 2 {
+		t.Fatalf("strong update failed, sources = %v", srcs)
+	}
+}
+
+func TestConditionalStoreGuards(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+void f(bool c) {
+	int *p = malloc();
+	*p = 1;
+	if (c) { *p = 2; }
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	ld := findInstr(f, ir.OpLoad, 0)
+	srcs := r.LoadSources[ld]
+	if len(srcs) != 2 {
+		t.Fatalf("want 2 guarded sources, got %v", srcs)
+	}
+	// One source guarded by c, the other by !c (the strong update in the
+	// then-arm kills 1 along that path; the else path keeps it).
+	byVal := map[int64]*cond.Cond{}
+	for _, s := range srcs {
+		byVal[s.Val.IntVal] = s.Cond
+	}
+	c2 := byVal[2]
+	c1 := byVal[1]
+	if c2 == nil || c1 == nil {
+		t.Fatalf("sources = %v", srcs)
+	}
+	if c2.IsTrue() || c1.IsTrue() {
+		t.Errorf("conditional flows unguarded: 1:%s 2:%s", c1, c2)
+	}
+	// Guards must be complementary atoms.
+	b := r.Info.Conds
+	if b.Not(c2) != c1 {
+		t.Errorf("guards not complementary: %s vs %s", c2, c1)
+	}
+}
+
+func TestDiamondStoreBothArms(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { *p = 1; } else { *p = 2; }
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	ld := findInstr(f, ir.OpLoad, 0)
+	srcs := r.LoadSources[ld]
+	if len(srcs) != 2 {
+		t.Fatalf("want 2 sources, got %v", srcs)
+	}
+	for _, s := range srcs {
+		if s.Cond.IsTrue() || s.Cond.IsFalse() {
+			t.Errorf("source %v has degenerate guard %s", s.Val, s.Cond)
+		}
+	}
+}
+
+func TestParamConnectorContents(t *testing.T) {
+	// After the transformation, *p at entry holds the aux formal.
+	m, res := buildAnalyzed(t, `
+int deref(int *p) { return *p; }`)
+	f := m.ByName["deref"]
+	r := res["deref"]
+	ld := findInstr(f, ir.OpLoad, 0)
+	srcs := r.LoadSources[ld]
+	if len(srcs) != 1 {
+		t.Fatalf("sources = %v", srcs)
+	}
+	if !srcs[0].Val.Aux || srcs[0].Val.Kind != ir.VParam {
+		t.Fatalf("load source is not the aux formal: %v", srcs[0].Val)
+	}
+}
+
+func TestAddressTakenLocal(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+int f() {
+	int x = 1;
+	int *p = &x;
+	*p = 2;
+	return x;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	// The final load of x (for the return) must see 2, not 1.
+	var lastLoad *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				lastLoad = in
+			}
+		}
+	}
+	srcs := r.LoadSources[lastLoad]
+	if len(srcs) != 1 || srcs[0].Val.IntVal != 2 {
+		t.Fatalf("aliased store missed: %v", srcs)
+	}
+}
+
+func TestNullPointsTo(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+void f() {
+	int *p = null;
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	var copyIn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCopy && in.Args[0].Kind == ir.VConstNull {
+				copyIn = in
+			}
+		}
+	}
+	pts := r.PTS[copyIn.Dst]
+	if len(pts) != 1 || pts[0].Loc.Kind != LNull {
+		t.Fatalf("pts(null copy) = %v", pts)
+	}
+	// Loading through null yields no sources.
+	ld := findInstr(f, ir.OpLoad, 0)
+	if len(r.LoadSources[ld]) != 0 {
+		t.Fatalf("null load has sources: %v", r.LoadSources[ld])
+	}
+}
+
+func TestInfeasiblePathPruned(t *testing.T) {
+	// Store happens under c; load's value propagated under !c through a
+	// second branch on the same condition. The linear solver must prune
+	// the contradictory flow c & !c.
+	m, res := buildAnalyzed(t, `
+void f(bool c) {
+	int *p = malloc();
+	int **pp = malloc();
+	*pp = null;
+	if (c) { *pp = p; }
+	if (!c) {
+		int *q = *pp;
+		use(q);
+	}
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	// Find the load of *pp inside the second branch.
+	var ld *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad && in.Dst.Type.IsPointer() {
+				ld = in
+			}
+		}
+	}
+	if ld == nil {
+		t.Fatal("no pointer load found")
+	}
+	// Sources flowing from the conditional store get guard c; the load
+	// itself sits under !c. The merge guard alone keeps both (merging at
+	// the first join), but p's pair is guarded by c. The SEG/detection
+	// layer conjoins the load's control dependence (!c); here we check
+	// the pair carries the c guard so that conjunction is refutable.
+	for _, s := range r.LoadSources[ld] {
+		if s.Val.Kind == ir.VConstNull {
+			continue
+		}
+		if s.Cond.IsTrue() {
+			t.Errorf("conditional store source lost its guard: %v", s)
+		}
+	}
+	if r.Stats.GuardsKept == 0 {
+		t.Error("no guards tracked")
+	}
+}
+
+func TestCallReceiverOpaque(t *testing.T) {
+	m, res := buildAnalyzed(t, `
+int *mk() { return malloc(); }
+void f() {
+	int *p = mk();
+	int x = *p;
+}`)
+	f := m.ByName["f"]
+	r := res["f"]
+	call := findInstr(f, ir.OpCall, 0)
+	pts := r.PTS[call.Dsts[0]]
+	if len(pts) != 1 || pts[0].Loc.Kind != LExt {
+		t.Fatalf("call receiver pts = %v", pts)
+	}
+}
+
+func TestStatsPruning(t *testing.T) {
+	// A value flow whose guard is c & !c inside one function via
+	// nested branches on the same variable.
+	_, res := buildAnalyzed(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { *p = 1; } else { *p = 2; }
+	int x = 0;
+	if (c) { x = *p; }
+}`)
+	r := res["f"]
+	_ = r
+	// No assertion on exact numbers — just exercise the counters.
+	if r.Stats.LinearQueries == 0 {
+		t.Error("linear solver never queried")
+	}
+}
+
+func TestAblationDisableLinearSolver(t *testing.T) {
+	src := `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { *p = 1; } else { *p = 2; }
+	int x = *p;
+}`
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Funcs[0]
+	inf, err := ssa.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := modref.Analyze(m)
+	if err := transform.Apply(m, mr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(f, inf, Options{DisableLinearSolver: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.LinearQueries != 0 {
+		t.Errorf("linear solver ran despite ablation: %d queries", r.Stats.LinearQueries)
+	}
+}
+
+func TestLocString(t *testing.T) {
+	locs := []Loc{
+		{Kind: LGlobal, Name: "g"},
+		{Kind: LNull},
+	}
+	for _, l := range locs {
+		if l.String() == "" {
+			t.Error("empty Loc string")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package seg builds the Symbolic Expression Graph of Pinpoint §3.2 — the
+// per-function sparse value-flow graph that compactly encodes conditional
+// data dependence and control dependence, and supports querying "efficient
+// path conditions" (Definition 3.2, Equation 1).
+//
+// Nodes are SSA value definitions plus use vertices at statements the
+// checkers care about (dereference addresses, call arguments, free
+// operands, return operands). Forward edges carry the condition under which
+// the value flows:
+//
+//   - copies and operator results flow unconditionally;
+//   - φ operands flow under their gate conditions;
+//   - memory flows (store → load) come from the quasi path-sensitive
+//     points-to analysis with their guards — this is where the "pointer
+//     trap" is dodged: the edges are built from cheap local reasoning, yet
+//     carry conditions precise enough for full path-sensitivity later.
+//
+// Control dependence is not materialized as edges; it is recovered from
+// ssa.Info (package cfg) when path conditions are assembled, which keeps
+// the graph small (the paper's Lc labels are exactly cfg.ControlDeps).
+package seg
+
+import (
+	"fmt"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/pta"
+	"repro/internal/ssa"
+)
+
+// NodeKind discriminates SEG vertices.
+type NodeKind uint8
+
+const (
+	// NValue is a value-definition vertex (the paper's v@s with s the
+	// defining statement; in SSA the pair collapses to the value).
+	NValue NodeKind = iota
+	// NUse is a use vertex v@s for a value used at a statement of
+	// interest.
+	NUse
+)
+
+// UseRole classifies what a use vertex does with the value.
+type UseRole uint8
+
+const (
+	// RoleNone marks value vertices.
+	RoleNone UseRole = iota
+	// RoleDerefAddr: the value is dereferenced (load or store address).
+	RoleDerefAddr
+	// RoleFreeArg: the value is freed.
+	RoleFreeArg
+	// RoleCallArg: the value is passed as a call argument (ArgIdx).
+	RoleCallArg
+	// RoleRetArg: the value is returned (ArgIdx within the return list).
+	RoleRetArg
+	// RoleStoreVal: the value is stored into memory.
+	RoleStoreVal
+)
+
+var roleNames = [...]string{
+	RoleNone: "value", RoleDerefAddr: "deref", RoleFreeArg: "free",
+	RoleCallArg: "arg", RoleRetArg: "ret", RoleStoreVal: "storeval",
+}
+
+func (r UseRole) String() string { return roleNames[r] }
+
+// Node is a SEG vertex.
+type Node struct {
+	Kind   NodeKind
+	Role   UseRole
+	Val    *ir.Value
+	Instr  *ir.Instr // defining instr (NValue, may be nil) or using instr
+	ArgIdx int       // operand index for NUse
+}
+
+func (n *Node) String() string {
+	if n.Kind == NValue {
+		return n.Val.String()
+	}
+	return fmt.Sprintf("%s@%s#%d", n.Val, n.Role, n.Instr.ID)
+}
+
+// Edge is a conditional value-flow edge.
+type Edge struct {
+	To   *Node
+	Cond *cond.Cond
+}
+
+// Graph is the SEG of one function.
+type Graph struct {
+	Fn   *ir.Func
+	Info *ssa.Info
+	PTA  *pta.Result
+
+	values map[*ir.Value]*Node
+	uses   map[useKey]*Node
+	succ   map[*Node][]Edge
+	nodes  []*Node
+
+	// ByRole indexes use vertices for the checkers.
+	ByRole map[UseRole][]*Node
+
+	// instrIdx caches intra-block instruction positions for
+	// happens-after queries.
+	instrIdx map[*ir.Instr]int
+	// blockReach memoizes block-level CFG reachability.
+	blockReach map[*ir.Block]map[*ir.Block]bool
+}
+
+type useKey struct {
+	instr  *ir.Instr
+	argIdx int
+	role   UseRole
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// AllNodes returns every vertex (callers must not mutate the slice).
+func (g *Graph) AllNodes() []*Node { return g.nodes }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.succ {
+		n += len(es)
+	}
+	return n
+}
+
+// ValueNode returns the vertex of a value definition, creating it on first
+// use.
+func (g *Graph) ValueNode(v *ir.Value) *Node {
+	if n, ok := g.values[v]; ok {
+		return n
+	}
+	n := &Node{Kind: NValue, Val: v, Instr: v.Def}
+	g.values[v] = n
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+func (g *Graph) useNode(in *ir.Instr, argIdx int, role UseRole, v *ir.Value) *Node {
+	key := useKey{instr: in, argIdx: argIdx, role: role}
+	if n, ok := g.uses[key]; ok {
+		return n
+	}
+	n := &Node{Kind: NUse, Role: role, Val: v, Instr: in, ArgIdx: argIdx}
+	g.uses[key] = n
+	g.nodes = append(g.nodes, n)
+	g.ByRole[role] = append(g.ByRole[role], n)
+	return n
+}
+
+// UseNode returns the use vertex for (instr, argIdx, role) if it exists.
+func (g *Graph) UseNode(in *ir.Instr, argIdx int, role UseRole) *Node {
+	return g.uses[useKey{instr: in, argIdx: argIdx, role: role}]
+}
+
+// Succs returns the outgoing edges of n.
+func (g *Graph) Succs(n *Node) []Edge { return g.succ[n] }
+
+func (g *Graph) addEdge(from, to *Node, c *cond.Cond) {
+	if c.IsFalse() {
+		return
+	}
+	g.succ[from] = append(g.succ[from], Edge{To: to, Cond: c})
+}
+
+// Build constructs the SEG for one analyzed function.
+func Build(f *ir.Func, inf *ssa.Info, pr *pta.Result) *Graph {
+	g := &Graph{
+		Fn:         f,
+		Info:       inf,
+		PTA:        pr,
+		values:     make(map[*ir.Value]*Node),
+		uses:       make(map[useKey]*Node),
+		succ:       make(map[*Node][]Edge),
+		ByRole:     make(map[UseRole][]*Node),
+		instrIdx:   make(map[*ir.Instr]int),
+		blockReach: make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	tr := inf.Conds.True()
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			g.instrIdx[in] = i
+			switch in.Op {
+			case ir.OpCopy:
+				g.addEdge(g.ValueNode(in.Args[0]), g.ValueNode(in.Dst), tr)
+			case ir.OpUn, ir.OpFieldAddr:
+				// A field address aliases the same object as its base:
+				// for value-flow purposes (a freed base makes field
+				// accesses dangling) the flow continues through it.
+				g.addEdge(g.ValueNode(in.Args[0]), g.ValueNode(in.Dst), tr)
+			case ir.OpBin:
+				// Both operands feed the result (the operator vertex of
+				// the paper is folded into the defining instruction,
+				// which DD-constraint generation consults directly).
+				g.addEdge(g.ValueNode(in.Args[0]), g.ValueNode(in.Dst), tr)
+				g.addEdge(g.ValueNode(in.Args[1]), g.ValueNode(in.Dst), tr)
+			case ir.OpPhi:
+				gates := inf.Gates[in]
+				for i, a := range in.Args {
+					c := tr
+					if gates != nil {
+						c = gates[i]
+					}
+					g.addEdge(g.ValueNode(a), g.ValueNode(in.Dst), c)
+				}
+			case ir.OpLoad:
+				// Deref use of the address.
+				g.addEdge(g.ValueNode(in.Args[0]), g.useNode(in, 0, RoleDerefAddr, in.Args[0]), tr)
+				// Memory-induced data dependence from stored values.
+				for _, gv := range pr.LoadSources[in] {
+					g.addEdge(g.ValueNode(gv.Val), g.ValueNode(in.Dst), gv.Cond)
+				}
+			case ir.OpStore:
+				g.addEdge(g.ValueNode(in.Args[0]), g.useNode(in, 0, RoleDerefAddr, in.Args[0]), tr)
+				g.addEdge(g.ValueNode(in.Args[1]), g.useNode(in, 1, RoleStoreVal, in.Args[1]), tr)
+			case ir.OpFree:
+				g.addEdge(g.ValueNode(in.Args[0]), g.useNode(in, 0, RoleFreeArg, in.Args[0]), tr)
+			case ir.OpCall:
+				for i, a := range in.Args {
+					g.addEdge(g.ValueNode(a), g.useNode(in, i, RoleCallArg, a), tr)
+				}
+				for _, d := range in.Dsts {
+					if d != nil {
+						g.ValueNode(d)
+					}
+				}
+			case ir.OpRet:
+				for i, a := range in.Args {
+					g.addEdge(g.ValueNode(a), g.useNode(in, i, RoleRetArg, a), tr)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// HappensAfter reports whether instruction b can execute after instruction
+// a in some run of the function: either b is reachable from a's block, or
+// they share a block and b comes later.
+func (g *Graph) HappensAfter(a, b *ir.Instr) bool {
+	if a.Block == b.Block {
+		return g.instrIdx[b] > g.instrIdx[a]
+	}
+	return g.reachableBlocks(a.Block)[b.Block]
+}
+
+func (g *Graph) reachableBlocks(from *ir.Block) map[*ir.Block]bool {
+	if r, ok := g.blockReach[from]; ok {
+		return r
+	}
+	r := make(map[*ir.Block]bool)
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		for _, s := range b.Succs {
+			if !r[s] {
+				r[s] = true
+				walk(s)
+			}
+		}
+	}
+	walk(from)
+	g.blockReach[from] = r
+	return r
+}
+
+// CD returns the direct control-dependence condition of the statement an
+// instruction belongs to (the CD(v@s) of Equation 1, non-recursive part).
+func (g *Graph) CD(in *ir.Instr) *cond.Cond {
+	return g.Info.CDCond(in.Block)
+}

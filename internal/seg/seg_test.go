@@ -1,0 +1,305 @@
+package seg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/ssa"
+	"repro/internal/transform"
+)
+
+func buildSEGs(t *testing.T, src string) (*ir.Module, map[string]*Graph) {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	infos := make(map[string]*ssa.Info)
+	for _, f := range m.Funcs {
+		inf, err := ssa.Transform(f)
+		if err != nil {
+			t.Fatalf("ssa %s: %v", f.Name, err)
+		}
+		infos[f.Name] = inf
+	}
+	mr := modref.Analyze(m)
+	if err := transform.Apply(m, mr); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	graphs := make(map[string]*Graph)
+	for _, f := range m.Funcs {
+		pr, err := pta.Analyze(f, infos[f.Name], pta.Options{})
+		if err != nil {
+			t.Fatalf("pta %s: %v", f.Name, err)
+		}
+		graphs[f.Name] = Build(f, infos[f.Name], pr)
+	}
+	return m, graphs
+}
+
+// reachesNode reports whether dst is reachable from src in the SEG.
+func reachesNode(g *Graph, src, dst *Node) bool {
+	seen := map[*Node]bool{}
+	var dfs func(*Node) bool
+	dfs = func(n *Node) bool {
+		if n == dst {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, e := range g.Succs(n) {
+			if dfs(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(src)
+}
+
+func TestSEGFreeToUseThroughMemory(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+void f() {
+	int *c = malloc();
+	int **slot = malloc();
+	*slot = c;
+	free(c);
+	int *u = *slot;
+	sink(*u);
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	frees := g.ByRole[RoleFreeArg]
+	if len(frees) != 1 {
+		t.Fatalf("free uses = %v", frees)
+	}
+	// The freed value flows through the slot to u, which is dereferenced
+	// by the load feeding sink.
+	freed := g.ValueNode(frees[0].Val)
+	derefs := g.ByRole[RoleDerefAddr]
+	found := false
+	for _, d := range derefs {
+		if reachesNode(g, freed, d) && g.HappensAfter(frees[0].Instr, d.Instr) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("freed value does not reach any later deref")
+	}
+	_ = f
+}
+
+func TestSEGPhiGatesOnEdges(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+int f(bool c, int a, int b) {
+	int x = 0;
+	if (c) { x = a; } else { x = b; }
+	return x;
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	// Find the phi and check its incoming edges carry non-trivial conds.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			for _, a := range in.Args {
+				from := g.ValueNode(a)
+				for _, e := range g.Succs(from) {
+					if e.To == g.ValueNode(in.Dst) {
+						if e.Cond.IsTrue() {
+							t.Errorf("phi edge from %s unguarded", a)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSEGLoadEdgesCarryGuards(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { *p = 1; } else { *p = 2; }
+	int x = *p;
+	use(x);
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	var load *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				load = in
+			}
+		}
+	}
+	dst := g.ValueNode(load.Dst)
+	guarded := 0
+	for _, src := range []int64{1, 2} {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, e := range g.Succs(g.ValueNode(f.ConstInt(src))) {
+					if e.To == dst && !e.Cond.IsTrue() {
+						guarded++
+					}
+				}
+				_ = in
+			}
+			break
+		}
+		break
+	}
+	// Simpler check: dst has exactly two incoming edges with guards.
+	incoming := 0
+	for _, n := range g.nodes {
+		for _, e := range g.Succs(n) {
+			if e.To == dst {
+				incoming++
+				if e.Cond.IsTrue() {
+					t.Errorf("memory edge %s -> %s unguarded", n, dst)
+				}
+			}
+		}
+	}
+	if incoming != 2 {
+		t.Fatalf("load dst has %d incoming edges, want 2", incoming)
+	}
+	_ = guarded
+}
+
+func TestSEGCallAndRetUses(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+int id(int x) { return x; }
+void f() {
+	int a = 3;
+	int b = id(a);
+	use(b);
+}`)
+	g := graphs["f"]
+	if len(g.ByRole[RoleCallArg]) < 2 { // id(a) and use(b)
+		t.Fatalf("call arg uses = %d", len(g.ByRole[RoleCallArg]))
+	}
+	gid := graphs["id"]
+	if len(gid.ByRole[RoleRetArg]) != 1 {
+		t.Fatalf("id ret uses = %d", len(gid.ByRole[RoleRetArg]))
+	}
+	// The ret use is fed by the parameter.
+	m.ByName["id"] = m.ByName["id"]
+	param := gid.Fn.Params[0]
+	if !reachesNode(gid, gid.ValueNode(param), gid.ByRole[RoleRetArg][0]) {
+		t.Fatal("param does not reach return in id")
+	}
+}
+
+func TestHappensAfter(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	sink(*p);
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	var freeIn, loadIn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpFree:
+				freeIn = in
+			case ir.OpLoad:
+				loadIn = in
+			}
+		}
+	}
+	if !g.HappensAfter(freeIn, loadIn) {
+		t.Error("load after free not detected")
+	}
+	if g.HappensAfter(loadIn, freeIn) {
+		t.Error("free after load wrongly detected")
+	}
+}
+
+func TestHappensAfterSameBlock(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+void f() {
+	int *p = malloc();
+	free(p);
+	sink(*p);
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	var freeIn, loadIn *ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpFree:
+				freeIn = in
+			case ir.OpLoad:
+				loadIn = in
+			}
+		}
+	}
+	if !g.HappensAfter(freeIn, loadIn) {
+		t.Error("same-block ordering broken")
+	}
+}
+
+func TestSEGSizeCounters(t *testing.T) {
+	_, graphs := buildSEGs(t, `
+int f(int a, int b) { return a + b; }`)
+	g := graphs["f"]
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatalf("empty SEG: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSEGCDCondition(t *testing.T) {
+	m, graphs := buildSEGs(t, `
+void f(bool c) {
+	if (c) { g(); }
+}`)
+	f := m.ByName["f"]
+	g := graphs["f"]
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				if g.CD(in).IsTrue() {
+					t.Error("guarded call has trivial CD")
+				}
+			}
+		}
+	}
+}
+
+func TestSEGDotExport(t *testing.T) {
+	_, graphs := buildSEGs(t, `
+void f(bool c) {
+	int *p = malloc();
+	if (c) { free(p); }
+	sink(*p);
+}`)
+	dot := graphs["f"].Dot()
+	for _, frag := range []string{"digraph", "shape=ellipse", "free", "deref", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot missing %q:\n%s", frag, dot)
+		}
+	}
+	// Conditional memory edges carry labels.
+	if !strings.Contains(dot, "label=") {
+		t.Error("no labeled edges in dot output")
+	}
+}

@@ -1,0 +1,247 @@
+package smt
+
+// Integer difference-bound reasoning. Asserted comparison literals are
+// normalized to difference constraints of the form x - y <= c (with x or y
+// possibly the distinguished "zero" node), and satisfiability is decided by
+// negative-cycle detection (Bellman–Ford) over the constraint graph.
+//
+// Literals that do not fit the difference fragment — nonlinear terms, sums
+// of more than two variables — are ignored here, which keeps the theory
+// sound for UNSAT answers and merely over-approximates SAT.
+
+// linTerm is a normalized linear view of an integer term: sum of var terms
+// with coefficients plus a constant. ok is false when the term is not
+// linear in that shape.
+type linTerm struct {
+	coeffs map[int]int64 // term id of an atom var -> coefficient
+	atoms  map[int]*Term
+	c      int64
+	ok     bool
+}
+
+func linearize(t *Term) linTerm {
+	lt := linTerm{coeffs: map[int]int64{}, atoms: map[int]*Term{}, ok: true}
+	lt.add(t, 1)
+	return lt
+}
+
+func (lt *linTerm) add(t *Term, mult int64) {
+	if !lt.ok {
+		return
+	}
+	switch t.Kind {
+	case TIntConst:
+		lt.c += mult * t.Int
+	case TAdd:
+		for _, a := range t.Args {
+			lt.add(a, mult)
+		}
+	case TSub:
+		lt.add(t.Args[0], mult)
+		lt.add(t.Args[1], -mult)
+	case TNeg:
+		lt.add(t.Args[0], -mult)
+	case TMul:
+		a, b := t.Args[0], t.Args[1]
+		switch {
+		case a.Kind == TIntConst:
+			lt.add(b, mult*a.Int)
+		case b.Kind == TIntConst:
+			lt.add(a, mult*b.Int)
+		default:
+			// Nonlinear: treat the product itself as an atom.
+			lt.coeffs[t.id] += mult
+			lt.atoms[t.id] = t
+		}
+	case TVar, TApp, TIte:
+		lt.coeffs[t.id] += mult
+		lt.atoms[t.id] = t
+	default:
+		lt.ok = false
+	}
+}
+
+// diffConstraint is x - y <= c; x or y may be 0 meaning the constant zero
+// node.
+type diffConstraint struct {
+	x, y int
+	c    int64
+	lit  int // index of the asserting literal, for explanations
+}
+
+// diffCheck decides a conjunction of difference constraints by detecting
+// negative cycles. It returns (true, nil) when consistent and
+// (false, literal indices of a negative cycle) otherwise.
+func diffCheck(cons []diffConstraint) (bool, []int) {
+	// Collect nodes.
+	nodes := map[int]bool{0: true}
+	for _, c := range cons {
+		nodes[c.x] = true
+		nodes[c.y] = true
+	}
+	// Edge y -> x with weight c encodes x - y <= c.
+	type edge struct {
+		from, to int
+		w        int64
+		lit      int
+	}
+	var edges []edge
+	for _, c := range cons {
+		edges = append(edges, edge{from: c.y, to: c.x, w: c.c, lit: c.lit})
+	}
+	dist := make(map[int]int64, len(nodes))
+	pred := make(map[int]edge, len(nodes))
+	for n := range nodes {
+		dist[n] = 0 // virtual source with 0-weight edges to all nodes
+	}
+	var last int = -1
+	for i := 0; i < len(nodes); i++ {
+		changed := false
+		for _, e := range edges {
+			if dist[e.from]+e.w < dist[e.to] {
+				dist[e.to] = dist[e.from] + e.w
+				pred[e.to] = e
+				changed = true
+				last = e.to
+			}
+		}
+		if !changed {
+			return true, nil
+		}
+	}
+	if last == -1 {
+		return true, nil
+	}
+	// A node relaxed on the n-th pass lies on or reaches a negative
+	// cycle. Walk predecessors n times to land on the cycle, then
+	// collect it.
+	x := last
+	for i := 0; i < len(nodes); i++ {
+		x = pred[x].from
+	}
+	var lits []int
+	seen := map[int]bool{}
+	for cur := x; !seen[cur]; {
+		seen[cur] = true
+		e := pred[cur]
+		lits = append(lits, e.lit)
+		cur = e.from
+	}
+	return false, lits
+}
+
+// arithLit is a comparison literal destined for the difference solver.
+type arithLit struct {
+	t        *Term // TEq / TLt / TLe over ints
+	positive bool
+	index    int // position in the theory literal list
+}
+
+// arithCheck decides the conjunction of comparison literals in the
+// difference fragment. Non-difference literals are skipped. Returns
+// (true, nil) or (false, indices of an inconsistent subset).
+func arithCheck(lits []arithLit) (bool, []int) {
+	var cons []diffConstraint
+	for _, al := range lits {
+		a, b := al.t.Args[0], al.t.Args[1]
+		if a.Sort != SortInt {
+			continue
+		}
+		la, lb := linearize(a), linearize(b)
+		if !la.ok || !lb.ok {
+			continue
+		}
+		// Combine into  sum <= / < / = const  form: la - lb ⋈ 0.
+		diff := map[int]int64{}
+		for id, co := range la.coeffs {
+			diff[id] += co
+		}
+		for id, co := range lb.coeffs {
+			diff[id] -= co
+		}
+		for id, co := range diff {
+			if co == 0 {
+				delete(diff, id)
+			}
+		}
+		cst := lb.c - la.c // sum(diff) ⋈ cst
+		var ids []int
+		for id := range diff {
+			ids = append(ids, id)
+		}
+		// Difference fragment: the literal is (x - y) ⋈ cst where x, y
+		// are atom nodes or the distinguished zero node 0. Anything
+		// outside the fragment is skipped (over-approximating Sat).
+		var x, y int // LHS is x - y
+		switch len(ids) {
+		case 0:
+			// Ground after linearization: LHS is 0, check 0 ⋈ cst.
+			if !evalGround(al.t, 0, cst, al.positive) {
+				return false, []int{al.index}
+			}
+			continue
+		case 1:
+			id := ids[0]
+			switch diff[id] {
+			case 1:
+				x, y = id, 0 // v ⋈ cst
+			case -1:
+				x, y = 0, id // -v ⋈ cst, i.e. (0 - v) ⋈ cst
+			default:
+				continue
+			}
+		case 2:
+			id0, id1 := ids[0], ids[1]
+			if diff[id0] == 1 && diff[id1] == -1 {
+				x, y = id0, id1
+			} else if diff[id0] == -1 && diff[id1] == 1 {
+				x, y = id1, id0
+			} else {
+				continue
+			}
+		default:
+			continue
+		}
+		emit := func(xx, yy int, cc int64) {
+			cons = append(cons, diffConstraint{x: xx, y: yy, c: cc, lit: al.index})
+		}
+		switch al.t.Kind {
+		case TEq:
+			if al.positive {
+				emit(x, y, cst)
+				emit(y, x, -cst)
+			}
+			// Negative equality (disequality) is not expressible as
+			// a conjunction of difference constraints; EUF handles
+			// syntactic cases, otherwise skipped.
+		case TLe:
+			if al.positive { // x - y <= cst
+				emit(x, y, cst)
+			} else { // !(x - y <= cst)  <=>  y - x <= -cst - 1
+				emit(y, x, -cst-1)
+			}
+		case TLt:
+			if al.positive { // x - y < cst  <=>  x - y <= cst - 1
+				emit(x, y, cst-1)
+			} else { // !(x - y < cst)  <=>  y - x <= -cst
+				emit(y, x, -cst)
+			}
+		}
+	}
+	return diffCheck(cons)
+}
+
+// evalGround checks a comparison whose sides are both constant after
+// linearization: lhs ⋈ cst.
+func evalGround(t *Term, lhs, cst int64, positive bool) bool {
+	var holds bool
+	switch t.Kind {
+	case TEq:
+		holds = lhs == cst
+	case TLt:
+		holds = lhs < cst
+	case TLe:
+		holds = lhs <= cst
+	}
+	return holds == positive
+}

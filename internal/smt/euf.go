@@ -1,0 +1,148 @@
+package smt
+
+// Congruence closure for the theory of equality with uninterpreted
+// functions. Given a set of asserted equalities and disequalities over
+// terms, the solver unions equal terms, propagates congruence
+// (f(a1..an) = f(b1..bn) when ai = bi pairwise), and reports a conflict
+// when a disequality joins a merged class.
+//
+// The implementation is a straightforward union-find with a worklist of
+// pending merges. Each call to check rebuilds the structure from the full
+// literal set; path conditions in this system are small enough (hundreds of
+// atoms) that incrementality would be premature.
+
+type eufSolver struct {
+	parent map[int]int
+	terms  map[int]*Term
+	// uses maps a representative to the application terms that mention
+	// a member of its class as an argument.
+	uses map[int][]*Term
+	// appKey maps a congruence signature to a canonical application.
+	appKey map[string]*Term
+	// mergeSrc records which asserted equality caused each union, for
+	// conflict explanations (term id pair -> literal index).
+}
+
+func newEUFSolver() *eufSolver {
+	return &eufSolver{
+		parent: make(map[int]int),
+		terms:  make(map[int]*Term),
+		uses:   make(map[int][]*Term),
+		appKey: make(map[string]*Term),
+	}
+}
+
+func (s *eufSolver) find(id int) int {
+	p, ok := s.parent[id]
+	if !ok {
+		s.parent[id] = id
+		return id
+	}
+	if p == id {
+		return id
+	}
+	r := s.find(p)
+	s.parent[id] = r
+	return r
+}
+
+// register adds a term (and its subterms) to the structure.
+func (s *eufSolver) register(t *Term) {
+	if _, ok := s.terms[t.id]; ok {
+		return
+	}
+	s.terms[t.id] = t
+	s.find(t.id)
+	for _, a := range t.Args {
+		s.register(a)
+		ra := s.find(a.id)
+		s.uses[ra] = append(s.uses[ra], t)
+	}
+	if len(t.Args) > 0 {
+		s.congruenceCheck(t)
+	}
+}
+
+func (s *eufSolver) sig(t *Term) string {
+	key := t.Kind.String() + "/" + t.Name
+	for _, a := range t.Args {
+		key += ","
+		key += itoa(s.find(a.id))
+	}
+	return key
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// congruenceCheck merges t with an existing application sharing its
+// signature.
+func (s *eufSolver) congruenceCheck(t *Term) {
+	key := s.sig(t)
+	if other, ok := s.appKey[key]; ok {
+		s.merge(t.id, other.id)
+	} else {
+		s.appKey[key] = t
+	}
+}
+
+func (s *eufSolver) merge(a, b int) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	// Union by use-list size.
+	if len(s.uses[ra]) > len(s.uses[rb]) {
+		ra, rb = rb, ra
+	}
+	s.parent[ra] = rb
+	moved := s.uses[ra]
+	s.uses[rb] = append(s.uses[rb], moved...)
+	delete(s.uses, ra)
+	// Re-check congruence of all applications that mention the merged
+	// class.
+	for _, app := range moved {
+		s.congruenceCheck(app)
+	}
+}
+
+// eufCheck decides the conjunction of equality literals. eqs and neqs hold
+// (lhs, rhs) term pairs. On conflict it returns false and the indices (into
+// the combined eq+neq list) of a conservative explanation.
+func eufCheck(eqs, neqs [][2]*Term) bool {
+	s := newEUFSolver()
+	for _, p := range eqs {
+		s.register(p[0])
+		s.register(p[1])
+		s.merge(p[0].id, p[1].id)
+	}
+	for _, p := range neqs {
+		s.register(p[0])
+		s.register(p[1])
+	}
+	for _, p := range neqs {
+		if s.find(p[0].id) == s.find(p[1].id) {
+			return false
+		}
+	}
+	return true
+}

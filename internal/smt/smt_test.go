@@ -1,0 +1,440 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermHashConsing(t *testing.T) {
+	tb := NewTermBuilder()
+	a, b := tb.IntVar("a"), tb.IntVar("b")
+	if tb.Add(a, b) != tb.Add(a, b) {
+		t.Fatal("Add not hash-consed")
+	}
+	if tb.Add(a, b) != tb.Add(b, a) {
+		t.Fatal("Add not commutativity-canonicalized")
+	}
+	if tb.IntVar("a") != a {
+		t.Fatal("Var not interned")
+	}
+	if tb.Eq(a, b) != tb.Eq(b, a) {
+		t.Fatal("Eq not canonicalized")
+	}
+}
+
+func TestTermSimplifications(t *testing.T) {
+	tb := NewTermBuilder()
+	a := tb.IntVar("a")
+	p := tb.BoolVar("p")
+	cases := []struct {
+		got, want *Term
+		name      string
+	}{
+		{tb.Add(a, tb.Int(0)), a, "a+0"},
+		{tb.Mul(a, tb.Int(1)), a, "a*1"},
+		{tb.Mul(a, tb.Int(0)), tb.Int(0), "a*0"},
+		{tb.Sub(a, a), tb.Int(0), "a-a"},
+		{tb.Neg(tb.Neg(a)), a, "--a"},
+		{tb.Not(tb.Not(p)), p, "!!p"},
+		{tb.And(p, tb.True()), p, "p&true"},
+		{tb.And(p, tb.False()), tb.False(), "p&false"},
+		{tb.Or(p, tb.Not(p)), tb.True(), "p|!p"},
+		{tb.And(p, tb.Not(p)), tb.False(), "p&!p"},
+		{tb.Eq(a, a), tb.True(), "a=a"},
+		{tb.Eq(tb.Int(1), tb.Int(2)), tb.False(), "1=2"},
+		{tb.Le(a, a), tb.True(), "a<=a"},
+		{tb.Lt(a, a), tb.False(), "a<a"},
+		{tb.Eq(p, tb.True()), p, "p=true"},
+		{tb.Eq(p, tb.False()), tb.Not(p), "p=false"},
+		{tb.Ite(tb.True(), a, tb.Int(3)), a, "ite true"},
+		{tb.Implies(p, p), tb.True(), "p=>p"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+func solveOne(tb *TermBuilder, f *Term) Result {
+	return CheckCond(tb, f)
+}
+
+func TestSATBasics(t *testing.T) {
+	tb := NewTermBuilder()
+	p, q, r := tb.BoolVar("p"), tb.BoolVar("q"), tb.BoolVar("r")
+	cases := []struct {
+		f    *Term
+		want Result
+		name string
+	}{
+		{p, Sat, "p"},
+		{tb.And(p, tb.Not(p)), Unsat, "p & !p"},
+		{tb.And(tb.Or(p, q), tb.Not(p), tb.Not(q)), Unsat, "(p|q)&!p&!q"},
+		{tb.And(tb.Or(p, q), tb.Not(p)), Sat, "(p|q)&!p"},
+		{tb.And(tb.Implies(p, q), tb.Implies(q, r), p, tb.Not(r)), Unsat, "chain"},
+		{tb.Or(tb.And(p, q), tb.And(tb.Not(p), r)), Sat, "dnf"},
+		{tb.True(), Sat, "true"},
+		{tb.False(), Unsat, "false"},
+	}
+	for _, c := range cases {
+		if got := solveOne(tb, c.f); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSATPigeonhole exercises clause learning on PHP(4,3): 4 pigeons, 3
+// holes, unsatisfiable.
+func TestSATPigeonhole(t *testing.T) {
+	tb := NewTermBuilder()
+	const P, H = 4, 3
+	in := func(p, h int) *Term { return tb.BoolVar(fmt.Sprintf("p%d_h%d", p, h)) }
+	var parts []*Term
+	for p := 0; p < P; p++ {
+		var row []*Term
+		for h := 0; h < H; h++ {
+			row = append(row, in(p, h))
+		}
+		parts = append(parts, tb.Or(row...))
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				parts = append(parts, tb.Or(tb.Not(in(p1, h)), tb.Not(in(p2, h))))
+			}
+		}
+	}
+	if got := solveOne(tb, tb.And(parts...)); got != Unsat {
+		t.Fatalf("PHP(4,3) = %v, want unsat", got)
+	}
+}
+
+func TestEUF(t *testing.T) {
+	tb := NewTermBuilder()
+	a, b, c := tb.IntVar("a"), tb.IntVar("b"), tb.IntVar("c")
+	fa := tb.App("f", SortInt, a)
+	fb := tb.App("f", SortInt, b)
+	cases := []struct {
+		f    *Term
+		want Result
+		name string
+	}{
+		{tb.And(tb.Eq(a, b), tb.Ne(a, b)), Unsat, "a=b & a!=b"},
+		{tb.And(tb.Eq(a, b), tb.Eq(b, c), tb.Ne(a, c)), Unsat, "transitivity"},
+		{tb.And(tb.Eq(a, b), tb.Ne(fa, fb)), Unsat, "congruence"},
+		{tb.And(tb.Ne(a, b), tb.Eq(fa, fb)), Sat, "f collision ok"},
+		{tb.And(tb.Eq(a, b), tb.Eq(fa, fb)), Sat, "consistent"},
+	}
+	for _, c := range cases {
+		if got := solveOne(tb, c.f); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticDifference(t *testing.T) {
+	tb := NewTermBuilder()
+	x, y, z := tb.IntVar("x"), tb.IntVar("y"), tb.IntVar("z")
+	cases := []struct {
+		f    *Term
+		want Result
+		name string
+	}{
+		{tb.And(tb.Lt(x, y), tb.Lt(y, x)), Unsat, "x<y & y<x"},
+		{tb.And(tb.Le(x, y), tb.Le(y, x)), Sat, "x<=y & y<=x"},
+		{tb.And(tb.Lt(x, y), tb.Lt(y, z), tb.Lt(z, x)), Unsat, "3-cycle"},
+		{tb.And(tb.Lt(x, tb.Int(5)), tb.Gt(x, tb.Int(10))), Unsat, "x<5 & x>10"},
+		{tb.And(tb.Lt(x, tb.Int(5)), tb.Gt(x, tb.Int(3))), Sat, "3<x<5"},
+		{tb.And(tb.Eq(x, tb.Int(4)), tb.Lt(x, tb.Int(3))), Unsat, "x=4 & x<3"},
+		{tb.And(tb.Eq(x, tb.Int(4)), tb.Lt(x, tb.Int(5))), Sat, "x=4 & x<5"},
+		{tb.And(tb.Eq(x, y), tb.Lt(x, y)), Unsat, "x=y & x<y"},
+		{tb.Lt(tb.Int(3), tb.Int(2)), Unsat, "3<2 const"},
+		{tb.And(tb.Le(tb.Sub(x, y), tb.Int(2)), tb.Ge(tb.Sub(x, y), tb.Int(5))), Unsat, "x-y<=2 & x-y>=5"},
+		{tb.And(tb.Gt(x, tb.Int(0)), tb.Eq(y, tb.Add(x, tb.Int(1))), tb.Lt(y, tb.Int(1))), Unsat, "y=x+1, x>0, y<1"},
+	}
+	for _, c := range cases {
+		if got := solveOne(tb, c.f); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMixedBoolTheory(t *testing.T) {
+	tb := NewTermBuilder()
+	p := tb.BoolVar("p")
+	x, y := tb.IntVar("x"), tb.IntVar("y")
+	// p -> x < y; !p -> y < x; x = y  -- unsat.
+	f := tb.And(
+		tb.Implies(p, tb.Lt(x, y)),
+		tb.Implies(tb.Not(p), tb.Lt(y, x)),
+		tb.Eq(x, y),
+	)
+	if got := solveOne(tb, f); got != Unsat {
+		t.Fatalf("mixed = %v, want unsat", got)
+	}
+	// Without the equality it is satisfiable both ways.
+	f2 := tb.And(tb.Implies(p, tb.Lt(x, y)), tb.Implies(tb.Not(p), tb.Lt(y, x)))
+	if got := solveOne(tb, f2); got != Sat {
+		t.Fatalf("mixed2 = %v, want sat", got)
+	}
+}
+
+func TestIncrementalAsserts(t *testing.T) {
+	s := NewSolver()
+	tb := s.TB
+	x, y := tb.IntVar("x"), tb.IntVar("y")
+	s.Assert(tb.Lt(x, y))
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after x<y: %v", got)
+	}
+	s.Assert(tb.Lt(y, x))
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("after y<x: %v", got)
+	}
+}
+
+func TestIteLowering(t *testing.T) {
+	tb := NewTermBuilder()
+	p := tb.BoolVar("p")
+	a, b := tb.BoolVar("a"), tb.BoolVar("b")
+	ite := tb.Ite(p, a, b)
+	// (ite p a b) & p & !a is unsat.
+	if got := solveOne(tb, tb.And(ite, p, tb.Not(a))); got != Unsat {
+		t.Fatalf("ite: %v, want unsat", got)
+	}
+	if got := solveOne(tb, tb.And(ite, p, a)); got != Sat {
+		t.Fatalf("ite2: %v, want sat", got)
+	}
+}
+
+// Property: for random small propositional formulas, the solver agrees with
+// brute-force truth-table evaluation.
+func TestQuickVsTruthTable(t *testing.T) {
+	type node struct {
+		op   uint8
+		a, b int
+	}
+	eval := func(nodes []node, nVars int, assign uint) []bool {
+		vals := make([]bool, len(nodes))
+		for i, n := range nodes {
+			op := n.op % 4
+			if i == 0 {
+				op = 0 // first node must be a variable reference
+			}
+			switch op {
+			case 0: // var
+				vals[i] = assign&(1<<(n.a%nVars)) != 0
+			case 1: // not
+				vals[i] = !vals[n.a%i]
+			case 2: // and
+				vals[i] = vals[n.a%i] && vals[n.b%i]
+			case 3: // or
+				vals[i] = vals[n.a%i] || vals[n.b%i]
+			}
+		}
+		return vals
+	}
+	build := func(tb *TermBuilder, nodes []node, nVars int) *Term {
+		terms := make([]*Term, len(nodes))
+		for i, n := range nodes {
+			op := n.op % 4
+			if i == 0 {
+				op = 0
+			}
+			switch op {
+			case 0:
+				terms[i] = tb.BoolVar(fmt.Sprintf("v%d", n.a%nVars))
+			case 1:
+				terms[i] = tb.Not(terms[n.a%i])
+			case 2:
+				terms[i] = tb.And(terms[n.a%i], terms[n.b%i])
+			case 3:
+				terms[i] = tb.Or(terms[n.a%i], terms[n.b%i])
+			}
+		}
+		return terms[len(terms)-1]
+	}
+	f := func(ops []uint8, as, bs []uint8) bool {
+		const nVars = 3
+		n := len(ops)
+		if n == 0 || n > 8 {
+			return true
+		}
+		nodes := make([]node, n)
+		for i := range nodes {
+			na, nb := 0, 0
+			if i < len(as) {
+				na = int(as[i])
+			}
+			if i < len(bs) {
+				nb = int(bs[i])
+			}
+			nodes[i] = node{op: ops[i], a: na, b: nb}
+		}
+		// Brute force.
+		bruteSat := false
+		for assign := uint(0); assign < 1<<nVars; assign++ {
+			if eval(nodes, nVars, assign)[n-1] {
+				bruteSat = true
+				break
+			}
+		}
+		tb := NewTermBuilder()
+		got := solveOne(tb, build(tb, nodes, nVars))
+		return (got == Sat) == bruteSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSolverStats(t *testing.T) {
+	s := NewSolver()
+	tb := s.TB
+	var parts []*Term
+	for i := 0; i < 6; i++ {
+		parts = append(parts, tb.Or(tb.BoolVar(fmt.Sprintf("x%d", i)), tb.BoolVar(fmt.Sprintf("x%d", i+1))))
+	}
+	s.Assert(tb.And(parts...))
+	if s.Check() != Sat {
+		t.Fatal("want sat")
+	}
+	d, _, _ := s.Stats()
+	if d < 0 {
+		t.Fatal("negative decisions")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tb := NewTermBuilder()
+	f := tb.And(tb.BoolVar("p"), tb.Eq(tb.IntVar("x"), tb.Int(3)))
+	s := f.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestQuickDifferenceLogicVsBruteForce compares the solver against
+// brute-force enumeration on random conjunctions of pure difference
+// constraints (x - y <= c). Difference systems are shift-invariant, so if a
+// solution exists one exists with v0 = 0 and all values within the sum of
+// |c| bounds; the enumeration box is complete.
+func TestQuickDifferenceLogicVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const vars = 3
+	const rangeLim = 25 // > max constraints * max |c|
+	for trial := 0; trial < 250; trial++ {
+		type con struct{ x, y, c int }
+		n := 1 + rng.Intn(7)
+		cons := make([]con, n)
+		for i := range cons {
+			x := rng.Intn(vars)
+			y := rng.Intn(vars)
+			for y == x {
+				y = rng.Intn(vars)
+			}
+			cons[i] = con{x: x, y: y, c: rng.Intn(7) - 3}
+		}
+		// Brute force with v0 fixed at 0.
+		bruteSat := false
+		for v1 := -rangeLim; v1 <= rangeLim && !bruteSat; v1++ {
+			for v2 := -rangeLim; v2 <= rangeLim && !bruteSat; v2++ {
+				vals := [vars]int{0, v1, v2}
+				ok := true
+				for _, c := range cons {
+					if vals[c.x]-vals[c.y] > c.c {
+						ok = false
+						break
+					}
+				}
+				bruteSat = ok
+			}
+		}
+		// Solver.
+		s := NewSolver()
+		tb := s.TB
+		vs := [vars]*Term{tb.IntVar("v0"), tb.IntVar("v1"), tb.IntVar("v2")}
+		for _, c := range cons {
+			s.Assert(tb.Le(tb.Sub(vs[c.x], vs[c.y]), tb.Int(int64(c.c))))
+		}
+		got := s.Check()
+		want := Unsat
+		if bruteSat {
+			want = Sat
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cons=%+v", trial, got, want, cons)
+		}
+	}
+}
+
+// TestQuickEUFVsBruteForce compares EUF verdicts against brute-force
+// checking of random equality/disequality systems over a small universe.
+func TestQuickEUFVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const vars = 4
+	for trial := 0; trial < 250; trial++ {
+		type lit struct {
+			a, b int
+			eq   bool
+		}
+		n := 1 + rng.Intn(8)
+		lits := make([]lit, n)
+		for i := range lits {
+			lits[i] = lit{a: rng.Intn(vars), b: rng.Intn(vars), eq: rng.Intn(2) == 0}
+		}
+		// Brute force: assign each var a value in [0, vars).
+		bruteSat := false
+		total := 1
+		for i := 0; i < vars; i++ {
+			total *= vars
+		}
+		for mask := 0; mask < total && !bruteSat; mask++ {
+			vals := make([]int, vars)
+			m := mask
+			for i := range vals {
+				vals[i] = m % vars
+				m /= vars
+			}
+			ok := true
+			for _, l := range lits {
+				if (vals[l.a] == vals[l.b]) != l.eq {
+					ok = false
+					break
+				}
+			}
+			bruteSat = ok
+		}
+		s := NewSolver()
+		tb := s.TB
+		vs := make([]*Term, vars)
+		for i := range vs {
+			vs[i] = tb.IntVar(fmt.Sprintf("e%d", i))
+		}
+		for _, l := range lits {
+			if l.eq {
+				s.Assert(tb.Eq(vs[l.a], vs[l.b]))
+			} else {
+				s.Assert(tb.Ne(vs[l.a], vs[l.b]))
+			}
+		}
+		got := s.Check()
+		want := Unsat
+		if bruteSat {
+			want = Sat
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v lits=%+v", trial, got, want, lits)
+		}
+	}
+}

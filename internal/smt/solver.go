@@ -1,0 +1,207 @@
+package smt
+
+// Lazy DPLL(T) driver tying the CDCL SAT core to the EUF and
+// difference-bound theory layers.
+
+// Result is the verdict of a Check call.
+type Result uint8
+
+const (
+	// Unsat means the asserted formulas have no model.
+	Unsat Result = iota
+	// Sat means a model was found that the theory layer accepts.
+	Sat
+	// Unknown means the budget was exhausted before a verdict.
+	Unknown
+)
+
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Solver is the public SMT interface. Assert formulas built from the
+// solver's TermBuilder, then call Check.
+type Solver struct {
+	TB  *TermBuilder
+	sat *SATSolver
+	enc *cnfEncoder
+	// trivially false when an Assert reduced to false
+	dead bool
+	// MaxRounds bounds the lazy theory-refinement loop.
+	MaxRounds int
+
+	// TheoryConflicts counts blocking clauses added by the theory layer.
+	TheoryConflicts int64
+	asserted        []*Term
+}
+
+// NewSolver returns an empty solver with a fresh TermBuilder.
+func NewSolver() *Solver {
+	sat := NewSATSolver()
+	return &Solver{
+		TB:        NewTermBuilder(),
+		sat:       sat,
+		enc:       newCNFEncoder(sat),
+		MaxRounds: 10000,
+	}
+}
+
+// Assert conjoins t to the formula.
+func (s *Solver) Assert(t *Term) {
+	s.asserted = append(s.asserted, t)
+	if !s.enc.assert(t) {
+		s.dead = true
+	}
+}
+
+// Stats reports SAT-core counters: decisions, conflicts, learned clauses.
+func (s *Solver) Stats() (decisions, conflicts, learned int64) {
+	return s.sat.Decisions, s.sat.Conflicts, s.sat.Learned
+}
+
+// BoolModel returns the truth assignment of every boolean variable atom
+// after a Sat result. Unassigned variables are omitted. The model is a
+// witness for the last Check call; it is meaningless after Unsat.
+func (s *Solver) BoolModel() map[string]bool {
+	out := make(map[string]bool)
+	for v, t := range s.enc.atoms {
+		if t.Kind != TVar || t.Sort != SortBool {
+			continue
+		}
+		if s.sat.assign[v] == lUndef {
+			continue
+		}
+		out[t.Name] = s.sat.ValueOf(v)
+	}
+	return out
+}
+
+// Check decides satisfiability of the asserted formulas.
+func (s *Solver) Check() Result {
+	if s.dead {
+		return Unsat
+	}
+	for round := 0; round < s.MaxRounds; round++ {
+		ok, _ := s.sat.Solve()
+		if !ok {
+			return Unsat
+		}
+		conflictLits, consistent := s.theoryCheck()
+		if consistent {
+			return Sat
+		}
+		s.TheoryConflicts++
+		// Block this theory-inconsistent assignment.
+		var blocking []Lit
+		for _, l := range conflictLits {
+			blocking = append(blocking, l.Neg())
+		}
+		if len(blocking) == 0 {
+			return Unsat
+		}
+		if !s.sat.AddClause(blocking...) {
+			return Unsat
+		}
+	}
+	return Unknown
+}
+
+// theoryCheck inspects the current full propositional model, gathers the
+// asserted theory atoms with their polarities, and checks EUF + difference
+// consistency. On inconsistency it returns the SAT literals of a
+// conservative explanation.
+func (s *Solver) theoryCheck() ([]Lit, bool) {
+	type polAtom struct {
+		t   *Term
+		pos bool
+		v   int
+	}
+	var atoms []polAtom
+	for v, t := range s.enc.atoms {
+		if s.sat.assign[v] == lUndef {
+			continue
+		}
+		atoms = append(atoms, polAtom{t: t, pos: s.sat.ValueOf(v), v: v})
+	}
+
+	// EUF: equalities and disequalities over any sort.
+	var eqs, neqs [][2]*Term
+	var eufLits []Lit
+	for _, a := range atoms {
+		if a.t.Kind != TEq {
+			continue
+		}
+		pair := [2]*Term{a.t.Args[0], a.t.Args[1]}
+		if a.pos {
+			eqs = append(eqs, pair)
+			eufLits = append(eufLits, Lit(a.v))
+		} else {
+			neqs = append(neqs, pair)
+			eufLits = append(eufLits, Lit(-a.v))
+		}
+	}
+	if !eufCheck(eqs, neqs) {
+		return eufLits, false
+	}
+
+	// Difference bounds over integer comparisons (including equalities,
+	// which contribute two inequalities each).
+	var lits []arithLit
+	var litSATLits []Lit
+	for _, a := range atoms {
+		switch a.t.Kind {
+		case TEq, TLt, TLe:
+			if a.t.Args[0].Sort != SortInt {
+				continue
+			}
+			lits = append(lits, arithLit{t: a.t, positive: a.pos, index: len(litSATLits)})
+			if a.pos {
+				litSATLits = append(litSATLits, Lit(a.v))
+			} else {
+				litSATLits = append(litSATLits, Lit(-a.v))
+			}
+		}
+	}
+	if ok, core := arithCheck(lits); !ok {
+		var out []Lit
+		seen := map[Lit]bool{}
+		for _, i := range core {
+			l := litSATLits[i]
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+		if len(out) == 0 {
+			out = litSATLits
+		}
+		return out, false
+	}
+
+	// Combined pass: equalities imply arithmetic equalities and vice
+	// versa. A lightweight Nelson–Oppen-style exchange: propagate EUF
+	// equalities into the difference solver by re-running it with
+	// x - y <= 0 and y - x <= 0 for each merged pair. This is already
+	// covered above because TEq atoms feed both solvers.
+	return nil, true
+}
+
+// CheckCond is a convenience one-shot satisfiability query for a single
+// formula under a fresh solver sharing the TermBuilder of tb.
+func CheckCond(tb *TermBuilder, f *Term) Result {
+	s := &Solver{
+		TB:        tb,
+		sat:       NewSATSolver(),
+		MaxRounds: 10000,
+	}
+	s.enc = newCNFEncoder(s.sat)
+	s.Assert(f)
+	return s.Check()
+}

@@ -1,0 +1,463 @@
+// Package ssa converts lowered IR functions into SSA form and computes the
+// gating conditions of φ-assignments.
+//
+// Pinpoint's SEG (Definition 3.2) labels the data-dependence edge of each φ
+// operand with the condition under which that operand is selected — the
+// "gated function" of Tu and Padua, computable in near-linear time because
+// the lowered CFGs are acyclic (loops are unrolled once during lowering).
+// This package performs:
+//
+//  1. semi-pruned φ insertion on iterated dominance frontiers (Cytron);
+//  2. stack-based renaming over the dominator tree;
+//  3. dead-φ elimination;
+//  4. gate computation: for a φ in join J with operand arriving from
+//     predecessor P, the gate is the condition of reaching P from idom(J)
+//     and taking the edge P→J, expressed over branch-condition atoms.
+//
+// Atoms in the condition domain are SSA value IDs of branch conditions, so
+// downstream passes can map atoms back to program values when encoding SMT
+// queries.
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/cond"
+	"repro/internal/ir"
+)
+
+// Info carries the analysis artifacts of SSA conversion that later passes
+// (points-to, SEG construction, detection) consume.
+type Info struct {
+	Fn *ir.Func
+	// Conds builds and interns all conditions of this function.
+	Conds *cond.Builder
+	// Gates maps each φ instruction to the per-operand gate conditions,
+	// parallel to the φ's Args.
+	Gates map[*ir.Instr][]*cond.Cond
+	// CD maps each block to its control dependences.
+	CD map[*ir.Block][]cfg.CDep
+	// Dom and PostDom are the dominator trees.
+	Dom, PostDom *cfg.DomTree
+	// AtomValue maps condition atom IDs back to SSA values.
+	AtomValue map[int]*ir.Value
+	// ReachCond maps each block to the condition, over branch atoms, of
+	// reaching it from the entry ("canonical" reach condition; the SEG
+	// uses control dependence instead, this is kept for the quasi
+	// points-to analysis and for tests).
+	ReachCond map[*ir.Block]*cond.Cond
+
+	rpoIdx    map[*ir.Block]int
+	joinGates map[*ir.Block]map[*ir.Block]*cond.Cond
+}
+
+// Atom returns the condition atom for an SSA boolean value, registering the
+// reverse mapping. Values are canonicalized through copies and negations
+// ("t = !c" yields ¬atom(c), not a fresh atom), so complementary branch
+// conditions share atoms — exactly what lets the linear-time contradiction
+// solver of §3.1.1 catch "free under c, use under !c" patterns without the
+// SMT solver.
+func (inf *Info) Atom(v *ir.Value) *cond.Cond {
+	neg := false
+	for v.Def != nil {
+		if v.Def.Op == ir.OpCopy {
+			v = v.Def.Args[0]
+			continue
+		}
+		if v.Def.Op == ir.OpUn && v.Def.Sub == "!" {
+			neg = !neg
+			v = v.Def.Args[0]
+			continue
+		}
+		break
+	}
+	var a *cond.Cond
+	if v.Kind == ir.VConstBool {
+		a = inf.Conds.True()
+		if !v.BoolVal {
+			a = inf.Conds.False()
+		}
+	} else {
+		inf.AtomValue[v.ID] = v
+		a = inf.Conds.Atom(v.ID)
+	}
+	if neg {
+		a = inf.Conds.Not(a)
+	}
+	return a
+}
+
+// EdgeCond returns the condition attached to the CFG edge from→to.
+func (inf *Info) EdgeCond(from, to *ir.Block) *cond.Cond {
+	term := from.Term()
+	if term == nil || term.Op != ir.OpBr {
+		return inf.Conds.True()
+	}
+	a := inf.Atom(term.Args[0])
+	if term.Blocks[0] == to {
+		return a
+	}
+	return inf.Conds.Not(a)
+}
+
+// CDCond returns the conjunction of the direct control-dependence conditions
+// of a block (not chased transitively; SEG traversal recurses over the
+// controlling branch values itself, per Example 3.8 of the paper).
+func (inf *Info) CDCond(b *ir.Block) *cond.Cond {
+	deps := inf.CD[b]
+	if len(deps) == 0 {
+		return inf.Conds.True()
+	}
+	cs := make([]*cond.Cond, 0, len(deps))
+	for _, d := range deps {
+		a := inf.Atom(d.Cond())
+		if !d.OnTrue {
+			a = inf.Conds.Not(a)
+		}
+		cs = append(cs, a)
+	}
+	return inf.Conds.And(cs...)
+}
+
+// Transform converts f to SSA form in place and returns the associated Info.
+// The CFG must be acyclic.
+func Transform(f *ir.Func) (*Info, error) {
+	order, err := cfg.Topological(f)
+	if err != nil {
+		return nil, err
+	}
+	dom := cfg.Dominators(f)
+	pdom := cfg.PostDominators(f)
+	df := cfg.DominanceFrontier(f, dom)
+
+	insertPhis(f, dom, df)
+	rename(f, dom)
+	eliminateDeadPhis(f)
+
+	inf := &Info{
+		Fn:        f,
+		Conds:     cond.NewBuilder(),
+		Gates:     make(map[*ir.Instr][]*cond.Cond),
+		Dom:       dom,
+		PostDom:   pdom,
+		AtomValue: make(map[int]*ir.Value),
+		ReachCond: make(map[*ir.Block]*cond.Cond),
+		rpoIdx:    make(map[*ir.Block]int, len(order)),
+		joinGates: make(map[*ir.Block]map[*ir.Block]*cond.Cond),
+	}
+	for i, b := range order {
+		inf.rpoIdx[b] = i
+	}
+	inf.CD = cfg.ControlDeps(f, pdom)
+	computeReachConds(inf, order)
+	computeGates(inf, order)
+	return inf, nil
+}
+
+// varSites records the definition sites of one pre-SSA variable.
+type varSites struct {
+	v       *ir.Value
+	defs    []*ir.Block
+	global  bool // used in a block other than (or before) its definition
+	defSeen map[*ir.Block]bool
+}
+
+// insertPhis places φ instructions for multi-block variables on iterated
+// dominance frontiers.
+func insertPhis(f *ir.Func, dom *cfg.DomTree, df map[*ir.Block][]*ir.Block) {
+	sites := make(map[*ir.Value]*varSites)
+	get := func(v *ir.Value) *varSites {
+		s := sites[v]
+		if s == nil {
+			s = &varSites{v: v, defSeen: make(map[*ir.Block]bool)}
+			sites[v] = s
+		}
+		return s
+	}
+	for _, b := range f.Blocks {
+		definedHere := make(map[*ir.Value]bool)
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a.Kind == ir.VVar && !definedHere[a] {
+					get(a).global = true
+				}
+			}
+			for _, d := range in.Defs() {
+				if d.Kind == ir.VVar {
+					s := get(d)
+					if !s.defSeen[b] {
+						s.defSeen[b] = true
+						s.defs = append(s.defs, b)
+					}
+					definedHere[d] = true
+				}
+			}
+		}
+	}
+
+	var vars []*varSites
+	for _, s := range sites {
+		if s.global && len(s.defs) > 0 {
+			vars = append(vars, s)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].v.ID < vars[j].v.ID })
+
+	for _, s := range vars {
+		if len(s.defs) < 2 && !needsPhiSingleDef(s) {
+			continue
+		}
+		placed := make(map[*ir.Block]bool)
+		work := append([]*ir.Block(nil), s.defs...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, w := range df[b] {
+				if placed[w] {
+					continue
+				}
+				placed[w] = true
+				args := make([]*ir.Value, len(w.Preds))
+				blocks := make([]*ir.Block, len(w.Preds))
+				for i, p := range w.Preds {
+					args[i] = s.v
+					blocks[i] = p
+				}
+				f.InsertAt(w, 0, ir.Instr{
+					Op: ir.OpPhi, Dst: s.v, Args: args, Blocks: blocks,
+				})
+				if !s.defSeen[w] {
+					s.defSeen[w] = true
+					work = append(work, w)
+				}
+			}
+		}
+	}
+}
+
+// needsPhiSingleDef reports whether a variable with a single def block still
+// needs φs. With MiniC's declare-before-use discipline the answer is no:
+// the single def dominates all uses.
+func needsPhiSingleDef(s *varSites) bool { return false }
+
+// rename walks the dominator tree replacing variable defs with fresh SSA
+// versions and uses with the reaching version.
+func rename(f *ir.Func, dom *cfg.DomTree) {
+	stacks := make(map[*ir.Value][]*ir.Value)
+	version := make(map[*ir.Value]int)
+
+	top := func(v *ir.Value) *ir.Value {
+		if s := stacks[v]; len(s) > 0 {
+			return s[len(s)-1]
+		}
+		// Use before def: should not happen for well-formed lowering;
+		// treat the variable itself as an "undef version 0".
+		return v
+	}
+	fresh := func(v *ir.Value) *ir.Value {
+		version[v]++
+		nv := f.NewVar(fmt.Sprintf("%s.%d", v.Name, version[v]), v.Type)
+		stacks[v] = append(stacks[v], nv)
+		return nv
+	}
+
+	// Deterministic child order.
+	children := func(b *ir.Block) []*ir.Block {
+		cs := append([]*ir.Block(nil), dom.Children[b]...)
+		sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+		return cs
+	}
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		pushed := make(map[*ir.Value]int)
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				for i, a := range in.Args {
+					if a.Kind == ir.VVar {
+						in.Args[i] = top(a)
+					}
+				}
+			}
+			if in.Op == ir.OpCall {
+				for i, d := range in.Dsts {
+					if d != nil && d.Kind == ir.VVar {
+						nv := fresh(d)
+						nv.Def = in
+						in.Dsts[i] = nv
+						pushed[d]++
+					}
+				}
+				continue
+			}
+			if in.Dst != nil && in.Dst.Kind == ir.VVar {
+				old := in.Dst
+				nv := fresh(old)
+				nv.Def = in
+				in.Dst = nv
+				pushed[old]++
+			}
+		}
+		// Fill φ operands of successors with the current versions.
+		for _, s := range b.Succs {
+			for _, in := range s.Instrs {
+				if in.Op != ir.OpPhi {
+					break
+				}
+				for i, pb := range in.Blocks {
+					if pb == b && in.Args[i].Kind == ir.VVar {
+						in.Args[i] = top(in.Args[i])
+					}
+				}
+			}
+		}
+		for _, c := range children(b) {
+			walk(c)
+		}
+		for v, n := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-n]
+		}
+	}
+	walk(f.Entry)
+}
+
+// eliminateDeadPhis removes φ instructions whose destination is never used,
+// iterating to a fixpoint.
+func eliminateDeadPhis(f *ir.Func) {
+	for {
+		used := make(map[*ir.Value]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpPhi && !used[in.Dst] {
+					removed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// computeReachConds computes, for every block, the canonical condition of
+// reaching it from the entry, in topological order.
+func computeReachConds(inf *Info, order []*ir.Block) {
+	inf.ReachCond[inf.Fn.Entry] = inf.Conds.True()
+	for _, b := range order {
+		if b == inf.Fn.Entry {
+			continue
+		}
+		var parts []*cond.Cond
+		for _, p := range b.Preds {
+			rc, ok := inf.ReachCond[p]
+			if !ok {
+				continue
+			}
+			parts = append(parts, inf.Conds.And(rc, inf.EdgeCond(p, b)))
+		}
+		inf.ReachCond[b] = inf.Conds.Or(parts...)
+	}
+}
+
+// JoinGates returns, for a block with multiple predecessors, the gate
+// condition of each incoming edge: the condition of reaching the
+// predecessor from idom(join) and taking the edge into the join. Results
+// are memoized. Single-predecessor blocks gate on the edge condition alone.
+func (inf *Info) JoinGates(join *ir.Block) map[*ir.Block]*cond.Cond {
+	if g, ok := inf.joinGates[join]; ok {
+		return g
+	}
+	d := inf.Dom.Idom[join]
+	if d == nil {
+		d = inf.Fn.Entry
+	}
+	// Region: blocks backward-reachable from join's preds up to d.
+	// Because idom(join) dominates join, every path from idom(join) to
+	// join stays within this region, so a local topological sweep
+	// computes exact reach conditions relative to d.
+	region := map[*ir.Block]bool{d: true}
+	var stack []*ir.Block
+	push := func(b *ir.Block) {
+		if !region[b] {
+			region[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, p := range join.Preds {
+		push(p)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			push(p)
+		}
+	}
+	var blocks []*ir.Block
+	for b := range region {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return inf.rpoIdx[blocks[i]] < inf.rpoIdx[blocks[j]] })
+	reach := map[*ir.Block]*cond.Cond{d: inf.Conds.True()}
+	for _, b := range blocks {
+		if b == d {
+			continue
+		}
+		var parts []*cond.Cond
+		for _, p := range b.Preds {
+			if rc, ok := reach[p]; ok {
+				parts = append(parts, inf.Conds.And(rc, inf.EdgeCond(p, b)))
+			}
+		}
+		reach[b] = inf.Conds.Or(parts...)
+	}
+	gates := make(map[*ir.Block]*cond.Cond, len(join.Preds))
+	for _, pb := range join.Preds {
+		rc := reach[pb]
+		if rc == nil {
+			rc = inf.Conds.False()
+		}
+		gates[pb] = inf.Conds.And(rc, inf.EdgeCond(pb, join))
+	}
+	inf.joinGates[join] = gates
+	return gates
+}
+
+// computeGates fills Info.Gates for every φ from the join gates.
+func computeGates(inf *Info, order []*ir.Block) {
+	for _, join := range inf.Fn.Blocks {
+		var phis []*ir.Instr
+		for _, in := range join.Instrs {
+			if in.Op == ir.OpPhi {
+				phis = append(phis, in)
+			} else {
+				break
+			}
+		}
+		if len(phis) == 0 {
+			continue
+		}
+		jg := inf.JoinGates(join)
+		for _, phi := range phis {
+			gates := make([]*cond.Cond, len(phi.Args))
+			for i, pb := range phi.Blocks {
+				gates[i] = jg[pb]
+			}
+			inf.Gates[phi] = gates
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package summary implements the memoized local value-flow summaries of
+// Pinpoint §3.3.2. A flow records one local value-flow path from a starting
+// vertex to a "terminal" use vertex (a return operand, a call argument, a
+// dereference, a free, ...). The global detector composes flows across
+// functions:
+//
+//   - VF1 (parameter → return value) corresponds to flows from a parameter
+//     vertex terminating at a RoleRetArg vertex;
+//   - VF2 (source → return value), VF3 (parameter → source) and VF4
+//     (parameter → sink) correspond to flows whose terminal is the relevant
+//     checker vertex.
+//
+// The RV summaries of the paper — constraints describing a return value's
+// range — are not materialized here: the SMT encoder reconstructs them
+// lazily and memoized per (context, value) from the SEG's data dependence,
+// which is equivalent and avoids cloning constraints for call sites that
+// are never reached by a query.
+//
+// Flows are memoized per (graph, start vertex) and capped: at most MaxFlows
+// flows per vertex and MaxSteps vertices per flow. Caps trade recall inside
+// pathological functions for bounded memory, mirroring the paper's budget
+// knobs; the harness counts cap hits.
+package summary
+
+import (
+	"repro/internal/cond"
+	"repro/internal/seg"
+)
+
+// Step is one vertex on a flow with the condition labeling the edge that
+// entered it (true for the first step).
+type Step struct {
+	Node     *seg.Node
+	EdgeCond *cond.Cond
+}
+
+// Flow is a local value-flow path ending at a use vertex.
+type Flow struct {
+	Steps []Step
+}
+
+// Terminal returns the flow's final vertex.
+func (f Flow) Terminal() *seg.Node { return f.Steps[len(f.Steps)-1].Node }
+
+// Cond conjoins the flow's edge conditions and the control dependence of
+// every step's statement in the given graph — the PC(π) skeleton of
+// Equation 1 (the DD closure is added by the SMT encoder).
+func (f Flow) Cond(g *seg.Graph) *cond.Cond {
+	cb := g.Info.Conds
+	parts := make([]*cond.Cond, 0, len(f.Steps)*2)
+	for _, s := range f.Steps {
+		parts = append(parts, s.EdgeCond)
+		if s.Node.Instr != nil {
+			parts = append(parts, g.CD(s.Node.Instr))
+		}
+	}
+	return cb.And(parts...)
+}
+
+// Table memoizes flow enumeration per SEG vertex.
+type Table struct {
+	// MaxFlows caps the flows returned per start vertex.
+	MaxFlows int
+	// MaxSteps caps the length of one flow.
+	MaxSteps int
+
+	memo map[*seg.Node][]Flow
+	// CapHits counts vertices whose enumeration was truncated.
+	CapHits int
+}
+
+// NewTable returns a Table with default caps.
+func NewTable() *Table {
+	return &Table{MaxFlows: 64, MaxSteps: 120, memo: make(map[*seg.Node][]Flow)}
+}
+
+// FlowsFrom enumerates local flows starting at from. The result is memoized
+// and shared; callers must not mutate it.
+func (t *Table) FlowsFrom(g *seg.Graph, from *seg.Node) []Flow {
+	if fs, ok := t.memo[from]; ok {
+		return fs
+	}
+	// Mark in-progress to cut (impossible in a DAG, defensive) cycles.
+	t.memo[from] = nil
+	var out []Flow
+	if from.Kind == seg.NUse {
+		out = []Flow{{Steps: []Step{{Node: from, EdgeCond: g.Info.Conds.True()}}}}
+		t.memo[from] = out
+		return out
+	}
+	truncated := false
+	for _, e := range g.Succs(from) {
+		sub := t.FlowsFrom(g, e.To)
+		for _, sf := range sub {
+			if len(out) >= t.MaxFlows {
+				truncated = true
+				break
+			}
+			if len(sf.Steps)+1 > t.MaxSteps {
+				truncated = true
+				continue
+			}
+			steps := make([]Step, 0, len(sf.Steps)+1)
+			steps = append(steps, Step{Node: from, EdgeCond: g.Info.Conds.True()})
+			// The first step of the sub-flow carries the edge e's
+			// condition into it.
+			steps = append(steps, Step{Node: sf.Steps[0].Node, EdgeCond: e.Cond})
+			steps = append(steps, sf.Steps[1:]...)
+			out = append(out, Flow{Steps: steps})
+		}
+		if len(out) >= t.MaxFlows {
+			truncated = true
+			break
+		}
+	}
+	if truncated {
+		t.CapHits++
+	}
+	t.memo[from] = out
+	return out
+}
+
+// FlowsBetween filters FlowsFrom down to flows ending at a particular
+// terminal role.
+func (t *Table) FlowsBetween(g *seg.Graph, from *seg.Node, role seg.UseRole) []Flow {
+	var out []Flow
+	for _, f := range t.FlowsFrom(g, from) {
+		if f.Terminal().Role == role {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ParamToRet reports the VF1 relation for a function graph: flows from each
+// parameter to return operands, keyed by parameter index.
+func ParamToRet(t *Table, g *seg.Graph) map[int][]Flow {
+	out := make(map[int][]Flow)
+	for _, p := range g.Fn.Params {
+		flows := t.FlowsBetween(g, g.ValueNode(p), seg.RoleRetArg)
+		if len(flows) > 0 {
+			out[p.ParamIdx] = flows
+		}
+	}
+	return out
+}

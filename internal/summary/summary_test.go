@@ -1,0 +1,151 @@
+package summary
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/seg"
+	"repro/internal/ssa"
+	"repro/internal/transform"
+)
+
+func buildGraph(t *testing.T, src, fn string) *seg.Graph {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	infos := map[*ir.Func]*ssa.Info{}
+	for _, f := range m.Funcs {
+		inf, err := ssa.Transform(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos[f] = inf
+	}
+	if err := transform.Apply(m, modref.Analyze(m)); err != nil {
+		t.Fatal(err)
+	}
+	f := m.ByName[fn]
+	pr, err := pta.Analyze(f, infos[f], pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg.Build(f, infos[f], pr)
+}
+
+func TestFlowsFromParamToRet(t *testing.T) {
+	g := buildGraph(t, "int id(int x) { return x; }", "id")
+	tab := NewTable()
+	flows := ParamToRet(tab, g)
+	if len(flows[0]) == 0 {
+		t.Fatalf("no param->ret flow found (VF1)")
+	}
+	f := flows[0][0]
+	if f.Terminal().Role != seg.RoleRetArg {
+		t.Fatalf("terminal role = %v", f.Terminal().Role)
+	}
+	if !f.Cond(g).IsTrue() {
+		t.Errorf("unconditional identity has cond %s", f.Cond(g))
+	}
+}
+
+func TestFlowsConditional(t *testing.T) {
+	g := buildGraph(t, `
+int pick(bool c, int a, int b) {
+	int x = 0;
+	if (c) { x = a; } else { x = b; }
+	return x;
+}`, "pick")
+	tab := NewTable()
+	// Param a (index 1) flows to the return under gate c.
+	flows := ParamToRet(tab, g)
+	if len(flows[1]) == 0 || len(flows[2]) == 0 {
+		t.Fatalf("conditional flows missing: %v", flows)
+	}
+	ca := flows[1][0].Cond(g)
+	cb := flows[2][0].Cond(g)
+	if ca.IsTrue() || cb.IsTrue() {
+		t.Errorf("gated flows are unconditional: %s / %s", ca, cb)
+	}
+	if g.Info.Conds.Not(ca) != cb {
+		t.Errorf("gates not complementary: %s vs %s", ca, cb)
+	}
+}
+
+func TestFlowsMemoized(t *testing.T) {
+	g := buildGraph(t, `
+int f(int x) {
+	int a = x + 1;
+	int b = a + 2;
+	return b;
+}`, "f")
+	tab := NewTable()
+	n := g.ValueNode(g.Fn.Params[0])
+	f1 := tab.FlowsFrom(g, n)
+	f2 := tab.FlowsFrom(g, n)
+	if len(f1) == 0 {
+		t.Fatal("no flows")
+	}
+	// Memoized: identical slice.
+	if &f1[0] != &f2[0] {
+		t.Error("FlowsFrom not memoized")
+	}
+}
+
+func TestFlowsCap(t *testing.T) {
+	// A function with many branches creates many flows; the cap bounds
+	// them.
+	src := `
+int f(int x, bool c0, bool c1, bool c2, bool c3, bool c4, bool c5, bool c6, bool c7) {
+	int a = x;
+	if (c0) { a = a + 1; }
+	if (c1) { a = a + 1; }
+	if (c2) { a = a + 1; }
+	if (c3) { a = a + 1; }
+	if (c4) { a = a + 1; }
+	if (c5) { a = a + 1; }
+	if (c6) { a = a + 1; }
+	if (c7) { a = a + 1; }
+	use(a);
+	return a;
+}`
+	g := buildGraph(t, src, "f")
+	tab := NewTable()
+	tab.MaxFlows = 4
+	flows := tab.FlowsFrom(g, g.ValueNode(g.Fn.Params[0]))
+	if len(flows) > 4 {
+		t.Fatalf("cap violated: %d flows", len(flows))
+	}
+	if tab.CapHits == 0 {
+		t.Error("cap hit not recorded")
+	}
+}
+
+func TestFlowTerminalRoles(t *testing.T) {
+	g := buildGraph(t, `
+void f(int *p) {
+	free(p);
+	g(p);
+	int v = *p;
+}`, "f")
+	tab := NewTable()
+	flows := tab.FlowsFrom(g, g.ValueNode(g.Fn.Params[0]))
+	roles := map[seg.UseRole]bool{}
+	for _, fl := range flows {
+		roles[fl.Terminal().Role] = true
+	}
+	for _, want := range []seg.UseRole{seg.RoleFreeArg, seg.RoleCallArg, seg.RoleDerefAddr} {
+		if !roles[want] {
+			t.Errorf("missing terminal role %v (got %v)", want, roles)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package transform implements Pinpoint's connector model (§3.1.2,
+// Figure 3): it rewrites every function so that the non-local memory it
+// references or modifies is passed in and out explicitly through Aux formal
+// parameters and Aux return values.
+//
+// For a function whose Mod/Ref summary mentions access paths *(root, k)
+// (root a formal parameter or a global), the transformation:
+//
+//   - appends one Aux formal parameter F(root,k) per referenced depth and
+//     inserts entry stores  *(root,k) ← F(root,k), chaining through the aux
+//     values themselves so each store is a single-level IR store;
+//   - appends one Aux return value R(root,k) per modified depth, loading
+//     the final contents *(root,k) right before the return and extending
+//     the return operand list;
+//   - rewrites every call site to the new signature: it loads the actual
+//     values A(root,k) from the actual argument (or global) before the
+//     call, and stores the received C(root,k) values back afterwards.
+//
+// Depths are made contiguous (an access at depth k implies connectors for
+// 1..k), and modified paths also get input connectors so the unmodified-
+// path value is preserved across the call. All inserted instructions define
+// fresh values exactly once, so SSA form — and the gating/control-dependence
+// information computed by package ssa — remains valid.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/modref"
+)
+
+// rootPlan is the per-root connector plan for one function.
+type rootPlan struct {
+	root     modref.Root
+	inDepth  int // aux formals for depths 1..inDepth
+	outDepth int // aux returns for depths 1..outDepth
+}
+
+// Apply rewrites all functions of m according to the Mod/Ref result.
+// It must run after SSA conversion and before the points-to analysis.
+func Apply(m *ir.Module, mr *modref.Result) error {
+	// Phase 1: decide the connector interface of every function. The
+	// interface depends only on the summaries, so recursion needs no
+	// special handling.
+	plans := make(map[*ir.Func][]rootPlan, len(m.Funcs))
+	for _, f := range m.Funcs {
+		plans[f] = makePlans(f, mr.Summaries[f])
+	}
+
+	// Phase 2: extend signatures (aux params, aux return specs).
+	auxParams := make(map[*ir.Func]map[modref.Path]*ir.Value)
+	for _, f := range m.Funcs {
+		auxParams[f] = extendSignature(m, f, plans[f])
+	}
+
+	// Phase 3: rewrite bodies — entry stores, exit loads, call sites.
+	for _, f := range m.Funcs {
+		if err := rewriteBody(m, f, plans[f], auxParams[f], plans); err != nil {
+			return fmt.Errorf("transform %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// makePlans derives contiguous in/out depths per root from a summary.
+func makePlans(f *ir.Func, sum *modref.Summary) []rootPlan {
+	if sum == nil {
+		return nil
+	}
+	byRoot := make(map[modref.Root]*rootPlan)
+	var order []modref.Root
+	get := func(r modref.Root) *rootPlan {
+		if p, ok := byRoot[r]; ok {
+			return p
+		}
+		p := &rootPlan{root: r}
+		byRoot[r] = p
+		order = append(order, r)
+		return p
+	}
+	for _, p := range sum.Paths() {
+		pl := get(p.Root)
+		if sum.Ref[p] && p.Depth > pl.inDepth {
+			pl.inDepth = p.Depth
+		}
+		if sum.Mod[p] && p.Depth > pl.outDepth {
+			pl.outDepth = p.Depth
+		}
+	}
+	var out []rootPlan
+	for _, r := range order {
+		pl := byRoot[r]
+		// Modified paths also need inputs (to preserve values along
+		// unmodified paths), and depths must be contiguous. Cap by the
+		// static pointer depth of the root so the chains stay typed.
+		if pl.outDepth > pl.inDepth {
+			pl.inDepth = pl.outDepth
+		}
+		maxD := rootPtrDepth(nil, r)
+		if !r.IsGlobal() {
+			if r.Param < len(f.Params) {
+				maxD = f.Params[r.Param].Type.Ptr
+			} else {
+				maxD = 0
+			}
+		}
+		if pl.inDepth > maxD {
+			pl.inDepth = maxD
+		}
+		if pl.outDepth > maxD {
+			pl.outDepth = maxD
+		}
+		if pl.inDepth == 0 && pl.outDepth == 0 {
+			continue
+		}
+		out = append(out, *pl)
+	}
+	return out
+}
+
+// rootPtrDepth returns how many times a global root may be dereferenced:
+// its own cell (depth 1) plus its pointer levels.
+func rootPtrDepth(m *ir.Module, r modref.Root) int {
+	return modref.MaxDepth // callers cap parameter roots themselves
+}
+
+// globalDepthCap returns the depth cap for a global root in module m.
+func globalDepthCap(m *ir.Module, name string) int {
+	g, ok := m.GlobalByName[name]
+	if !ok {
+		return 0
+	}
+	return g.Type.Ptr + 1
+}
+
+// pathType returns the type of the value at *(root, depth).
+func pathType(m *ir.Module, f *ir.Func, r modref.Root, depth int) minic.Type {
+	if r.IsGlobal() {
+		t := m.GlobalByName[r.Global].Type
+		for i := 1; i < depth; i++ {
+			if !t.IsPointer() {
+				break
+			}
+			t = t.Elem()
+		}
+		return t
+	}
+	t := f.Params[r.Param].Type
+	for i := 0; i < depth; i++ {
+		if !t.IsPointer() {
+			break
+		}
+		t = t.Elem()
+	}
+	return t
+}
+
+// extendSignature appends aux formal parameters and records aux specs.
+func extendSignature(m *ir.Module, f *ir.Func, plans []rootPlan) map[modref.Path]*ir.Value {
+	aux := make(map[modref.Path]*ir.Value)
+	for pi := range plans {
+		pl := &plans[pi]
+		if pl.root.IsGlobal() {
+			if cap := globalDepthCap(m, pl.root.Global); pl.inDepth > cap {
+				pl.inDepth = cap
+			}
+		}
+		for k := 1; k <= pl.inDepth; k++ {
+			spec := ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k}
+			name := auxName("F", pl.root, k)
+			v := f.NewParam(name, pathType(m, f, pl.root, k), true)
+			f.AuxIn = append(f.AuxIn, spec)
+			aux[modref.Path{Root: pl.root, Depth: k}] = v
+		}
+	}
+	for pi := range plans {
+		pl := &plans[pi]
+		if pl.root.IsGlobal() {
+			if cap := globalDepthCap(m, pl.root.Global); pl.outDepth > cap {
+				pl.outDepth = cap
+			}
+		}
+		for k := 1; k <= pl.outDepth; k++ {
+			spec := ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k}
+			f.AuxOut = append(f.AuxOut, spec)
+		}
+	}
+	return aux
+}
+
+func auxName(prefix string, r modref.Root, k int) string {
+	if r.IsGlobal() {
+		return fmt.Sprintf("%s@%s.%d", prefix, r.Global, k)
+	}
+	return fmt.Sprintf("%s%d.%d", prefix, r.Param, k)
+}
+
+// rewriteBody inserts entry stores, exit loads, and call-site glue.
+func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path]*ir.Value, allPlans map[*ir.Func][]rootPlan) error {
+	// Entry stores: *(root,k) ← F(root,k), chained through the aux
+	// values. Insert after any Alloc/param-spill prologue? Inserting at
+	// index 0 is safe: roots are parameters or globals, and the values
+	// stored are parameters — none depend on body instructions.
+	at := 0
+	for _, pl := range plans {
+		prev, err := rootValue(m, f, pl.root, &at)
+		if err != nil {
+			return err
+		}
+		for k := 1; k <= pl.inDepth; k++ {
+			fv := aux[modref.Path{Root: pl.root, Depth: k}]
+			if fv == nil {
+				return fmt.Errorf("missing aux formal for %v depth %d", pl.root, k)
+			}
+			f.InsertAt(f.Entry, at, ir.Instr{Op: ir.OpStore, Args: []*ir.Value{prev, fv}, Pos: f.Pos, Synthetic: true})
+			at++
+			if !fv.Type.IsPointer() {
+				break
+			}
+			prev = fv
+		}
+	}
+
+	// Exit loads feeding the aux return values.
+	ret := f.Exit.Term()
+	if ret == nil || ret.Op != ir.OpRet {
+		return fmt.Errorf("exit block lacks a return")
+	}
+	retIdx := len(f.Exit.Instrs) - 1
+	for _, pl := range plans {
+		if pl.outDepth == 0 {
+			continue
+		}
+		prev, err := rootValueAtExit(m, f, pl.root, &retIdx)
+		if err != nil {
+			return err
+		}
+		for k := 1; k <= pl.outDepth; k++ {
+			rv := f.NewVar(auxName("R", pl.root, k), pathType(m, f, pl.root, k))
+			ld := f.InsertAt(f.Exit, retIdx, ir.Instr{Op: ir.OpLoad, Dst: rv, Args: []*ir.Value{prev}, Pos: f.Pos, Synthetic: true})
+			rv.Def = ld
+			rv.Aux = true
+			retIdx++
+			ret.Args = append(ret.Args, rv)
+			if !rv.Type.IsPointer() {
+				// Deeper levels cannot exist; plans guarantee this.
+				prev = rv
+				continue
+			}
+			prev = rv
+		}
+	}
+
+	// Call sites.
+	for _, b := range f.Blocks {
+		for idx := 0; idx < len(b.Instrs); idx++ {
+			in := b.Instrs[idx]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee, ok := m.ByName[in.Callee]
+			if !ok {
+				continue
+			}
+			n, err := rewriteCallSite(m, f, b, idx, in, callee, allPlans[callee])
+			if err != nil {
+				return err
+			}
+			idx += n
+		}
+	}
+	return nil
+}
+
+// rootValue materializes the root pointer value at the entry (for globals,
+// inserts a gaddr at *at, advancing it).
+func rootValue(m *ir.Module, f *ir.Func, r modref.Root, at *int) (*ir.Value, error) {
+	if !r.IsGlobal() {
+		if r.Param >= len(f.Params) {
+			return nil, fmt.Errorf("root param %d out of range", r.Param)
+		}
+		return f.Params[r.Param], nil
+	}
+	g := m.GlobalByName[r.Global]
+	addr := f.NewVar("&@"+r.Global, g.Type.Pointer())
+	ins := f.InsertAt(f.Entry, *at, ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: r.Global, Pos: f.Pos, Synthetic: true})
+	addr.Def = ins
+	*at++
+	return addr, nil
+}
+
+// rootValueAtExit is rootValue but inserts into the exit block at *retIdx.
+func rootValueAtExit(m *ir.Module, f *ir.Func, r modref.Root, retIdx *int) (*ir.Value, error) {
+	if !r.IsGlobal() {
+		return f.Params[r.Param], nil
+	}
+	g := m.GlobalByName[r.Global]
+	addr := f.NewVar("&@"+r.Global, g.Type.Pointer())
+	ins := f.InsertAt(f.Exit, *retIdx, ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: r.Global, Pos: f.Pos, Synthetic: true})
+	addr.Def = ins
+	*retIdx++
+	return addr, nil
+}
+
+// rewriteCallSite threads aux values through one call. It returns how many
+// instructions were inserted before the call (so the caller can adjust its
+// scan index past the call and its epilogue).
+func rewriteCallSite(m *ir.Module, f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func, calleePlans []rootPlan) (int, error) {
+	inserted := 0
+	insertBefore := func(in ir.Instr) *ir.Instr {
+		in.Synthetic = true
+		p := f.InsertAt(b, idx+inserted, in)
+		inserted++
+		return p
+	}
+	// Pre-call: compute A(root,k) actuals per callee aux-in spec order.
+	// Chain per root.
+	type chainKey struct {
+		param  int
+		global string
+	}
+	chains := make(map[chainKey]*ir.Value)
+	rootPtr := func(spec ir.AuxSpec) (*ir.Value, error) {
+		key := chainKey{param: spec.Root, global: spec.Global}
+		if spec.Root >= 0 {
+			if spec.Root >= len(call.Args) {
+				return nil, fmt.Errorf("call to %s: aux root %d beyond %d args", callee.Name, spec.Root, len(call.Args))
+			}
+			return call.Args[spec.Root], nil
+		}
+		if v, ok := chains[chainKey{param: -2, global: spec.Global}]; ok {
+			return v, nil
+		}
+		g := m.GlobalByName[spec.Global]
+		addr := f.NewVar("&@"+spec.Global, g.Type.Pointer())
+		ins := insertBefore(ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: spec.Global, Pos: call.Pos})
+		addr.Def = ins
+		chains[chainKey{param: -2, global: spec.Global}] = addr
+		_ = key
+		return addr, nil
+	}
+
+	var extraArgs []*ir.Value
+	for _, spec := range callee.AuxIn {
+		key := chainKey{param: spec.Root, global: spec.Global}
+		var prev *ir.Value
+		if spec.Depth == 1 {
+			var err error
+			prev, err = rootPtr(spec)
+			if err != nil {
+				return inserted, err
+			}
+		} else {
+			prev = chains[key]
+			if prev == nil {
+				return inserted, fmt.Errorf("non-contiguous aux-in specs for %s", callee.Name)
+			}
+		}
+		av := f.NewVar(auxName("A", modref.Root{Param: spec.Root, Global: spec.Global}, spec.Depth), pathType(m, callee, modref.Root{Param: spec.Root, Global: spec.Global}, spec.Depth))
+		ld := insertBefore(ir.Instr{Op: ir.OpLoad, Dst: av, Args: []*ir.Value{prev}, Pos: call.Pos})
+		av.Def = ld
+		av.Aux = true
+		extraArgs = append(extraArgs, av)
+		chains[key] = av
+	}
+	call.Args = append(call.Args, extraArgs...)
+
+	// Receivers for aux returns.
+	var recvs []*ir.Value
+	for _, spec := range callee.AuxOut {
+		cv := f.NewVar(auxName("C", modref.Root{Param: spec.Root, Global: spec.Global}, spec.Depth), pathType(m, callee, modref.Root{Param: spec.Root, Global: spec.Global}, spec.Depth))
+		cv.Def = call
+		cv.Aux = true
+		call.Dsts = append(call.Dsts, cv)
+		recvs = append(recvs, cv)
+	}
+
+	// Post-call stores: *(root,k) ← C(root,k), chained through the
+	// received values. Insert after the call.
+	after := idx + inserted + 1
+	insertAfter := func(in ir.Instr) *ir.Instr {
+		in.Synthetic = true
+		p := f.InsertAt(b, after, in)
+		after++
+		return p
+	}
+	chains = make(map[chainKey]*ir.Value)
+	for i, spec := range callee.AuxOut {
+		key := chainKey{param: spec.Root, global: spec.Global}
+		var prev *ir.Value
+		if spec.Depth == 1 {
+			if spec.Root >= 0 {
+				prev = call.Args[spec.Root]
+			} else {
+				g := m.GlobalByName[spec.Global]
+				addr := f.NewVar("&@"+spec.Global, g.Type.Pointer())
+				ins := insertAfter(ir.Instr{Op: ir.OpGlobalAddr, Dst: addr, Sub: spec.Global, Pos: call.Pos})
+				addr.Def = ins
+				prev = addr
+			}
+		} else {
+			prev = chains[key]
+			if prev == nil {
+				return inserted, fmt.Errorf("non-contiguous aux-out specs for %s", callee.Name)
+			}
+		}
+		insertAfter(ir.Instr{Op: ir.OpStore, Args: []*ir.Value{prev, recvs[i]}, Pos: call.Pos})
+		chains[key] = recvs[i]
+	}
+	return after - idx - 1, nil
+}

@@ -1,0 +1,272 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/ssa"
+)
+
+func buildTransformed(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	prog, err := minic.ParseProgram([]minic.NamedSource{{Name: "t.mc", Src: src}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Program(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	for _, f := range m.Funcs {
+		if _, err := ssa.Transform(f); err != nil {
+			t.Fatalf("ssa: %v", err)
+		}
+	}
+	mr := modref.Analyze(m)
+	if err := Apply(m, mr); err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestAuxParamInserted(t *testing.T) {
+	m := buildTransformed(t, `
+int deref(int *p) { return *p; }`)
+	f := m.ByName["deref"]
+	if len(f.AuxIn) != 1 {
+		t.Fatalf("AuxIn = %v, want one spec", f.AuxIn)
+	}
+	spec := f.AuxIn[0]
+	if spec.Root != 0 || spec.Depth != 1 {
+		t.Errorf("spec = %+v", spec)
+	}
+	// Signature has the original param plus one aux param.
+	if len(f.Params) != 2 || !f.Params[1].Aux {
+		t.Fatalf("params = %v", f.Params)
+	}
+	// Entry begins with the connector store *p <- F.
+	first := f.Entry.Instrs[0]
+	if first.Op != ir.OpStore || first.Args[1] != f.Params[1] {
+		t.Errorf("entry store missing: %s", first)
+	}
+}
+
+func TestAuxReturnInserted(t *testing.T) {
+	m := buildTransformed(t, `
+void setit(int *p) { *p = 42; }`)
+	f := m.ByName["setit"]
+	if len(f.AuxOut) != 1 {
+		t.Fatalf("AuxOut = %v", f.AuxOut)
+	}
+	ret := f.Exit.Term()
+	// void function: return args are exactly the aux returns.
+	if len(ret.Args) != 1 {
+		t.Fatalf("ret args = %v", ret.Args)
+	}
+	// The aux return is loaded from *p right before the return.
+	loadIdx := len(f.Exit.Instrs) - 2
+	ld := f.Exit.Instrs[loadIdx]
+	if ld.Op != ir.OpLoad || ld.Dst != ret.Args[0] {
+		t.Errorf("exit load missing: %s", ld)
+	}
+	// Mod implies an input connector too (value preserved on unmodified
+	// paths).
+	if len(f.AuxIn) != 1 {
+		t.Errorf("AuxIn = %v, want mirror input", f.AuxIn)
+	}
+}
+
+func TestCallSiteRewritten(t *testing.T) {
+	m := buildTransformed(t, `
+void callee(int *q) { *q = 7; }
+void caller() {
+	int *p = malloc();
+	callee(p);
+	int x = *p;
+}`)
+	caller := m.ByName["caller"]
+	var call *ir.Instr
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee == "callee" {
+				call = in
+			}
+		}
+	}
+	if call == nil {
+		t.Fatal("call not found")
+	}
+	// One aux actual appended, one aux receiver appended.
+	if len(call.Args) != 2 {
+		t.Fatalf("call args = %v", call.Args)
+	}
+	if len(call.Dsts) != 2 {
+		t.Fatalf("call dsts = %v", call.Dsts)
+	}
+	// The instruction right before the call loads the actual; right
+	// after, the receiver is stored back.
+	b := call.Block
+	pos := -1
+	for i, in := range b.Instrs {
+		if in == call {
+			pos = i
+		}
+	}
+	if b.Instrs[pos-1].Op != ir.OpLoad {
+		t.Errorf("pre-call load missing: %s", b.Instrs[pos-1])
+	}
+	if b.Instrs[pos+1].Op != ir.OpStore || b.Instrs[pos+1].Args[1] != call.Dsts[1] {
+		t.Errorf("post-call store missing: %s", b.Instrs[pos+1])
+	}
+}
+
+func TestFigure2Transformation(t *testing.T) {
+	// The paper's Figure 2: bar both reads and writes *q, qux writes *r.
+	m := buildTransformed(t, `
+void foo(int *a) {
+	int **ptr = malloc();
+	*ptr = a;
+	if (input()) {
+		bar(ptr);
+	} else {
+		qux(ptr);
+	}
+	int *f = *ptr;
+	if (input()) { sink(*f); }
+}
+void bar(int **q) {
+	int *c = malloc();
+	if (*q != null) {
+		*q = c;
+		free(c);
+	} else {
+		if (input()) { *q = source_b(); }
+	}
+}
+void qux(int **r) {
+	if (input()) { *r = source_d(); } else { *r = source_e(); }
+}`)
+	bar := m.ByName["bar"]
+	// bar reads *q (the null check) and writes *q: X and Y connectors.
+	if len(bar.AuxIn) != 1 || len(bar.AuxOut) != 1 {
+		t.Fatalf("bar connectors: in=%v out=%v", bar.AuxIn, bar.AuxOut)
+	}
+	qux := m.ByName["qux"]
+	if len(qux.AuxOut) != 1 {
+		t.Fatalf("qux connectors: out=%v", qux.AuxOut)
+	}
+	// foo's call sites are rewritten.
+	foo := m.ByName["foo"]
+	calls := 0
+	for _, b := range foo.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && (in.Callee == "bar" || in.Callee == "qux") {
+				calls++
+				if len(in.Args) < 2 && in.Callee == "bar" {
+					t.Errorf("bar call not extended: %s", in)
+				}
+				if len(in.Dsts) < 2 {
+					t.Errorf("%s call lacks aux receiver: %s", in.Callee, in)
+				}
+			}
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("found %d calls", calls)
+	}
+}
+
+func TestGlobalConnectors(t *testing.T) {
+	m := buildTransformed(t, `
+int g;
+void writer() { g = 5; }
+int reader() { return g; }
+void top() { writer(); }`)
+	w := m.ByName["writer"]
+	if len(w.AuxOut) != 1 || w.AuxOut[0].Global != "g" {
+		t.Fatalf("writer AuxOut = %v", w.AuxOut)
+	}
+	r := m.ByName["reader"]
+	if len(r.AuxIn) != 1 || r.AuxIn[0].Global != "g" {
+		t.Fatalf("reader AuxIn = %v", r.AuxIn)
+	}
+	// top's call to writer receives the aux global value and stores it
+	// back to g.
+	top := m.ByName["top"]
+	s := top.String()
+	if !strings.Contains(s, "&@g") {
+		t.Errorf("top missing global glue:\n%s", s)
+	}
+	// And top itself now Mods g, so it has an aux return for g.
+	if len(top.AuxOut) != 1 || top.AuxOut[0].Global != "g" {
+		t.Errorf("top AuxOut = %v", top.AuxOut)
+	}
+}
+
+func TestDepth2Connectors(t *testing.T) {
+	m := buildTransformed(t, `
+void f(int **pp) {
+	int *p = *pp;
+	*p = 3;
+}`)
+	f := m.ByName["f"]
+	// Depth 1 (read the pointer) and depth 2 (write the int): contiguous
+	// connectors.
+	if len(f.AuxIn) != 2 {
+		t.Fatalf("AuxIn = %v, want depths 1,2", f.AuxIn)
+	}
+	if f.AuxIn[0].Depth != 1 || f.AuxIn[1].Depth != 2 {
+		t.Errorf("AuxIn order = %v", f.AuxIn)
+	}
+	// Depth 2 modified; outputs are contiguous 1..2.
+	if len(f.AuxOut) != 2 {
+		t.Fatalf("AuxOut = %v", f.AuxOut)
+	}
+}
+
+func TestNoConnectorsForPureFunctions(t *testing.T) {
+	m := buildTransformed(t, `
+int add(int a, int b) { return a + b; }
+void caller() { int x = add(1, 2); }`)
+	f := m.ByName["add"]
+	if len(f.AuxIn)+len(f.AuxOut) != 0 {
+		t.Errorf("pure function has connectors: %v %v", f.AuxIn, f.AuxOut)
+	}
+	// Caller's call untouched.
+	caller := m.ByName["caller"]
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && len(in.Args) != 2 {
+				t.Errorf("call rewritten unnecessarily: %s", in)
+			}
+		}
+	}
+}
+
+func TestSSAPreservedAfterTransform(t *testing.T) {
+	m := buildTransformed(t, `
+void callee(int *q) { *q = 7; }
+void caller(int *p) { callee(p); callee(p); }`)
+	for _, f := range m.Funcs {
+		defs := make(map[*ir.Value]int)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, d := range in.Defs() {
+					defs[d]++
+				}
+			}
+		}
+		for v, n := range defs {
+			if n > 1 {
+				t.Errorf("%s: %s defined %d times after transform", f.Name, v, n)
+			}
+		}
+	}
+}

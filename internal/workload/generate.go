@@ -1,0 +1,508 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// GenOptions controls synthesis.
+type GenOptions struct {
+	// Scale is the number of generated source lines per paper-KLoC
+	// (default 15): relative subject sizes match the paper, absolute
+	// sizes fit the harness budget.
+	Scale int
+	// Seed perturbs the generator (default derives from the subject).
+	Seed int64
+	// Taint additionally injects the Table 2 taint workloads
+	// (path-traversal and data-transmission flows).
+	Taint bool
+}
+
+func (o GenOptions) withDefaults(s Subject) GenOptions {
+	if o.Scale == 0 {
+		o.Scale = 15
+	}
+	if o.Seed == 0 {
+		var h int64 = 1125899906842597
+		for _, c := range s.Name {
+			h = h*31 + int64(c)
+		}
+		o.Seed = h
+	}
+	return o
+}
+
+// BugSite is a ground-truth marker: the file and line of the bug's source
+// statement (the free, or the taint-source call).
+type BugSite struct {
+	File string
+	Line int
+	Kind string
+}
+
+// Truth is the generated ground truth of one subject.
+type Truth struct {
+	// TrueUAF are real use-after-free bugs (by free site).
+	TrueUAF []BugSite
+	// OpaqueUAF are flows no analysis can refute but that are not real
+	// bugs (expected Pinpoint false positives).
+	OpaqueUAF []BugSite
+	// InfeasibleTraps are free sites involved in contradictory-guard
+	// patterns; reporting one is a false positive.
+	InfeasibleTraps []BugSite
+	// TaintTrue / TaintOpaque map checker name → sites (by source call).
+	TaintTrue   map[string][]BugSite
+	TaintOpaque map[string][]BugSite
+}
+
+// IsTrueUAF reports whether a free at (file, line) is a real bug.
+func (t *Truth) IsTrueUAF(file string, line int) bool {
+	return containsSite(t.TrueUAF, file, line)
+}
+
+// IsOpaqueUAF reports whether a free at (file, line) is an expected
+// unrefutable false positive.
+func (t *Truth) IsOpaqueUAF(file string, line int) bool {
+	return containsSite(t.OpaqueUAF, file, line)
+}
+
+func containsSite(sites []BugSite, file string, line int) bool {
+	for _, s := range sites {
+		if s.File == file && s.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Generated is one synthesized subject.
+type Generated struct {
+	Subject Subject
+	Units   []minic.NamedSource
+	Lines   int
+	Truth   Truth
+}
+
+// unitWriter emits one translation unit, tracking line numbers.
+type unitWriter struct {
+	name string
+	b    strings.Builder
+	line int
+}
+
+func newUnitWriter(name string) *unitWriter {
+	return &unitWriter{name: name, line: 0}
+}
+
+// writeln emits one line and returns its 1-based line number.
+func (w *unitWriter) writeln(s string) int {
+	w.b.WriteString(s)
+	w.b.WriteByte('\n')
+	w.line++
+	return w.line
+}
+
+func (w *unitWriter) source() minic.NamedSource {
+	return minic.NamedSource{Name: w.name, Src: w.b.String()}
+}
+
+// generator tracks cross-unit state.
+type generator struct {
+	rng     *rand.Rand
+	units   []*unitWriter
+	truth   Truth
+	counter int
+	// perUnitCalls records function call statements for the unit driver.
+	perUnitCalls [][]string
+}
+
+func (g *generator) id() int {
+	g.counter++
+	return g.counter
+}
+
+func (g *generator) callLater(unit int, call string) {
+	g.perUnitCalls[unit] = append(g.perUnitCalls[unit], call)
+}
+
+// Generate synthesizes one subject.
+func Generate(s Subject, opts GenOptions) *Generated {
+	opts = opts.withDefaults(s)
+	target := s.PaperKLoC * opts.Scale
+	if target < 40 {
+		target = 40
+	}
+	nUnits := target / 400
+	if nUnits < 1 {
+		nUnits = 1
+	}
+
+	g := &generator{
+		rng:          rand.New(rand.NewSource(opts.Seed)),
+		truth:        Truth{TaintTrue: map[string][]BugSite{}, TaintOpaque: map[string][]BugSite{}},
+		perUnitCalls: make([][]string, nUnits),
+	}
+	for i := 0; i < nUnits; i++ {
+		w := newUnitWriter(fmt.Sprintf("%s_%d.mc", s.Name, i))
+		w.writeln(fmt.Sprintf("// %s unit %d (synthesized workload)", s.Name, i))
+		if i == 0 {
+			// The program-wide registry cell: a fraction of all
+			// functions store to and load from it. A flow- and
+			// context-insensitive points-to analysis conflates every
+			// participant (its value-flow graph grows quadratically in
+			// the number of users); Pinpoint's local analysis resolves
+			// each function's accesses with strong updates and stays
+			// linear. This is the generated analogue of the shared
+			// container/utility layers that make real million-line
+			// systems hostile to global points-to analysis.
+			w.writeln("int *registry_g;")
+		}
+		g.units = append(g.units, w)
+	}
+
+	// Inject ground-truth bugs and traps first, spread across units.
+	for i := 0; i < s.TrueBugs; i++ {
+		// Rotate through the six structural variants, offset per
+		// subject; subjects with several bugs always include the
+		// connector-dependent variant (the Figure 1/2 pattern).
+		variant := (i + s.PaperKLoC) % 6
+		if i == 0 && s.TrueBugs >= 2 {
+			variant = 5
+		}
+		g.emitTrueUAF(i%nUnits, variant)
+	}
+	for i := 0; i < s.OpaqueTraps; i++ {
+		g.emitOpaqueUAF((i + 1) % nUnits)
+	}
+	nTraps := target / 800
+	if nTraps < 1 {
+		nTraps = 1
+	}
+	for i := 0; i < nTraps; i++ {
+		g.emitInfeasibleTrap(i % nUnits)
+	}
+	if opts.Taint {
+		for i := 0; i < 9; i++ {
+			g.emitTaintTrue(i%nUnits, "path-traversal")
+		}
+		for i := 0; i < 2; i++ {
+			g.emitTaintOpaque(i%nUnits, "path-traversal")
+		}
+		for i := 0; i < 14; i++ {
+			g.emitTaintTrue(i%nUnits, "data-transmission")
+		}
+		for i := 0; i < 4; i++ {
+			g.emitTaintOpaque(i%nUnits, "data-transmission")
+		}
+	}
+
+	// Fill with ordinary code until the size target.
+	total := func() int {
+		n := 0
+		for _, w := range g.units {
+			n += w.line
+		}
+		return n
+	}
+	for u := 0; total() < target; u = (u + 1) % nUnits {
+		g.emitFiller(u)
+	}
+
+	// Per-unit drivers keep every function reachable.
+	ident := strings.NewReplacer("-", "_", ".", "_").Replace(s.Name)
+	for u, w := range g.units {
+		w.writeln(fmt.Sprintf("void drive_%s_%d(int seed, bool flag) {", ident, u))
+		for _, call := range g.perUnitCalls[u] {
+			w.writeln("\t" + call)
+		}
+		w.writeln("}")
+	}
+
+	out := &Generated{Subject: s, Truth: g.truth}
+	for _, w := range g.units {
+		out.Units = append(out.Units, w.source())
+		out.Lines += w.line
+	}
+	return out
+}
+
+// emitFiller writes one ordinary function. Most templates allocate, use,
+// and correctly free heap memory — precisely the pattern an orderless
+// reachability checker floods on.
+func (g *generator) emitFiller(u int) {
+	w := g.units[u]
+	k := g.id()
+	switch g.rng.Intn(7) {
+	case 6: // registry user (see the registry_g comment in unit 0)
+		w.writeln(fmt.Sprintf("int reg%d(int x) {", k))
+		w.writeln("\tint *p = malloc();")
+		w.writeln("\tregistry_g = p;")
+		w.writeln("\t*p = x;")
+		w.writeln("\tint *q = registry_g;")
+		w.writeln("\tint r = *q;")
+		w.writeln("\tfree(p);")
+		w.writeln("\treturn r;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("reg%d(seed);", k))
+	case 0: // malloc-use-free
+		w.writeln(fmt.Sprintf("int filler%d(int a, int b) {", k))
+		w.writeln("\tint *buf = malloc();")
+		w.writeln("\t*buf = a + b;")
+		w.writeln(fmt.Sprintf("\tif (a > %d) { *buf = a - b; }", g.rng.Intn(20)))
+		w.writeln("\tint y = *buf;")
+		w.writeln("\tfree(buf);")
+		w.writeln("\treturn y;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("filler%d(seed, seed + %d);", k, k%13))
+	case 1: // pure arithmetic
+		w.writeln(fmt.Sprintf("int calc%d(int n) {", k))
+		w.writeln(fmt.Sprintf("\tint s = n * %d + %d;", 1+g.rng.Intn(9), g.rng.Intn(50)))
+		w.writeln(fmt.Sprintf("\tif (s > %d) { s = s - n; } else { s = s + n; }", g.rng.Intn(100)))
+		w.writeln("\treturn s;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("calc%d(seed);", k))
+	case 2: // writer/reader pair exercising connectors
+		w.writeln(fmt.Sprintf("void put%d(int *p, int v) { *p = v; }", k))
+		w.writeln(fmt.Sprintf("int get%d(int *p) { return *p; }", k))
+		w.writeln(fmt.Sprintf("int pair%d(int x) {", k))
+		w.writeln("\tint *c = malloc();")
+		w.writeln(fmt.Sprintf("\tput%d(c, x);", k))
+		w.writeln(fmt.Sprintf("\tint r = get%d(c);", k))
+		w.writeln("\tfree(c);")
+		w.writeln("\treturn r;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("pair%d(seed);", k))
+	case 3: // conditional stores
+		w.writeln(fmt.Sprintf("int pick%d(bool c) {", k))
+		w.writeln("\tint *p = malloc();")
+		w.writeln(fmt.Sprintf("\tif (c) { *p = %d; } else { *p = %d; }", k, k+1))
+		w.writeln("\tint v = *p;")
+		w.writeln("\tfree(p);")
+		w.writeln("\treturn v;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("pick%d(flag);", k))
+	case 4: // double-pointer slot
+		w.writeln(fmt.Sprintf("int slot%d(int v) {", k))
+		w.writeln("\tint **slot = malloc();")
+		w.writeln("\tint *a = malloc();")
+		w.writeln("\t*slot = a;")
+		w.writeln("\tint *b = *slot;")
+		w.writeln("\t*b = v;")
+		w.writeln("\tint r = *a;")
+		w.writeln("\tfree(a);")
+		w.writeln("\treturn r;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("slot%d(seed);", k))
+	default: // helper chain
+		w.writeln(fmt.Sprintf("int help%d(int a) { return a + %d; }", k, k%7))
+		w.writeln(fmt.Sprintf("int chain%d(int n) {", k))
+		w.writeln(fmt.Sprintf("\tint t = help%d(n);", k))
+		w.writeln("\tint s = t * 2;")
+		w.writeln(fmt.Sprintf("\twhile (s > %d) { s = s - %d; }", 40+g.rng.Intn(60), 1+g.rng.Intn(5)))
+		w.writeln("\treturn s;")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("chain%d(seed);", k))
+	}
+}
+
+// emitTrueUAF injects a real use-after-free with the given structural
+// variant (0-5).
+func (g *generator) emitTrueUAF(u, variant int) {
+	w := g.units[u]
+	k := g.id()
+	var freeLine int
+	switch variant {
+	case 5: // through an output-parameter store (Figure 1/2 of the
+		// paper): the callee frees a pointer it also published through
+		// caller memory — invisible without the connector model.
+		freeLine = w.writeln(fmt.Sprintf("void pub%d(int **slot) { int *c = malloc(); *slot = c; free(c); }", k))
+		w.writeln(fmt.Sprintf("void bug%d() {", k))
+		w.writeln("\tint **slot = malloc();")
+		w.writeln(fmt.Sprintf("\tpub%d(slot);", k))
+		w.writeln("\tint *uu = *slot;")
+		w.writeln("\tint v = *uu;")
+		w.writeln("\tuse_val(v);")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d();", k))
+	case 0: // intra-procedural, condition-correlated
+		w.writeln(fmt.Sprintf("void bug%d(bool c) {", k))
+		w.writeln("\tint *p = malloc();")
+		freeLine = w.writeln("\tif (c) { free(p); }")
+		w.writeln("\tif (c) { int v = *p; use_val(v); }")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d(flag);", k))
+	case 1: // helper frees, same unit
+		freeLine = w.writeln(fmt.Sprintf("void rel%d(int *x) { free(x); }", k))
+		w.writeln(fmt.Sprintf("void bug%d() {", k))
+		w.writeln("\tint *p = malloc();")
+		w.writeln(fmt.Sprintf("\trel%d(p);", k))
+		w.writeln("\tint v = *p;")
+		w.writeln("\tuse_val(v);")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d();", k))
+	case 2: // cross-unit release
+		other := (u + 1) % len(g.units)
+		ow := g.units[other]
+		freeLine = ow.writeln(fmt.Sprintf("void xrel%d(int *x) { free(x); }", k))
+		g.truth.TrueUAF = append(g.truth.TrueUAF, BugSite{File: ow.name, Line: freeLine, Kind: "uaf-cross-unit"})
+		w.writeln(fmt.Sprintf("void bug%d() {", k))
+		w.writeln("\tint *p = malloc();")
+		w.writeln(fmt.Sprintf("\txrel%d(p);", k))
+		w.writeln("\tint v = *p;")
+		w.writeln("\tuse_val(v);")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d();", k))
+		return
+	case 3: // through heap memory
+		w.writeln(fmt.Sprintf("void bug%d() {", k))
+		w.writeln("\tint *c = malloc();")
+		w.writeln("\tint **slot = malloc();")
+		w.writeln("\t*slot = c;")
+		freeLine = w.writeln("\tfree(c);")
+		w.writeln("\tint *uu = *slot;")
+		w.writeln("\tint v = *uu;")
+		w.writeln("\tuse_val(v);")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d();", k))
+	default: // returned freed pointer
+		w.writeln(fmt.Sprintf("int *mk%d() {", k))
+		w.writeln("\tint *p = malloc();")
+		freeLine = w.writeln("\tfree(p);")
+		w.writeln("\treturn p;")
+		w.writeln("}")
+		w.writeln(fmt.Sprintf("void bug%d() {", k))
+		w.writeln(fmt.Sprintf("\tint *q = mk%d();", k))
+		w.writeln("\tint v = *q;")
+		w.writeln("\tuse_val(v);")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("bug%d();", k))
+	}
+	g.truth.TrueUAF = append(g.truth.TrueUAF, BugSite{File: w.name, Line: freeLine, Kind: "uaf"})
+}
+
+// emitOpaqueUAF injects a flow guarded by unrelated external conditions —
+// unrefutable, not a real bug (the residual FP class).
+func (g *generator) emitOpaqueUAF(u int) {
+	w := g.units[u]
+	k := g.id()
+	w.writeln(fmt.Sprintf("void opq%d() {", k))
+	w.writeln("\tint *p = malloc();")
+	w.writeln("\tint c1 = env_mode();")
+	w.writeln("\tint c2 = env_level();")
+	freeLine := w.writeln("\tif (c1 > 0) { free(p); }")
+	w.writeln("\tif (c2 > 0) { int v = *p; use_val(v); }")
+	w.writeln("}")
+	g.callLater(u, fmt.Sprintf("opq%d();", k))
+	g.truth.OpaqueUAF = append(g.truth.OpaqueUAF, BugSite{File: w.name, Line: freeLine, Kind: "uaf-opaque"})
+}
+
+// emitInfeasibleTrap injects complementary-guard patterns that only
+// path-sensitive analysis refutes.
+func (g *generator) emitInfeasibleTrap(u int) {
+	w := g.units[u]
+	k := g.id()
+	var freeLine int
+	if k%2 == 0 {
+		w.writeln(fmt.Sprintf("void trap%d(bool c) {", k))
+		w.writeln("\tint *p = malloc();")
+		freeLine = w.writeln("\tif (c) { free(p); }")
+		w.writeln("\tif (!c) { int v = *p; use_val(v); }")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("trap%d(flag);", k))
+	} else {
+		w.writeln(fmt.Sprintf("void trap%d(int x) {", k))
+		w.writeln("\tint *p = malloc();")
+		freeLine = w.writeln("\tif (x > 0) { free(p); }")
+		w.writeln("\tif (x < 0) { int v = *p; use_val(v); }")
+		w.writeln("}")
+		g.callLater(u, fmt.Sprintf("trap%d(seed);", k))
+	}
+	g.truth.InfeasibleTraps = append(g.truth.InfeasibleTraps, BugSite{File: w.name, Line: freeLine, Kind: "uaf-trap"})
+}
+
+// emitTaintTrue injects a real taint flow for the named checker.
+func (g *generator) emitTaintTrue(u int, checker string) {
+	w := g.units[u]
+	k := g.id()
+	var srcLine int
+	if checker == "path-traversal" {
+		switch k % 3 {
+		case 0:
+			w.writeln(fmt.Sprintf("void tnt%d() {", k))
+			srcLine = w.writeln("\tint *path = user_input();")
+			w.writeln("\topen_file(path);")
+			w.writeln("}")
+		case 1:
+			w.writeln(fmt.Sprintf("void tnt%d() {", k))
+			srcLine = w.writeln("\tint *raw = read_line();")
+			w.writeln("\tint *path = to_path(raw);")
+			w.writeln("\topen_file(path);")
+			w.writeln("}")
+		default:
+			w.writeln(fmt.Sprintf("void opn%d(int *p) { remove_file(p); }", k))
+			w.writeln(fmt.Sprintf("void tnt%d() {", k))
+			srcLine = w.writeln("\tint *path = user_input();")
+			w.writeln(fmt.Sprintf("\topn%d(path);", k))
+			w.writeln("}")
+		}
+	} else {
+		switch k % 2 {
+		case 0:
+			w.writeln(fmt.Sprintf("void tnt%d() {", k))
+			srcLine = w.writeln("\tint *sec = getpass();")
+			w.writeln("\tsend_data(sec);")
+			w.writeln("}")
+		default:
+			// The taint source sits inside the wrapper, so the marker
+			// records the wrapper line (reports point at the source
+			// call).
+			srcLine = w.writeln(fmt.Sprintf("int *wrap%d() { return read_secret(); }", k))
+			w.writeln(fmt.Sprintf("void tnt%d() {", k))
+			w.writeln(fmt.Sprintf("\tint *sec = wrap%d();", k))
+			w.writeln("\tsendto_net(sec);")
+			w.writeln("}")
+		}
+	}
+	g.callLater(u, fmt.Sprintf("tnt%d();", k))
+	site := BugSite{File: w.name, Line: srcLine, Kind: checker}
+	g.truth.TaintTrue[checker] = append(g.truth.TaintTrue[checker], site)
+}
+
+// emitTaintOpaque injects a flow that is sanitized in reality but
+// unmodeled (the taint checkers deliberately skip sanitizers, §4.1/§5.3),
+// so it is reported and counts as a false positive.
+func (g *generator) emitTaintOpaque(u int, checker string) {
+	w := g.units[u]
+	k := g.id()
+	var srcLine int
+	if checker == "path-traversal" {
+		w.writeln(fmt.Sprintf("void tfp%d() {", k))
+		srcLine = w.writeln("\tint *path = user_input();")
+		w.writeln("\tif (validate_path(path) > 0) { open_file(path); }")
+		w.writeln("}")
+	} else {
+		w.writeln(fmt.Sprintf("void tfp%d() {", k))
+		srcLine = w.writeln("\tint *sec = getpass();")
+		w.writeln("\tif (is_redacted(sec) > 0) { send_data(sec); }")
+		w.writeln("}")
+	}
+	g.callLater(u, fmt.Sprintf("tfp%d();", k))
+	site := BugSite{File: w.name, Line: srcLine, Kind: checker + "-opaque"}
+	g.truth.TaintOpaque[checker] = append(g.truth.TaintOpaque[checker], site)
+}
+
+// MatchTaint reports which injected taint site (if any) a reported source
+// position corresponds to. Markers record the exact line of the
+// taint-source call, so matching is exact.
+func (t *Truth) MatchTaint(checker, file string, line int) (isTrue, isOpaque bool) {
+	if containsSite(t.TaintTrue[checker], file, line) {
+		return true, false
+	}
+	if containsSite(t.TaintOpaque[checker], file, line) {
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// JulietCase is one generated test case of the recall suite (§5.1.2): a
+// small program containing exactly one use-after-free (or double-free)
+// that the checker must find.
+type JulietCase struct {
+	// Name identifies the case (flaw type + variant).
+	Name string
+	// FlawType is the flaw-type label (51 distinct values, mirroring the
+	// 51 CWE-416/415 flaw variants of the Juliet Test Suite).
+	FlawType string
+	// Units is the program source.
+	Units []minic.NamedSource
+	// DoubleFree marks CWE-415-style cases (second free as the sink).
+	DoubleFree bool
+}
+
+// julietControl enumerates the control-flow wrappers Juliet composes flaws
+// with. Each wraps the free and the use statements.
+type julietControl struct {
+	name string
+	// wrap emits the flawed region given the free stmt and use stmt.
+	wrap func(w *unitWriter, freeStmt, useStmt string)
+}
+
+// julietFlow enumerates data-flow shapes between allocation, free, and use.
+type julietFlow struct {
+	name string
+	// emit writes a full program containing the flaw; control wraps the
+	// temporal region.
+	emit func(w *unitWriter, ctl julietControl, variant int)
+}
+
+func stmtSeq(w *unitWriter, stmts ...string) {
+	for _, s := range stmts {
+		w.writeln(s)
+	}
+}
+
+var julietControls = []julietControl{
+	{name: "plain", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w, "\t"+freeStmt, "\t"+useStmt)
+	}},
+	{name: "if_true", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w, "\tif (true) {", "\t\t"+freeStmt, "\t}", "\t"+useStmt)
+	}},
+	{name: "if_cond_both", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w,
+			"\tif (cond > 0) {",
+			"\t\t"+freeStmt,
+			"\t\t"+useStmt,
+			"\t}")
+	}},
+	{name: "if_same_cond_twice", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w,
+			"\tif (cond > 3) {",
+			"\t\t"+freeStmt,
+			"\t}",
+			"\tif (cond > 5) {",
+			"\t\t"+useStmt,
+			"\t}")
+	}},
+	{name: "while_once", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w,
+			"\tint n = 1;",
+			"\twhile (n > 0) {",
+			"\t\t"+freeStmt,
+			"\t\tn = n - 1;",
+			"\t}",
+			"\t"+useStmt)
+	}},
+	{name: "else_branch", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w,
+			"\tif (cond < 0) {",
+			"\t\tkeep_val(cond);",
+			"\t} else {",
+			"\t\t"+freeStmt,
+			"\t}",
+			"\tif (cond >= 0) {",
+			"\t\t"+useStmt,
+			"\t}")
+	}},
+	{name: "nested_if", wrap: func(w *unitWriter, freeStmt, useStmt string) {
+		stmtSeq(w,
+			"\tif (cond > 0) {",
+			"\t\tif (cond > 1) {",
+			"\t\t\t"+freeStmt,
+			"\t\t}",
+			"\t}",
+			"\tif (cond > 2) {",
+			"\t\t"+useStmt,
+			"\t}")
+	}},
+}
+
+var julietFlows = []julietFlow{
+	{name: "direct", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		w.writeln(fmt.Sprintf("\t*data = %d;", v))
+		ctl.wrap(w, "free(data);", "int r = *data; keep_val(r);")
+		w.writeln("}")
+	}},
+	{name: "copy_alias", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		w.writeln("\tint *alias = data;")
+		ctl.wrap(w, "free(data);", "int r = *alias; keep_val(r);")
+		w.writeln("}")
+	}},
+	{name: "helper_free", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void do_free(int *x) { free(x); }")
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		ctl.wrap(w, "do_free(data);", "int r = *data; keep_val(r);")
+		w.writeln("}")
+	}},
+	{name: "helper_use", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void do_use(int *x) { int r = *x; keep_val(r); }")
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		ctl.wrap(w, "free(data);", "do_use(data);")
+		w.writeln("}")
+	}},
+	{name: "slot_memory", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		w.writeln("\tint **slot = malloc();")
+		w.writeln("\t*slot = data;")
+		ctl.wrap(w, "free(data);", "int *u = *slot; int r = *u; keep_val(r);")
+		w.writeln("}")
+	}},
+	{name: "returned_freed", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("int *make_freed(int cond) {")
+		w.writeln("\tint *p = malloc();")
+		ctl.wrap(w, "free(p);", "keep_val(cond);")
+		w.writeln("\treturn p;")
+		w.writeln("}")
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *q = make_freed(cond);")
+		w.writeln("\tint r = *q;")
+		w.writeln("\tkeep_val(r);")
+		w.writeln("}")
+	}},
+	{name: "double_free", emit: func(w *unitWriter, ctl julietControl, v int) {
+		w.writeln("void testcase(int cond) {")
+		w.writeln("\tint *data = malloc();")
+		ctl.wrap(w, "free(data);", "free(data);")
+		w.writeln("}")
+	}},
+	// cross_unit is emitted specially by JulietSuite (two files).
+}
+
+// julietTotal is the number of cases in the Juliet 1.1 UAF corpus the paper
+// uses for the recall experiment.
+const julietTotal = 1421
+
+// JulietSuite generates the recall corpus: 51 flaw types (7 control
+// wrappers × 7 data-flow shapes, plus 2 cross-unit flaw types), expanded
+// into 1421 variants total, mirroring the Juliet figures the paper reports.
+func JulietSuite() []JulietCase {
+	var flawTypes []struct {
+		name string
+		gen  func(variant int) ([]minic.NamedSource, bool)
+	}
+
+	for _, fl := range julietFlows {
+		for _, ctl := range julietControls {
+			fl, ctl := fl, ctl
+			flawTypes = append(flawTypes, struct {
+				name string
+				gen  func(variant int) ([]minic.NamedSource, bool)
+			}{
+				name: fl.name + "__" + ctl.name,
+				gen: func(variant int) ([]minic.NamedSource, bool) {
+					w := newUnitWriter("case.mc")
+					fl.emit(w, ctl, variant)
+					w.writeln(fmt.Sprintf("void driver() { testcase(%d); }", variant%7))
+					return []minic.NamedSource{w.source()}, fl.name == "double_free"
+				},
+			})
+		}
+	}
+	// Two cross-unit flaw types bring the total to 51.
+	flawTypes = append(flawTypes,
+		struct {
+			name string
+			gen  func(variant int) ([]minic.NamedSource, bool)
+		}{
+			name: "cross_unit_free",
+			gen: func(variant int) ([]minic.NamedSource, bool) {
+				lib := newUnitWriter("lib.mc")
+				lib.writeln("void lib_free(int *x) { free(x); }")
+				mainW := newUnitWriter("main.mc")
+				mainW.writeln("void testcase(int cond) {")
+				mainW.writeln("\tint *data = malloc();")
+				mainW.writeln("\tlib_free(data);")
+				mainW.writeln("\tint r = *data;")
+				mainW.writeln("\tkeep_val(r);")
+				mainW.writeln("}")
+				mainW.writeln(fmt.Sprintf("void driver() { testcase(%d); }", variant))
+				return []minic.NamedSource{lib.source(), mainW.source()}, false
+			},
+		},
+		struct {
+			name string
+			gen  func(variant int) ([]minic.NamedSource, bool)
+		}{
+			name: "cross_unit_use",
+			gen: func(variant int) ([]minic.NamedSource, bool) {
+				lib := newUnitWriter("lib.mc")
+				lib.writeln("void lib_use(int *x) { int r = *x; keep_val(r); }")
+				mainW := newUnitWriter("main.mc")
+				mainW.writeln("void testcase(int cond) {")
+				mainW.writeln("\tint *data = malloc();")
+				mainW.writeln("\tfree(data);")
+				mainW.writeln("\tlib_use(data);")
+				mainW.writeln("}")
+				mainW.writeln(fmt.Sprintf("void driver() { testcase(%d); }", variant))
+				return []minic.NamedSource{lib.source(), mainW.source()}, false
+			},
+		},
+	)
+
+	if len(flawTypes) != 51 {
+		panic(fmt.Sprintf("juliet: %d flaw types, want 51", len(flawTypes)))
+	}
+
+	var cases []JulietCase
+	for i := 0; len(cases) < julietTotal; i++ {
+		ft := flawTypes[i%len(flawTypes)]
+		variant := i / len(flawTypes)
+		units, df := ft.gen(variant)
+		cases = append(cases, JulietCase{
+			Name:       fmt.Sprintf("%s_v%02d", ft.name, variant),
+			FlawType:   ft.name,
+			Units:      units,
+			DoubleFree: df,
+		})
+	}
+	return cases
+}
+
+// FlawTypes returns the distinct flaw-type labels of the suite.
+func FlawTypes(cases []JulietCase) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range cases {
+		if !seen[c.FlawType] {
+			seen[c.FlawType] = true
+			out = append(out, c.FlawType)
+		}
+	}
+	return out
+}
+
+// String renders a case's source (diagnostics).
+func (c JulietCase) String() string {
+	var b strings.Builder
+	for _, u := range c.Units {
+		fmt.Fprintf(&b, "// --- %s ---\n%s", u.Name, u.Src)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/minic"
+)
+
+func TestSubjectsTable(t *testing.T) {
+	if len(Subjects) != 30 {
+		t.Fatalf("got %d subjects, want 30", len(Subjects))
+	}
+	spec, oss := 0, 0
+	for _, s := range Subjects {
+		switch s.Origin {
+		case "SPEC CINT2000":
+			spec++
+		case "Open Source":
+			oss++
+		default:
+			t.Errorf("unknown origin %q", s.Origin)
+		}
+	}
+	if spec != 12 || oss != 18 {
+		t.Fatalf("groups = %d SPEC / %d OSS, want 12/18", spec, oss)
+	}
+	// Total true bugs mirror the paper's 12 confirmed UAF TPs.
+	total := 0
+	for _, s := range Subjects {
+		total += s.TrueBugs
+	}
+	if total != 12 {
+		t.Errorf("total injected true bugs = %d, want 12", total)
+	}
+	if _, ok := SubjectByName("mysql"); !ok {
+		t.Error("mysql missing")
+	}
+	if len(OpenSourceSubjects()) != 18 {
+		t.Error("OpenSourceSubjects wrong")
+	}
+}
+
+func TestGenerateParsesAndScales(t *testing.T) {
+	small, _ := SubjectByName("gzip")
+	gen := Generate(small, GenOptions{Scale: 15})
+	if gen.Lines < 80 {
+		t.Fatalf("generated only %d lines", gen.Lines)
+	}
+	if _, err := minic.ParseProgram(gen.Units); err != nil {
+		t.Fatalf("generated code does not parse: %v", err)
+	}
+	// Deterministic.
+	gen2 := Generate(small, GenOptions{Scale: 15})
+	if gen2.Lines != gen.Lines || len(gen2.Units) != len(gen.Units) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range gen.Units {
+		if gen.Units[i].Src != gen2.Units[i].Src {
+			t.Fatal("unit source differs between runs")
+		}
+	}
+	// Scaling.
+	big := Generate(small, GenOptions{Scale: 40})
+	if big.Lines <= gen.Lines {
+		t.Fatal("scale has no effect")
+	}
+}
+
+func TestGeneratedGroundTruthDetected(t *testing.T) {
+	// Use a subject with bugs and traps.
+	subj, _ := SubjectByName("shadowsocks")
+	gen := Generate(subj, GenOptions{Scale: 15})
+	if len(gen.Truth.TrueUAF) != subj.TrueBugs {
+		t.Fatalf("truth has %d bugs, want %d", len(gen.Truth.TrueUAF), subj.TrueBugs)
+	}
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	reports, _ := a.Check(checkers.UseAfterFree(), detect.Options{})
+	tp, fp := 0, 0
+	for _, r := range reports {
+		switch {
+		case gen.Truth.IsTrueUAF(r.SourcePos.File, r.SourcePos.Line):
+			tp++
+		default:
+			fp++
+		}
+	}
+	if tp != subj.TrueBugs {
+		t.Errorf("detected %d/%d true bugs; reports: %v", tp, subj.TrueBugs, reports)
+	}
+	if fp != 0 {
+		t.Errorf("unexpected FPs: %d of %v", fp, reports)
+	}
+}
+
+func TestGeneratedOpaqueTrapsReported(t *testing.T) {
+	subj, _ := SubjectByName("mysql")
+	gen := Generate(subj, GenOptions{Scale: 2}) // small scale for test speed
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	reports, _ := a.Check(checkers.UseAfterFree(), detect.Options{})
+	tp, opq, other := 0, 0, 0
+	for _, r := range reports {
+		switch {
+		case gen.Truth.IsTrueUAF(r.SourcePos.File, r.SourcePos.Line):
+			tp++
+		case gen.Truth.IsOpaqueUAF(r.SourcePos.File, r.SourcePos.Line):
+			opq++
+		default:
+			other++
+		}
+	}
+	if tp != subj.TrueBugs {
+		t.Errorf("true bugs detected = %d, want %d", tp, subj.TrueBugs)
+	}
+	if opq != subj.OpaqueTraps {
+		t.Errorf("opaque traps reported = %d, want %d", opq, subj.OpaqueTraps)
+	}
+	if other != 0 {
+		t.Errorf("unexpected extra reports: %d", other)
+	}
+}
+
+func TestGeneratedTaintWorkload(t *testing.T) {
+	subj, _ := SubjectByName("mysql")
+	gen := Generate(subj, GenOptions{Scale: 2, Taint: true})
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, tc := range []struct {
+		spec     *checkers.Spec
+		wantTrue int
+		wantOpq  int
+	}{
+		{checkers.PathTraversal(), 9, 2},
+		{checkers.DataTransmission(), 14, 4},
+	} {
+		reports, _ := a.Check(tc.spec, detect.Options{})
+		tp, opq, other := 0, 0, 0
+		for _, r := range reports {
+			isTrue, isOpq := gen.Truth.MatchTaint(tc.spec.Name, r.SourcePos.File, r.SourcePos.Line)
+			switch {
+			case isTrue:
+				tp++
+			case isOpq:
+				opq++
+			default:
+				other++
+			}
+		}
+		if tp != tc.wantTrue || opq != tc.wantOpq {
+			t.Errorf("%s: tp=%d opq=%d other=%d, want %d/%d/0 (reports %d)",
+				tc.spec.Name, tp, opq, other, tc.wantTrue, tc.wantOpq, len(reports))
+		}
+	}
+}
+
+func TestJulietSuiteShape(t *testing.T) {
+	cases := JulietSuite()
+	if len(cases) != 1421 {
+		t.Fatalf("suite has %d cases, want 1421", len(cases))
+	}
+	fts := FlawTypes(cases)
+	if len(fts) != 51 {
+		t.Fatalf("suite has %d flaw types, want 51", len(fts))
+	}
+	// Every case parses.
+	for i, c := range cases {
+		if i%97 != 0 {
+			continue // sample for speed; full parse happens in the recall run
+		}
+		if _, err := minic.ParseProgram(c.Units); err != nil {
+			t.Fatalf("case %s does not parse: %v\n%s", c.Name, err, c)
+		}
+	}
+}
+
+func TestJulietSampleDetected(t *testing.T) {
+	cases := JulietSuite()
+	// One case of every flaw type must be detected (the full 1421-case
+	// recall run lives in the experiment harness).
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if seen[c.FlawType] {
+			continue
+		}
+		seen[c.FlawType] = true
+		a, err := core.BuildFromSource(c.Units, core.BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: build: %v\n%s", c.Name, err, c)
+		}
+		reports, _ := a.Check(checkers.UseAfterFree(), detect.Options{})
+		if len(reports) == 0 {
+			t.Errorf("%s: flaw not detected\n%s", c.Name, c)
+		}
+	}
+	if len(seen) != 51 {
+		t.Fatalf("sampled %d flaw types", len(seen))
+	}
+}
