@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref]
-//	         [-depth N] [-no-path-sensitivity] [-stats] file.mc...
+//	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref,memory-leak]
+//	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats] file.mc...
 //
-// Each file is one compilation unit. Exit status is 1 when any bug is
-// reported (so the tool slots into CI), 2 on usage or analysis errors.
+// Each file is one compilation unit. -checkers all selects every registered
+// checker. Exit status is 1 when any bug is reported (so the tool slots
+// into CI), 2 on usage or analysis errors.
 package main
 
 import (
@@ -24,16 +25,9 @@ import (
 	"repro/internal/minic"
 )
 
-var checkerFactories = map[string]func() *checkers.Spec{
-	"uaf":               checkers.UseAfterFree,
-	"double-free":       checkers.DoubleFree,
-	"path-traversal":    checkers.PathTraversal,
-	"data-transmission": checkers.DataTransmission,
-	"null-deref":        checkers.NullDeref,
-}
-
 func main() {
-	sel := flag.String("checkers", "uaf", "comma-separated checker list: uaf, double-free, path-traversal, data-transmission, null-deref, memory-leak")
+	sel := flag.String("checkers", "uaf", "comma-separated checker list ("+strings.Join(checkers.Names(), ", ")+"), or 'all'")
+	workers := flag.Int("workers", -1, "worker goroutines for build and detection (0/1 = sequential, negative = all CPUs)")
 	depth := flag.Int("depth", 6, "maximum nested call depth")
 	noPS := flag.Bool("no-path-sensitivity", false, "skip SMT feasibility checks (report all candidates)")
 	stats := flag.Bool("stats", false, "print engine statistics")
@@ -48,6 +42,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	var specs []*checkers.Spec
+	if strings.TrimSpace(*sel) == "all" {
+		specs = checkers.All()
+	} else {
+		picked := make(map[string]bool)
+		for _, name := range strings.Split(*sel, ",") {
+			name = strings.TrimSpace(name)
+			sp, ok := checkers.ByName(name)
+			if !ok {
+				fatal(fmt.Errorf("unknown checker %q (known: %s)", name, strings.Join(checkers.Names(), ", ")))
+			}
+			if picked[sp.Name] { // "uaf,use-after-free" names one checker, not two
+				continue
+			}
+			picked[sp.Name] = true
+			specs = append(specs, sp)
+		}
+	}
+
 	var units []minic.NamedSource
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
@@ -57,7 +70,7 @@ func main() {
 		units = append(units, minic.NamedSource{Name: path, Src: string(data)})
 	}
 
-	a, err := core.BuildFromSource(units, core.BuildOptions{})
+	a, err := core.BuildFromSource(units, core.BuildOptions{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -82,94 +95,50 @@ func main() {
 		return
 	}
 
-	opts := detect.Options{
+	res := a.CheckAll(specs, detect.Options{
 		MaxCallDepth:           *depth,
 		DisablePathSensitivity: *noPS,
-	}
-	total := 0
-	var jsonReports []jsonReport
-	for _, name := range strings.Split(*sel, ",") {
-		name = strings.TrimSpace(name)
-		if name == "memory-leak" {
-			reports, st := detect.FindLeaks(a.Prog, opts)
-			for _, r := range reports {
-				if *format == "json" {
-					jsonReports = append(jsonReports, jsonReport{
-						Checker: "memory-leak", Kind: r.Kind.String(),
-						SourceFile: r.Pos.File, SourceLine: r.Pos.Line,
-						SourceFunc: r.Fn, Witness: r.Witness,
-					})
-					continue
-				}
-				fmt.Println(r)
-				if *witness && len(r.Witness) > 0 {
-					fmt.Printf("    leaks when: %s\n", strings.Join(r.Witness, ", "))
-				}
-			}
-			total += len(reports)
-			if *stats {
-				fmt.Fprintf(os.Stderr, "pinpoint: memory-leak: %d allocations, %d escaped, %d SMT queries\n",
-					st.Allocs, st.Escaped, st.SMTQueries)
-			}
-			continue
-		}
-		mk, ok := checkerFactories[name]
-		if !ok {
-			fatal(fmt.Errorf("unknown checker %q", name))
-		}
-		reports, st := a.Check(mk(), opts)
-		for _, r := range reports {
-			if *format == "json" {
-				jsonReports = append(jsonReports, jsonReport{
-					Checker:    r.Checker,
-					SourceFile: r.SourcePos.File, SourceLine: r.SourcePos.Line,
-					SourceFunc: r.SourceFn,
-					SinkFile:   r.SinkPos.File, SinkLine: r.SinkPos.Line,
-					SinkFunc: r.SinkFn,
-					PathLen:  r.PathLen, Contexts: r.Contexts,
-					Witness: r.Witness,
-				})
-				continue
-			}
-			fmt.Println(r)
-			if *witness && len(r.Witness) > 0 {
-				fmt.Printf("    trigger: %s\n", strings.Join(r.Witness, ", "))
-			}
-		}
-		total += len(reports)
-		if *stats {
-			fmt.Fprintf(os.Stderr, "pinpoint: %s: %d sources, %d candidates, %d SMT queries (%d sat/%d unsat), %s solving\n",
-				name, st.Sources, st.Candidates, st.SMTQueries, st.SMTSat, st.SMTUnsat, st.SMTTime)
-		}
-	}
+		Workers:                *workers,
+	})
+
 	if *format == "json" {
+		jsonReports := make([]detect.JSONReport, 0, len(res.Reports))
+		for _, r := range res.Reports {
+			jsonReports = append(jsonReports, r.ToJSON())
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if jsonReports == nil {
-			jsonReports = []jsonReport{}
-		}
 		if err := enc.Encode(jsonReports); err != nil {
 			fatal(err)
 		}
+	} else {
+		for _, r := range res.Reports {
+			fmt.Println(r)
+			if *witness && len(r.Witness) > 0 {
+				label := "trigger"
+				if r.Kind != "" {
+					label = "leaks when"
+				}
+				fmt.Printf("    %s: %s\n", label, strings.Join(r.Witness, ", "))
+			}
+		}
 	}
-	if total > 0 {
+	if *stats {
+		for _, cs := range res.Checkers {
+			st := cs.Stats
+			if st.Escaped > 0 || cs.Checker == "memory-leak" {
+				fmt.Fprintf(os.Stderr, "pinpoint: %s: %d allocations, %d escaped, %d SMT queries\n",
+					cs.Checker, st.Sources, st.Escaped, st.SMTQueries)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "pinpoint: %s: %d sources, %d candidates, %d SMT queries (%d sat/%d unsat), %s solving\n",
+				cs.Checker, st.Sources, st.Candidates, st.SMTQueries, st.SMTSat, st.SMTUnsat, st.SMTTime)
+		}
+		fmt.Fprintf(os.Stderr, "pinpoint: detection: %d workers, %s wall\n", res.Workers, res.Wall)
+	}
+	if len(res.Reports) > 0 {
 		os.Exit(1)
 	}
-}
-
-// jsonReport is the machine-readable report shape emitted by -format json.
-type jsonReport struct {
-	Checker    string   `json:"checker"`
-	Kind       string   `json:"kind,omitempty"`
-	SourceFile string   `json:"sourceFile"`
-	SourceLine int      `json:"sourceLine"`
-	SourceFunc string   `json:"sourceFunc"`
-	SinkFile   string   `json:"sinkFile,omitempty"`
-	SinkLine   int      `json:"sinkLine,omitempty"`
-	SinkFunc   string   `json:"sinkFunc,omitempty"`
-	PathLen    int      `json:"pathLen,omitempty"`
-	Contexts   int      `json:"contexts,omitempty"`
-	Witness    []string `json:"witness,omitempty"`
 }
 
 func fatal(err error) {

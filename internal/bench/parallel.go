@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/workload"
+)
+
+// Detection-scheduler scaling experiment: how does detection wall-clock
+// change with the worker-pool size? The detection phase is embarrassingly
+// parallel across demand sources, so the curve should approach linear
+// speedup until sources run out or memory bandwidth saturates.
+
+// DetectScalingRow is one worker-count measurement.
+type DetectScalingRow struct {
+	Workers int
+	Wall    time.Duration
+	// Speedup is Wall(1 worker) / Wall.
+	Speedup float64
+}
+
+// DetectScaling is the result of one scaling sweep.
+type DetectScaling struct {
+	Subject string
+	Lines   int
+	Reports int
+	Rows    []DetectScalingRow
+}
+
+// MeasureDetectScaling generates a workload subject, builds it once, and
+// times CheckAll over every checker at each worker count. The report sets
+// are verified identical across worker counts (the scheduler's determinism
+// guarantee) before timings are returned.
+func MeasureDetectScaling(subj workload.Subject, scale int, workerCounts []int) (*DetectScaling, error) {
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+	if err != nil {
+		return nil, err
+	}
+	specs := checkers.All()
+
+	out := &DetectScaling{Subject: subj.Name, Lines: gen.Lines}
+	var baseline time.Duration
+	var baseReports []detect.Report
+	for i, w := range workerCounts {
+		res := a.CheckAll(specs, detect.Options{Workers: w})
+		if i == 0 {
+			baseline = res.Wall
+			baseReports = res.Reports
+			out.Reports = len(res.Reports)
+		} else if len(res.Reports) != len(baseReports) {
+			return nil, fmt.Errorf("workers=%d: %d reports, workers=%d: %d reports — scheduler nondeterminism",
+				workerCounts[0], len(baseReports), w, len(res.Reports))
+		}
+		row := DetectScalingRow{Workers: res.Workers, Wall: res.Wall}
+		if res.Wall > 0 {
+			row.Speedup = float64(baseline) / float64(res.Wall)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

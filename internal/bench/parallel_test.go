@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/workload"
+)
+
+func TestMeasureDetectScaling(t *testing.T) {
+	subj := workload.Subject{Name: "scaling-smoke", PaperKLoC: 20, TrueBugs: 3, OpaqueTraps: 2}
+	ds, err := MeasureDetectScaling(subj, 10, []int{1, runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ds.Rows))
+	}
+	if ds.Rows[0].Workers != 1 {
+		t.Fatalf("first row workers = %d", ds.Rows[0].Workers)
+	}
+	if ds.Reports == 0 {
+		t.Fatal("scaling subject produced no reports")
+	}
+}
+
+// BenchmarkCheckAll measures detection wall-clock at several worker counts
+// on one prebuilt workload subject. Run with:
+//
+//	go test -bench CheckAll -benchtime 3x ./internal/bench
+func BenchmarkCheckAll(b *testing.B) {
+	subj := workload.Subject{Name: "bench-detect", PaperKLoC: 120, TrueBugs: 8, OpaqueTraps: 6}
+	gen := workload.Generate(subj, workload.GenOptions{Taint: true})
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := checkers.All()
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := a.CheckAll(specs, detect.Options{Workers: w})
+				if len(res.Reports) == 0 {
+					b.Fatal("no reports")
+				}
+			}
+		})
+	}
+}

@@ -30,10 +30,31 @@ type Source struct {
 	Cond *cond.Cond
 }
 
+// Kind discriminates how the detection engine interprets a spec.
+type Kind uint8
+
+const (
+	// KindSourceSink is the standard must-not-flow property: a value from
+	// a source vertex must not reach a sink vertex. The zero value, so
+	// plain source–sink specs need not set it.
+	KindSourceSink Kind = iota
+	// KindUnreleased is the dual "absence of a flow" property (memory
+	// leaks): an allocation must reach a release on every feasible path.
+	// Specs of this kind carry no LocalSources/IsSink; the engine runs
+	// its unreleased-resource checker instead.
+	//
+	// The registry dispatches on Kind rather than attaching a Run closure
+	// to each entry: a closure would need the detect package's Program
+	// and Options types, and detect already imports checkers.
+	KindUnreleased
+)
+
 // Spec is a checker definition.
 type Spec struct {
 	// Name identifies the checker in reports.
 	Name string
+	// Kind selects the engine interpretation (source–sink by default).
+	Kind Kind
 	// LocalSources extracts the sources of one function's SEG.
 	LocalSources func(g *seg.Graph) []Source
 	// IsSink reports whether a use vertex consumes the dangerous value.
@@ -193,6 +214,17 @@ func DataTransmission() *Spec {
 		PropagateCalls: map[string]bool{
 			"str_copy": true, "str_cat": true, "encode_buf": true,
 		},
+	}
+}
+
+// MemoryLeak reports allocations that fail to reach a free on some feasible
+// path (Fastcheck/Saber-style, cited in §1 of the paper). It is the one
+// non-source–sink checker: the engine dispatches on Kind and runs the
+// path-sensitive unreleased-resource analysis of package detect.
+func MemoryLeak() *Spec {
+	return &Spec{
+		Name: "memory-leak",
+		Kind: KindUnreleased,
 	}
 }
 

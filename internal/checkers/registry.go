@@ -1,0 +1,54 @@
+package checkers
+
+// The checker registry: one place that knows every detector, so frontends
+// (cmd/pinpoint, benchmarks, examples) select checkers by name instead of
+// hard-coding factory maps and special cases.
+
+// registry lists every checker factory with its canonical name and the CLI
+// aliases it answers to. Order is the canonical enumeration order of All.
+var registry = []struct {
+	name    string
+	aliases []string
+	make    func() *Spec
+}{
+	{name: "use-after-free", aliases: []string{"uaf"}, make: UseAfterFree},
+	{name: "double-free", make: DoubleFree},
+	{name: "path-traversal", make: PathTraversal},
+	{name: "data-transmission", make: DataTransmission},
+	{name: "null-deref", make: NullDeref},
+	{name: "memory-leak", make: MemoryLeak},
+}
+
+// All returns a fresh spec for every registered checker, in a fixed order.
+func All() []*Spec {
+	out := make([]*Spec, len(registry))
+	for i, e := range registry {
+		out[i] = e.make()
+	}
+	return out
+}
+
+// ByName returns a fresh spec for the checker with the given canonical name
+// or alias. The second result is false for unknown names.
+func ByName(name string) (*Spec, bool) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.make(), true
+		}
+		for _, a := range e.aliases {
+			if a == name {
+				return e.make(), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Names returns the canonical checker names in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}

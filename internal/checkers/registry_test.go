@@ -1,0 +1,53 @@
+package checkers
+
+import "testing"
+
+func TestRegistryAll(t *testing.T) {
+	all := All()
+	if len(all) != len(Names()) {
+		t.Fatalf("All returned %d specs, Names %d", len(all), len(Names()))
+	}
+	seen := map[string]bool{}
+	for i, sp := range all {
+		if sp.Name != Names()[i] {
+			t.Errorf("All()[%d].Name = %q, Names()[%d] = %q", i, sp.Name, i, Names()[i])
+		}
+		if seen[sp.Name] {
+			t.Errorf("duplicate checker name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Kind == KindSourceSink && sp.LocalSources == nil {
+			t.Errorf("%s: source–sink checker without LocalSources", sp.Name)
+		}
+	}
+	if !seen["memory-leak"] {
+		t.Error("memory-leak missing from registry")
+	}
+}
+
+func TestRegistryByName(t *testing.T) {
+	for _, name := range Names() {
+		sp, ok := ByName(name)
+		if !ok || sp.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, sp, ok)
+		}
+	}
+	// CLI alias.
+	sp, ok := ByName("uaf")
+	if !ok || sp.Name != "use-after-free" {
+		t.Errorf("ByName(uaf) = %v, %v", sp, ok)
+	}
+	if _, ok := ByName("no-such-checker"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+	if lk, ok := ByName("memory-leak"); !ok || lk.Kind != KindUnreleased {
+		t.Errorf("memory-leak spec = %+v, %v; want KindUnreleased", lk, ok)
+	}
+	// Fresh specs each call: mutating one must not leak into the next.
+	a, _ := ByName("path-traversal")
+	a.SanitizerCalls = map[string]bool{"x": true}
+	b, _ := ByName("path-traversal")
+	if b.SanitizerCalls != nil {
+		t.Error("ByName returned a shared spec instance")
+	}
+}

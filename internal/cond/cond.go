@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Kind discriminates the node forms of a condition DAG.
@@ -107,9 +108,13 @@ func (c *Cond) write(b *strings.Builder) {
 	}
 }
 
-// Builder hash-conses condition nodes. It is not safe for concurrent use;
-// each analysis pipeline owns one Builder.
+// Builder hash-conses condition nodes. A mutex guards the intern tables, so
+// a Builder may be shared by concurrent readers and writers (the parallel
+// detection scheduler conjoins conditions from many worker goroutines);
+// node identity is stable because every structural key maps to exactly one
+// node for the Builder's lifetime.
 type Builder struct {
+	mu     sync.Mutex
 	trueC  *Cond
 	falseC *Cond
 	atoms  map[int]*Cond
@@ -138,7 +143,11 @@ func (b *Builder) newNode(k Kind, atom int, ops []*Cond) *Cond {
 
 // NumNodes returns the number of distinct nodes created so far. The bench
 // harness uses it as a deterministic size/memory proxy.
-func (b *Builder) NumNodes() int { return b.nextID }
+func (b *Builder) NumNodes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextID
+}
 
 // True returns the constant true condition.
 func (b *Builder) True() *Cond { return b.trueC }
@@ -148,6 +157,8 @@ func (b *Builder) False() *Cond { return b.falseC }
 
 // Atom returns the (hash-consed) atom with the given ID.
 func (b *Builder) Atom(id int) *Cond {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if c, ok := b.atoms[id]; ok {
 		return c
 	}
@@ -167,6 +178,8 @@ func (b *Builder) Not(c *Cond) *Cond {
 	case KNot:
 		return c.ops[0]
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if n, ok := b.nots[c.id]; ok {
 		return n
 	}
@@ -194,6 +207,8 @@ func (b *Builder) Implies(a, c *Cond) *Cond {
 }
 
 func (b *Builder) buildNary(k Kind, cs []*Cond) *Cond {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	// Identity and absorbing elements.
 	unit, zero := b.trueC, b.falseC
 	if k == KOr {

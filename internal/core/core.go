@@ -46,9 +46,10 @@ type BuildOptions struct {
 	// Workers runs the per-function stages (SSA conversion, points-to
 	// analysis, SEG construction) concurrently on that many goroutines.
 	// 0 or 1 means sequential; negative means GOMAXPROCS. Everything the
-	// paper's design makes function-local parallelizes trivially — the
-	// cross-function stages (Mod/Ref, connectors, detection) stay
-	// sequential.
+	// paper's design makes function-local parallelizes trivially — of the
+	// cross-function stages only Mod/Ref and connectors stay sequential;
+	// detection parallelizes per demand source via detect.Options.Workers
+	// (see Analysis.CheckAll).
 	Workers int
 }
 
@@ -197,10 +198,20 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 	return a, nil
 }
 
-// Check runs one checker over the analysis.
+// Check runs one checker over the analysis sequentially. CheckAll is the
+// preferred entry point; Check remains for baselines and ablations that
+// want the single-engine code path.
 func (a *Analysis) Check(spec *checkers.Spec, opts detect.Options) ([]detect.Report, detect.Stats) {
 	eng := detect.NewEngine(a.Prog, spec, opts)
 	return eng.Run()
+}
+
+// CheckAll runs every given checker over the analysis on the parallel
+// detection scheduler (opts.Workers goroutines; 0/1 = sequential, negative
+// = GOMAXPROCS). Reports come back sorted by (checker, source position,
+// sink position) and are identical at every worker count.
+func (a *Analysis) CheckAll(specs []*checkers.Spec, opts detect.Options) detect.Results {
+	return detect.CheckAll(a.Prog, specs, opts)
 }
 
 // forEachFunc applies fn to every function, on `workers` goroutines when

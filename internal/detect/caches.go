@@ -1,0 +1,108 @@
+package detect
+
+import (
+	"sync"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/seg"
+	"repro/internal/summary"
+)
+
+// caches holds the detection-phase artifacts that are expensive to build
+// and profitable to share across demand sources: memoized local flow
+// summaries, per-function linear solvers, and per-graph reverse adjacency.
+//
+// The outer maps are fully populated at construction and never written
+// again, so workers index them without synchronization; mutation happens
+// only inside the per-entry locks (flow tables and linear solvers memoize
+// on demand) or under a sync.Once (reverse indexes are built at most once).
+// Because every memoized result is a pure function of the frozen program,
+// the cache contents — and everything derived from them — are independent
+// of worker interleaving.
+type caches struct {
+	prog  *Program
+	flows map[*seg.Graph]*flowTable
+	lin   map[*ir.Func]*linearCache
+	rev   map[*seg.Graph]*revEntry
+}
+
+type flowTable struct {
+	mu sync.Mutex
+	t  *summary.Table
+}
+
+type linearCache struct {
+	mu sync.Mutex
+	ls *cond.LinearSolver
+}
+
+type revEntry struct {
+	once sync.Once
+	r    map[*seg.Node][]*seg.Node
+}
+
+func newCaches(prog *Program) *caches {
+	c := &caches{
+		prog:  prog,
+		flows: make(map[*seg.Graph]*flowTable, len(prog.SEGs)),
+		lin:   make(map[*ir.Func]*linearCache, len(prog.SEGs)),
+		rev:   make(map[*seg.Graph]*revEntry, len(prog.SEGs)),
+	}
+	for f, g := range prog.SEGs {
+		if g == nil {
+			continue
+		}
+		c.flows[g] = &flowTable{t: summary.NewTable()}
+		c.lin[f] = &linearCache{ls: cond.NewLinearSolver()}
+		c.rev[g] = &revEntry{}
+	}
+	return c
+}
+
+// flowsFrom enumerates (memoized) local flows from a vertex. Local flows
+// never leave their graph, so one lock per graph suffices and independent
+// functions proceed in parallel.
+func (c *caches) flowsFrom(g *seg.Graph, from *seg.Node) []summary.Flow {
+	ft := c.flows[g]
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.t.FlowsFrom(g, from)
+}
+
+// apparentlyUnsat runs the linear contradiction filter of fn's solver.
+func (c *caches) apparentlyUnsat(fn *ir.Func, co *cond.Cond) bool {
+	lc := c.lin[fn]
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.ls.ApparentlyUnsat(co)
+}
+
+// reverse returns the value-node reverse adjacency of a graph, built on
+// first use.
+func (c *caches) reverse(g *seg.Graph) map[*seg.Node][]*seg.Node {
+	re := c.rev[g]
+	re.once.Do(func() {
+		r := make(map[*seg.Node][]*seg.Node)
+		for _, n := range g.AllNodes() {
+			for _, edge := range g.Succs(n) {
+				r[edge.To] = append(r[edge.To], n)
+			}
+		}
+		re.r = r
+	})
+	return re.r
+}
+
+// capHits sums the summary-table truncation counters across all graphs.
+// Truncation is decided by the (deterministic) enumeration of each vertex,
+// so the total does not depend on scheduling.
+func (c *caches) capHits() int {
+	total := 0
+	for _, ft := range c.flows {
+		ft.mu.Lock()
+		total += ft.t.CapHits
+		ft.mu.Unlock()
+	}
+	return total
+}

@@ -57,8 +57,16 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 	}
 
 	// Per-instance accumulated conditions (edge labels + CDs collected
-	// during the search) plus their DD closures.
-	for inst, ic := range c.conds {
+	// during the search) plus their DD closures. Instances are asserted in
+	// ascending order: the assertion order fixes CNF variable numbering and
+	// hence the SAT search, keeping witnesses reproducible run to run.
+	insts := make([]int, 0, len(c.conds))
+	for inst := range c.conds {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
+	for _, inst := range insts {
+		ic := c.conds[inst]
 		enc.assertCond(inst, ic.fn, ic.cond)
 	}
 

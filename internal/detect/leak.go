@@ -69,13 +69,7 @@ type LeakStats struct {
 // FindLeaks scans every allocation site of the program.
 func FindLeaks(prog *Program, opts Options) ([]LeakReport, LeakStats) {
 	opts = opts.withDefaults()
-	lc := &leakChecker{
-		prog:  prog,
-		opts:  opts,
-		flows: summary.NewTable(),
-		frees: make(map[*ir.Func]map[int]bool),
-	}
-	lc.computeFreesParam()
+	lc := newLeakChecker(prog, opts, newCaches(prog))
 
 	var reports []LeakReport
 	var stats LeakStats
@@ -104,12 +98,26 @@ func FindLeaks(prog *Program, opts Options) ([]LeakReport, LeakStats) {
 }
 
 type leakChecker struct {
-	prog  *Program
-	opts  Options
-	flows *summary.Table
+	prog   *Program
+	opts   Options
+	caches *caches
 	// frees[f][i] reports that f (transitively) may free its i-th
 	// parameter.
 	frees map[*ir.Func]map[int]bool
+}
+
+// newLeakChecker builds the checker and runs its whole-program fixpoint.
+// The frees relation is read-only afterwards, so the checker can serve
+// concurrent per-allocation queries (checkAlloc) against shared caches.
+func newLeakChecker(prog *Program, opts Options, c *caches) *leakChecker {
+	lc := &leakChecker{
+		prog:   prog,
+		opts:   opts,
+		caches: c,
+		frees:  make(map[*ir.Func]map[int]bool),
+	}
+	lc.computeFreesParam()
+	return lc
 }
 
 // computeFreesParam builds the transitive may-free-parameter relation by
@@ -140,7 +148,7 @@ func (lc *leakChecker) computeFreesParam() {
 }
 
 func (lc *leakChecker) paramMayFree(g *seg.Graph, p *ir.Value) bool {
-	for _, fl := range lc.flows.FlowsFrom(g, g.ValueNode(p)) {
+	for _, fl := range lc.caches.flowsFrom(g, g.ValueNode(p)) {
 		term := fl.Terminal()
 		switch term.Role {
 		case seg.RoleFreeArg:
@@ -165,7 +173,7 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 	var frees []reachedFree
 	escaped := false
 
-	for _, fl := range lc.flows.FlowsFrom(g, g.ValueNode(alloc.Dst)) {
+	for _, fl := range lc.caches.flowsFrom(g, g.ValueNode(alloc.Dst)) {
 		term := fl.Terminal()
 		switch term.Role {
 		case seg.RoleFreeArg:

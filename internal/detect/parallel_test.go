@@ -1,0 +1,201 @@
+package detect_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/workload"
+)
+
+// buildWorkloadSubject synthesizes a mid-size subject with UAF, taint, and
+// leak flows and builds the full analysis for it.
+func buildWorkloadSubject(t testing.TB) *core.Analysis {
+	t.Helper()
+	subj := workload.Subject{
+		Name: "sched-test", Origin: "synthetic", PaperKLoC: 60,
+		TrueBugs: 6, OpaqueTraps: 4,
+	}
+	gen := workload.Generate(subj, workload.GenOptions{Taint: true})
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return a
+}
+
+// zeroTimings clears the wall-clock fields so stats compare structurally.
+func zeroTimings(rs *detect.Results) {
+	rs.Wall = 0
+	rs.Workers = 0
+	for i := range rs.Checkers {
+		rs.Checkers[i].Stats.SMTTime = 0
+	}
+}
+
+// TestCheckAllParallelMatchesSequential is the headline determinism
+// guarantee: with Workers = GOMAXPROCS the sorted reports — including SMT
+// witnesses — and the merged stats are identical to the sequential run.
+// Running under -race additionally exercises the shared-cache locking.
+func TestCheckAllParallelMatchesSequential(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	specs := checkers.All()
+
+	seq := a.CheckAll(specs, detect.Options{Workers: 1})
+	zeroTimings(&seq)
+	if len(seq.Reports) == 0 {
+		t.Fatal("workload subject produced no reports; test is vacuous")
+	}
+
+	for _, w := range []int{2, runtime.GOMAXPROCS(0), -1} {
+		par := a.CheckAll(specs, detect.Options{Workers: w})
+		zeroTimings(&par)
+		if !reflect.DeepEqual(seq.Reports, par.Reports) {
+			t.Fatalf("workers=%d: reports differ from sequential run\nseq: %v\npar: %v",
+				w, seq.Reports, par.Reports)
+		}
+		if !reflect.DeepEqual(seq.Checkers, par.Checkers) {
+			t.Fatalf("workers=%d: stats differ from sequential run\nseq: %+v\npar: %+v",
+				w, seq.Checkers, par.Checkers)
+		}
+		if seq.SummaryCapHits != par.SummaryCapHits {
+			t.Fatalf("workers=%d: cap hits differ: %d vs %d", w, seq.SummaryCapHits, par.SummaryCapHits)
+		}
+	}
+}
+
+// TestCheckAllRepeatable runs the parallel scheduler twice and demands
+// byte-identical output — catching any schedule-dependent state leaking
+// into reports (witnesses are the sensitive part).
+func TestCheckAllRepeatable(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	specs := checkers.All()
+	first := a.CheckAll(specs, detect.Options{Workers: -1})
+	zeroTimings(&first)
+	for i := 0; i < 2; i++ {
+		again := a.CheckAll(specs, detect.Options{Workers: -1})
+		zeroTimings(&again)
+		if !reflect.DeepEqual(first.Reports, again.Reports) {
+			t.Fatalf("run %d: parallel reports not repeatable", i+2)
+		}
+	}
+}
+
+// TestCheckAllMatchesSingleEngine pins the scheduler to the legacy
+// sequential engine: for each source–sink checker, CheckAll's reports and
+// stats must equal Analysis.Check modulo the canonical sort.
+func TestCheckAllMatchesSingleEngine(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	for _, sp := range checkers.All() {
+		res := a.CheckAll([]*checkers.Spec{sp}, detect.Options{Workers: -1})
+		legacy, legacyStats := a.Check(sp, detect.Options{})
+		detect.SortReports(legacy)
+		if !reflect.DeepEqual(legacy, res.Reports) {
+			t.Errorf("%s: CheckAll reports != sequential engine reports\nengine: %v\nsched:  %v",
+				sp.Name, legacy, res.Reports)
+		}
+		st := res.Checkers[0].Stats
+		st.SMTTime = 0
+		legacyStats.SMTTime = 0
+		// The single engine reads cap hits from its private cache; the
+		// scheduler reports them at the Results level.
+		st.SummaryCapHits = legacyStats.SummaryCapHits
+		if st != legacyStats {
+			t.Errorf("%s: CheckAll stats != sequential engine stats\nengine: %+v\nsched:  %+v",
+				sp.Name, legacyStats, st)
+		}
+	}
+}
+
+// TestCheckAllLeakMatchesFindLeaks pins the unified memory-leak path to the
+// legacy FindLeaks API.
+func TestCheckAllLeakMatchesFindLeaks(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	res := a.CheckAll([]*checkers.Spec{checkers.MemoryLeak()}, detect.Options{Workers: -1})
+	legacy, legacyStats := detect.FindLeaks(a.Prog, detect.Options{})
+	if len(res.Reports) != len(legacy) {
+		t.Fatalf("report count: CheckAll %d, FindLeaks %d", len(res.Reports), len(legacy))
+	}
+	st := res.Checkers[0].Stats
+	if st.Sources != legacyStats.Allocs || st.Escaped != legacyStats.Escaped || st.SMTQueries != legacyStats.SMTQueries {
+		t.Fatalf("stats: CheckAll %+v, FindLeaks %+v", st, legacyStats)
+	}
+	// FindLeaks reports in module order; CheckAll sorts by source position.
+	// Match them up by allocation instruction.
+	byAlloc := make(map[interface{}]detect.LeakReport, len(legacy))
+	for _, lr := range legacy {
+		byAlloc[lr.Alloc] = lr
+	}
+	for _, r := range res.Reports {
+		lr, ok := byAlloc[r.Source]
+		if !ok {
+			t.Fatalf("CheckAll reported alloc at %s not reported by FindLeaks", r.SourcePos)
+		}
+		if r.Kind != lr.Kind.String() || r.SourceFn != lr.Fn || r.SourcePos != lr.Pos ||
+			!reflect.DeepEqual(r.Witness, lr.Witness) {
+			t.Fatalf("leak report mismatch at %s:\nCheckAll: %+v\nFindLeaks: %+v", r.SourcePos, r, lr)
+		}
+	}
+}
+
+// TestCheckAllAllEqualsEachIndividually is the -checkers all regression:
+// running every checker in one CheckAll call produces exactly the union of
+// running each checker alone.
+func TestCheckAllAllEqualsEachIndividually(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	all := a.CheckAll(checkers.All(), detect.Options{Workers: -1})
+	var union []detect.Report
+	for _, sp := range checkers.All() {
+		one := a.CheckAll([]*checkers.Spec{sp}, detect.Options{Workers: -1})
+		union = append(union, one.Reports...)
+	}
+	detect.SortReports(union)
+	if !reflect.DeepEqual(all.Reports, union) {
+		t.Fatalf("-checkers all != union of individual runs\nall:   %v\nunion: %v", all.Reports, union)
+	}
+}
+
+// TestCheckAllReportCap checks MaxReportsPerChecker keeps the sequential
+// cap semantics under parallel execution.
+func TestCheckAllReportCap(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	spec := checkers.UseAfterFree()
+	full := a.CheckAll([]*checkers.Spec{spec}, detect.Options{Workers: -1})
+	if len(full.Reports) < 2 {
+		t.Skip("need at least 2 UAF reports to exercise the cap")
+	}
+	capped := a.CheckAll([]*checkers.Spec{spec}, detect.Options{Workers: -1, MaxReportsPerChecker: 1})
+	seqCapped := a.CheckAll([]*checkers.Spec{spec}, detect.Options{Workers: 1, MaxReportsPerChecker: 1})
+	if len(capped.Reports) != 1 {
+		t.Fatalf("cap=1 returned %d reports", len(capped.Reports))
+	}
+	if !reflect.DeepEqual(capped.Reports, seqCapped.Reports) {
+		t.Fatalf("capped parallel != capped sequential")
+	}
+}
+
+// TestJSONReportShape checks the exported schema round-trips the fields the
+// CLI used to emit.
+func TestJSONReportShape(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	res := a.CheckAll(checkers.All(), detect.Options{Workers: -1})
+	for _, r := range res.Reports {
+		j := r.ToJSON()
+		if j.Checker != r.Checker || j.SourceFile != r.SourcePos.File || j.SourceLine != r.SourcePos.Line {
+			t.Fatalf("ToJSON dropped source fields: %+v from %+v", j, r)
+		}
+		if r.Sink == nil {
+			if j.SinkFile != "" || j.PathLen != 0 {
+				t.Fatalf("leak report leaked sink fields: %+v", j)
+			}
+			if j.Kind == "" {
+				t.Fatalf("leak report missing kind: %+v", j)
+			}
+		} else if j.SinkFile != r.SinkPos.File || j.SinkLine != r.SinkPos.Line {
+			t.Fatalf("ToJSON dropped sink fields: %+v from %+v", j, r)
+		}
+	}
+}

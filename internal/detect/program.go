@@ -100,6 +100,10 @@ type Options struct {
 	// pre-filter on accumulated path conditions, sending every candidate
 	// to the SMT solver (the §3.1.1 ablation).
 	DisableLinearFilter bool
+	// Workers sets the detection worker-pool size used by CheckAll: 0 or
+	// 1 runs sequentially, negative selects GOMAXPROCS. The reported
+	// results are identical at every setting; only wall-clock changes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,9 +125,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Report is one warning.
+// Report is one warning. Source–sink checkers fill the sink fields; the
+// unreleased-resource (memory-leak) checker leaves Sink nil and sets Kind.
 type Report struct {
-	Checker   string
+	Checker string
+	// Kind sub-classifies reports of checkers that distinguish flavors
+	// (memory-leak: "never-freed" / "conditionally-freed"); empty for
+	// plain source–sink reports.
+	Kind      string
 	SourceFn  string
 	SinkFn    string
 	SourcePos minic.Pos
@@ -144,6 +153,9 @@ type Report struct {
 }
 
 func (r Report) String() string {
+	if r.Sink == nil && r.Kind != "" {
+		return fmt.Sprintf("[%s] allocation at %s (%s) is %s", r.Checker, r.SourcePos, r.SourceFn, r.Kind)
+	}
 	return fmt.Sprintf("[%s] value from %s (%s) reaches %s (%s); path %d vertices, %d contexts",
 		r.Checker, r.SourcePos, r.SourceFn, r.SinkPos, r.SinkFn, r.PathLen, r.Contexts)
 }
@@ -161,6 +173,9 @@ type Stats struct {
 	SMTTime           time.Duration
 	SummaryCapHits    int
 	TruncatedSearches int
+	// Escaped counts allocations conservatively assumed freed elsewhere
+	// (unreleased-resource checkers only).
+	Escaped int
 }
 
 // instCond tracks the accumulated local condition of one context instance.

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/minic"
+	"repro/internal/smt"
+)
+
+// JSONReport is the machine-readable report schema shared by cmd/pinpoint's
+// -format json output, the examples, and CI scripts. Source–sink reports
+// fill the sink fields; memory-leak reports set kind and leave them empty.
+type JSONReport struct {
+	Checker    string   `json:"checker"`
+	Kind       string   `json:"kind,omitempty"`
+	SourceFile string   `json:"sourceFile"`
+	SourceLine int      `json:"sourceLine"`
+	SourceFunc string   `json:"sourceFunc"`
+	SinkFile   string   `json:"sinkFile,omitempty"`
+	SinkLine   int      `json:"sinkLine,omitempty"`
+	SinkFunc   string   `json:"sinkFunc,omitempty"`
+	PathLen    int      `json:"pathLen,omitempty"`
+	Contexts   int      `json:"contexts,omitempty"`
+	Witness    []string `json:"witness,omitempty"`
+}
+
+// ToJSON converts a report to the exported JSON schema.
+func (r Report) ToJSON() JSONReport {
+	j := JSONReport{
+		Checker:    r.Checker,
+		Kind:       r.Kind,
+		SourceFile: r.SourcePos.File,
+		SourceLine: r.SourcePos.Line,
+		SourceFunc: r.SourceFn,
+		Witness:    r.Witness,
+	}
+	if r.Sink != nil {
+		j.SinkFile = r.SinkPos.File
+		j.SinkLine = r.SinkPos.Line
+		j.SinkFunc = r.SinkFn
+		j.PathLen = r.PathLen
+		j.Contexts = r.Contexts
+	}
+	return j
+}
+
+// leakToReport lifts a LeakReport into the uniform Report shape.
+func leakToReport(checker string, lr LeakReport) Report {
+	return Report{
+		Checker:   checker,
+		Kind:      lr.Kind.String(),
+		SourceFn:  lr.Fn,
+		SourcePos: lr.Pos,
+		Source:    lr.Alloc,
+		Verdict:   smt.Sat,
+		Witness:   lr.Witness,
+	}
+}
+
+// SortReports orders reports by (checker, source position, sink position) —
+// the canonical output order of CheckAll. The sort is stable, and ties (two
+// reports at identical positions) keep their deterministic discovery order,
+// so sorted output is byte-identical between sequential and parallel runs.
+func SortReports(rs []Report) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		if c := comparePos(a.SourcePos, b.SourcePos); c != 0 {
+			return c < 0
+		}
+		return comparePos(a.SinkPos, b.SinkPos) < 0
+	})
+}
+
+func comparePos(a, b minic.Pos) int {
+	if a.File != b.File {
+		if a.File < b.File {
+			return -1
+		}
+		return 1
+	}
+	if a.Line != b.Line {
+		return a.Line - b.Line
+	}
+	return a.Col - b.Col
+}

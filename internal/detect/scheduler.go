@@ -1,0 +1,277 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/ir"
+	"repro/internal/seg"
+)
+
+// This file implements the parallel detection scheduler. The paper's
+// detection phase (§3.3) is embarrassingly parallel across demand sources:
+// each source→sink search composes immutable per-function SEGs and
+// memoized local summaries, so independent (checker, source) pairs never
+// need to observe each other. CheckAll enumerates every pair up front,
+// dispatches them to a bounded worker pool, and merges the per-task results
+// in task order, which makes the output bit-for-bit identical to a
+// sequential run:
+//
+//   - prepare() freezes the shared program state (control-dependence
+//     conditions, SEG value vertices, block reachability) so workers only
+//     read it; the remaining mutable state (flow summaries, linear solvers,
+//     reverse indexes, the per-function condition builders) is lock-guarded
+//     and memoizes pure functions of the frozen program, so cache contents
+//     never depend on scheduling;
+//   - each task runs a fresh Engine whose per-source instance counter
+//     starts at zero, so SMT variable names, assertion order, and hence
+//     witnesses are per-task deterministic;
+//   - per-task stats are merged in task order and reports are sorted by
+//     (checker, source position, sink position) at the end.
+
+// CheckerStats pairs a checker name with its aggregated effort counters.
+type CheckerStats struct {
+	Checker string
+	Stats   Stats
+}
+
+// Results is the outcome of one CheckAll run.
+type Results struct {
+	// Reports holds every checker's reports, sorted by (checker, source
+	// position, sink position).
+	Reports []Report
+	// Checkers aggregates per-checker stats, parallel to the specs given
+	// to CheckAll. SummaryCapHits is zero here — the summary cache is
+	// shared across checkers; see SummaryCapHits below.
+	Checkers []CheckerStats
+	// SummaryCapHits counts truncated summary enumerations across the
+	// shared flow cache (deterministic: truncation is a property of each
+	// vertex, not of scheduling).
+	SummaryCapHits int
+	// Workers is the resolved worker-pool size.
+	Workers int
+	// Wall is the detection wall-clock time, including preparation,
+	// search, SMT solving, and merging.
+	Wall time.Duration
+}
+
+// task is one unit of detection work: a (checker, source) pair for
+// source–sink checkers, or a (checker, allocation) pair for
+// unreleased-resource checkers.
+type task struct {
+	specIdx int
+	fn      *ir.Func
+	g       *seg.Graph
+	src     checkers.Source // KindSourceSink
+	alloc   *ir.Instr       // KindUnreleased
+}
+
+type taskResult struct {
+	reports []Report
+	stats   Stats
+}
+
+// CheckAll runs every given checker over the program on a bounded worker
+// pool (opts.Workers; 0/1 = sequential, negative = GOMAXPROCS). Reports and
+// stats are identical at every worker count.
+func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
+	start := time.Now()
+	opts = opts.withDefaults()
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+
+	c := newCaches(prog)
+	prepare(prog, specs, workers)
+
+	var lc *leakChecker
+	for _, sp := range specs {
+		if sp.Kind == checkers.KindUnreleased {
+			lc = newLeakChecker(prog, opts, c)
+			break
+		}
+	}
+
+	tasks := enumerateTasks(prog, specs)
+	results := make([]taskResult, len(tasks))
+	runParallel(len(tasks), workers, func(i int) {
+		results[i] = runTask(prog, specs, opts, c, lc, tasks[i])
+	})
+
+	res := Results{Workers: workers}
+	for si, sp := range specs {
+		merged := Stats{}
+		var reports []Report
+		seen := make(map[[2]*ir.Instr]bool)
+		for ti, t := range tasks {
+			if t.specIdx != si {
+				continue
+			}
+			tr := results[ti]
+			addStats(&merged, tr.stats)
+			for _, r := range tr.reports {
+				key := [2]*ir.Instr{r.Source, r.Sink}
+				if r.Sink != nil && seen[key] {
+					continue
+				}
+				seen[key] = true
+				reports = append(reports, r)
+			}
+			if opts.MaxReportsPerChecker > 0 && len(reports) >= opts.MaxReportsPerChecker {
+				break
+			}
+		}
+		res.Checkers = append(res.Checkers, CheckerStats{Checker: sp.Name, Stats: merged})
+		res.Reports = append(res.Reports, reports...)
+	}
+	res.SummaryCapHits = c.capHits()
+	SortReports(res.Reports)
+	res.Wall = time.Since(start)
+	return res
+}
+
+// prepare freezes the shared program state: control-dependence conditions
+// are memoized per block, every value vertex the search can name is
+// pre-created, and (when some checker needs ordering) block reachability is
+// pre-filled. Each function is touched by exactly one goroutine, so the
+// per-function work — including condition-node interning — happens in a
+// deterministic order.
+func prepare(prog *Program, specs []*checkers.Spec, workers int) {
+	needReach := false
+	for _, sp := range specs {
+		if sp.OrderingRequired {
+			needReach = true
+		}
+	}
+	funcs := prog.Module.Funcs
+	runParallel(len(funcs), workers, func(i int) {
+		f := funcs[i]
+		g := prog.SEGs[f]
+		if g == nil {
+			return
+		}
+		prog.Infos[f].PrepareCDConds()
+		g.EnsureValueNodes()
+		if needReach {
+			g.PrecomputeReach()
+		}
+	})
+}
+
+// enumerateTasks lists every (checker, source) pair in the canonical order:
+// specs in argument order, functions in module order, sources in extraction
+// order. The merge phase walks tasks in this same order, which is what
+// reproduces the sequential engine's dedup and cap semantics exactly.
+func enumerateTasks(prog *Program, specs []*checkers.Spec) []task {
+	var tasks []task
+	for si, sp := range specs {
+		for _, f := range prog.Module.Funcs {
+			g := prog.SEGs[f]
+			if g == nil {
+				continue
+			}
+			if sp.Kind == checkers.KindUnreleased {
+				for _, b := range f.Blocks {
+					for _, in := range b.Instrs {
+						if in.Op == ir.OpMalloc {
+							tasks = append(tasks, task{specIdx: si, fn: f, g: g, alloc: in})
+						}
+					}
+				}
+				continue
+			}
+			for _, src := range sp.LocalSources(g) {
+				tasks = append(tasks, task{specIdx: si, fn: f, g: g, src: src})
+			}
+		}
+	}
+	return tasks
+}
+
+// runTask executes one unit of work with a fresh per-task engine over the
+// shared caches.
+func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc *leakChecker, t task) taskResult {
+	sp := specs[t.specIdx]
+	if sp.Kind == checkers.KindUnreleased {
+		var ls LeakStats
+		ls.Allocs++
+		rep, escaped := lc.checkAlloc(t.fn, t.g, t.alloc, &ls)
+		if escaped {
+			ls.Escaped++
+		}
+		tr := taskResult{stats: Stats{
+			Sources:    ls.Allocs,
+			Escaped:    ls.Escaped,
+			SMTQueries: ls.SMTQueries,
+		}}
+		if rep != nil {
+			tr.reports = []Report{leakToReport(sp.Name, *rep)}
+		}
+		return tr
+	}
+	eng := &Engine{
+		prog:     prog,
+		spec:     sp,
+		opts:     opts,
+		caches:   c,
+		reported: make(map[[2]*ir.Instr]bool),
+	}
+	eng.stats.Sources = 1
+	eng.searchFromSource(t.fn, t.g, t.src)
+	return taskResult{reports: eng.reports, stats: eng.stats}
+}
+
+func addStats(dst *Stats, s Stats) {
+	dst.Sources += s.Sources
+	dst.Expansions += s.Expansions
+	dst.Candidates += s.Candidates
+	dst.LinearFiltered += s.LinearFiltered
+	dst.SMTQueries += s.SMTQueries
+	dst.SMTSat += s.SMTSat
+	dst.SMTUnsat += s.SMTUnsat
+	dst.SMTUnknown += s.SMTUnknown
+	dst.SMTTime += s.SMTTime
+	dst.SummaryCapHits += s.SummaryCapHits
+	dst.TruncatedSearches += s.TruncatedSearches
+	dst.Escaped += s.Escaped
+}
+
+// runParallel executes fn(0..n-1) on up to `workers` goroutines, pulling
+// indexes from an atomic counter (the same pool shape as the build half's
+// forEachFunc).
+func runParallel(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		next int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,18 +6,17 @@ import (
 	"repro/internal/ir"
 	"repro/internal/seg"
 	"repro/internal/smt"
-	"repro/internal/summary"
 )
 
-// Engine runs one checker over a program.
+// Engine runs one checker over a program. One Engine handles either a whole
+// sequential run (NewEngine + Run, with a private cache set) or a single
+// (checker, source) task dispatched by the parallel scheduler (which hands
+// every task engine the same shared caches).
 type Engine struct {
-	prog *Program
-	spec *checkers.Spec
-	opts Options
-
-	flows   *summary.Table
-	linear  map[*ir.Func]*cond.LinearSolver
-	reverse map[*seg.Graph]map[*seg.Node][]*seg.Node
+	prog   *Program
+	spec   *checkers.Spec
+	opts   Options
+	caches *caches
 
 	reports     []Report
 	reported    map[[2]*ir.Instr]bool
@@ -36,15 +35,16 @@ func NewEngine(prog *Program, spec *checkers.Spec, opts Options) *Engine {
 		prog:     prog,
 		spec:     spec,
 		opts:     opts.withDefaults(),
-		flows:    summary.NewTable(),
-		linear:   make(map[*ir.Func]*cond.LinearSolver),
-		reverse:  make(map[*seg.Graph]map[*seg.Node][]*seg.Node),
+		caches:   newCaches(prog),
 		reported: make(map[[2]*ir.Instr]bool),
 	}
 }
 
 // Run searches every function's sources and returns the reports.
 func (e *Engine) Run() ([]Report, Stats) {
+	if e.spec.Kind == checkers.KindUnreleased {
+		return e.runUnreleased()
+	}
 	for _, f := range e.prog.Module.Funcs {
 		g := e.prog.SEGs[f]
 		if g == nil {
@@ -54,12 +54,50 @@ func (e *Engine) Run() ([]Report, Stats) {
 			e.stats.Sources++
 			e.searchFromSource(f, g, src)
 			if e.opts.MaxReportsPerChecker > 0 && len(e.reports) >= e.opts.MaxReportsPerChecker {
-				e.stats.SummaryCapHits = e.flows.CapHits
+				e.stats.SummaryCapHits = e.caches.capHits()
 				return e.reports, e.stats
 			}
 		}
 	}
-	e.stats.SummaryCapHits = e.flows.CapHits
+	e.stats.SummaryCapHits = e.caches.capHits()
+	return e.reports, e.stats
+}
+
+// runUnreleased runs the unreleased-resource (memory-leak) interpretation of
+// the spec sequentially, presenting the results through the uniform Report
+// shape.
+func (e *Engine) runUnreleased() ([]Report, Stats) {
+	lc := newLeakChecker(e.prog, e.opts, e.caches)
+	for _, f := range e.prog.Module.Funcs {
+		g := e.prog.SEGs[f]
+		if g == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpMalloc {
+					continue
+				}
+				var ls LeakStats
+				ls.Allocs++
+				rep, escaped := lc.checkAlloc(f, g, in, &ls)
+				if escaped {
+					ls.Escaped++
+				}
+				e.stats.Sources += ls.Allocs
+				e.stats.Escaped += ls.Escaped
+				e.stats.SMTQueries += ls.SMTQueries
+				if rep != nil {
+					e.reports = append(e.reports, leakToReport(e.spec.Name, *rep))
+					if e.opts.MaxReportsPerChecker > 0 && len(e.reports) >= e.opts.MaxReportsPerChecker {
+						e.stats.SummaryCapHits = e.caches.capHits()
+						return e.reports, e.stats
+					}
+				}
+			}
+		}
+	}
+	e.stats.SummaryCapHits = e.caches.capHits()
 	return e.reports, e.stats
 }
 
@@ -95,15 +133,6 @@ func (p pathState) clone() pathState {
 	return np
 }
 
-func (e *Engine) linearFor(f *ir.Func) *cond.LinearSolver {
-	ls := e.linear[f]
-	if ls == nil {
-		ls = cond.NewLinearSolver()
-		e.linear[f] = ls
-	}
-	return ls
-}
-
 // addCond conjoins a local condition into an instance's accumulated
 // condition; it reports false when the result is apparently unsatisfiable.
 //
@@ -125,7 +154,7 @@ func (e *Engine) addCond(p *pathState, inst int, fn *ir.Func, c *cond.Cond) bool
 		ic.cond = merged
 		return true
 	}
-	if merged.IsFalse() || e.linearFor(fn).ApparentlyUnsat(merged) {
+	if merged.IsFalse() || e.caches.apparentlyUnsat(fn, merged) {
 		return false
 	}
 	ic.cond = merged
@@ -166,7 +195,7 @@ func (e *Engine) newInst() int {
 // equality-preserving edges to the defining allocation sites or parameters,
 // so that sibling aliases of the freed object are tracked too.
 func (e *Engine) objectRoots(g *seg.Graph, v *ir.Value) []*ir.Value {
-	rev := e.reverseIndex(g)
+	rev := e.caches.reverse(g)
 	seen := map[*seg.Node]bool{}
 	rootsSet := map[*ir.Value]bool{v: true}
 	var walk func(n *seg.Node)
@@ -217,21 +246,6 @@ func (e *Engine) objectRoots(g *seg.Graph, v *ir.Value) []*ir.Value {
 	return roots
 }
 
-// reverseIndex lazily builds value-node reverse adjacency for a graph.
-func (e *Engine) reverseIndex(g *seg.Graph) map[*seg.Node][]*seg.Node {
-	if r, ok := e.reverse[g]; ok {
-		return r
-	}
-	r := make(map[*seg.Node][]*seg.Node)
-	for _, n := range g.AllNodes() {
-		for _, edge := range g.Succs(n) {
-			r[edge.To] = append(r[edge.To], n)
-		}
-	}
-	e.reverse[g] = r
-	return r
-}
-
 // explore expands all local flows from a vertex within a frame.
 func (e *Engine) explore(fr *frame, node *seg.Node, sourceAt *ir.Instr, sourceFn *ir.Func, p pathState) {
 	if e.expansions >= e.opts.MaxExpansions || e.candidates >= e.opts.MaxCandidates {
@@ -250,7 +264,7 @@ func (e *Engine) explore(fr *frame, node *seg.Node, sourceAt *ir.Instr, sourceFn
 		e.ascendViaParam(fr, node, sourceAt, sourceFn, p)
 	}
 
-	for _, flow := range e.flows.FlowsFrom(g, node) {
+	for _, flow := range e.caches.flowsFrom(g, node) {
 		term := flow.Terminal()
 		if term == node && len(flow.Steps) == 1 && node.Kind == seg.NValue {
 			continue

@@ -240,6 +240,42 @@ func Build(f *ir.Func, inf *ssa.Info, pr *pta.Result) *Graph {
 	return g
 }
 
+// EnsureValueNodes pre-creates the value vertex of every parameter and every
+// instruction operand/result of the function. The detection engine requests
+// value vertices lazily (ValueNode creates on first use, mutating the
+// graph); pre-creating every vertex the search can possibly name freezes the
+// graph, so concurrent detection workers only ever read it.
+func (g *Graph) EnsureValueNodes() {
+	for _, p := range g.Fn.Params {
+		g.ValueNode(p)
+	}
+	for _, b := range g.Fn.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a != nil {
+					g.ValueNode(a)
+				}
+			}
+			if in.Dst != nil {
+				g.ValueNode(in.Dst)
+			}
+			for _, d := range in.Dsts {
+				if d != nil {
+					g.ValueNode(d)
+				}
+			}
+		}
+	}
+}
+
+// PrecomputeReach fills the block-reachability memo for every block, so
+// HappensAfter becomes a pure read (safe from concurrent detection workers).
+func (g *Graph) PrecomputeReach() {
+	for _, b := range g.Fn.Blocks {
+		g.reachableBlocks(b)
+	}
+}
+
 // HappensAfter reports whether instruction b can execute after instruction
 // a in some run of the function: either b is reachable from a's block, or
 // they share a block and b comes later.

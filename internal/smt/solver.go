@@ -3,6 +3,8 @@ package smt
 // Lazy DPLL(T) driver tying the CDCL SAT core to the EUF and
 // difference-bound theory layers.
 
+import "sort"
+
 // Result is the verdict of a Check call.
 type Result uint8
 
@@ -123,12 +125,20 @@ func (s *Solver) theoryCheck() ([]Lit, bool) {
 		pos bool
 		v   int
 	}
+	// Iterate atoms in SAT-variable order: the order determines which
+	// conflict explanation (blocking clause) is found first, and through it
+	// the final model, so it must not depend on map iteration order.
+	vars := make([]int, 0, len(s.enc.atoms))
+	for v := range s.enc.atoms {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
 	var atoms []polAtom
-	for v, t := range s.enc.atoms {
+	for _, v := range vars {
 		if s.sat.assign[v] == lUndef {
 			continue
 		}
-		atoms = append(atoms, polAtom{t: t, pos: s.sat.ValueOf(v), v: v})
+		atoms = append(atoms, polAtom{t: s.enc.atoms[v], pos: s.sat.ValueOf(v), v: v})
 	}
 
 	// EUF: equalities and disequalities over any sort.

@@ -51,6 +51,10 @@ type Info struct {
 
 	rpoIdx    map[*ir.Block]int
 	joinGates map[*ir.Block]map[*ir.Block]*cond.Cond
+	// cdCond memoizes CDCond per block once PrepareCDConds has run, making
+	// subsequent CDCond calls read-only (and therefore safe to issue from
+	// concurrent detection workers).
+	cdCond map[*ir.Block]*cond.Cond
 }
 
 // Atom returns the condition atom for an SSA boolean value, registering the
@@ -106,6 +110,28 @@ func (inf *Info) EdgeCond(from, to *ir.Block) *cond.Cond {
 // of a block (not chased transitively; SEG traversal recurses over the
 // controlling branch values itself, per Example 3.8 of the paper).
 func (inf *Info) CDCond(b *ir.Block) *cond.Cond {
+	if c, ok := inf.cdCond[b]; ok {
+		return c
+	}
+	return inf.computeCDCond(b)
+}
+
+// PrepareCDConds computes and memoizes CDCond for every block of the
+// function. Atom registration (which mutates AtomValue) happens here, on one
+// goroutine; after this call CDCond performs only map reads, so detection
+// workers can query control dependences concurrently.
+func (inf *Info) PrepareCDConds() {
+	if inf.cdCond != nil {
+		return
+	}
+	m := make(map[*ir.Block]*cond.Cond, len(inf.Fn.Blocks))
+	for _, b := range inf.Fn.Blocks {
+		m[b] = inf.computeCDCond(b)
+	}
+	inf.cdCond = m
+}
+
+func (inf *Info) computeCDCond(b *ir.Block) *cond.Cond {
 	deps := inf.CD[b]
 	if len(deps) == 0 {
 		return inf.Conds.True()

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: formatting, vet, build, tests (with
+# the race detector — the parallel detection scheduler's determinism tests
+# run under it), and the examples suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal examples ./*.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== examples"
+for ex in quickstart useafterfree taintcheck crossfunction memoryleak; do
+    echo "-- examples/$ex"
+    go run "./examples/$ex" >/dev/null
+done
+
+echo "OK"
