@@ -1,0 +1,110 @@
+// Command benchsnap runs the detection worker-scaling benchmark on a
+// synthetic workload subject and writes the result as a JSON snapshot
+// (BENCH_detect.json by default) for CI trend tracking.
+//
+// Usage:
+//
+//	benchsnap [-out BENCH_detect.json] [-scale N] [-workers 1,2,4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+type snapshotRow struct {
+	Workers int     `json:"workers"`
+	WallNs  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
+type snapshot struct {
+	Subject    string        `json:"subject"`
+	Lines      int           `json:"lines"`
+	Reports    int           `json:"reports"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Rows       []snapshotRow `json:"rows"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_detect.json", "output file for the JSON snapshot")
+	scale := flag.Int("scale", 3, "workload scale factor (bigger = more functions)")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts (default 1,2,4,...,GOMAXPROCS)")
+	flag.Parse()
+
+	counts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	subj := workload.Subject{
+		Name: "bench-detect", Origin: "synthetic", PaperKLoC: 60,
+		TrueBugs: 6, OpaqueTraps: 4,
+	}
+	sc, err := bench.MeasureDetectScaling(subj, *scale, counts)
+	if err != nil {
+		fatal(err)
+	}
+
+	snap := snapshot{
+		Subject:    sc.Subject,
+		Lines:      sc.Lines,
+		Reports:    sc.Reports,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, r := range sc.Rows {
+		snap.Rows = append(snap.Rows, snapshotRow{
+			Workers: r.Workers, WallNs: int64(r.Wall), Speedup: r.Speedup,
+		})
+		fmt.Printf("workers=%-3d wall=%-14s speedup=%.2fx\n", r.Workers, r.Wall, r.Speedup)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// parseWorkers turns "1,2,4" into worker counts; empty selects a doubling
+// ladder from 1 up to GOMAXPROCS (always including GOMAXPROCS itself).
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		max := runtime.GOMAXPROCS(0)
+		var counts []int
+		for w := 1; w < max; w *= 2 {
+			counts = append(counts, w)
+		}
+		return append(counts, max), nil
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref,memory-leak]
-//	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats] file.mc...
+//	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats]
+//	         [-trace out.json] [-stats-json out.json] [-pprof addr] file.mc...
 //
 // Each file is one compilation unit. -checkers all selects every registered
 // checker. Exit status is 1 when any bug is reported (so the tool slots
@@ -15,6 +16,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -23,6 +27,8 @@ import (
 	"repro/internal/detect"
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
+	"repro/internal/pta"
 )
 
 func main() {
@@ -34,12 +40,32 @@ func main() {
 	witness := flag.Bool("witness", false, "print the satisfying branch assignment for each report")
 	dump := flag.String("dump", "", "write Graphviz DOT for one function: 'cfg:<func>' or 'seg:<func>' (then exit)")
 	format := flag.String("format", "text", "report format: text or json")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
+	statsJSON := flag.String("stats-json", "", "write a machine-readable statistics dump (timings, SMT latency percentiles, cache hit rates, worker utilization)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "pinpoint: no input files")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pinpoint: pprof:", err)
+			}
+		}()
+	}
+
+	// The recorder is nil unless some output needs it, keeping the default
+	// run on the zero-cost no-op path.
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewTracing()
+	} else if *statsJSON != "" {
+		rec = obs.New()
 	}
 
 	var specs []*checkers.Spec
@@ -70,13 +96,14 @@ func main() {
 		units = append(units, minic.NamedSource{Name: path, Src: string(data)})
 	}
 
-	a, err := core.BuildFromSource(units, core.BuildOptions{Workers: *workers})
+	a, err := core.BuildFromSource(units, core.BuildOptions{Workers: *workers, Obs: rec})
 	if err != nil {
 		fatal(err)
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "pinpoint: %d functions, %d IR instructions, %d SEG nodes, %d SEG edges; build %s\n",
 			a.Sizes.Functions, a.Sizes.Lines, a.Sizes.SEGNodes, a.Sizes.SEGEdges, a.Timings.Total())
+		fmt.Fprintf(os.Stderr, "pinpoint: pta: %s\n", a.PTAStats)
 	}
 	if *dump != "" {
 		kind, fn, ok := strings.Cut(*dump, ":")
@@ -99,6 +126,7 @@ func main() {
 		MaxCallDepth:           *depth,
 		DisablePathSensitivity: *noPS,
 		Workers:                *workers,
+		Obs:                    rec,
 	})
 
 	if *format == "json" {
@@ -125,20 +153,133 @@ func main() {
 	}
 	if *stats {
 		for _, cs := range res.Checkers {
-			st := cs.Stats
-			if st.Escaped > 0 || cs.Checker == "memory-leak" {
-				fmt.Fprintf(os.Stderr, "pinpoint: %s: %d allocations, %d escaped, %d SMT queries\n",
-					cs.Checker, st.Sources, st.Escaped, st.SMTQueries)
-				continue
-			}
-			fmt.Fprintf(os.Stderr, "pinpoint: %s: %d sources, %d candidates, %d SMT queries (%d sat/%d unsat), %s solving\n",
-				cs.Checker, st.Sources, st.Candidates, st.SMTQueries, st.SMTSat, st.SMTUnsat, st.SMTTime)
+			fmt.Fprintf(os.Stderr, "pinpoint: %s\n", cs)
 		}
 		fmt.Fprintf(os.Stderr, "pinpoint: detection: %d workers, %s wall\n", res.Workers, res.Wall)
+	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, rec.WriteTrace); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *statsJSON != "" {
+		d := buildStatsDump(a, res, rec)
+		if err := writeFileWith(*statsJSON, d.write); err != nil {
+			fatal(fmt.Errorf("stats-json: %w", err))
+		}
 	}
 	if len(res.Reports) > 0 {
 		os.Exit(1)
 	}
+}
+
+// statsDump is the -stats-json document: everything -stats prints, plus
+// the latency percentiles, cache hit rates, and per-worker utilization
+// that only the metrics registry can report.
+type statsDump struct {
+	Build struct {
+		Functions int   `json:"functions"`
+		IRInstrs  int   `json:"ir_instrs"`
+		SEGNodes  int   `json:"seg_nodes"`
+		SEGEdges  int   `json:"seg_edges"`
+		CondNodes int   `json:"cond_nodes"`
+		ParseNs   int64 `json:"parse_ns"`
+		LowerNs   int64 `json:"lower_ns"`
+		SSANs     int64 `json:"ssa_ns"`
+		ModRefNs  int64 `json:"modref_ns"`
+		TransfNs  int64 `json:"transform_ns"`
+		PTASEGNs  int64 `json:"pta_seg_ns"`
+		TotalNs   int64 `json:"total_ns"`
+	} `json:"build"`
+	PTA      pta.Stats     `json:"pta"`
+	Checkers []checkerDump `json:"checkers"`
+	Detect   struct {
+		Workers        int     `json:"workers"`
+		WallNs         int64   `json:"wall_ns"`
+		Reports        int     `json:"reports"`
+		SummaryHits    int     `json:"summary_cache_hits"`
+		SummaryMisses  int     `json:"summary_cache_misses"`
+		SummaryHitRate float64 `json:"summary_cache_hit_rate"`
+		SummaryCapHits int     `json:"summary_cap_hits"`
+	} `json:"detect"`
+	SMT struct {
+		QueryNs obs.HistSnapshot `json:"query_ns"`
+	} `json:"smt"`
+	Workers []workerDump `json:"workers,omitempty"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+type checkerDump struct {
+	Checker string       `json:"checker"`
+	Stats   detect.Stats `json:"stats"`
+}
+
+type workerDump struct {
+	Worker      int     `json:"worker"`
+	Tasks       int     `json:"tasks"`
+	BusyNs      int64   `json:"busy_ns"`
+	Utilization float64 `json:"utilization"`
+}
+
+func buildStatsDump(a *core.Analysis, res detect.Results, rec *obs.Recorder) *statsDump {
+	d := &statsDump{}
+	d.Build.Functions = a.Sizes.Functions
+	d.Build.IRInstrs = a.Sizes.Lines
+	d.Build.SEGNodes = a.Sizes.SEGNodes
+	d.Build.SEGEdges = a.Sizes.SEGEdges
+	d.Build.CondNodes = a.Sizes.CondNodes
+	d.Build.ParseNs = int64(a.Timings.Parse)
+	d.Build.LowerNs = int64(a.Timings.Lower)
+	d.Build.SSANs = int64(a.Timings.SSA)
+	d.Build.ModRefNs = int64(a.Timings.ModRef)
+	d.Build.TransfNs = int64(a.Timings.Transform)
+	d.Build.PTASEGNs = int64(a.Timings.PTA + a.Timings.SEG)
+	d.Build.TotalNs = int64(a.Timings.Total())
+	d.PTA = a.PTAStats
+	for _, cs := range res.Checkers {
+		d.Checkers = append(d.Checkers, checkerDump{Checker: cs.Checker, Stats: cs.Stats})
+	}
+	d.Detect.Workers = res.Workers
+	d.Detect.WallNs = int64(res.Wall)
+	d.Detect.Reports = len(res.Reports)
+	d.Detect.SummaryHits = res.SummaryHits
+	d.Detect.SummaryMisses = res.SummaryMisses
+	if n := res.SummaryHits + res.SummaryMisses; n > 0 {
+		d.Detect.SummaryHitRate = float64(res.SummaryHits) / float64(n)
+	}
+	d.Detect.SummaryCapHits = res.SummaryCapHits
+	snap := rec.Snapshot()
+	d.SMT.QueryNs = snap.Histograms["smt.query_ns"]
+	for _, ws := range res.WorkerStats {
+		wd := workerDump{Worker: ws.Worker, Tasks: ws.Tasks, BusyNs: int64(ws.Busy)}
+		if res.Wall > 0 {
+			wd.Utilization = float64(ws.Busy) / float64(res.Wall)
+		}
+		d.Workers = append(d.Workers, wd)
+	}
+	d.Metrics = snap
+	return d
+}
+
+func (d *statsDump) write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// writeFileWith creates path and streams fn's output into it, reporting
+// the first error from either.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func fatal(err error) {

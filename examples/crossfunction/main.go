@@ -72,7 +72,7 @@ func main() {
 	for _, r := range reports {
 		fmt.Println("  ", r)
 	}
-	fmt.Printf("  (%d candidates, %d SMT queries)\n\n", stats.Candidates, stats.SMTQueries)
+	fmt.Printf("  (%s)\n\n", stats)
 
 	// The per-unit baselines cannot connect the dots.
 	inferReports, _ := baseline.RunInferLike(analysis, checkers.UseAfterFree())

@@ -71,8 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	reports, stats := detect.FindLeaks(analysis.Prog, detect.Options{})
-	fmt.Printf("%d allocation sites: %d leaks reported, %d escape and are assumed owned elsewhere\n\n",
-		stats.Allocs, len(reports), stats.Escaped)
+	fmt.Printf("%s; %d leaks reported\n\n", stats, len(reports))
 	for _, r := range reports {
 		fmt.Println("  ", r)
 		if len(r.Witness) > 0 {

@@ -63,8 +63,7 @@ func main() {
 	// 2. Run the use-after-free checker.
 	reports, stats := analysis.Check(checkers.UseAfterFree(), detect.Options{})
 
-	fmt.Printf("\n%d report(s); %d candidate path(s) considered, %d SMT quer(ies), %d proven infeasible\n\n",
-		len(reports), stats.Candidates, stats.SMTQueries, stats.SMTUnsat)
+	fmt.Printf("\n%d report(s); %s\n\n", len(reports), stats)
 	for _, r := range reports {
 		fmt.Println("  ", r)
 	}

@@ -63,7 +63,7 @@ func main() {
 		checkers.DataTransmission(),
 	} {
 		reports, stats := analysis.Check(spec, detect.Options{})
-		fmt.Printf("%s: %d report(s) (%d sources considered)\n", spec.Name, len(reports), stats.Sources)
+		fmt.Printf("%s: %d report(s); %s\n", spec.Name, len(reports), stats)
 		for _, r := range reports {
 			fmt.Println("  ", r)
 		}

@@ -129,14 +129,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	uaf, _ := analysis.Check(checkers.UseAfterFree(), detect.Options{})
+	uaf, uafStats := analysis.Check(checkers.UseAfterFree(), detect.Options{})
 	fmt.Printf("use-after-free checker: %d reports (expected 6 — one per bug_* function)\n", len(uaf))
+	fmt.Printf("  %s\n", uafStats)
 	for _, r := range uaf {
 		fmt.Println("  ", r)
 	}
 
-	df, _ := analysis.Check(checkers.DoubleFree(), detect.Options{})
-	fmt.Printf("\ndouble-free checker: %d report(s)\n", len(df))
+	df, dfStats := analysis.Check(checkers.DoubleFree(), detect.Options{})
+	fmt.Printf("\ndouble-free checker: %d report(s); %s\n", len(df), dfStats)
 	for _, r := range df {
 		fmt.Println("  ", r)
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/minic"
 	"repro/internal/modref"
+	"repro/internal/obs"
 	"repro/internal/pta"
 	"repro/internal/seg"
 	"repro/internal/ssa"
@@ -51,6 +52,11 @@ type BuildOptions struct {
 	// detection parallelizes per demand source via detect.Options.Workers
 	// (see Analysis.CheckAll).
 	Workers int
+	// Obs, when non-nil, receives hierarchical phase spans for every build
+	// stage, per-function spans (and latency histograms) for the hot
+	// per-function stages, and structural gauges. nil disables all
+	// recording; the build result is identical either way.
+	Obs *obs.Recorder
 }
 
 // Timings records per-stage durations.
@@ -100,12 +106,14 @@ type Analysis struct {
 
 // BuildFromSource parses and analyzes a set of translation units.
 func BuildFromSource(units []minic.NamedSource, opts BuildOptions) (*Analysis, error) {
+	sp := opts.Obs.Phase("parse")
 	t0 := time.Now()
 	prog, err := minic.ParseProgram(units)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
 	parse := time.Since(t0)
+	sp.End()
 	a, err := BuildFromAST(prog, opts)
 	if err != nil {
 		return nil, err
@@ -116,11 +124,13 @@ func BuildFromSource(units []minic.NamedSource, opts BuildOptions) (*Analysis, e
 
 // BuildFromAST runs the pipeline on a parsed program.
 func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
+	rec := opts.Obs
 	a := &Analysis{
 		Infos: make(map[*ir.Func]*ssa.Info),
 		SEGs:  make(map[*ir.Func]*seg.Graph),
 	}
 
+	sp := rec.Phase("lower")
 	t0 := time.Now()
 	m, err := lower.Program(prog)
 	if err != nil {
@@ -128,10 +138,13 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 	}
 	a.Module = m
 	a.Timings.Lower = time.Since(t0)
+	sp.End()
 
+	sp = rec.Phase("ssa")
 	t0 = time.Now()
 	infos := make([]*ssa.Info, len(m.Funcs))
-	if err := forEachFunc(m.Funcs, opts.Workers, func(i int, f *ir.Func) error {
+	if err := forEachFunc(m.Funcs, opts.Workers, func(w, i int, f *ir.Func) error {
+		defer perFunc(rec, w, "build.ssa", f.Name)()
 		inf, err := ssa.Transform(f)
 		if err != nil {
 			return fmt.Errorf("ssa %s: %w", f.Name, err)
@@ -145,48 +158,55 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 		a.Infos[f] = infos[i]
 	}
 	a.Timings.SSA = time.Since(t0)
+	sp.End()
 
+	sp = rec.Phase("modref")
 	t0 = time.Now()
 	a.ModRef = modref.Analyze(m)
 	a.Timings.ModRef = time.Since(t0)
+	sp.End()
 
 	if !opts.DisableConnectors {
+		sp = rec.Phase("transform")
 		t0 = time.Now()
 		if err := transform.Apply(m, a.ModRef); err != nil {
 			return nil, fmt.Errorf("transform: %w", err)
 		}
 		a.Timings.Transform = time.Since(t0)
+		sp.End()
 	}
 
+	sp = rec.Phase("pta+seg")
 	t0 = time.Now()
 	prs := make([]*pta.Result, len(m.Funcs))
 	graphs := make([]*seg.Graph, len(m.Funcs))
-	if err := forEachFunc(m.Funcs, opts.Workers, func(i int, f *ir.Func) error {
+	if err := forEachFunc(m.Funcs, opts.Workers, func(w, i int, f *ir.Func) error {
+		endPTA := perFunc(rec, w, "build.pta", f.Name)
 		pr, err := pta.Analyze(f, a.Infos[f], opts.PTA)
+		endPTA()
 		if err != nil {
 			return fmt.Errorf("pta %s: %w", f.Name, err)
 		}
 		prs[i] = pr
+		endSEG := perFunc(rec, w, "build.seg", f.Name)
 		graphs[i] = seg.Build(f, a.Infos[f], pr)
+		endSEG()
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	for i, f := range m.Funcs {
-		pr := prs[i]
-		a.PTAStats.GuardsPruned += pr.Stats.GuardsPruned
-		a.PTAStats.GuardsKept += pr.Stats.GuardsKept
-		a.PTAStats.CapWidened += pr.Stats.CapWidened
-		a.PTAStats.LinearQueries += pr.Stats.LinearQueries
-		a.PTAStats.LinearUnsat += pr.Stats.LinearUnsat
+		a.PTAStats.Add(prs[i].Stats)
 		g := graphs[i]
 		a.SEGs[f] = g
 		a.Sizes.SEGNodes += g.NumNodes()
 		a.Sizes.SEGEdges += g.NumEdges()
 	}
 	// PTA and SEG run fused per function; attribute the fused time to
-	// the PTA stage and leave SEG assembly accounted as zero-extra.
+	// the PTA stage and leave SEG assembly accounted as zero-extra (the
+	// observability layer's per-function histograms carry the split).
 	a.Timings.PTA = time.Since(t0)
+	sp.End()
 
 	a.Sizes.Lines = m.LineCount()
 	a.Sizes.Functions = len(m.Funcs)
@@ -195,8 +215,51 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 	}
 
 	a.Prog = detect.NewProgram(m, a.Infos, a.SEGs)
+
+	if rec != nil {
+		rec.Gauge("build.functions").Set(int64(a.Sizes.Functions))
+		rec.Gauge("build.ir_instrs").Set(int64(a.Sizes.Lines))
+		rec.Gauge("build.cond_nodes").Set(int64(a.Sizes.CondNodes))
+		var gs seg.GraphStats
+		for _, g := range graphs {
+			s := g.Stats()
+			gs.Nodes += s.Nodes
+			gs.Edges += s.Edges
+			gs.ValueNodes += s.ValueNodes
+			gs.UseNodes += s.UseNodes
+		}
+		rec.Gauge("seg.nodes").Set(int64(gs.Nodes))
+		rec.Gauge("seg.edges").Set(int64(gs.Edges))
+		rec.Gauge("seg.value_nodes").Set(int64(gs.ValueNodes))
+		rec.Gauge("seg.use_nodes").Set(int64(gs.UseNodes))
+		rec.Counter("pta.guards_kept").Add(int64(a.PTAStats.GuardsKept))
+		rec.Counter("pta.guards_pruned").Add(int64(a.PTAStats.GuardsPruned))
+		rec.Counter("pta.cap_widened").Add(int64(a.PTAStats.CapWidened))
+		rec.Counter("pta.linear_queries").Add(int64(a.PTAStats.LinearQueries))
+		rec.Counter("pta.linear_unsat").Add(int64(a.PTAStats.LinearUnsat))
+	}
 	return a, nil
 }
+
+// perFunc opens the per-function observation of one hot build stage:
+// a latency histogram sample ("<stage>.func_ns") always, plus a span on
+// the worker's trace track when tracing. The returned closure ends it.
+// With a nil recorder it is a no-op returning a shared empty closure.
+func perFunc(rec *obs.Recorder, w int, stage, fn string) func() {
+	if rec == nil {
+		return noopEnd
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		rec.Histogram(stage + ".func_ns").Observe(int64(d))
+		if rec.Tracing() {
+			rec.Event(w+1, stage[len("build."):]+":"+fn, t0, d)
+		}
+	}
+}
+
+var noopEnd = func() {}
 
 // Check runs one checker over the analysis sequentially. CheckAll is the
 // preferred entry point; Check remains for baselines and ablations that
@@ -215,14 +278,16 @@ func (a *Analysis) CheckAll(specs []*checkers.Spec, opts detect.Options) detect.
 }
 
 // forEachFunc applies fn to every function, on `workers` goroutines when
-// workers > 1 (negative selects GOMAXPROCS). The first error wins.
-func forEachFunc(funcs []*ir.Func, workers int, fn func(i int, f *ir.Func) error) error {
+// workers > 1 (negative selects GOMAXPROCS). The first error wins. fn
+// receives the index w of the worker running it (0 when sequential) so
+// callers can attribute work to trace tracks without locking.
+func forEachFunc(funcs []*ir.Func, workers int, fn func(w, i int, f *ir.Func) error) error {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || len(funcs) < 2 {
 		for i, f := range funcs {
-			if err := fn(i, f); err != nil {
+			if err := fn(0, i, f); err != nil {
 				return err
 			}
 		}
@@ -239,14 +304,14 @@ func forEachFunc(funcs []*ir.Func, workers int, fn func(i int, f *ir.Func) error
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(funcs) {
 					return
 				}
-				if err := fn(i, funcs[i]); err != nil {
+				if err := fn(w, i, funcs[i]); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -255,7 +320,7 @@ func forEachFunc(funcs []*ir.Func, workers int, fn func(i int, f *ir.Func) error
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

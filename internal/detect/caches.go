@@ -106,3 +106,17 @@ func (c *caches) capHits() int {
 	}
 	return total
 }
+
+// summaryStats sums the flow-cache lookup counters across all graphs.
+// Every vertex is enumerated exactly once (the per-graph lock serializes
+// the memo), so misses equal the number of distinct vertices touched and
+// the totals are as deterministic as the rest of the run.
+func (c *caches) summaryStats() (hits, misses int) {
+	for _, ft := range c.flows {
+		ft.mu.Lock()
+		hits += ft.t.Hits
+		misses += ft.t.Misses
+		ft.mu.Unlock()
+	}
+	return hits, misses
+}

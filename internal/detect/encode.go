@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cond"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/seg"
 	"repro/internal/smt"
 )
@@ -27,11 +28,21 @@ import (
 func (e *Engine) checkCandidate(c *candidate) smt.Result {
 	start := time.Now()
 	defer func() {
-		e.stats.SMTTime += time.Since(start)
+		d := time.Since(start)
+		e.stats.SMTTime += d
 		e.stats.SMTQueries++
+		if e.obs != nil {
+			e.obs.Histogram("smt.query_ns").Observe(int64(d))
+			if e.obs.Tracing() {
+				e.obs.Event(e.tid, "smt", start, d, obs.Arg{Key: "checker", Val: e.spec.Name})
+			}
+		}
 	}()
 
 	s := smt.NewSolver()
+	if e.obs != nil {
+		s.Observer = smtObserver(e.obs)
+	}
 	enc := &encoder{
 		eng:    e,
 		s:      s,
@@ -136,6 +147,18 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 		e.stats.SMTUnknown++
 	}
 	return res
+}
+
+// smtObserver adapts a recorder to the smt.Solver observer hook, feeding
+// the SAT-core effort counters and per-verdict counts into the registry.
+func smtObserver(rec *obs.Recorder) func(smt.CheckInfo) {
+	return func(ci smt.CheckInfo) {
+		rec.Counter("smt.decisions").Add(ci.Decisions)
+		rec.Counter("smt.conflicts").Add(ci.Conflicts)
+		rec.Counter("smt.learned").Add(ci.Learned)
+		rec.Counter("smt.theory_conflicts").Add(ci.TheoryConflicts)
+		rec.Counter("smt.result." + ci.Result.String()).Inc()
+	}
 }
 
 // extractWitness renders the model of the branch atoms as trigger hints,

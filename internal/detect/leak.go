@@ -2,9 +2,11 @@ package detect
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/pta"
 	"repro/internal/seg"
 	"repro/internal/smt"
@@ -66,6 +68,13 @@ type LeakStats struct {
 	SMTQueries int
 }
 
+// String renders the counters in the one-line shape shared by
+// cmd/pinpoint's -stats output and the examples (the unreleased-resource
+// sibling of Stats.String).
+func (s LeakStats) String() string {
+	return fmt.Sprintf("%d allocations, %d escaped, %d SMT queries", s.Allocs, s.Escaped, s.SMTQueries)
+}
+
 // FindLeaks scans every allocation site of the program.
 func FindLeaks(prog *Program, opts Options) ([]LeakReport, LeakStats) {
 	opts = opts.withDefaults()
@@ -84,7 +93,7 @@ func FindLeaks(prog *Program, opts Options) ([]LeakReport, LeakStats) {
 					continue
 				}
 				stats.Allocs++
-				rep, escaped := lc.checkAlloc(f, g, in, &stats)
+				rep, escaped := lc.checkAlloc(f, g, in, &stats, 1)
 				if escaped {
 					stats.Escaped++
 				}
@@ -165,8 +174,9 @@ func (lc *leakChecker) paramMayFree(g *seg.Graph, p *ir.Value) bool {
 }
 
 // checkAlloc analyzes one allocation; it returns a report (or nil) and
-// whether the value escapes.
-func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, stats *LeakStats) (*LeakReport, bool) {
+// whether the value escapes. tid is the trace track of the calling worker
+// (its SMT query span lands there when the run is being traced).
+func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, stats *LeakStats, tid int) (*LeakReport, bool) {
 	type reachedFree struct {
 		flow summary.Flow
 	}
@@ -218,8 +228,22 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 	// Path-sensitive residue: is there an execution where the allocation
 	// happens but none of the reached frees does?
 	stats.SMTQueries++
-	eng := &Engine{prog: lc.prog, opts: lc.opts}
+	rec := lc.opts.Obs
+	if rec != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			rec.Histogram("smt.query_ns").Observe(int64(d))
+			if rec.Tracing() {
+				rec.Event(tid, "smt", start, d, obs.Arg{Key: "checker", Val: "memory-leak"})
+			}
+		}()
+	}
+	eng := &Engine{prog: lc.prog, opts: lc.opts, obs: rec, tid: tid}
 	s := smt.NewSolver()
+	if rec != nil {
+		s.Observer = smtObserver(rec)
+	}
 	enc := &encoder{
 		eng:    eng,
 		s:      s,

@@ -1,0 +1,174 @@
+package detect_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/detect"
+	"repro/internal/obs"
+)
+
+// TestCheckAllObsDeterminism is the observability-layer determinism
+// guarantee: recording is write-only, so reports are byte-identical with
+// tracing on, metrics-only, or fully off, at every worker count.
+func TestCheckAllObsDeterminism(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	specs := checkers.All()
+
+	for _, w := range []int{1, 4, -1} {
+		bare := a.CheckAll(specs, detect.Options{Workers: w})
+		zeroTimings(&bare)
+		if len(bare.Reports) == 0 {
+			t.Fatal("workload subject produced no reports; test is vacuous")
+		}
+		for _, rec := range []*obs.Recorder{obs.New(), obs.NewTracing()} {
+			got := a.CheckAll(specs, detect.Options{Workers: w, Obs: rec})
+			zeroTimings(&got)
+			got.WorkerStats = nil
+			if !reflect.DeepEqual(bare.Reports, got.Reports) {
+				t.Fatalf("workers=%d tracing=%v: reports differ with recorder attached",
+					w, rec.Tracing())
+			}
+			if !reflect.DeepEqual(bare.Checkers, got.Checkers) {
+				t.Fatalf("workers=%d tracing=%v: stats differ with recorder attached\nbare: %+v\nobs:  %+v",
+					w, rec.Tracing(), bare.Checkers, got.Checkers)
+			}
+		}
+	}
+}
+
+// TestCheckAllTraceShape runs a traced detection pass and checks the trace
+// document is valid Chrome trace-event JSON carrying the phase spans, one
+// task span per scheduled task, and SMT query spans on worker tracks.
+func TestCheckAllTraceShape(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	rec := obs.NewTracing()
+	res := a.CheckAll(checkers.All(), detect.Options{Workers: 4, Obs: rec})
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Tid  int                    `json:"tid"`
+			Dur  *float64               `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	phases := map[string]bool{}
+	tasks, smtSpans := 0, 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Tid == 0 {
+			phases[ev.Name] = true
+			continue
+		}
+		switch {
+		case len(ev.Name) > 5 && ev.Name[:5] == "task:":
+			tasks++
+			if ev.Args["func"] == nil || ev.Args["at"] == nil {
+				t.Fatalf("task span %q missing func/at args: %+v", ev.Name, ev.Args)
+			}
+		case ev.Name == "smt":
+			smtSpans++
+			if ev.Args["checker"] == nil {
+				t.Fatalf("smt span missing checker arg: %+v", ev.Args)
+			}
+		}
+	}
+	for _, want := range []string{"detect/prepare", "detect/search", "detect/merge"} {
+		if !phases[want] {
+			t.Errorf("missing phase span %q; got %v", want, phases)
+		}
+	}
+	totalTasks := 0
+	for _, ws := range res.WorkerStats {
+		totalTasks += ws.Tasks
+	}
+	if totalTasks == 0 {
+		t.Fatal("no per-worker task counts recorded")
+	}
+	if tasks != totalTasks {
+		t.Errorf("trace has %d task spans, worker stats count %d tasks", tasks, totalTasks)
+	}
+	if smtSpans == 0 {
+		t.Error("no SMT query spans in trace")
+	}
+}
+
+// TestCheckAllObsCounters checks the scheduler's registry rollup: task and
+// report counters, the shared summary-cache hit/miss counters, and the SMT
+// latency histogram all land in the recorder and agree with Results.
+func TestCheckAllObsCounters(t *testing.T) {
+	a := buildWorkloadSubject(t)
+	rec := obs.New()
+	res := a.CheckAll(checkers.All(), detect.Options{Workers: -1, Obs: rec})
+	snap := rec.Snapshot()
+
+	if got := snap.Counters["detect.reports"]; got != int64(len(res.Reports)) {
+		t.Errorf("detect.reports = %d, want %d", got, len(res.Reports))
+	}
+	if got := snap.Counters["summary.cache_hits"]; got != int64(res.SummaryHits) {
+		t.Errorf("summary.cache_hits = %d, want %d", got, res.SummaryHits)
+	}
+	if got := snap.Counters["summary.cache_misses"]; got != int64(res.SummaryMisses) {
+		t.Errorf("summary.cache_misses = %d, want %d", got, res.SummaryMisses)
+	}
+	if res.SummaryHits+res.SummaryMisses == 0 {
+		t.Error("summary cache saw no lookups; counters are vacuous")
+	}
+
+	var wantQueries int64
+	for _, cs := range res.Checkers {
+		wantQueries += int64(cs.Stats.SMTQueries)
+	}
+	h := snap.Histograms["smt.query_ns"]
+	if h.Count != wantQueries {
+		t.Errorf("smt.query_ns count = %d, want %d (sum of checker SMT queries)", h.Count, wantQueries)
+	}
+	if wantQueries > 0 && (h.P50 <= 0 || h.P99 < h.P50) {
+		t.Errorf("smt.query_ns percentiles malformed: %+v", h)
+	}
+}
+
+// TestCheckAllWorkerStats checks the per-worker utilization breakdown:
+// populated only when a recorder is attached, with every task attributed
+// to exactly one worker.
+func TestCheckAllWorkerStats(t *testing.T) {
+	a := buildWorkloadSubject(t)
+
+	bare := a.CheckAll(checkers.All(), detect.Options{Workers: 3})
+	if bare.WorkerStats != nil {
+		t.Error("WorkerStats populated without a recorder")
+	}
+
+	res := a.CheckAll(checkers.All(), detect.Options{Workers: 3, Obs: obs.New()})
+	if len(res.WorkerStats) != 3 {
+		t.Fatalf("WorkerStats has %d entries, want 3", len(res.WorkerStats))
+	}
+	total := 0
+	for i, ws := range res.WorkerStats {
+		if ws.Worker != i {
+			t.Errorf("WorkerStats[%d].Worker = %d", i, ws.Worker)
+		}
+		if ws.Tasks > 0 && ws.Busy <= 0 {
+			t.Errorf("worker %d ran %d tasks with zero busy time", i, ws.Tasks)
+		}
+		total += ws.Tasks
+	}
+	if total == 0 {
+		t.Fatal("no tasks attributed to any worker")
+	}
+}

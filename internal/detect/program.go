@@ -29,6 +29,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/ir"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/seg"
 	"repro/internal/smt"
 	"repro/internal/ssa"
@@ -104,6 +105,12 @@ type Options struct {
 	// 1 runs sequentially, negative selects GOMAXPROCS. The reported
 	// results are identical at every setting; only wall-clock changes.
 	Workers int
+	// Obs, when non-nil, receives detection metrics (SMT latency
+	// histograms, SAT-core counters, summary-cache hit rates, per-worker
+	// utilization) and — when the recorder is tracing — per-task and
+	// per-SMT-query spans. Recording never changes the reported results;
+	// nil disables all of it.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +183,13 @@ type Stats struct {
 	// Escaped counts allocations conservatively assumed freed elsewhere
 	// (unreleased-resource checkers only).
 	Escaped int
+}
+
+// String renders the source–sink effort counters in the one-line shape
+// shared by cmd/pinpoint's -stats output and the examples.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d sources, %d candidates, %d SMT queries (%d sat/%d unsat), %s solving",
+		s.Sources, s.Candidates, s.SMTQueries, s.SMTSat, s.SMTUnsat, s.SMTTime)
 }
 
 // instCond tracks the accumulated local condition of one context instance.

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,8 @@ import (
 
 	"repro/internal/checkers"
 	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/seg"
 )
 
@@ -38,6 +41,30 @@ type CheckerStats struct {
 	Stats   Stats
 }
 
+// String renders the per-checker -stats line shared by cmd/pinpoint and
+// the examples. Unreleased-resource checkers use the allocation-shaped
+// counters; everything else the source–sink shape.
+func (cs CheckerStats) String() string {
+	if sp, ok := checkers.ByName(cs.Checker); ok && sp.Kind == checkers.KindUnreleased {
+		ls := LeakStats{Allocs: cs.Stats.Sources, Escaped: cs.Stats.Escaped, SMTQueries: cs.Stats.SMTQueries}
+		return fmt.Sprintf("%s: %s", cs.Checker, ls)
+	}
+	return fmt.Sprintf("%s: %s", cs.Checker, cs.Stats)
+}
+
+// WorkerStat describes one worker's share of a CheckAll run. Recorded only
+// when Options.Obs is set; task counts and busy times depend on scheduling
+// and are not part of the deterministic result surface.
+type WorkerStat struct {
+	// Worker is the worker index (0-based; trace track Worker+1).
+	Worker int
+	// Tasks is the number of detection tasks the worker executed.
+	Tasks int
+	// Busy is the total wall-clock the worker spent inside tasks;
+	// Busy/Results.Wall is the worker's utilization.
+	Busy time.Duration
+}
+
 // Results is the outcome of one CheckAll run.
 type Results struct {
 	// Reports holds every checker's reports, sorted by (checker, source
@@ -56,6 +83,13 @@ type Results struct {
 	// Wall is the detection wall-clock time, including preparation,
 	// search, SMT solving, and merging.
 	Wall time.Duration
+	// SummaryHits/SummaryMisses are the shared flow-cache lookup counters
+	// (hit rate = Hits / (Hits + Misses)).
+	SummaryHits   int
+	SummaryMisses int
+	// WorkerStats is the per-worker task/busy-time breakdown, populated
+	// only when Options.Obs is set.
+	WorkerStats []WorkerStat
 }
 
 // task is one unit of detection work: a (checker, source) pair for
@@ -69,6 +103,14 @@ type task struct {
 	alloc   *ir.Instr       // KindUnreleased
 }
 
+// pos locates the task's demand source for trace annotations.
+func (t task) pos() minic.Pos {
+	if t.alloc != nil {
+		return t.alloc.Pos
+	}
+	return t.src.At.Pos
+}
+
 type taskResult struct {
 	reports []Report
 	stats   Stats
@@ -80,6 +122,7 @@ type taskResult struct {
 func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
 	start := time.Now()
 	opts = opts.withDefaults()
+	rec := opts.Obs
 	workers := opts.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -89,7 +132,9 @@ func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
 	}
 
 	c := newCaches(prog)
+	prepSp := rec.Phase("detect/prepare")
 	prepare(prog, specs, workers)
+	prepSp.End()
 
 	var lc *leakChecker
 	for _, sp := range specs {
@@ -101,11 +146,36 @@ func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
 
 	tasks := enumerateTasks(prog, specs)
 	results := make([]taskResult, len(tasks))
-	runParallel(len(tasks), workers, func(i int) {
-		results[i] = runTask(prog, specs, opts, c, lc, tasks[i])
+	var wstats []WorkerStat
+	if rec != nil {
+		wstats = make([]WorkerStat, workers)
+		for w := range wstats {
+			wstats[w].Worker = w
+		}
+	}
+	searchSp := rec.Phase("detect/search")
+	runParallel(len(tasks), workers, func(w, i int) {
+		t := tasks[i]
+		if rec == nil {
+			results[i] = runTask(prog, specs, opts, c, lc, t, w+1)
+			return
+		}
+		t0 := time.Now()
+		results[i] = runTask(prog, specs, opts, c, lc, t, w+1)
+		d := time.Since(t0)
+		// wstats[w] is only ever touched by worker w: no lock needed.
+		wstats[w].Tasks++
+		wstats[w].Busy += d
+		if rec.Tracing() {
+			rec.Event(w+1, "task:"+specs[t.specIdx].Name, t0, d,
+				obs.Arg{Key: "func", Val: t.fn.Name},
+				obs.Arg{Key: "at", Val: t.pos().String()})
+		}
 	})
+	searchSp.End()
 
-	res := Results{Workers: workers}
+	mergeSp := rec.Phase("detect/merge")
+	res := Results{Workers: workers, WorkerStats: wstats}
 	for si, sp := range specs {
 		merged := Stats{}
 		var reports []Report
@@ -132,8 +202,22 @@ func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
 		res.Reports = append(res.Reports, reports...)
 	}
 	res.SummaryCapHits = c.capHits()
+	res.SummaryHits, res.SummaryMisses = c.summaryStats()
 	SortReports(res.Reports)
+	mergeSp.End()
 	res.Wall = time.Since(start)
+
+	if rec != nil {
+		rec.Counter("detect.tasks").Add(int64(len(tasks)))
+		rec.Counter("detect.reports").Add(int64(len(res.Reports)))
+		rec.Counter("summary.cache_hits").Add(int64(res.SummaryHits))
+		rec.Counter("summary.cache_misses").Add(int64(res.SummaryMisses))
+		rec.Counter("summary.cap_hits").Add(int64(res.SummaryCapHits))
+		rec.Gauge("detect.workers").Set(int64(workers))
+		for _, ws := range wstats {
+			rec.Histogram("detect.worker_busy_ns").Observe(int64(ws.Busy))
+		}
+	}
 	return res
 }
 
@@ -151,7 +235,7 @@ func prepare(prog *Program, specs []*checkers.Spec, workers int) {
 		}
 	}
 	funcs := prog.Module.Funcs
-	runParallel(len(funcs), workers, func(i int) {
+	runParallel(len(funcs), workers, func(_, i int) {
 		f := funcs[i]
 		g := prog.SEGs[f]
 		if g == nil {
@@ -196,13 +280,13 @@ func enumerateTasks(prog *Program, specs []*checkers.Spec) []task {
 }
 
 // runTask executes one unit of work with a fresh per-task engine over the
-// shared caches.
-func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc *leakChecker, t task) taskResult {
+// shared caches. tid is the executing worker's trace track (worker+1).
+func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc *leakChecker, t task, tid int) taskResult {
 	sp := specs[t.specIdx]
 	if sp.Kind == checkers.KindUnreleased {
 		var ls LeakStats
 		ls.Allocs++
-		rep, escaped := lc.checkAlloc(t.fn, t.g, t.alloc, &ls)
+		rep, escaped := lc.checkAlloc(t.fn, t.g, t.alloc, &ls, tid)
 		if escaped {
 			ls.Escaped++
 		}
@@ -222,6 +306,8 @@ func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc 
 		opts:     opts,
 		caches:   c,
 		reported: make(map[[2]*ir.Instr]bool),
+		obs:      opts.Obs,
+		tid:      tid,
 	}
 	eng.stats.Sources = 1
 	eng.searchFromSource(t.fn, t.g, t.src)
@@ -243,13 +329,14 @@ func addStats(dst *Stats, s Stats) {
 	dst.Escaped += s.Escaped
 }
 
-// runParallel executes fn(0..n-1) on up to `workers` goroutines, pulling
-// indexes from an atomic counter (the same pool shape as the build half's
-// forEachFunc).
-func runParallel(n, workers int, fn func(i int)) {
+// runParallel executes fn(worker, 0..n-1) on up to `workers` goroutines,
+// pulling indexes from an atomic counter (the same pool shape as the build
+// half's forEachFunc). The worker index lets callers attribute work to
+// pool slots (per-worker utilization, trace tracks) without locking.
+func runParallel(n, workers int, fn func(w, i int)) {
 	if workers <= 1 || n < 2 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -262,16 +349,16 @@ func runParallel(n, workers int, fn func(i int)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

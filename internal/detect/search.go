@@ -4,6 +4,7 @@ import (
 	"repro/internal/checkers"
 	"repro/internal/cond"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/seg"
 	"repro/internal/smt"
 )
@@ -23,6 +24,12 @@ type Engine struct {
 	stats       Stats
 	lastWitness []string
 
+	// obs mirrors opts.Obs (nil = no recording); tid is the trace track
+	// this engine's SMT query spans land on (its scheduler worker + 1, or
+	// 1 for a sequential engine).
+	obs *obs.Recorder
+	tid int
+
 	// per-source scratch
 	nextInst   int
 	expansions int
@@ -37,6 +44,8 @@ func NewEngine(prog *Program, spec *checkers.Spec, opts Options) *Engine {
 		opts:     opts.withDefaults(),
 		caches:   newCaches(prog),
 		reported: make(map[[2]*ir.Instr]bool),
+		obs:      opts.Obs,
+		tid:      1,
 	}
 }
 
@@ -80,7 +89,7 @@ func (e *Engine) runUnreleased() ([]Report, Stats) {
 				}
 				var ls LeakStats
 				ls.Allocs++
-				rep, escaped := lc.checkAlloc(f, g, in, &ls)
+				rep, escaped := lc.checkAlloc(f, g, in, &ls, e.tid)
 				if escaped {
 					ls.Escaped++
 				}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newHist() *Histogram {
+	// Via the registry so min is initialized the same way production code
+	// gets it.
+	return NewRegistry().Histogram("h")
+}
+
+// TestHistogramUniform checks quantile estimates against a known uniform
+// distribution. With power-of-two buckets and in-bucket interpolation the
+// estimate for a uniform distribution lands within a few percent.
+func TestHistogramUniform(t *testing.T) {
+	h := newHist()
+	const n = 1000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != n*(n+1)/2 {
+		t.Fatalf("sum = %d, want %d", h.Sum(), n*(n+1)/2)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1}, {0.5, 500}, {0.9, 900}, {0.99, 990}, {1, 1000},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		// Allow 10% relative error (the interpolation is much better in
+		// practice; exact at the extremes).
+		tol := c.want / 10
+		if c.q == 0 || c.q == 1 {
+			tol = 0
+		}
+		if got < c.want-tol || got > c.want+tol {
+			t.Errorf("Quantile(%v) = %d, want %d ± %d", c.q, got, c.want, tol)
+		}
+	}
+}
+
+// TestHistogramSinglePoint: a degenerate distribution must report its one
+// value exactly at every quantile (the min/max clamp guarantees it).
+func TestHistogramSinglePoint(t *testing.T) {
+	h := newHist()
+	for i := 0; i < 100; i++ {
+		h.Observe(42)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+	snap := h.Snapshot()
+	want := HistSnapshot{Count: 100, Sum: 4200, Min: 42, Max: 42, P50: 42, P90: 42, P99: 42}
+	if snap != want {
+		t.Errorf("snapshot = %+v, want %+v", snap, want)
+	}
+}
+
+// TestHistogramBimodal: two well-separated modes — the median must come
+// from the correct mode.
+func TestHistogramBimodal(t *testing.T) {
+	h := newHist()
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // fast mode
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // slow mode
+	}
+	if p50 := h.Quantile(0.5); p50 < 64 || p50 > 128 {
+		t.Errorf("P50 = %d, want within the fast mode's bucket [64,128]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 1<<19 {
+		t.Errorf("P99 = %d, want in the slow mode (>= %d)", p99, 1<<19)
+	}
+	if got := h.Quantile(1); got != 1<<20 {
+		t.Errorf("max = %d, want %d", got, 1<<20)
+	}
+}
+
+// TestHistogramGeometric: quantiles stay within a factor of two (one
+// bucket) of the truth for an adversarially skewed distribution.
+func TestHistogramGeometric(t *testing.T) {
+	h := newHist()
+	rng := rand.New(rand.NewSource(1))
+	var samples []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(1) << uint(rng.Intn(20))
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	// The true quantile of the sample set.
+	trueQ := func(q float64) int64 {
+		sorted := append([]int64(nil), samples...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		idx := int(q*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := h.Quantile(q), trueQ(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("Quantile(%v) = %d, want within 2x of %d", q, got, want)
+		}
+	}
+}
+
+// TestHistogramEmptyAndEdge covers empty histograms, zero/negative values,
+// and bucket boundary maths.
+func TestHistogramEmptyAndEdge(t *testing.T) {
+	h := newHist()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	if snap := h.Snapshot(); snap != (HistSnapshot{}) {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Quantile(0.5) > 0 {
+		t.Errorf("P50 of non-positive observations = %d, want <= 0", h.Quantile(0.5))
+	}
+	if h.Quantile(0) != -5 {
+		t.Errorf("min = %d, want -5", h.Quantile(0))
+	}
+	// Bucket math invariants.
+	for _, v := range []int64{1, 2, 3, 4, 1023, 1024, 1 << 40} {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || v >= hi {
+			t.Errorf("value %d landed in bucket %d [%d,%d)", v, b, lo, hi)
+		}
+	}
+}

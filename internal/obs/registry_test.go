@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — the
+// get-or-create races, atomic metric updates, and a concurrent Snapshot —
+// and checks the final totals. Run under -race (scripts/check.sh does).
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Get-or-create on every iteration: the lookup path must be
+				// race-free too, not just the atomics.
+				reg.Counter("shared.counter").Inc()
+				reg.Gauge("shared.gauge").Set(int64(g))
+				reg.Histogram("shared.hist").Observe(int64(i + 1))
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared.counter").Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := reg.Histogram("shared.hist").Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	wantSum := int64(goroutines) * int64(iters) * int64(iters+1) / 2
+	if got := reg.Histogram("shared.hist").Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+	g := reg.Gauge("shared.gauge").Value()
+	if g < 0 || g >= goroutines {
+		t.Errorf("gauge = %d, want one of the written values [0,%d)", g, goroutines)
+	}
+}
+
+// TestRegistryIdentity checks that the same name always returns the same
+// metric and distinct names return distinct metrics.
+func TestRegistryIdentity(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Error("same counter name returned distinct counters")
+	}
+	if reg.Counter("a") == reg.Counter("b") {
+		t.Error("distinct counter names returned the same counter")
+	}
+	reg.Counter("a").Add(3)
+	if got := reg.Counter("a").Value(); got != 3 {
+		t.Errorf("counter a = %d, want 3", got)
+	}
+	want := []string{"a", "b"}
+	if got := reg.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
+
+// TestNilSafety: the nil Recorder / nil metric contract — everything is a
+// no-op, nothing panics.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Tracing() {
+		t.Error("nil recorder claims to be tracing")
+	}
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(5)
+	r.Gauge("x").Add(1)
+	r.Histogram("x").Observe(7)
+	sp := r.Phase("parse")
+	sp.End()
+	sp = r.Span(3, "task", Arg{"k", "v"})
+	sp.End()
+	r.Event(1, "e", timeZero(), 0)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil snapshot non-empty: %+v", s)
+	}
+	if n := r.EventCount(); n != 0 {
+		t.Errorf("nil recorder has %d events", n)
+	}
+	var reg *Registry
+	reg.Counter("x").Add(1)
+	if reg.Names() != nil {
+		t.Error("nil registry has names")
+	}
+}
+
+// TestPhaseCounters: phase spans accumulate their duration in the
+// "phase.<name>_ns" counter even without tracing.
+func TestPhaseCounters(t *testing.T) {
+	clock := newFakeClock()
+	r := newWithClock(false, clock.Now)
+	sp := r.Phase("parse")
+	clock.Advance(1500) // 1.5µs
+	sp.End()
+	sp = r.Phase("parse")
+	clock.Advance(500)
+	sp.End()
+	if got := r.Counter("phase.parse_ns").Value(); got != 2000 {
+		t.Errorf("phase.parse_ns = %d, want 2000", got)
+	}
+	if r.EventCount() != 0 {
+		t.Error("non-tracing recorder buffered trace events")
+	}
+}

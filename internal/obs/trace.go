@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// traceEvent is one complete ("X"-phase) span in the buffer. Timestamps and
+// durations are microseconds, the unit of the Chrome trace-event format.
+type traceEvent struct {
+	Name string
+	Tid  int
+	Ts   int64
+	Dur  int64
+	Args []Arg
+}
+
+// traceBuffer collects events from any number of goroutines.
+type traceBuffer struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+func newTraceBuffer() *traceBuffer { return &traceBuffer{} }
+
+func (b *traceBuffer) add(e traceEvent) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// jsonEvent is the Chrome trace-event wire format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" events are complete spans with a duration; "M" events are metadata
+// (thread names). chrome://tracing and Perfetto both load the
+// {"traceEvents": [...]} object form.
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the collected events as Chrome trace-event JSON.
+// Events are sorted by (timestamp, track, name), so output is deterministic
+// for a deterministic event set. A nil or non-tracing Recorder writes an
+// empty (but valid) trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var events []traceEvent
+	if r != nil && r.trace != nil {
+		r.trace.mu.Lock()
+		events = append([]traceEvent(nil), r.trace.events...)
+		r.trace.mu.Unlock()
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		return a.Name < b.Name
+	})
+
+	out := traceFile{TraceEvents: []jsonEvent{}, DisplayTimeUnit: "ms"}
+
+	// Name the tracks: tid 0 is the pipeline's phase hierarchy, tids >= 1
+	// are workers.
+	tids := map[int]bool{}
+	for _, e := range events {
+		tids[e.Tid] = true
+	}
+	sortedTids := make([]int, 0, len(tids))
+	for t := range tids {
+		sortedTids = append(sortedTids, t)
+	}
+	sort.Ints(sortedTids)
+	for _, t := range sortedTids {
+		name := "pipeline"
+		if t > 0 {
+			name = fmt.Sprintf("worker %d", t)
+		}
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: t,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	for _, e := range events {
+		je := jsonEvent{
+			Name: e.Name, Cat: "pinpoint", Ph: "X", Pid: 1, Tid: e.Tid,
+			Ts: e.Ts, Dur: e.Dur,
+		}
+		if len(e.Args) > 0 {
+			je.Args = make(map[string]string, len(e.Args))
+			for _, a := range e.Args {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// EventCount returns the number of buffered trace events (0 when not
+// tracing), primarily for tests and the CLI's summary line.
+func (r *Recorder) EventCount() int {
+	if r == nil || r.trace == nil {
+		return 0
+	}
+	r.trace.mu.Lock()
+	defer r.trace.mu.Unlock()
+	return len(r.trace.events)
+}

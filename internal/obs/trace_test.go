@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic trace tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: timeZero()} }
+
+func timeZero() time.Time { return time.Unix(0, 0).UTC() }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by ns nanoseconds.
+func (c *fakeClock) Advance(ns int64) {
+	c.mu.Lock()
+	c.t = c.t.Add(time.Duration(ns))
+	c.mu.Unlock()
+}
+
+// TestTraceGolden pins the Chrome trace-event JSON to a golden file: a
+// phase hierarchy on the pipeline track plus worker-track task and SMT
+// spans, built on a fake clock.
+func TestTraceGolden(t *testing.T) {
+	clock := newFakeClock()
+	r := newWithClock(true, clock.Now)
+
+	build := r.Phase("build")
+	parse := r.Phase("build/parse")
+	clock.Advance(2_000_000) // 2ms
+	parse.End()
+	// Per-function work on two worker tracks, recorded after the fact.
+	r.Event(1, "ssa:main", clock.Now(), 1500*time.Microsecond, Arg{"func", "main"})
+	r.Event(2, "ssa:helper", clock.Now(), 700*time.Microsecond, Arg{"func", "helper"})
+	clock.Advance(3_000_000)
+	build.End()
+
+	detect := r.Phase("detect")
+	task := r.Span(1, "task:uaf", Arg{"func", "main"}, Arg{"at", "a.mc:3"})
+	clock.Advance(1_000_000)
+	r.Event(1, "smt", clock.Now(), 250*time.Microsecond, Arg{"checker", "uaf"})
+	task.End()
+	detect.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	// The output must be valid JSON in the object form viewers accept.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceConcurrentAppend exercises the trace buffer from many
+// goroutines (under -race) and checks nothing is lost.
+func TestTraceConcurrentAppend(t *testing.T) {
+	r := NewTracing()
+	const goroutines, events = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				sp := r.Span(g+1, "e")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.EventCount(); got != goroutines*events {
+		t.Errorf("EventCount = %d, want %d", got, goroutines*events)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("concurrently built trace is not valid JSON: %v", err)
+	}
+}
+
+// TestEmptyTrace: a non-tracing recorder still writes a valid empty trace.
+func TestEmptyTrace(t *testing.T) {
+	for _, r := range []*Recorder{nil, New()} {
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		var parsed struct {
+			TraceEvents []any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+			t.Fatalf("empty trace invalid: %v", err)
+		}
+		if len(parsed.TraceEvents) != 0 {
+			t.Errorf("empty trace has %d events", len(parsed.TraceEvents))
+		}
+	}
+}

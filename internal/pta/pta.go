@@ -120,6 +120,23 @@ type Stats struct {
 	LinearUnsat   int
 }
 
+// Add accumulates o into s — the cross-function aggregation used by the
+// pipeline driver and the benchmarks.
+func (s *Stats) Add(o Stats) {
+	s.GuardsPruned += o.GuardsPruned
+	s.GuardsKept += o.GuardsKept
+	s.CapWidened += o.CapWidened
+	s.LinearQueries += o.LinearQueries
+	s.LinearUnsat += o.LinearUnsat
+}
+
+// String renders the counters in the shape cmd/pinpoint's -stats output
+// uses.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d guards kept, %d pruned, %d widened by cap; %d linear queries (%d unsat)",
+		s.GuardsKept, s.GuardsPruned, s.CapWidened, s.LinearQueries, s.LinearUnsat)
+}
+
 // Result is the per-function analysis result.
 type Result struct {
 	Fn   *ir.Func

@@ -130,6 +130,35 @@ func (g *Graph) NumEdges() int {
 	return n
 }
 
+// GraphStats summarizes a graph's structure for the observability layer
+// (gauges in the metrics registry, the -stats-json dump).
+type GraphStats struct {
+	Nodes      int
+	Edges      int
+	ValueNodes int
+	UseNodes   int
+	// ReachSets is the number of memoized block-reachability sets —
+	// nonzero only for functions PrecomputeReach (or an ordering-sensitive
+	// query) touched.
+	ReachSets int
+}
+
+// Stats computes the graph's structural counters. It reads the same state
+// the detection workers read, so call it before detection starts or after
+// it finishes, not concurrently with graph-mutating lazy paths.
+func (g *Graph) Stats() GraphStats {
+	s := GraphStats{Nodes: len(g.nodes), Edges: g.NumEdges(), ReachSets: len(g.blockReach)}
+	for _, n := range g.nodes {
+		switch n.Kind {
+		case NValue:
+			s.ValueNodes++
+		case NUse:
+			s.UseNodes++
+		}
+	}
+	return s
+}
+
 // ValueNode returns the vertex of a value definition, creating it on first
 // use.
 func (g *Graph) ValueNode(v *ir.Value) *Node {

@@ -3,7 +3,10 @@ package smt
 // Lazy DPLL(T) driver tying the CDCL SAT core to the EUF and
 // difference-bound theory layers.
 
-import "sort"
+import (
+	"sort"
+	"time"
+)
 
 // Result is the verdict of a Check call.
 type Result uint8
@@ -42,6 +45,23 @@ type Solver struct {
 	// TheoryConflicts counts blocking clauses added by the theory layer.
 	TheoryConflicts int64
 	asserted        []*Term
+
+	// Observer, when non-nil, is invoked once at the end of every Check
+	// with the call's verdict, wall time, and the SAT-core effort spent by
+	// that call. It must be cheap; the solver holds no locks while calling
+	// it. Leaving it nil keeps Check free of clock reads.
+	Observer func(CheckInfo)
+}
+
+// CheckInfo summarizes one Check call for the Observer hook. The counter
+// fields are deltas attributable to that call, not solver lifetime totals.
+type CheckInfo struct {
+	Result          Result
+	Duration        time.Duration
+	Decisions       int64
+	Conflicts       int64
+	Learned         int64
+	TheoryConflicts int64
 }
 
 // NewSolver returns an empty solver with a fresh TermBuilder.
@@ -87,6 +107,25 @@ func (s *Solver) BoolModel() map[string]bool {
 
 // Check decides satisfiability of the asserted formulas.
 func (s *Solver) Check() Result {
+	if s.Observer == nil {
+		return s.check()
+	}
+	start := time.Now()
+	d0, c0, l0 := s.sat.Decisions, s.sat.Conflicts, s.sat.Learned
+	tc0 := s.TheoryConflicts
+	res := s.check()
+	s.Observer(CheckInfo{
+		Result:          res,
+		Duration:        time.Since(start),
+		Decisions:       s.sat.Decisions - d0,
+		Conflicts:       s.sat.Conflicts - c0,
+		Learned:         s.sat.Learned - l0,
+		TheoryConflicts: s.TheoryConflicts - tc0,
+	})
+	return res
+}
+
+func (s *Solver) check() Result {
 	if s.dead {
 		return Unsat
 	}

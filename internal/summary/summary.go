@@ -67,6 +67,12 @@ type Table struct {
 	memo map[*seg.Node][]Flow
 	// CapHits counts vertices whose enumeration was truncated.
 	CapHits int
+	// Hits and Misses count FlowsFrom lookups served from / populating the
+	// memo (including recursive enumeration steps). Like the memo itself
+	// they are guarded by the caller's per-table lock; the detection layer
+	// aggregates them into cache hit rates.
+	Hits   int
+	Misses int
 }
 
 // NewTable returns a Table with default caps.
@@ -78,8 +84,10 @@ func NewTable() *Table {
 // and shared; callers must not mutate it.
 func (t *Table) FlowsFrom(g *seg.Graph, from *seg.Node) []Flow {
 	if fs, ok := t.memo[from]; ok {
+		t.Hits++
 		return fs
 	}
+	t.Misses++
 	// Mark in-progress to cut (impossible in a DAG, defensive) cycles.
 	t.memo[from] = nil
 	var out []Flow

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Detection worker-scaling benchmark: runs the internal/bench sweep on a
+# synthetic subject and leaves a JSON snapshot (BENCH_detect.json) in the
+# repo root for trend tracking. Extra arguments pass through to benchsnap
+# (e.g. -scale 5 -workers 1,2,4,8).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== detection scaling benchmark"
+go run ./cmd/benchsnap -out BENCH_detect.json "$@"

@@ -28,4 +28,18 @@ for ex in quickstart useafterfree taintcheck crossfunction memoryleak; do
     go run "./examples/$ex" >/dev/null
 done
 
+echo "== pinpoint CLI smoke (trace + stats-json)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+# exit 1 just means bugs were reported — the examples contain some on purpose
+go run ./cmd/pinpoint -checkers all -workers -1 \
+    -trace "$tmpdir/trace.json" -stats-json "$tmpdir/stats.json" \
+    examples/mc/*.mc >/dev/null || [ $? -eq 1 ]
+for f in trace.json stats.json; do
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmpdir/$f"; then
+        echo "$f is not valid JSON" >&2
+        exit 1
+    fi
+done
+
 echo "OK"
