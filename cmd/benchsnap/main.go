@@ -1,10 +1,12 @@
-// Command benchsnap runs the detection worker-scaling benchmark on a
-// synthetic workload subject and writes the result as a JSON snapshot
-// (BENCH_detect.json by default) for CI trend tracking.
+// Command benchsnap runs the detection worker-scaling benchmark and the
+// incremental-rebuild benchmark on synthetic workload subjects and writes
+// the results as JSON snapshots (BENCH_detect.json and
+// BENCH_incremental.json by default) for CI trend tracking.
 //
 // Usage:
 //
 //	benchsnap [-out BENCH_detect.json] [-scale N] [-workers 1,2,4]
+//	          [-inc-out BENCH_incremental.json] [-inc-scale N]
 package main
 
 import (
@@ -34,10 +36,25 @@ type snapshot struct {
 	Rows       []snapshotRow `json:"rows"`
 }
 
+type incSnapshot struct {
+	Subject     string  `json:"subject"`
+	Lines       int     `json:"lines"`
+	Functions   int     `json:"functions"`
+	Units       int     `json:"units"`
+	ColdNs      int64   `json:"cold_ns"`
+	WarmNs      int64   `json:"warm_ns"`
+	Speedup     float64 `json:"speedup"`
+	Hits        int     `json:"artifact_hits"`
+	Misses      int     `json:"artifact_misses"`
+	Invalidated int     `json:"artifact_invalidated"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_detect.json", "output file for the JSON snapshot")
 	scale := flag.Int("scale", 3, "workload scale factor (bigger = more functions)")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts (default 1,2,4,...,GOMAXPROCS)")
+	incOut := flag.String("inc-out", "BENCH_incremental.json", "output file for the incremental-rebuild snapshot (empty disables)")
+	incScale := flag.Int("inc-scale", 30, "workload scale factor for the incremental benchmark")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -67,19 +84,45 @@ func main() {
 		fmt.Printf("workers=%-3d wall=%-14s speedup=%.2fx\n", r.Workers, r.Wall, r.Speedup)
 	}
 
-	f, err := os.Create(*out)
+	writeJSON(*out, snap)
+
+	if *incOut != "" {
+		inc, err := bench.MeasureIncremental(subj, *incScale)
+		if err != nil {
+			fatal(err)
+		}
+		isnap := incSnapshot{
+			Subject:     inc.Subject,
+			Lines:       inc.Lines,
+			Functions:   inc.Functions,
+			Units:       inc.Units,
+			ColdNs:      int64(inc.Cold),
+			WarmNs:      int64(inc.Warm),
+			Speedup:     inc.Speedup,
+			Hits:        inc.Artifacts.Hits,
+			Misses:      inc.Artifacts.Misses,
+			Invalidated: inc.Artifacts.Invalidated,
+		}
+		fmt.Printf("incremental: cold=%-14s warm=%-14s speedup=%.2fx (artifacts: %d hits, %d misses, %d invalidated)\n",
+			inc.Cold, inc.Warm, inc.Speedup, inc.Artifacts.Hits, inc.Artifacts.Misses, inc.Artifacts.Invalidated)
+		writeJSON(*incOut, isnap)
+	}
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Println("wrote", *out)
+	fmt.Println("wrote", path)
 }
 
 // parseWorkers turns "1,2,4" into worker counts; empty selects a doubling

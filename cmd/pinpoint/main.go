@@ -43,6 +43,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (open in chrome://tracing or Perfetto)")
 	statsJSON := flag.String("stats-json", "", "write a machine-readable statistics dump (timings, SMT latency percentiles, cache hit rates, worker utilization)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	incremental := flag.Bool("incremental", false, "build through a persistent incremental session (content-addressed artifact store) instead of the one-shot pipeline")
+	repeat := flag.Int("repeat", 1, "with -incremental: build rounds; inputs are re-read from disk before each round, so warm rounds rebuild only what changed")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -87,23 +89,45 @@ func main() {
 		}
 	}
 
-	var units []minic.NamedSource
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
+	readUnits := func() []minic.NamedSource {
+		var units []minic.NamedSource
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			units = append(units, minic.NamedSource{Name: path, Src: string(data)})
 		}
-		units = append(units, minic.NamedSource{Name: path, Src: string(data)})
+		return units
 	}
 
-	a, err := core.BuildFromSource(units, core.BuildOptions{Workers: *workers, Obs: rec})
-	if err != nil {
-		fatal(err)
+	bopts := core.BuildOptions{Workers: *workers, Obs: rec}
+	var a *core.Analysis
+	var err error
+	if *incremental {
+		sess := core.NewSession(bopts)
+		rounds := *repeat
+		if rounds < 1 {
+			rounds = 1
+		}
+		for i := 0; i < rounds; i++ {
+			if a, err = sess.Update(readUnits()); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		if a, err = core.BuildFromSource(readUnits(), bopts); err != nil {
+			fatal(err)
+		}
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "pinpoint: %d functions, %d IR instructions, %d SEG nodes, %d SEG edges; build %s\n",
 			a.Sizes.Functions, a.Sizes.Lines, a.Sizes.SEGNodes, a.Sizes.SEGEdges, a.Timings.Total())
 		fmt.Fprintf(os.Stderr, "pinpoint: pta: %s\n", a.PTAStats)
+		if *incremental {
+			fmt.Fprintf(os.Stderr, "pinpoint: artifacts: %d hits, %d misses, %d invalidated\n",
+				a.Artifacts.Hits, a.Artifacts.Misses, a.Artifacts.Invalidated)
+		}
 	}
 	if *dump != "" {
 		kind, fn, ok := strings.Cut(*dump, ":")
@@ -191,6 +215,14 @@ type statsDump struct {
 		PTASEGNs  int64 `json:"pta_seg_ns"`
 		TotalNs   int64 `json:"total_ns"`
 	} `json:"build"`
+	// Artifacts is the incremental store outcome of the (last) build
+	// round: all misses for a one-shot build, mostly hits for a warm
+	// -incremental rebuild.
+	Artifacts struct {
+		Hits        int `json:"hits"`
+		Misses      int `json:"misses"`
+		Invalidated int `json:"invalidated"`
+	} `json:"artifacts"`
 	PTA      pta.Stats     `json:"pta"`
 	Checkers []checkerDump `json:"checkers"`
 	Detect   struct {
@@ -235,6 +267,9 @@ func buildStatsDump(a *core.Analysis, res detect.Results, rec *obs.Recorder) *st
 	d.Build.TransfNs = int64(a.Timings.Transform)
 	d.Build.PTASEGNs = int64(a.Timings.PTA + a.Timings.SEG)
 	d.Build.TotalNs = int64(a.Timings.Total())
+	d.Artifacts.Hits = a.Artifacts.Hits
+	d.Artifacts.Misses = a.Artifacts.Misses
+	d.Artifacts.Invalidated = a.Artifacts.Invalidated
 	d.PTA = a.PTAStats
 	for _, cs := range res.Checkers {
 		d.Checkers = append(d.Checkers, checkerDump{Checker: cs.Checker, Stats: cs.Stats})

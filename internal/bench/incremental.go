@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+// Incremental-rebuild experiment: after editing one function body, how much
+// of the build does a warm core.Session avoid compared to rebuilding from
+// scratch? The content-addressed artifact store should rebuild only the
+// dirty function (and whatever the summary fixpoint drags back in), so the
+// warm wall-clock should be a small fraction of the cold one.
+
+// IncrementalResult is the outcome of one cold-vs-warm measurement.
+type IncrementalResult struct {
+	Subject   string
+	Lines     int
+	Functions int
+	Units     int
+	// Cold is the from-scratch build time of the edited program.
+	Cold time.Duration
+	// Warm is the Session.Update time for the same edit against a
+	// previously built session.
+	Warm time.Duration
+	// Speedup is Cold / Warm.
+	Speedup float64
+	// Artifacts is the warm round's artifact-store outcome; Hits should
+	// dominate and Misses+Invalidated should cover only the dirty frontier.
+	Artifacts core.ArtifactStats
+}
+
+// MeasureIncremental generates a workload subject, builds it through a
+// session, edits one driver-function body in the last unit (a change that
+// leaves the function's Mod/Ref summary and connector signature intact), and
+// times the warm Session.Update against a cold from-scratch build of the
+// edited program. The two builds' report sets are verified identical before
+// timings are returned.
+func MeasureIncremental(subj workload.Subject, scale int) (*IncrementalResult, error) {
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
+	opts := core.BuildOptions{Workers: -1}
+
+	sess := core.NewSession(opts)
+	if _, err := sess.Update(gen.Units); err != nil {
+		return nil, err
+	}
+
+	edited := make([]minic.NamedSource, len(gen.Units))
+	copy(edited, gen.Units)
+	last, err := editDriver(edited[len(edited)-1])
+	if err != nil {
+		return nil, err
+	}
+	edited[len(edited)-1] = last
+
+	t0 := time.Now()
+	warmA, err := sess.Update(edited)
+	if err != nil {
+		return nil, err
+	}
+	warm := time.Since(t0)
+
+	t0 = time.Now()
+	coldA, err := core.BuildFromSource(edited, opts)
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(t0)
+
+	specs := checkers.All()
+	dopts := detect.Options{Workers: -1}
+	wj, err := reportsJSON(warmA.CheckAll(specs, dopts).Reports)
+	if err != nil {
+		return nil, err
+	}
+	cj, err := reportsJSON(coldA.CheckAll(specs, dopts).Reports)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(wj, cj) {
+		return nil, fmt.Errorf("warm and cold rebuilds disagree on reports")
+	}
+
+	out := &IncrementalResult{
+		Subject:   subj.Name,
+		Lines:     gen.Lines,
+		Functions: warmA.Sizes.Functions,
+		Units:     len(gen.Units),
+		Cold:      cold,
+		Warm:      warm,
+		Artifacts: warmA.Artifacts,
+	}
+	if warm > 0 {
+		out.Speedup = float64(cold) / float64(warm)
+	}
+	return out, nil
+}
+
+// editDriver inserts a statement right after the unit's driver-function
+// opening line: a body edit that dirties exactly one function without
+// changing its Mod/Ref summary or connector signature.
+func editDriver(u minic.NamedSource) (minic.NamedSource, error) {
+	lines := strings.Split(u.Src, "\n")
+	for i, ln := range lines {
+		if strings.HasPrefix(ln, "void drive_") {
+			lines = append(lines[:i+1], append([]string{"\tseed = seed + 1;"}, lines[i+1:]...)...)
+			return minic.NamedSource{Name: u.Name, Src: strings.Join(lines, "\n")}, nil
+		}
+	}
+	return u, fmt.Errorf("no driver function in %s", u.Name)
+}
+
+func reportsJSON(rs []detect.Report) ([]byte, error) {
+	js := make([]detect.JSONReport, len(rs))
+	for i, r := range rs {
+		js[i] = r.ToJSON()
+	}
+	return json.Marshal(js)
+}

@@ -1,0 +1,19 @@
+// Package conc holds the small concurrency conventions shared by the
+// build and detection halves of the pipeline, so the "how many workers
+// does N mean" rule lives in exactly one place.
+package conc
+
+import "runtime"
+
+// Workers normalizes a worker-count option to an effective pool size:
+// 0 and 1 mean sequential (1 worker), negative selects GOMAXPROCS, and
+// any other positive value is used as given. The result is always >= 1.
+func Workers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}

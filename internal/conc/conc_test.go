@@ -1,0 +1,24 @@
+package conc
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		in, want int
+	}{
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{7, 7},
+		{-1, runtime.GOMAXPROCS(0)},
+		{-99, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		if got := Workers(c.in); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -18,12 +18,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/checkers"
+	"repro/internal/conc"
 	"repro/internal/detect"
 	"repro/internal/ir"
 	"repro/internal/lower"
@@ -102,24 +102,18 @@ type Analysis struct {
 	Sizes   Sizes
 	// PTAStats aggregates the local points-to counters across functions.
 	PTAStats pta.Stats
+	// Artifacts reports the incremental artifact-store outcome of the
+	// build: all misses for a one-shot build, mostly hits for a warm
+	// Session.Update.
+	Artifacts ArtifactStats
 }
 
-// BuildFromSource parses and analyzes a set of translation units.
+// BuildFromSource parses and analyzes a set of translation units: a
+// one-shot build expressed as the first Update of a throwaway incremental
+// session (every artifact is a miss). Callers that analyze a program series
+// should hold a Session of their own and call Update instead.
 func BuildFromSource(units []minic.NamedSource, opts BuildOptions) (*Analysis, error) {
-	sp := opts.Obs.Phase("parse")
-	t0 := time.Now()
-	prog, err := minic.ParseProgram(units)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	parse := time.Since(t0)
-	sp.End()
-	a, err := BuildFromAST(prog, opts)
-	if err != nil {
-		return nil, err
-	}
-	a.Timings.Parse = parse
-	return a, nil
+	return newSession(opts).Update(units)
 }
 
 // BuildFromAST runs the pipeline on a parsed program.
@@ -217,28 +211,34 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 	a.Prog = detect.NewProgram(m, a.Infos, a.SEGs)
 
 	if rec != nil {
-		rec.Gauge("build.functions").Set(int64(a.Sizes.Functions))
-		rec.Gauge("build.ir_instrs").Set(int64(a.Sizes.Lines))
-		rec.Gauge("build.cond_nodes").Set(int64(a.Sizes.CondNodes))
-		var gs seg.GraphStats
-		for _, g := range graphs {
-			s := g.Stats()
-			gs.Nodes += s.Nodes
-			gs.Edges += s.Edges
-			gs.ValueNodes += s.ValueNodes
-			gs.UseNodes += s.UseNodes
-		}
-		rec.Gauge("seg.nodes").Set(int64(gs.Nodes))
-		rec.Gauge("seg.edges").Set(int64(gs.Edges))
-		rec.Gauge("seg.value_nodes").Set(int64(gs.ValueNodes))
-		rec.Gauge("seg.use_nodes").Set(int64(gs.UseNodes))
-		rec.Counter("pta.guards_kept").Add(int64(a.PTAStats.GuardsKept))
-		rec.Counter("pta.guards_pruned").Add(int64(a.PTAStats.GuardsPruned))
-		rec.Counter("pta.cap_widened").Add(int64(a.PTAStats.CapWidened))
-		rec.Counter("pta.linear_queries").Add(int64(a.PTAStats.LinearQueries))
-		rec.Counter("pta.linear_unsat").Add(int64(a.PTAStats.LinearUnsat))
+		emitBuildMetrics(rec, a)
 	}
 	return a, nil
+}
+
+// emitBuildMetrics publishes the structural gauges and PTA counters of a
+// finished build; shared by the monolithic pipeline and Session.Update.
+func emitBuildMetrics(rec *obs.Recorder, a *Analysis) {
+	rec.Gauge("build.functions").Set(int64(a.Sizes.Functions))
+	rec.Gauge("build.ir_instrs").Set(int64(a.Sizes.Lines))
+	rec.Gauge("build.cond_nodes").Set(int64(a.Sizes.CondNodes))
+	var gs seg.GraphStats
+	for _, g := range a.SEGs {
+		s := g.Stats()
+		gs.Nodes += s.Nodes
+		gs.Edges += s.Edges
+		gs.ValueNodes += s.ValueNodes
+		gs.UseNodes += s.UseNodes
+	}
+	rec.Gauge("seg.nodes").Set(int64(gs.Nodes))
+	rec.Gauge("seg.edges").Set(int64(gs.Edges))
+	rec.Gauge("seg.value_nodes").Set(int64(gs.ValueNodes))
+	rec.Gauge("seg.use_nodes").Set(int64(gs.UseNodes))
+	rec.Counter("pta.guards_kept").Add(int64(a.PTAStats.GuardsKept))
+	rec.Counter("pta.guards_pruned").Add(int64(a.PTAStats.GuardsPruned))
+	rec.Counter("pta.cap_widened").Add(int64(a.PTAStats.CapWidened))
+	rec.Counter("pta.linear_queries").Add(int64(a.PTAStats.LinearQueries))
+	rec.Counter("pta.linear_unsat").Add(int64(a.PTAStats.LinearUnsat))
 }
 
 // perFunc opens the per-function observation of one hot build stage:
@@ -282,9 +282,7 @@ func (a *Analysis) CheckAll(specs []*checkers.Spec, opts detect.Options) detect.
 // receives the index w of the worker running it (0 when sequential) so
 // callers can attribute work to trace tracks without locking.
 func forEachFunc(funcs []*ir.Func, workers int, fn func(w, i int, f *ir.Func) error) error {
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = conc.Workers(workers)
 	if workers <= 1 || len(funcs) < 2 {
 		for i, f := range funcs {
 			if err := fn(0, i, f); err != nil {

@@ -1,0 +1,629 @@
+// Incremental artifact-based builds.
+//
+// A Session keeps the per-function outputs of every pipeline stage —
+// lowered CFG IR, SSA info, Mod/Ref summary, connector signature, local
+// points-to facts, and the SEG — as artifacts in a content-addressed store.
+// Update diffs the incoming translation units against the previous ones and
+// rebuilds only what a change can actually reach:
+//
+//   - a unit whose source hash is unchanged is not re-parsed;
+//   - a function whose AST hash (structure, literals, positions, unit
+//     index) is unchanged keeps its artifacts unless a dependency demands
+//     otherwise;
+//   - Mod/Ref summaries are recomputed bottom-up over the AST-level call
+//     graph, but only for SCCs containing an edited function or calling a
+//     function whose summary fingerprint changed — the classic
+//     change-propagation frontier;
+//   - transform/PTA/SEG artifacts are keyed by a dependency fingerprint:
+//     the function's own connector signature plus the signatures of
+//     everything it calls. The early-cutoff firewall lives here: an edited
+//     callee whose connector signature (return type, parameter types, aux
+//     specs) is unchanged does not invalidate its callers' artifacts, even
+//     though its own body was rebuilt.
+//
+// Everything rebuilt is lowered from the cached AST with the same
+// deterministic per-declaration lowering the monolithic pipeline uses, so a
+// warm Update yields an Analysis whose reports, witnesses, and size
+// statistics are byte-identical to a from-scratch build of the same
+// sources. Session state is only committed once the whole update has
+// succeeded; a parse or lowering error leaves the previous state intact.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/minic"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/seg"
+	"repro/internal/ssa"
+	"repro/internal/transform"
+)
+
+// ArtifactStats counts artifact-store outcomes of one Session.Update:
+// Hits are functions whose artifacts were reused untouched, Misses are
+// functions built for the first time, Invalidated are functions whose prior
+// artifacts were discarded and rebuilt. Misses+Invalidated is the dirty
+// frontier actually recomputed.
+type ArtifactStats struct {
+	Hits        int
+	Misses      int
+	Invalidated int
+}
+
+// funcArtifact is the cached per-function build output, valid as long as
+// its astHash and depFP match the current program.
+type funcArtifact struct {
+	astHash string // AST content hash + unit index
+	sumFP   string // Mod/Ref summary fingerprint
+	sigFP   string // connector signature fingerprint
+	depFP   string // sigFP + callee sigFPs: transform/SEG validity key
+	decl    *minic.FuncDecl
+	callees []string
+	sum     *modref.Summary
+	fn      *ir.Func // lowered, SSA-converted, connector-transformed
+	info    *ssa.Info
+	seg     *seg.Graph
+	// Size counters snapshotted right after the build: detection later
+	// grows cond nodes and SEG value nodes in place, so live recounts of
+	// retained artifacts would drift from a cold build's numbers.
+	segNodes  int
+	segEdges  int
+	condNodes int
+	ptaStats  pta.Stats
+}
+
+// Session is an incremental analysis pipeline. Create one with NewSession,
+// then call Update with the full set of translation units after every edit;
+// unchanged functions are served from the artifact store.
+type Session struct {
+	opts BuildOptions
+	// persistDetect keeps detection caches alive across Update/CheckAll
+	// calls. NewSession enables it; the throwaway session behind
+	// BuildFromSource does not, preserving the historical cold-start
+	// CheckAll behavior that scaling measurements depend on.
+	persistDetect bool
+
+	files     map[string]*minic.File // unit source hash → parsed file
+	progFP    string                 // globals/structs/unit-shape fingerprint
+	artifacts map[string]*funcArtifact
+	analysis  *Analysis
+	stats     ArtifactStats // last Update's counters
+}
+
+// NewSession returns an empty incremental session.
+func NewSession(opts BuildOptions) *Session {
+	s := newSession(opts)
+	s.persistDetect = true
+	return s
+}
+
+func newSession(opts BuildOptions) *Session {
+	return &Session{
+		opts:      opts,
+		files:     make(map[string]*minic.File),
+		artifacts: make(map[string]*funcArtifact),
+	}
+}
+
+// ArtifactStats reports the artifact-store counters of the last Update.
+func (s *Session) ArtifactStats() ArtifactStats { return s.stats }
+
+// Analysis returns the analysis committed by the last successful Update
+// (nil before the first).
+func (s *Session) Analysis() *Analysis { return s.analysis }
+
+// fnState is the per-function bookkeeping of one Update in progress.
+type fnState struct {
+	decl    *minic.FuncDecl
+	astHash string
+	callees []string
+	old     *funcArtifact // nil when new or program-shape invalidated
+
+	sum   *modref.Summary
+	sumFP string
+	sigFP string
+	depFP string
+
+	rebuild bool
+	fn      *ir.Func
+	info    *ssa.Info
+}
+
+// Update analyzes units incrementally against the session's previous state.
+// On success the new state is committed and the fresh Analysis returned; on
+// error the session is left exactly as before the call.
+func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
+	rec := s.opts.Obs
+	var tm Timings
+
+	// ---- Parse: re-parse only units whose source hash changed. All
+	// parsing happens before any shared AST is touched, so a syntax error
+	// in a later unit cannot leak partial state.
+	sp := rec.Phase("parse")
+	t0 := time.Now()
+	hashes := make([]string, len(units))
+	parsed := make([]*minic.File, len(units))
+	for i, u := range units {
+		h := minic.HashSource(u.Name, u.Src)
+		hashes[i] = h
+		if f, ok := s.files[h]; ok {
+			parsed[i] = f
+			continue
+		}
+		f, err := minic.ParseFile(u.Name, u.Src)
+		if err != nil {
+			return nil, fmt.Errorf("parse: parsing %s: %w", u.Name, err)
+		}
+		parsed[i] = f
+	}
+	for i, f := range parsed {
+		for _, fn := range f.Funcs {
+			fn.Unit = i
+		}
+	}
+	tm.Parse = time.Since(t0)
+	sp.End()
+
+	prog := &minic.Program{Files: parsed}
+	sigs := lower.Sigs(prog)
+	structs := lower.Structs(prog)
+	globalTypes := make(map[string]minic.Type)
+	for _, f := range parsed {
+		for _, g := range f.Globals {
+			globalTypes[g.Name] = g.Type
+		}
+	}
+
+	// ---- Program-shape fingerprint: globals, structs, and the unit list
+	// are whole-program inputs to lowering; any change invalidates every
+	// artifact (rare, and cheap to detect).
+	progFP := programShapeFP(parsed)
+	shapeChanged := progFP != s.progFP
+
+	// ---- Function table, duplicate detection, AST-level dirtiness.
+	order := make([]string, 0, len(s.artifacts))
+	states := make(map[string]*fnState)
+	var stats ArtifactStats
+	for _, f := range parsed {
+		for _, fn := range f.Funcs {
+			if prev, ok := states[fn.Name]; ok {
+				return nil, fmt.Errorf("lower: duplicate function %q (at %s and %s)", fn.Name, prev.decl.Pos, fn.Pos)
+			}
+			st := &fnState{
+				decl:    fn,
+				astHash: minic.HashFunc(fn) + "#" + strconv.Itoa(fn.Unit),
+				callees: minic.CalleeNames(fn),
+			}
+			if !shapeChanged {
+				st.old = s.artifacts[fn.Name]
+			}
+			states[fn.Name] = st
+			order = append(order, fn.Name)
+		}
+	}
+	dirty := func(st *fnState) bool {
+		return st.old == nil || st.old.astHash != st.astHash
+	}
+
+	// ---- Module shell: globals must exist before any lowering (lowering
+	// resolves global references through the module).
+	m := ir.NewModule()
+	m.Units = len(parsed)
+	for _, f := range parsed {
+		for _, g := range f.Globals {
+			m.AddGlobal(&ir.Global{Name: g.Name, Type: g.Type})
+		}
+	}
+
+	// ---- Lower + SSA the AST-dirty functions on the worker pool. These
+	// are rebuilt unconditionally; clean functions are lowered later only
+	// if summary recomputation or dependency changes demand it.
+	var dirtyNames []string
+	for _, name := range order {
+		if dirty(states[name]) {
+			dirtyNames = append(dirtyNames, name)
+		}
+	}
+	lowerSSA := func(names []string) error {
+		t0 := time.Now()
+		sp := rec.Phase("lower")
+		fns := make([]*ir.Func, len(names))
+		for i, name := range names {
+			lf, err := lower.FuncWith(m, states[name].decl, sigs, structs)
+			if err != nil {
+				return fmt.Errorf("lower: %w", err)
+			}
+			fns[i] = lf
+		}
+		tm.Lower += time.Since(t0)
+		sp.End()
+		sp = rec.Phase("ssa")
+		t0 = time.Now()
+		infos := make([]*ssa.Info, len(names))
+		if err := forEachFunc(fns, s.opts.Workers, func(w, i int, f *ir.Func) error {
+			defer perFunc(rec, w, "build.ssa", f.Name)()
+			inf, err := ssa.Transform(f)
+			if err != nil {
+				return fmt.Errorf("ssa %s: %w", f.Name, err)
+			}
+			infos[i] = inf
+			return nil
+		}); err != nil {
+			return err
+		}
+		for i, name := range names {
+			states[name].fn = fns[i]
+			states[name].info = infos[i]
+		}
+		tm.SSA += time.Since(t0)
+		sp.End()
+		return nil
+	}
+	if err := lowerSSA(dirtyNames); err != nil {
+		return nil, err
+	}
+
+	// ---- Mod/Ref: bottom-up over AST-level SCCs, recomputing only the
+	// frontier. A clean SCC none of whose external callees changed their
+	// summary keeps its old fixpoint.
+	sp = rec.Phase("modref")
+	t0 = time.Now()
+	sums := make(map[string]*modref.Summary, len(order))
+	sumChanged := make(map[string]bool, len(order))
+	ensureLowered := func(name string) error {
+		if states[name].fn != nil {
+			return nil
+		}
+		// Scratch-lower a clean function so its summary can be
+		// recomputed; the result doubles as the rebuild IR if dependency
+		// fingerprints later turn out to have changed.
+		return lowerSSA([]string{name})
+	}
+	for _, scc := range astSCCs(order, states) {
+		recompute := false
+		for _, name := range scc {
+			st := states[name]
+			if dirty(st) || st.old.sum == nil {
+				recompute = true
+				break
+			}
+			for _, c := range st.callees {
+				if sumChanged[c] {
+					recompute = true
+					break
+				}
+			}
+			if recompute {
+				break
+			}
+		}
+		if !recompute {
+			for _, name := range scc {
+				st := states[name]
+				sums[name] = st.old.sum
+				st.sum, st.sumFP = st.old.sum, st.old.sumFP
+			}
+			continue
+		}
+		for _, name := range scc {
+			if err := ensureLowered(name); err != nil {
+				return nil, err
+			}
+			sums[name] = modref.NewSummary()
+		}
+		lookup := func(callee string) *modref.Summary { return sums[callee] }
+		for changed := true; changed; {
+			changed = false
+			for _, name := range scc {
+				if modref.AnalyzeFunc(states[name].fn, sums[name], lookup) {
+					changed = true
+				}
+			}
+		}
+		for _, name := range scc {
+			st := states[name]
+			st.sum = sums[name]
+			st.sumFP = st.sum.Fingerprint()
+			if st.old == nil || st.old.sumFP != st.sumFP {
+				sumChanged[name] = true
+			}
+		}
+	}
+	tm.ModRef = time.Since(t0)
+	sp.End()
+
+	// ---- Connector signatures and dependency fingerprints. The firewall:
+	// a callee whose summary changed but whose signature fingerprint did
+	// not leaves its callers' depFPs — and artifacts — untouched.
+	for _, name := range order {
+		st := states[name]
+		st.sigFP = s.signatureFP(st, globalTypes)
+	}
+	sigOf := func(callee string) string {
+		if st, ok := states[callee]; ok {
+			return st.sigFP
+		}
+		return "extern"
+	}
+	for _, name := range order {
+		st := states[name]
+		h := sha256.New()
+		fmt.Fprintf(h, "self\x00%s\x00", st.sigFP)
+		for _, c := range st.callees {
+			fmt.Fprintf(h, "callee\x00%s\x00%s\x00", c, sigOf(c))
+		}
+		st.depFP = hex.EncodeToString(h.Sum(nil))[:24]
+		st.rebuild = dirty(st) || st.old.depFP != st.depFP
+	}
+
+	// ---- Lower + SSA the clean functions pulled in by dependency
+	// changes (edited callee signatures), then account the store.
+	var missing []string
+	for _, name := range order {
+		st := states[name]
+		if st.rebuild && st.fn == nil {
+			missing = append(missing, name)
+		}
+	}
+	if err := lowerSSA(missing); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		st := states[name]
+		switch {
+		case !st.rebuild:
+			stats.Hits++
+		case s.artifacts[name] != nil:
+			stats.Invalidated++
+		default:
+			stats.Misses++
+		}
+	}
+
+	// ---- Assemble the module in declaration order, mixing retained and
+	// rebuilt functions, and apply the connector transformation to the
+	// rebuilt subset. Retained functions already carry their final aux
+	// signatures, which is exactly what rebuilt callers' call sites read.
+	var rebuilt []*ir.Func
+	for _, name := range order {
+		st := states[name]
+		if st.rebuild {
+			m.AddFunc(st.fn)
+			rebuilt = append(rebuilt, st.fn)
+		} else {
+			st.fn, st.info = st.old.fn, st.old.info
+			m.AddFunc(st.fn)
+		}
+	}
+	if !s.opts.DisableConnectors {
+		sp = rec.Phase("transform")
+		t0 = time.Now()
+		err := transform.ApplyFuncs(m, rebuilt, func(f *ir.Func) *modref.Summary {
+			return sums[f.Name]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transform: %w", err)
+		}
+		tm.Transform = time.Since(t0)
+		sp.End()
+	}
+
+	// ---- Local PTA + SEG for the rebuilt subset, fused per function as
+	// in the monolithic pipeline, with size counters snapshotted while the
+	// graphs are still pristine.
+	sp = rec.Phase("pta+seg")
+	t0 = time.Now()
+	arts := make([]*funcArtifact, len(rebuilt))
+	if err := forEachFunc(rebuilt, s.opts.Workers, func(w, i int, f *ir.Func) error {
+		st := states[f.Name]
+		endPTA := perFunc(rec, w, "build.pta", f.Name)
+		pr, err := pta.Analyze(f, st.info, s.opts.PTA)
+		endPTA()
+		if err != nil {
+			return fmt.Errorf("pta %s: %w", f.Name, err)
+		}
+		endSEG := perFunc(rec, w, "build.seg", f.Name)
+		g := seg.Build(f, st.info, pr)
+		endSEG()
+		arts[i] = &funcArtifact{
+			astHash:   st.astHash,
+			sumFP:     st.sumFP,
+			sigFP:     st.sigFP,
+			depFP:     st.depFP,
+			decl:      st.decl,
+			callees:   st.callees,
+			sum:       st.sum,
+			fn:        f,
+			info:      st.info,
+			seg:       g,
+			segNodes:  g.NumNodes(),
+			segEdges:  g.NumEdges(),
+			condNodes: st.info.Conds.NumNodes(),
+			ptaStats:  pr.Stats,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tm.PTA = time.Since(t0)
+	sp.End()
+
+	// ---- Commit: from here on nothing can fail.
+	newArts := make(map[string]*funcArtifact, len(order))
+	ri := 0
+	for _, name := range order {
+		st := states[name]
+		if st.rebuild {
+			newArts[name] = arts[ri]
+			ri++
+			continue
+		}
+		// Retain the built IR/SEG but refresh the metadata: the firewall
+		// keeps artifacts alive across summary changes whose signature is
+		// stable, so the stored summary must be this update's, not the
+		// one the artifact was originally built under.
+		art := *st.old
+		art.astHash, art.decl, art.callees = st.astHash, st.decl, st.callees
+		art.sum, art.sumFP, art.sigFP, art.depFP = st.sum, st.sumFP, st.sigFP, st.depFP
+		newArts[name] = &art
+	}
+
+	a := &Analysis{
+		Module:    m,
+		Infos:     make(map[*ir.Func]*ssa.Info, len(order)),
+		SEGs:      make(map[*ir.Func]*seg.Graph, len(order)),
+		ModRef:    &modref.Result{Summaries: make(map[*ir.Func]*modref.Summary, len(order))},
+		Timings:   tm,
+		Artifacts: stats,
+	}
+	for _, name := range order {
+		art := newArts[name]
+		a.Infos[art.fn] = art.info
+		a.SEGs[art.fn] = art.seg
+		a.ModRef.Summaries[art.fn] = art.sum
+		a.PTAStats.Add(art.ptaStats)
+		a.Sizes.SEGNodes += art.segNodes
+		a.Sizes.SEGEdges += art.segEdges
+		a.Sizes.CondNodes += art.condNodes
+	}
+	a.Sizes.Lines = m.LineCount()
+	a.Sizes.Functions = len(order)
+
+	if s.persistDetect {
+		var prev *detect.Program
+		if s.analysis != nil {
+			prev = s.analysis.Prog
+		}
+		a.Prog = detect.NewProgramFrom(prev, m, a.Infos, a.SEGs)
+	} else {
+		a.Prog = detect.NewProgram(m, a.Infos, a.SEGs)
+	}
+
+	if rec != nil {
+		rec.Counter("build.artifact.hits").Add(int64(stats.Hits))
+		rec.Counter("build.artifact.misses").Add(int64(stats.Misses))
+		rec.Counter("build.artifact.invalidated").Add(int64(stats.Invalidated))
+		emitBuildMetrics(rec, a)
+	}
+
+	files := make(map[string]*minic.File, len(parsed))
+	for i, h := range hashes {
+		files[h] = parsed[i]
+	}
+	s.files = files
+	s.progFP = progFP
+	s.artifacts = newArts
+	s.analysis = a
+	s.stats = stats
+	return a, nil
+}
+
+// signatureFP fingerprints a function's post-transform interface: return
+// type, parameter types, and the aux specs the connector transformation
+// will add for its summary. Everything a call site's lowering and rewriting
+// reads from a callee is in here.
+func (s *Session) signatureFP(st *fnState, globals map[string]minic.Type) string {
+	var b strings.Builder
+	b.WriteString("ret=")
+	b.WriteString(st.decl.Ret.String())
+	b.WriteString(";params=")
+	ptypes := make([]minic.Type, len(st.decl.Params))
+	for i, p := range st.decl.Params {
+		ptypes[i] = p.Type
+		b.WriteString(p.Type.String())
+		b.WriteByte(',')
+	}
+	if !s.opts.DisableConnectors {
+		in, out := transform.ConnectorSpecs(ptypes, globals, st.sum)
+		b.WriteString(";aux=")
+		for _, sp := range in {
+			fmt.Fprintf(&b, "i%d@%s.%d,", sp.Root, sp.Global, sp.Depth)
+		}
+		for _, sp := range out {
+			fmt.Fprintf(&b, "o%d@%s.%d,", sp.Root, sp.Global, sp.Depth)
+		}
+	}
+	return b.String()
+}
+
+// programShapeFP fingerprints the whole-program lowering inputs: every
+// global (order, name, type) and every struct layout. Unit identity is
+// deliberately absent — it is already part of each function's AST hash
+// (unit index plus file-qualified positions), so adding or removing a
+// translation unit invalidates only the functions it actually repositions.
+func programShapeFP(files []*minic.File) string {
+	h := sha256.New()
+	for _, f := range files {
+		for _, g := range f.Globals {
+			fmt.Fprintf(h, "global\x00%s\x00%s\x00", g.Name, g.Type)
+		}
+		for _, sd := range f.Structs {
+			fmt.Fprintf(h, "struct\x00%s\x00", sd.Name)
+			for _, fld := range sd.Fields {
+				fmt.Fprintf(h, "field\x00%s\x00%s\x00", fld.Name, fld.Type)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// astSCCs computes strongly connected components of the AST-level call
+// graph (name → defined callee names) in bottom-up, callee-first order.
+func astSCCs(order []string, states map[string]*fnState) [][]string {
+	index := make(map[string]int, len(order))
+	low := make(map[string]int, len(order))
+	onStack := make(map[string]bool, len(order))
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	var strongconnect func(name string)
+	strongconnect = func(name string) {
+		index[name] = counter
+		low[name] = counter
+		counter++
+		stack = append(stack, name)
+		onStack[name] = true
+		for _, c := range states[name].callees {
+			if _, defined := states[c]; !defined {
+				continue
+			}
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[name] {
+					low[name] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[name] {
+				low[name] = index[c]
+			}
+		}
+		if low[name] == index[name] {
+			var scc []string
+			for {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[n] = false
+				scc = append(scc, n)
+				if n == name {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, name := range order {
+		if _, seen := index[name]; !seen {
+			strongconnect(name)
+		}
+	}
+	return sccs
+}

@@ -47,6 +47,13 @@ type Program struct {
 	Infos   map[*ir.Func]*ssa.Info
 	SEGs    map[*ir.Func]*seg.Graph
 	Callers map[*ir.Func][]CallSite
+
+	// sticky, when non-nil, holds detection caches that persist across
+	// CheckAll calls on this Program (and, via NewProgramFrom, across
+	// incremental rebuilds). Plain NewProgram leaves it nil, so each
+	// CheckAll starts cold — the historical behavior that scaling
+	// measurements rely on.
+	sticky *caches
 }
 
 // NewProgram indexes the call sites of a fully analyzed module.
@@ -67,6 +74,45 @@ func NewProgram(m *ir.Module, infos map[*ir.Func]*ssa.Info, segs map[*ir.Func]*s
 					p.Callers[callee] = append(p.Callers[callee], CallSite{Fn: f, Instr: in})
 				}
 			}
+		}
+	}
+	return p
+}
+
+// EnableCachePersistence makes detection caches survive across CheckAll
+// calls on this Program. Cache contents are memoized pure functions of the
+// frozen per-function SEGs, so persistence changes wall-clock and the
+// hit/miss counters but never the reports.
+func (p *Program) EnableCachePersistence() {
+	if p.sticky == nil {
+		p.sticky = newCaches(p)
+	}
+}
+
+// NewProgramFrom indexes a rebuilt module and carries over prev's persistent
+// detection caches for every function whose SEG pointer survived the rebuild
+// — exactly the functions the incremental session retained. Rebuilt
+// functions get fresh (empty) cache entries. The returned Program has cache
+// persistence enabled.
+func NewProgramFrom(prev *Program, m *ir.Module, infos map[*ir.Func]*ssa.Info, segs map[*ir.Func]*seg.Graph) *Program {
+	p := NewProgram(m, infos, segs)
+	p.sticky = newCaches(p)
+	if prev == nil || prev.sticky == nil {
+		return p
+	}
+	old := prev.sticky
+	for f, g := range segs {
+		if g == nil {
+			continue
+		}
+		if ft, ok := old.flows[g]; ok {
+			p.sticky.flows[g] = ft
+		}
+		if re, ok := old.rev[g]; ok {
+			p.sticky.rev[g] = re
+		}
+		if lc, ok := old.lin[f]; ok {
+			p.sticky.lin[f] = lc
 		}
 	}
 	return p

@@ -2,12 +2,12 @@ package detect
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/checkers"
+	"repro/internal/conc"
 	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/obs"
@@ -123,15 +123,12 @@ func CheckAll(prog *Program, specs []*checkers.Spec, opts Options) Results {
 	start := time.Now()
 	opts = opts.withDefaults()
 	rec := opts.Obs
-	workers := opts.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 0 {
-		workers = 1
-	}
+	workers := conc.Workers(opts.Workers)
 
-	c := newCaches(prog)
+	c := prog.sticky
+	if c == nil {
+		c = newCaches(prog)
+	}
 	prepSp := rec.Phase("detect/prepare")
 	prepare(prog, specs, workers)
 	prepSp.End()

@@ -31,7 +31,9 @@ const (
 	freeName   = "free"
 )
 
-// Program lowers a parsed program into an IR module.
+// Program lowers a parsed program into an IR module. Duplicate function
+// definitions (same name in any units) are rejected: the analysis resolves
+// calls by name, so a second body would silently shadow the first.
 func Program(prog *minic.Program) (*ir.Module, error) {
 	m := ir.NewModule()
 	m.Units = len(prog.Files)
@@ -40,21 +42,16 @@ func Program(prog *minic.Program) (*ir.Module, error) {
 			m.AddGlobal(&ir.Global{Name: g.Name, Type: g.Type})
 		}
 	}
-	// Pre-collect signatures so forward calls resolve their return type,
-	// and struct layouts so field accesses resolve their types.
-	sigs := make(map[string]minic.Type)
-	for _, fn := range prog.Funcs() {
-		sigs[fn.Name] = fn.Ret
-	}
-	structs := make(map[string][]minic.Param)
-	for _, file := range prog.Files {
-		for _, sd := range file.Structs {
-			structs[sd.Name] = sd.Fields
-		}
-	}
+	sigs := Sigs(prog)
+	structs := Structs(prog)
+	seen := make(map[string]*minic.FuncDecl)
 	for _, file := range prog.Files {
 		for _, fn := range file.Funcs {
-			lf, err := lowerFuncWithStructs(m, fn, sigs, structs)
+			if prev, ok := seen[fn.Name]; ok {
+				return nil, fmt.Errorf("duplicate function %q (at %s and %s)", fn.Name, prev.Pos, fn.Pos)
+			}
+			seen[fn.Name] = fn
+			lf, err := FuncWith(m, fn, sigs, structs)
 			if err != nil {
 				return nil, err
 			}
@@ -62,6 +59,36 @@ func Program(prog *minic.Program) (*ir.Module, error) {
 		}
 	}
 	return m, nil
+}
+
+// Sigs pre-collects every function's declared return type so forward calls
+// resolve their result type during lowering.
+func Sigs(prog *minic.Program) map[string]minic.Type {
+	sigs := make(map[string]minic.Type)
+	for _, fn := range prog.Funcs() {
+		sigs[fn.Name] = fn.Ret
+	}
+	return sigs
+}
+
+// Structs pre-collects every struct layout so field accesses resolve their
+// types during lowering.
+func Structs(prog *minic.Program) map[string][]minic.Param {
+	structs := make(map[string][]minic.Param)
+	for _, file := range prog.Files {
+		for _, sd := range file.Structs {
+			structs[sd.Name] = sd.Fields
+		}
+	}
+	return structs
+}
+
+// FuncWith lowers a single declaration with explicit signature and struct
+// tables — the per-function artifact producer the incremental session
+// builds on. Lowering one declaration with the same tables always yields a
+// structurally identical ir.Func, whichever other functions exist.
+func FuncWith(m *ir.Module, decl *minic.FuncDecl, sigs map[string]minic.Type, structs map[string][]minic.Param) (*ir.Func, error) {
+	return lowerFuncWithStructs(m, decl, sigs, structs)
 }
 
 // Func lowers a single function into IR. Callee return types are resolved

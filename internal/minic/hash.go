@@ -1,0 +1,225 @@
+package minic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+)
+
+// This file implements the content hashing that the incremental build
+// session (package core) keys its artifact store on. Two granularities:
+//
+//   - HashSource fingerprints one translation unit's raw text, deciding
+//     whether the unit must be re-parsed at all;
+//   - HashFunc fingerprints one function declaration's AST, including
+//     every node's source position. Positions are part of the key on
+//     purpose: reports carry positions, so a function whose lines shifted
+//     must produce fresh artifacts to stay byte-identical with a
+//     from-scratch build.
+//
+// Both return short hex digests of SHA-256, cheap to compare and stable
+// across processes.
+
+// HashSource fingerprints a named unit's source text.
+func HashSource(name, src string) string {
+	h := sha256.New()
+	io.WriteString(h, name)
+	h.Write([]byte{0})
+	io.WriteString(h, src)
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// HashFunc fingerprints a function declaration: name, signature, body
+// structure, literals, and all source positions.
+func HashFunc(fn *FuncDecl) string {
+	h := sha256.New()
+	w := &astHasher{h: h}
+	w.str("func", fn.Name)
+	w.pos(fn.Pos)
+	w.typ(fn.Ret)
+	for _, p := range fn.Params {
+		w.str("param", p.Name)
+		w.typ(p.Type)
+	}
+	w.stmt(fn.Body)
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// astHasher streams a canonical encoding of AST nodes into a hash. Every
+// record is tag-prefixed and NUL-terminated so that concatenations of
+// different shapes cannot collide.
+type astHasher struct {
+	h hash.Hash
+}
+
+func (w *astHasher) str(tag, s string) {
+	io.WriteString(w.h, tag)
+	w.h.Write([]byte{0})
+	io.WriteString(w.h, s)
+	w.h.Write([]byte{0})
+}
+
+func (w *astHasher) pos(p Pos) {
+	fmt.Fprintf(w.h, "@%s:%d:%d\x00", p.File, p.Line, p.Col)
+}
+
+func (w *astHasher) typ(t Type) {
+	w.str("type", t.String())
+}
+
+func (w *astHasher) stmt(s Stmt) {
+	if s == nil {
+		w.str("stmt", "nil")
+		return
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		w.str("block", "")
+		w.pos(st.Pos)
+		for _, inner := range st.Stmts {
+			w.stmt(inner)
+		}
+		w.str("endblock", "")
+	case *DeclStmt:
+		w.str("decl", st.Decl.Name)
+		w.pos(st.Decl.Pos)
+		w.typ(st.Decl.Type)
+		w.expr(st.Decl.Init)
+	case *AssignStmt:
+		w.str("assign", "")
+		w.pos(st.Pos)
+		w.expr(st.Target)
+		w.expr(st.Value)
+	case *IfStmt:
+		w.str("if", "")
+		w.pos(st.Pos)
+		w.expr(st.Cond)
+		w.stmt(st.Then)
+		w.stmt(st.Else)
+	case *WhileStmt:
+		w.str("while", "")
+		w.pos(st.Pos)
+		w.expr(st.Cond)
+		w.stmt(st.Body)
+	case *ReturnStmt:
+		w.str("return", "")
+		w.pos(st.Pos)
+		w.expr(st.Value)
+	case *ExprStmt:
+		w.str("exprstmt", "")
+		w.pos(st.Pos)
+		w.expr(st.X)
+	default:
+		w.str("stmt", fmt.Sprintf("%T", s))
+	}
+}
+
+func (w *astHasher) expr(e Expr) {
+	if e == nil {
+		w.str("expr", "nil")
+		return
+	}
+	switch x := e.(type) {
+	case *Ident:
+		w.str("ident", x.Name)
+		w.pos(x.Pos)
+	case *IntLit:
+		w.str("int", fmt.Sprintf("%d", x.Val))
+		w.pos(x.Pos)
+	case *BoolLit:
+		w.str("bool", fmt.Sprintf("%v", x.Val))
+		w.pos(x.Pos)
+	case *NullLit:
+		w.str("null", "")
+		w.pos(x.Pos)
+	case *UnaryExpr:
+		w.str("unary", x.Op)
+		w.pos(x.Pos)
+		w.expr(x.X)
+	case *BinaryExpr:
+		w.str("binary", x.Op)
+		w.pos(x.Pos)
+		w.expr(x.X)
+		w.expr(x.Y)
+	case *ArrowExpr:
+		w.str("arrow", x.Field)
+		w.pos(x.Pos)
+		w.expr(x.X)
+	case *CallExpr:
+		w.str("call", x.Fun)
+		w.pos(x.Pos)
+		for _, a := range x.Args {
+			w.expr(a)
+		}
+		w.str("endcall", "")
+	default:
+		w.str("expr", fmt.Sprintf("%T", e))
+	}
+}
+
+// CalleeNames returns the sorted, de-duplicated names of all functions a
+// declaration calls (excluding the malloc/free intrinsics, which lower to
+// dedicated opcodes and never become call edges).
+func CalleeNames(fn *FuncDecl) []string {
+	set := make(map[string]bool)
+	var walkExpr func(e Expr)
+	var walkStmt func(s Stmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *UnaryExpr:
+			walkExpr(x.X)
+		case *BinaryExpr:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *ArrowExpr:
+			walkExpr(x.X)
+		case *CallExpr:
+			if x.Fun != "malloc" && x.Fun != "free" {
+				set[x.Fun] = true
+			}
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *BlockStmt:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *DeclStmt:
+			if st.Decl.Init != nil {
+				walkExpr(st.Decl.Init)
+			}
+		case *AssignStmt:
+			walkExpr(st.Target)
+			walkExpr(st.Value)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value)
+			}
+		case *ExprStmt:
+			walkExpr(st.X)
+		}
+	}
+	walkStmt(fn.Body)
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

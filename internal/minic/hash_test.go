@@ -1,0 +1,75 @@
+package minic
+
+import (
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile("t.mc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHashFuncStable(t *testing.T) {
+	src := "int f(int a) { int b = a + 1; return b; }"
+	f1 := parseOne(t, src)
+	f2 := parseOne(t, src)
+	if HashFunc(f1.Funcs[0]) != HashFunc(f2.Funcs[0]) {
+		t.Error("identical source hashed differently")
+	}
+}
+
+func TestHashFuncSensitivity(t *testing.T) {
+	base := parseOne(t, "int f(int a) { return a + 1; }").Funcs[0]
+	variants := map[string]string{
+		"literal":  "int f(int a) { return a + 2; }",
+		"operator": "int f(int a) { return a - 1; }",
+		"name":     "int g(int a) { return a + 1; }",
+		"param":    "int f(int b) { return b + 1; }",
+		"ret type": "int *f(int a) { return null; }",
+		// Same text, shifted one line down: positions are part of the key.
+		"position": "\nint f(int a) { return a + 1; }",
+	}
+	for what, src := range variants {
+		v := parseOne(t, src).Funcs[0]
+		if HashFunc(base) == HashFunc(v) {
+			t.Errorf("%s change not reflected in hash", what)
+		}
+	}
+}
+
+func TestHashSource(t *testing.T) {
+	if HashSource("a.mc", "x") == HashSource("a.mc", "y") {
+		t.Error("content change not reflected")
+	}
+	if HashSource("a.mc", "x") == HashSource("b.mc", "x") {
+		t.Error("unit name not reflected")
+	}
+	if HashSource("a.mc", "x") != HashSource("a.mc", "x") {
+		t.Error("hash not stable")
+	}
+}
+
+func TestCalleeNames(t *testing.T) {
+	f := parseOne(t, `
+int f(int a) {
+	int *p = malloc();
+	helper(p, other(a));
+	free(p);
+	if (a > 0) { helper(p, 1); }
+	return zed();
+}`).Funcs[0]
+	got := CalleeNames(f)
+	want := []string{"helper", "other", "zed"}
+	if len(got) != len(want) {
+		t.Fatalf("callees = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callees = %v, want %v", got, want)
+		}
+	}
+}

@@ -15,7 +15,9 @@
 package modref
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/ir"
 )
@@ -83,6 +85,29 @@ func lessPath(a, b Path) bool {
 	return a.Depth < b.Depth
 }
 
+// Fingerprint renders the summary as a canonical string — equal summaries
+// (same Ref and Mod path sets) always produce equal fingerprints. The
+// incremental session uses fingerprint equality as its change-propagation
+// cutoff: a recomputed summary with an unchanged fingerprint stops the
+// callee→caller invalidation wave.
+func (s *Summary) Fingerprint() string {
+	var b strings.Builder
+	for _, p := range s.Paths() {
+		if s.Ref[p] {
+			b.WriteByte('R')
+		}
+		if s.Mod[p] {
+			b.WriteByte('M')
+		}
+		if p.Root.IsGlobal() {
+			fmt.Fprintf(&b, "@%s.%d;", p.Root.Global, p.Depth)
+		} else {
+			fmt.Fprintf(&b, "p%d.%d;", p.Root.Param, p.Depth)
+		}
+	}
+	return b.String()
+}
+
 // Result maps functions to their summaries.
 type Result struct {
 	Summaries map[*ir.Func]*Summary
@@ -95,13 +120,19 @@ func Analyze(m *ir.Module) *Result {
 	for _, f := range m.Funcs {
 		res.Summaries[f] = NewSummary()
 	}
+	lookup := func(name string) *Summary {
+		if g, ok := m.ByName[name]; ok {
+			return res.Summaries[g]
+		}
+		return nil
+	}
 	for _, scc := range CallGraphSCCs(m) {
 		// Iterate to a fixpoint; this also covers self-recursion within
 		// singleton SCCs.
 		for changed := true; changed; {
 			changed = false
 			for _, f := range scc {
-				if analyzeFunc(f, m, res) {
+				if AnalyzeFunc(f, res.Summaries[f], lookup) {
 					changed = true
 				}
 			}
@@ -117,9 +148,12 @@ type tag struct {
 	ok    bool
 }
 
-// analyzeFunc recomputes f's summary; it reports whether it grew.
-func analyzeFunc(f *ir.Func, m *ir.Module, res *Result) bool {
-	sum := res.Summaries[f]
+// AnalyzeFunc grows sum with one intraprocedural pass over f, resolving
+// callee summaries through lookup (which returns nil for externals); it
+// reports whether sum grew. Callers drive this to a fixpoint — package-level
+// Analyze over whole-module SCCs, and the incremental session over just the
+// dirty frontier.
+func AnalyzeFunc(f *ir.Func, sum *Summary, lookup func(name string) *Summary) bool {
 	before := len(sum.Ref) + len(sum.Mod)
 
 	tags := make(map[*ir.Value]tag)
@@ -193,11 +227,10 @@ func analyzeFunc(f *ir.Func, m *ir.Module, res *Result) bool {
 						addMod(t, 1)
 					}
 				case ir.OpCall:
-					callee, known := m.ByName[in.Callee]
-					if !known {
+					cs := lookup(in.Callee)
+					if cs == nil {
 						continue
 					}
-					cs := res.Summaries[callee]
 					importSummary(sum, cs, in, tags)
 				}
 			}

@@ -41,31 +41,84 @@ type rootPlan struct {
 // Apply rewrites all functions of m according to the Mod/Ref result.
 // It must run after SSA conversion and before the points-to analysis.
 func Apply(m *ir.Module, mr *modref.Result) error {
+	return ApplyFuncs(m, m.Funcs, func(f *ir.Func) *modref.Summary {
+		return mr.Summaries[f]
+	})
+}
+
+// ApplyFuncs rewrites only funcs (a subset of m's functions) according to
+// the per-function summaries resolved by sumOf. Rewriting a subset is sound
+// when every function NOT in funcs already carries its final AuxIn/AuxOut:
+// call-site rewriting reads nothing from a callee beyond its parameter types
+// and aux specs, so retained callees feed rebuilt callers correctly, and
+// retained callers remain valid as long as their callees' specs did not
+// change. All signatures are extended before any body is rewritten so that
+// intra-subset call sites see final specs too.
+func ApplyFuncs(m *ir.Module, funcs []*ir.Func, sumOf func(*ir.Func) *modref.Summary) error {
 	// Phase 1: decide the connector interface of every function. The
 	// interface depends only on the summaries, so recursion needs no
 	// special handling.
-	plans := make(map[*ir.Func][]rootPlan, len(m.Funcs))
-	for _, f := range m.Funcs {
-		plans[f] = makePlans(f, mr.Summaries[f])
+	plans := make(map[*ir.Func][]rootPlan, len(funcs))
+	for _, f := range funcs {
+		plans[f] = makePlans(paramTypes(f), moduleGlobalCap(m), sumOf(f))
 	}
 
 	// Phase 2: extend signatures (aux params, aux return specs).
-	auxParams := make(map[*ir.Func]map[modref.Path]*ir.Value)
-	for _, f := range m.Funcs {
+	auxParams := make(map[*ir.Func]map[modref.Path]*ir.Value, len(funcs))
+	for _, f := range funcs {
 		auxParams[f] = extendSignature(m, f, plans[f])
 	}
 
 	// Phase 3: rewrite bodies — entry stores, exit loads, call sites.
-	for _, f := range m.Funcs {
-		if err := rewriteBody(m, f, plans[f], auxParams[f], plans); err != nil {
+	for _, f := range funcs {
+		if err := rewriteBody(m, f, plans[f], auxParams[f]); err != nil {
 			return fmt.Errorf("transform %s: %w", f.Name, err)
 		}
 	}
 	return nil
 }
 
+// ConnectorSpecs predicts the aux parameter and aux return specs that a
+// function with the given pre-transform parameter types and Mod/Ref summary
+// receives from the connector transformation, without lowered IR. The
+// incremental session uses it to derive connector signatures straight from
+// summaries, so signature stability can be detected before deciding whether
+// callers need rebuilding.
+func ConnectorSpecs(paramTypes []minic.Type, globals map[string]minic.Type, sum *modref.Summary) (in, out []ir.AuxSpec) {
+	capOf := func(name string) int {
+		t, ok := globals[name]
+		if !ok {
+			return 0
+		}
+		return t.Ptr + 1
+	}
+	for _, pl := range makePlans(paramTypes, capOf, sum) {
+		for k := 1; k <= pl.inDepth; k++ {
+			in = append(in, ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k})
+		}
+		for k := 1; k <= pl.outDepth; k++ {
+			out = append(out, ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k})
+		}
+	}
+	return in, out
+}
+
+// paramTypes extracts the original (pre-transform) parameter types of f.
+func paramTypes(f *ir.Func) []minic.Type {
+	out := make([]minic.Type, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = p.Type
+	}
+	return out
+}
+
+// moduleGlobalCap adapts a module's global table to makePlans' cap lookup.
+func moduleGlobalCap(m *ir.Module) func(string) int {
+	return func(name string) int { return globalDepthCap(m, name) }
+}
+
 // makePlans derives contiguous in/out depths per root from a summary.
-func makePlans(f *ir.Func, sum *modref.Summary) []rootPlan {
+func makePlans(params []minic.Type, globalCap func(string) int, sum *modref.Summary) []rootPlan {
 	if sum == nil {
 		return nil
 	}
@@ -98,13 +151,14 @@ func makePlans(f *ir.Func, sum *modref.Summary) []rootPlan {
 		if pl.outDepth > pl.inDepth {
 			pl.inDepth = pl.outDepth
 		}
-		maxD := rootPtrDepth(nil, r)
-		if !r.IsGlobal() {
-			if r.Param < len(f.Params) {
-				maxD = f.Params[r.Param].Type.Ptr
-			} else {
-				maxD = 0
+		var maxD int
+		if r.IsGlobal() {
+			maxD = globalCap(r.Global)
+			if maxD > modref.MaxDepth {
+				maxD = modref.MaxDepth
 			}
+		} else if r.Param < len(params) {
+			maxD = params[r.Param].Ptr
 		}
 		if pl.inDepth > maxD {
 			pl.inDepth = maxD
@@ -118,12 +172,6 @@ func makePlans(f *ir.Func, sum *modref.Summary) []rootPlan {
 		out = append(out, *pl)
 	}
 	return out
-}
-
-// rootPtrDepth returns how many times a global root may be dereferenced:
-// its own cell (depth 1) plus its pointer levels.
-func rootPtrDepth(m *ir.Module, r modref.Root) int {
-	return modref.MaxDepth // callers cap parameter roots themselves
 }
 
 // globalDepthCap returns the depth cap for a global root in module m.
@@ -158,15 +206,10 @@ func pathType(m *ir.Module, f *ir.Func, r modref.Root, depth int) minic.Type {
 }
 
 // extendSignature appends aux formal parameters and records aux specs.
+// Depth caps are already folded into the plans by makePlans.
 func extendSignature(m *ir.Module, f *ir.Func, plans []rootPlan) map[modref.Path]*ir.Value {
 	aux := make(map[modref.Path]*ir.Value)
-	for pi := range plans {
-		pl := &plans[pi]
-		if pl.root.IsGlobal() {
-			if cap := globalDepthCap(m, pl.root.Global); pl.inDepth > cap {
-				pl.inDepth = cap
-			}
-		}
+	for _, pl := range plans {
 		for k := 1; k <= pl.inDepth; k++ {
 			spec := ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k}
 			name := auxName("F", pl.root, k)
@@ -175,13 +218,7 @@ func extendSignature(m *ir.Module, f *ir.Func, plans []rootPlan) map[modref.Path
 			aux[modref.Path{Root: pl.root, Depth: k}] = v
 		}
 	}
-	for pi := range plans {
-		pl := &plans[pi]
-		if pl.root.IsGlobal() {
-			if cap := globalDepthCap(m, pl.root.Global); pl.outDepth > cap {
-				pl.outDepth = cap
-			}
-		}
+	for _, pl := range plans {
 		for k := 1; k <= pl.outDepth; k++ {
 			spec := ir.AuxSpec{Root: pl.root.Param, Global: pl.root.Global, Depth: k}
 			f.AuxOut = append(f.AuxOut, spec)
@@ -198,7 +235,7 @@ func auxName(prefix string, r modref.Root, k int) string {
 }
 
 // rewriteBody inserts entry stores, exit loads, and call-site glue.
-func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path]*ir.Value, allPlans map[*ir.Func][]rootPlan) error {
+func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path]*ir.Value) error {
 	// Entry stores: *(root,k) ← F(root,k), chained through the aux
 	// values. Insert after any Alloc/param-spill prologue? Inserting at
 	// index 0 is safe: roots are parameters or globals, and the values
@@ -264,7 +301,7 @@ func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path
 			if !ok {
 				continue
 			}
-			n, err := rewriteCallSite(m, f, b, idx, in, callee, allPlans[callee])
+			n, err := rewriteCallSite(m, f, b, idx, in, callee)
 			if err != nil {
 				return err
 			}
@@ -304,10 +341,11 @@ func rootValueAtExit(m *ir.Module, f *ir.Func, r modref.Root, retIdx *int) (*ir.
 	return addr, nil
 }
 
-// rewriteCallSite threads aux values through one call. It returns how many
+// rewriteCallSite threads aux values through one call, reading only the
+// callee's parameter types and final AuxIn/AuxOut specs. It returns how many
 // instructions were inserted before the call (so the caller can adjust its
 // scan index past the call and its epilogue).
-func rewriteCallSite(m *ir.Module, f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func, calleePlans []rootPlan) (int, error) {
+func rewriteCallSite(m *ir.Module, f *ir.Func, b *ir.Block, idx int, call *ir.Instr, callee *ir.Func) (int, error) {
 	inserted := 0
 	insertBefore := func(in ir.Instr) *ir.Instr {
 		in.Synthetic = true

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Detection worker-scaling benchmark: runs the internal/bench sweep on a
-# synthetic subject and leaves a JSON snapshot (BENCH_detect.json) in the
-# repo root for trend tracking. Extra arguments pass through to benchsnap
-# (e.g. -scale 5 -workers 1,2,4,8).
+# Benchmarks: the detection worker-scaling sweep and the incremental-rebuild
+# (cold vs warm one-function-edit) measurement, on synthetic subjects. Leaves
+# JSON snapshots (BENCH_detect.json, BENCH_incremental.json) in the repo root
+# for trend tracking. Extra arguments pass through to benchsnap
+# (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== detection scaling benchmark"
-go run ./cmd/benchsnap -out BENCH_detect.json "$@"
+echo "== detection scaling + incremental rebuild benchmarks"
+go run ./cmd/benchsnap -out BENCH_detect.json -inc-out BENCH_incremental.json "$@"
