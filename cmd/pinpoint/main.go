@@ -45,6 +45,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	incremental := flag.Bool("incremental", false, "build through a persistent incremental session (content-addressed artifact store) instead of the one-shot pipeline")
 	repeat := flag.Int("repeat", 1, "with -incremental: build rounds; inputs are re-read from disk before each round, so warm rounds rebuild only what changed")
+	smtCache := flag.Bool("smt-cache", true, "answer SMT queries isomorphic to an already-decided formula from the canonical verdict cache")
+	smtPrefilter := flag.Bool("smt-prefilter", true, "refute contradictory SMT queries with a linear-time pass before entering the DPLL(T) solver")
+	smtIncremental := flag.Bool("smt-incremental", false, "reuse one Push/Pop solver with learned-clause retention per (checker, source) task; Sat witnesses may differ from the default mode")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -149,6 +152,9 @@ func main() {
 	res := a.CheckAll(specs, detect.Options{
 		MaxCallDepth:           *depth,
 		DisablePathSensitivity: *noPS,
+		DisableSMTCache:        !*smtCache,
+		DisableSMTPrefilter:    !*smtPrefilter,
+		SMTIncremental:         *smtIncremental,
 		Workers:                *workers,
 		Obs:                    rec,
 	})
@@ -234,8 +240,16 @@ type statsDump struct {
 		SummaryHitRate float64 `json:"summary_cache_hit_rate"`
 		SummaryCapHits int     `json:"summary_cap_hits"`
 	} `json:"detect"`
+	// SMT aggregates the query-elimination pipeline across checkers. The
+	// latency percentiles cover only queries the DPLL(T) solver actually
+	// answered; cache hits and prefilter refutations never reach it.
 	SMT struct {
-		QueryNs obs.HistSnapshot `json:"query_ns"`
+		Queries         int              `json:"queries"`
+		Solved          int              `json:"solved"`
+		CacheHits       int              `json:"cache_hits"`
+		PrefilterUnsat  int              `json:"prefilter_unsat"`
+		EliminationRate float64          `json:"elimination_rate"`
+		QueryNs         obs.HistSnapshot `json:"query_ns"`
 	} `json:"smt"`
 	Workers []workerDump `json:"workers,omitempty"`
 	Metrics obs.Snapshot `json:"metrics"`
@@ -283,6 +297,15 @@ func buildStatsDump(a *core.Analysis, res detect.Results, rec *obs.Recorder) *st
 		d.Detect.SummaryHitRate = float64(res.SummaryHits) / float64(n)
 	}
 	d.Detect.SummaryCapHits = res.SummaryCapHits
+	for _, cs := range res.Checkers {
+		d.SMT.Queries += cs.Stats.SMTQueries
+		d.SMT.Solved += cs.Stats.SMTSolved
+		d.SMT.CacheHits += cs.Stats.SMTCacheHits
+		d.SMT.PrefilterUnsat += cs.Stats.SMTPrefilterUnsat
+	}
+	if d.SMT.Queries > 0 {
+		d.SMT.EliminationRate = float64(d.SMT.CacheHits+d.SMT.PrefilterUnsat) / float64(d.SMT.Queries)
+	}
 	snap := rec.Snapshot()
 	d.SMT.QueryNs = snap.Histograms["smt.query_ns"]
 	for _, ws := range res.WorkerStats {

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// SMT query-elimination experiment: how many of the feasibility queries the
+// detection stage issues are answered without entering the DPLL(T) solver —
+// by the linear-time prefilter or the canonical verdict cache — and what
+// that does to end-to-end detection wall time. The two configurations must
+// produce byte-identical reports; the measurement aborts otherwise.
+
+// SMTResult is the outcome of one elimination-on vs elimination-off
+// measurement.
+type SMTResult struct {
+	Subject string
+	Lines   int
+	Reports int
+	// Queries is the number of SMT feasibility queries issued (identical in
+	// both configurations); Solved/CacheHits/PrefilterUnsat partition it in
+	// the elimination-on run.
+	Queries        int
+	Solved         int
+	CacheHits      int
+	PrefilterUnsat int
+	// EliminationRate is (CacheHits+PrefilterUnsat)/Queries.
+	EliminationRate float64
+	// CacheHitRate and PrefilterKillRate are the per-stage fractions.
+	CacheHitRate      float64
+	PrefilterKillRate float64
+	// WallOn/WallOff are the detection wall times with the pipeline
+	// enabled/disabled; Speedup is WallOff/WallOn.
+	WallOff time.Duration
+	WallOn  time.Duration
+	Speedup float64
+	// QueryNsOff and QueryNsOn are the solver-latency distributions of the
+	// queries that reached DPLL(T) in each configuration (all of them when
+	// off, only the residue when on).
+	QueryNsOff obs.HistSnapshot
+	QueryNsOn  obs.HistSnapshot
+}
+
+// MeasureSMT generates a workload subject and runs full detection twice on
+// it — first with the elimination pipeline disabled, then enabled on a cold
+// verdict cache — verifying byte-identical JSON reports before returning
+// counters and timings.
+func MeasureSMT(subj workload.Subject, scale int) (*SMTResult, error) {
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
+	a, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+	if err != nil {
+		return nil, err
+	}
+	specs := checkers.All()
+
+	recOff := obs.New()
+	offRes := a.CheckAll(specs, detect.Options{
+		Workers: -1, Obs: recOff,
+		DisableSMTCache: true, DisableSMTPrefilter: true,
+	})
+
+	recOn := obs.New()
+	onRes := a.CheckAll(specs, detect.Options{Workers: -1, Obs: recOn})
+
+	offJSON, err := reportsJSON(offRes.Reports)
+	if err != nil {
+		return nil, err
+	}
+	onJSON, err := reportsJSON(onRes.Reports)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(offJSON, onJSON) {
+		return nil, fmt.Errorf("elimination-on and -off runs disagree on reports")
+	}
+
+	out := &SMTResult{
+		Subject:    subj.Name,
+		Lines:      gen.Lines,
+		Reports:    len(onRes.Reports),
+		WallOff:    offRes.Wall,
+		WallOn:     onRes.Wall,
+		QueryNsOff: recOff.Snapshot().Histograms["smt.query_ns"],
+		QueryNsOn:  recOn.Snapshot().Histograms["smt.query_ns"],
+	}
+	for _, cs := range onRes.Checkers {
+		out.Queries += cs.Stats.SMTQueries
+		out.Solved += cs.Stats.SMTSolved
+		out.CacheHits += cs.Stats.SMTCacheHits
+		out.PrefilterUnsat += cs.Stats.SMTPrefilterUnsat
+	}
+	if out.Queries > 0 {
+		out.EliminationRate = float64(out.CacheHits+out.PrefilterUnsat) / float64(out.Queries)
+		out.CacheHitRate = float64(out.CacheHits) / float64(out.Queries)
+		out.PrefilterKillRate = float64(out.PrefilterUnsat) / float64(out.Queries)
+	}
+	if out.WallOn > 0 {
+		out.Speedup = float64(out.WallOff) / float64(out.WallOn)
+	}
+	return out, nil
+}

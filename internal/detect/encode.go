@@ -27,25 +27,20 @@ import (
 // cloning-based context sensitivity of §3.3.1(2).
 func (e *Engine) checkCandidate(c *candidate) smt.Result {
 	start := time.Now()
-	defer func() {
-		d := time.Since(start)
-		e.stats.SMTTime += d
-		e.stats.SMTQueries++
-		if e.obs != nil {
-			e.obs.Histogram("smt.query_ns").Observe(int64(d))
-			if e.obs.Tracing() {
-				e.obs.Event(e.tid, "smt", start, d, obs.Arg{Key: "checker", Val: e.spec.Name})
-			}
-		}
-	}()
 
-	s := smt.NewSolver()
+	s := e.querySolver()
+	if e.opts.SMTIncremental {
+		// Long-lived solver: scope this candidate's assertions so Pop
+		// retracts them while scope-independent learned clauses persist.
+		s.Push()
+		defer s.Pop()
+	}
 	if e.obs != nil {
 		s.Observer = smtObserver(e.obs)
 	}
 	enc := &encoder{
 		eng:    e,
-		s:      s,
+		tb:     s.TB,
 		ddDone: make(map[ddKey]bool),
 		cdDone: make(map[cdKey]bool),
 		budget: e.opts.SMTBudget,
@@ -101,7 +96,7 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 			a := enc.valueTerm(prev.inst, prev.node.Val)
 			b := enc.valueTerm(cur.inst, cur.node.Val)
 			if a.Sort == b.Sort {
-				s.Assert(s.TB.Eq(a, b))
+				enc.add(enc.tb.Eq(a, b))
 			}
 			enc.emitDD(prev.inst, prev.node.Val)
 			enc.emitDD(cur.inst, cur.node.Val)
@@ -116,7 +111,7 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 		a := enc.valueTerm(bd.instA, bd.valA)
 		b := enc.valueTerm(bd.instB, bd.valB)
 		if a.Sort == b.Sort {
-			s.Assert(s.TB.Eq(a, b))
+			enc.add(enc.tb.Eq(a, b))
 		}
 		enc.emitDD(bd.instA, bd.valA)
 		enc.emitDD(bd.instB, bd.valB)
@@ -136,11 +131,40 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 		enc.assertCond(st.inst, fn, g.CD(st.node.Instr))
 	}
 
-	res := s.Check()
+	res, model, how := decideQuery(s, enc.terms, e.prog.smtCache, e.opts)
+
+	d := time.Since(start)
+	e.stats.SMTTime += d
+	e.stats.SMTQueries++
+	switch how {
+	case querySolved:
+		e.stats.SMTSolved++
+	case queryCacheHit:
+		e.stats.SMTCacheHits++
+	case queryPrefilterUnsat:
+		e.stats.SMTPrefilterUnsat++
+	}
+	if e.obs != nil {
+		switch how {
+		case querySolved:
+			// Only queries that actually entered the DPLL(T) loop count
+			// toward solver latency (and its trace spans); eliminated
+			// candidates land on their own counters.
+			e.obs.Histogram("smt.query_ns").Observe(int64(d))
+			if e.obs.Tracing() {
+				e.obs.Event(e.tid, "smt", start, d, obs.Arg{Key: "checker", Val: e.spec.Name})
+			}
+		case queryCacheHit:
+			e.obs.Counter("smt.cache_hits").Inc()
+		case queryPrefilterUnsat:
+			e.obs.Counter("smt.prefilter_unsat").Inc()
+		}
+	}
+
 	switch res {
 	case smt.Sat:
 		e.stats.SMTSat++
-		e.lastWitness = extractWitness(s, enc)
+		e.lastWitness = extractWitness(model, enc)
 	case smt.Unsat:
 		e.stats.SMTUnsat++
 	default:
@@ -162,9 +186,10 @@ func smtObserver(rec *obs.Recorder) func(smt.CheckInfo) {
 }
 
 // extractWitness renders the model of the branch atoms as trigger hints,
-// sorted for determinism.
-func extractWitness(s *smt.Solver, enc *encoder) []string {
-	model := s.BoolModel()
+// sorted for determinism. The model comes either from a fresh solve
+// (Solver.BoolModel) or from a cached verdict projected into this query's
+// variable names — the two are identical for isomorphic queries.
+func extractWitness(model map[string]bool, enc *encoder) []string {
 	var out []string
 	for name, origin := range enc.atoms {
 		v, ok := model[name]
@@ -188,8 +213,14 @@ type cdKey struct {
 }
 
 type encoder struct {
-	eng    *Engine
-	s      *smt.Solver
+	eng *Engine
+	// tb builds terms; terms accumulates the assertion sequence. The
+	// encoder defers asserting into a solver so the elimination pipeline
+	// (decideQuery) can prefilter and cache-match the sequence before any
+	// CNF is built. Assertion order is preserved exactly, so a replayed
+	// sequence produces the identical solver run.
+	tb     *smt.TermBuilder
+	terms  []*smt.Term
 	ddDone map[ddKey]bool
 	cdDone map[cdKey]bool
 	budget int
@@ -197,6 +228,11 @@ type encoder struct {
 	// atoms maps SMT variable names of branch atoms back to the program
 	// value and context they came from, for witness extraction.
 	atoms map[string]atomOrigin
+}
+
+// add appends t to the assertion sequence.
+func (e *encoder) add(t *smt.Term) {
+	e.terms = append(e.terms, t)
 }
 
 type atomOrigin struct {
@@ -207,7 +243,7 @@ type atomOrigin struct {
 
 // valueTerm returns the SMT term of a value within a context instance.
 func (e *encoder) valueTerm(inst int, v *ir.Value) *smt.Term {
-	tb := e.s.TB
+	tb := e.tb
 	switch v.Kind {
 	case ir.VConstInt:
 		return tb.Int(v.IntVal)
@@ -230,14 +266,14 @@ func (e *encoder) assertCond(inst int, fn *ir.Func, c *cond.Cond) {
 	if debugSMT {
 		fmt.Printf("SMT assert cond: %s\n", t)
 	}
-	e.s.Assert(t)
+	e.add(t)
 }
 
 // debugSMT dumps every assertion (set via the PINPOINT_DEBUG_SMT env var).
 var debugSMT = os.Getenv("PINPOINT_DEBUG_SMT") != ""
 
 func (e *encoder) condTerm(inst int, fn *ir.Func, c *cond.Cond) *smt.Term {
-	tb := e.s.TB
+	tb := e.tb
 	switch c.Kind() {
 	case cond.KTrue:
 		return tb.True()
@@ -300,14 +336,14 @@ func (e *encoder) emitDD(inst int, v *ir.Value) {
 		return
 	}
 	fn := def.Block.Fn
-	tb := e.s.TB
+	tb := e.tb
 	vt := e.valueTerm(inst, v)
 
 	switch def.Op {
 	case ir.OpCopy:
 		at := e.valueTerm(inst, def.Args[0])
 		if at.Sort == vt.Sort {
-			e.s.Assert(tb.Eq(vt, at))
+			e.add(tb.Eq(vt, at))
 		}
 		e.emitDD(inst, def.Args[0])
 	case ir.OpUn:
@@ -315,10 +351,10 @@ func (e *encoder) emitDD(inst int, v *ir.Value) {
 		at := e.valueTerm(inst, a)
 		switch def.Sub {
 		case "-":
-			e.s.Assert(tb.Eq(vt, tb.Neg(at)))
+			e.add(tb.Eq(vt, tb.Neg(at)))
 		case "!":
 			if at.Sort == smt.SortBool && vt.Sort == smt.SortBool {
-				e.s.Assert(tb.Eq(vt, tb.Not(at)))
+				e.add(tb.Eq(vt, tb.Not(at)))
 			}
 		}
 		e.emitDD(inst, a)
@@ -340,7 +376,7 @@ func (e *encoder) emitDD(inst int, v *ir.Value) {
 			e.emitDD(inst, a)
 		}
 		if len(arms) > 0 {
-			e.s.Assert(tb.Or(arms...))
+			e.add(tb.Or(arms...))
 		}
 	case ir.OpLoad:
 		sources := e.eng.prog.SEGs[fn].PTA.LoadSources[def]
@@ -354,20 +390,20 @@ func (e *encoder) emitDD(inst int, v *ir.Value) {
 			e.emitDD(inst, gv.Val)
 		}
 		if len(arms) > 0 {
-			e.s.Assert(tb.Or(arms...))
+			e.add(tb.Or(arms...))
 		}
 	case ir.OpMalloc, ir.OpAlloc, ir.OpGlobalAddr:
 		// Allocation addresses are non-null.
-		e.s.Assert(tb.Ne(vt, tb.Int(0)))
+		e.add(tb.Ne(vt, tb.Int(0)))
 	case ir.OpFieldAddr:
 		// An uninterpreted, per-field offset function: injective enough
 		// for congruence reasoning, and field addresses of non-null
 		// bases are non-null.
 		base := e.valueTerm(inst, def.Args[0])
 		if base.Sort == smt.SortInt {
-			e.s.Assert(tb.Eq(vt, tb.App("field$"+def.Sub, smt.SortInt, base)))
+			e.add(tb.Eq(vt, tb.App("field$"+def.Sub, smt.SortInt, base)))
 		}
-		e.s.Assert(tb.Ne(vt, tb.Int(0)))
+		e.add(tb.Ne(vt, tb.Int(0)))
 		e.emitDD(inst, def.Args[0])
 	case ir.OpCall:
 		// Receiver: free variable (summaries constrain it only through
@@ -377,7 +413,7 @@ func (e *encoder) emitDD(inst int, v *ir.Value) {
 
 // emitBinDD encodes a binary operator definition.
 func (e *encoder) emitBinDD(inst int, v *ir.Value, def *ir.Instr) {
-	tb := e.s.TB
+	tb := e.tb
 	vt := e.valueTerm(inst, v)
 	a, b := def.Args[0], def.Args[1]
 	at, bt := e.valueTerm(inst, a), e.valueTerm(inst, b)
@@ -417,7 +453,7 @@ func (e *encoder) emitBinDD(inst int, v *ir.Value, def *ir.Instr) {
 			}
 		}
 		if cmp != nil {
-			e.s.Assert(tb.Eq(vt, cmp))
+			e.add(tb.Eq(vt, cmp))
 		}
 		return
 	}
@@ -426,13 +462,13 @@ func (e *encoder) emitBinDD(inst int, v *ir.Value, def *ir.Instr) {
 	}
 	switch def.Sub {
 	case "+":
-		e.s.Assert(tb.Eq(vt, tb.Add(at, bt)))
+		e.add(tb.Eq(vt, tb.Add(at, bt)))
 	case "-":
-		e.s.Assert(tb.Eq(vt, tb.Sub(at, bt)))
+		e.add(tb.Eq(vt, tb.Sub(at, bt)))
 	case "*":
-		e.s.Assert(tb.Eq(vt, tb.Mul(at, bt)))
+		e.add(tb.Eq(vt, tb.Mul(at, bt)))
 	case "/", "%":
 		// Uninterpreted: congruence only.
-		e.s.Assert(tb.Eq(vt, tb.App("op"+def.Sub, smt.SortInt, at, bt)))
+		e.add(tb.Eq(vt, tb.App("op"+def.Sub, smt.SortInt, at, bt)))
 	}
 }

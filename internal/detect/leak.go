@@ -61,18 +61,24 @@ func (r LeakReport) String() string {
 	return fmt.Sprintf("[memory-leak] allocation at %s (%s) is %s", r.Pos, r.Fn, r.Kind)
 }
 
-// LeakStats counts the checker's effort.
+// LeakStats counts the checker's effort. Solved/CacheHits/PrefilterUnsat
+// partition SMTQueries by the elimination-pipeline stage that answered
+// (see smtcache.go).
 type LeakStats struct {
-	Allocs     int
-	Escaped    int
-	SMTQueries int
+	Allocs         int
+	Escaped        int
+	SMTQueries     int
+	Solved         int
+	CacheHits      int
+	PrefilterUnsat int
 }
 
 // String renders the counters in the one-line shape shared by
 // cmd/pinpoint's -stats output and the examples (the unreleased-resource
 // sibling of Stats.String).
 func (s LeakStats) String() string {
-	return fmt.Sprintf("%d allocations, %d escaped, %d SMT queries", s.Allocs, s.Escaped, s.SMTQueries)
+	return fmt.Sprintf("%d allocations, %d escaped, %d SMT queries (%d solved/%d cached/%d prefiltered)",
+		s.Allocs, s.Escaped, s.SMTQueries, s.Solved, s.CacheHits, s.PrefilterUnsat)
 }
 
 // FindLeaks scans every allocation site of the program.
@@ -226,27 +232,21 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 	}
 
 	// Path-sensitive residue: is there an execution where the allocation
-	// happens but none of the reached frees does?
+	// happens but none of the reached frees does? The query runs through
+	// the same elimination pipeline as candidate checks: prefilter, then
+	// the program-wide verdict cache, then a pooled solver.
 	stats.SMTQueries++
+	start := time.Now()
 	rec := lc.opts.Obs
-	if rec != nil {
-		start := time.Now()
-		defer func() {
-			d := time.Since(start)
-			rec.Histogram("smt.query_ns").Observe(int64(d))
-			if rec.Tracing() {
-				rec.Event(tid, "smt", start, d, obs.Arg{Key: "checker", Val: "memory-leak"})
-			}
-		}()
-	}
 	eng := &Engine{prog: lc.prog, opts: lc.opts, obs: rec, tid: tid}
-	s := smt.NewSolver()
+	s := smt.GetSolver()
+	defer smt.PutSolver(s)
 	if rec != nil {
 		s.Observer = smtObserver(rec)
 	}
 	enc := &encoder{
 		eng:    eng,
-		s:      s,
+		tb:     s.TB,
 		ddDone: make(map[ddKey]bool),
 		cdDone: make(map[cdKey]bool),
 		budget: lc.opts.SMTBudget,
@@ -259,13 +259,36 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 	for _, rf := range frees {
 		c := rf.flow.Cond(g)
 		t := enc.condTerm(0, f, c)
-		s.Assert(s.TB.Not(t))
+		enc.add(enc.tb.Not(t))
 	}
-	if s.Check() != smt.Sat {
+	res, model, how := decideQuery(s, enc.terms, lc.prog.smtCache, lc.opts)
+	switch how {
+	case querySolved:
+		stats.Solved++
+	case queryCacheHit:
+		stats.CacheHits++
+	case queryPrefilterUnsat:
+		stats.PrefilterUnsat++
+	}
+	if rec != nil {
+		switch how {
+		case querySolved:
+			d := time.Since(start)
+			rec.Histogram("smt.query_ns").Observe(int64(d))
+			if rec.Tracing() {
+				rec.Event(tid, "smt", start, d, obs.Arg{Key: "checker", Val: "memory-leak"})
+			}
+		case queryCacheHit:
+			rec.Counter("smt.cache_hits").Inc()
+		case queryPrefilterUnsat:
+			rec.Counter("smt.prefilter_unsat").Inc()
+		}
+	}
+	if res != smt.Sat {
 		return nil, false
 	}
 	return &LeakReport{
 		Fn: f.Name, Pos: alloc.Pos, Alloc: alloc, Kind: LeakConditional,
-		Witness: extractWitness(s, enc),
+		Witness: extractWitness(model, enc),
 	}, false
 }

@@ -130,16 +130,32 @@ func TestCheckAllObsCounters(t *testing.T) {
 		t.Error("summary cache saw no lookups; counters are vacuous")
 	}
 
-	var wantQueries int64
+	// The latency histogram records only queries the DPLL(T) solver actually
+	// answered; cache hits and prefilter refutations land in their own
+	// counters, and the three stages partition SMTQueries exactly.
+	var wantSolved, wantCached, wantPrefiltered, wantQueries int64
 	for _, cs := range res.Checkers {
+		wantSolved += int64(cs.Stats.SMTSolved)
+		wantCached += int64(cs.Stats.SMTCacheHits)
+		wantPrefiltered += int64(cs.Stats.SMTPrefilterUnsat)
 		wantQueries += int64(cs.Stats.SMTQueries)
 	}
-	h := snap.Histograms["smt.query_ns"]
-	if h.Count != wantQueries {
-		t.Errorf("smt.query_ns count = %d, want %d (sum of checker SMT queries)", h.Count, wantQueries)
+	if wantSolved+wantCached+wantPrefiltered != wantQueries {
+		t.Errorf("elimination stages sum to %d, want SMTQueries sum %d",
+			wantSolved+wantCached+wantPrefiltered, wantQueries)
 	}
-	if wantQueries > 0 && (h.P50 <= 0 || h.P99 < h.P50) {
+	h := snap.Histograms["smt.query_ns"]
+	if h.Count != wantSolved {
+		t.Errorf("smt.query_ns count = %d, want %d (sum of checker SMT solved)", h.Count, wantSolved)
+	}
+	if wantSolved > 0 && (h.P50 <= 0 || h.P99 < h.P50) {
 		t.Errorf("smt.query_ns percentiles malformed: %+v", h)
+	}
+	if got := snap.Counters["smt.cache_hits"]; got != wantCached {
+		t.Errorf("smt.cache_hits = %d, want %d", got, wantCached)
+	}
+	if got := snap.Counters["smt.prefilter_unsat"]; got != wantPrefiltered {
+		t.Errorf("smt.prefilter_unsat = %d, want %d", got, wantPrefiltered)
 	}
 }
 

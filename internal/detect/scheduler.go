@@ -46,7 +46,11 @@ type CheckerStats struct {
 // counters; everything else the source–sink shape.
 func (cs CheckerStats) String() string {
 	if sp, ok := checkers.ByName(cs.Checker); ok && sp.Kind == checkers.KindUnreleased {
-		ls := LeakStats{Allocs: cs.Stats.Sources, Escaped: cs.Stats.Escaped, SMTQueries: cs.Stats.SMTQueries}
+		ls := LeakStats{
+			Allocs: cs.Stats.Sources, Escaped: cs.Stats.Escaped,
+			SMTQueries: cs.Stats.SMTQueries, Solved: cs.Stats.SMTSolved,
+			CacheHits: cs.Stats.SMTCacheHits, PrefilterUnsat: cs.Stats.SMTPrefilterUnsat,
+		}
 		return fmt.Sprintf("%s: %s", cs.Checker, ls)
 	}
 	return fmt.Sprintf("%s: %s", cs.Checker, cs.Stats)
@@ -288,9 +292,12 @@ func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc 
 			ls.Escaped++
 		}
 		tr := taskResult{stats: Stats{
-			Sources:    ls.Allocs,
-			Escaped:    ls.Escaped,
-			SMTQueries: ls.SMTQueries,
+			Sources:           ls.Allocs,
+			Escaped:           ls.Escaped,
+			SMTQueries:        ls.SMTQueries,
+			SMTSolved:         ls.Solved,
+			SMTCacheHits:      ls.CacheHits,
+			SMTPrefilterUnsat: ls.PrefilterUnsat,
 		}}
 		if rep != nil {
 			tr.reports = []Report{leakToReport(sp.Name, *rep)}
@@ -308,6 +315,7 @@ func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc 
 	}
 	eng.stats.Sources = 1
 	eng.searchFromSource(t.fn, t.g, t.src)
+	eng.releaseSolver()
 	return taskResult{reports: eng.reports, stats: eng.stats}
 }
 
@@ -320,6 +328,9 @@ func addStats(dst *Stats, s Stats) {
 	dst.SMTSat += s.SMTSat
 	dst.SMTUnsat += s.SMTUnsat
 	dst.SMTUnknown += s.SMTUnknown
+	dst.SMTSolved += s.SMTSolved
+	dst.SMTCacheHits += s.SMTCacheHits
+	dst.SMTPrefilterUnsat += s.SMTPrefilterUnsat
 	dst.SMTTime += s.SMTTime
 	dst.SummaryCapHits += s.SummaryCapHits
 	dst.TruncatedSearches += s.TruncatedSearches

@@ -30,6 +30,14 @@ type Engine struct {
 	obs *obs.Recorder
 	tid int
 
+	// solver is the engine's pooled SMT solver, acquired lazily by the
+	// first candidate check and released by releaseSolver when the engine
+	// finishes. In the default mode it is Reset between candidates (a
+	// reset solver is indistinguishable from a fresh one); with
+	// Options.SMTIncremental it lives across the engine's candidates,
+	// retaining learned clauses under Push/Pop.
+	solver *smt.Solver
+
 	// per-source scratch
 	nextInst   int
 	expansions int
@@ -49,8 +57,30 @@ func NewEngine(prog *Program, spec *checkers.Spec, opts Options) *Engine {
 	}
 }
 
+// querySolver returns the engine's solver ready for a candidate query:
+// freshly acquired from the pool, or reset to the fresh state (unless the
+// engine runs incrementally, in which case accumulated clauses persist and
+// the caller scopes its assertions with Push/Pop).
+func (e *Engine) querySolver() *smt.Solver {
+	if e.solver == nil {
+		e.solver = smt.GetSolver()
+	} else if !e.opts.SMTIncremental {
+		e.solver.Reset()
+	}
+	return e.solver
+}
+
+// releaseSolver returns the engine's solver to the pool.
+func (e *Engine) releaseSolver() {
+	if e.solver != nil {
+		smt.PutSolver(e.solver)
+		e.solver = nil
+	}
+}
+
 // Run searches every function's sources and returns the reports.
 func (e *Engine) Run() ([]Report, Stats) {
+	defer e.releaseSolver()
 	if e.spec.Kind == checkers.KindUnreleased {
 		return e.runUnreleased()
 	}
@@ -96,6 +126,9 @@ func (e *Engine) runUnreleased() ([]Report, Stats) {
 				e.stats.Sources += ls.Allocs
 				e.stats.Escaped += ls.Escaped
 				e.stats.SMTQueries += ls.SMTQueries
+				e.stats.SMTSolved += ls.Solved
+				e.stats.SMTCacheHits += ls.CacheHits
+				e.stats.SMTPrefilterUnsat += ls.PrefilterUnsat
 				if rep != nil {
 					e.reports = append(e.reports, leakToReport(e.spec.Name, *rep))
 					if e.opts.MaxReportsPerChecker > 0 && len(e.reports) >= e.opts.MaxReportsPerChecker {

@@ -1,0 +1,168 @@
+package detect
+
+// SMT query elimination: the layer between the candidate search and the
+// DPLL(T) core. Every candidate's asserted term sequence runs through a
+// three-stage pipeline (decideQuery):
+//
+//  1. a linear-time semi-decision prefilter (smt.Prefilter) that refutes
+//     obviously contradictory queries without building CNF;
+//  2. a canonical verdict cache keyed on smt.Fingerprint: isomorphic
+//     queries — same guards instantiated in different contexts — are
+//     solved once per Program and replayed from the cache, models
+//     included, reproducing a fresh solve byte-for-byte;
+//  3. a pooled, resettable solver for the residue that actually needs
+//     DPLL(T).
+//
+// The cache is sharded and lock-striped so all workers and checkers share
+// it without contention, lives on detect.Program, and — because verdicts
+// are pure functions of the formula, independent of the program that
+// produced it — is carried wholesale across incremental rebuilds by
+// NewProgramFrom.
+
+import (
+	"sync"
+
+	"repro/internal/smt"
+)
+
+// queryOutcome records which pipeline stage produced a verdict.
+type queryOutcome uint8
+
+const (
+	// querySolved: the query entered the DPLL(T) loop.
+	querySolved queryOutcome = iota
+	// queryCacheHit: the verdict (and model, if Sat) was replayed from the
+	// canonical verdict cache.
+	queryCacheHit
+	// queryPrefilterUnsat: the semi-decision prefilter refuted the query.
+	queryPrefilterUnsat
+)
+
+const smtCacheShards = 32
+
+// smtVerdict is one cached exact-key entry: the verdict plus, for Sat, the
+// model over canonical variable ids (projected back through each hitting
+// query's own variable names).
+type smtVerdict struct {
+	res   smt.Result
+	model map[int]bool
+}
+
+type smtCacheShard struct {
+	mu sync.RWMutex
+	// exact: alpha-normalized order-preserving key -> full verdict.
+	exact map[[32]byte]*smtVerdict
+	// shape: commutative-normalized key -> present iff proven Unsat.
+	// Sat models and budget-limited Unknowns are never served from the
+	// shape tier (solver runs for shape-variants are not isomorphic).
+	shape map[[32]byte]struct{}
+}
+
+// smtVerdictCache is the sharded, concurrency-safe canonical verdict
+// cache.
+type smtVerdictCache struct {
+	shards [smtCacheShards]smtCacheShard
+}
+
+func newSMTVerdictCache() *smtVerdictCache {
+	c := &smtVerdictCache{}
+	for i := range c.shards {
+		c.shards[i].exact = make(map[[32]byte]*smtVerdict)
+		c.shards[i].shape = make(map[[32]byte]struct{})
+	}
+	return c
+}
+
+func (c *smtVerdictCache) shard(key [32]byte) *smtCacheShard {
+	return &c.shards[int(key[0])%smtCacheShards]
+}
+
+// lookup consults the exact tier, then the Unsat-only shape tier. On an
+// exact Sat hit the cached canonical model is projected into this query's
+// variable names.
+func (c *smtVerdictCache) lookup(fp *smt.Canon) (smt.Result, map[string]bool, bool) {
+	sh := c.shard(fp.Exact)
+	sh.mu.RLock()
+	v, ok := sh.exact[fp.Exact]
+	sh.mu.RUnlock()
+	if ok {
+		return v.res, fp.ProjectModel(v.model), true
+	}
+	sh = c.shard(fp.Shape)
+	sh.mu.RLock()
+	_, ok = sh.shape[fp.Shape]
+	sh.mu.RUnlock()
+	if ok {
+		return smt.Unsat, nil, true
+	}
+	return smt.Unknown, nil, false
+}
+
+// store records a solved verdict. Exact entries are stored for every
+// verdict; the shape tier only ever records Unsat (the only verdict whose
+// replay is sound across commutative reordering). When the solve ran on a
+// long-lived incremental solver (learned-clause retention), only Unsat is
+// stored at all: retained state may change Sat models and the Unknown
+// budget boundary, and serving those to a non-incremental run would break
+// its byte-identical-replay guarantee.
+func (c *smtVerdictCache) store(fp *smt.Canon, res smt.Result, model map[int]bool, incremental bool) {
+	if incremental && res != smt.Unsat {
+		return
+	}
+	sh := c.shard(fp.Exact)
+	sh.mu.Lock()
+	if _, dup := sh.exact[fp.Exact]; !dup {
+		sh.exact[fp.Exact] = &smtVerdict{res: res, model: model}
+	}
+	sh.mu.Unlock()
+	if res == smt.Unsat {
+		sh = c.shard(fp.Shape)
+		sh.mu.Lock()
+		sh.shape[fp.Shape] = struct{}{}
+		sh.mu.Unlock()
+	}
+}
+
+// size returns the number of exact entries (for diagnostics).
+func (c *smtVerdictCache) size() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].exact)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// decideQuery runs the elimination pipeline over an asserted term
+// sequence, falling back to asserting into s and solving. It returns the
+// verdict, a boolean model for Sat (nil otherwise), and the stage that
+// produced the verdict. s must be in its post-Reset (or post-Push) state,
+// with every term built from s.TB.
+func decideQuery(s *smt.Solver, terms []*smt.Term, cache *smtVerdictCache, opts Options) (smt.Result, map[string]bool, queryOutcome) {
+	if !opts.DisableSMTPrefilter {
+		if smt.Prefilter(terms) == smt.Unsat {
+			return smt.Unsat, nil, queryPrefilterUnsat
+		}
+	}
+	var fp *smt.Canon
+	useCache := cache != nil && !opts.DisableSMTCache
+	if useCache {
+		fp = smt.Fingerprint(terms)
+		if res, model, ok := cache.lookup(fp); ok {
+			return res, model, queryCacheHit
+		}
+	}
+	for _, t := range terms {
+		s.Assert(t)
+	}
+	res := s.Check()
+	var model map[string]bool
+	if res == smt.Sat {
+		model = s.BoolModel()
+	}
+	if useCache {
+		cache.store(fp, res, fp.CanonModel(model), opts.SMTIncremental)
+	}
+	return res, model, querySolved
+}

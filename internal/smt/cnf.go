@@ -15,6 +15,12 @@ type cnfEncoder struct {
 	sat   *SATSolver
 	vars  map[int]int   // term id -> SAT var
 	atoms map[int]*Term // SAT var -> atom term
+	// scopes tracks, per open Push scope, the term ids first encoded in
+	// that scope. Their Tseitin definition clauses are retracted by the
+	// SAT layer on Pop, so the memoized mappings must be dropped too —
+	// otherwise a later assert would reuse a proxy variable whose
+	// defining clauses are disabled.
+	scopes [][]int
 }
 
 func newCNFEncoder(sat *SATSolver) *cnfEncoder {
@@ -22,6 +28,33 @@ func newCNFEncoder(sat *SATSolver) *cnfEncoder {
 		sat:   sat,
 		vars:  make(map[int]int),
 		atoms: make(map[int]*Term),
+	}
+}
+
+func (e *cnfEncoder) push() { e.scopes = append(e.scopes, nil) }
+
+func (e *cnfEncoder) pop() {
+	n := len(e.scopes)
+	if n == 0 {
+		return
+	}
+	for _, id := range e.scopes[n-1] {
+		v := e.vars[id]
+		delete(e.vars, id)
+		delete(e.atoms, v)
+	}
+	e.scopes = e.scopes[:n-1]
+}
+
+func (e *cnfEncoder) reset() {
+	clear(e.vars)
+	clear(e.atoms)
+	e.scopes = nil
+}
+
+func (e *cnfEncoder) noteScoped(id int) {
+	if n := len(e.scopes); n > 0 {
+		e.scopes[n-1] = append(e.scopes[n-1], id)
 	}
 }
 
@@ -56,6 +89,7 @@ func (e *cnfEncoder) lit(t *Term) Lit {
 	}
 	v := e.sat.NewVar()
 	e.vars[t.id] = v
+	e.noteScoped(t.id)
 	p := Lit(v)
 	switch {
 	case isAtom(t):
@@ -90,6 +124,7 @@ func (e *cnfEncoder) varFor(t *Term) int {
 	}
 	v := e.sat.NewVar()
 	e.vars[t.id] = v
+	e.noteScoped(t.id)
 	return v
 }
 

@@ -1,0 +1,245 @@
+package smt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPushPopBoolean(t *testing.T) {
+	s := NewSolver()
+	p, q := s.TB.BoolVar("p"), s.TB.BoolVar("q")
+	s.Assert(s.TB.Or(p, q))
+
+	s.Push()
+	s.Assert(s.TB.Not(p))
+	s.Assert(s.TB.Not(q))
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("scoped contradiction: Check = %v, want unsat", got)
+	}
+	s.Pop()
+
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after Pop: Check = %v, want sat", got)
+	}
+	m := s.BoolModel()
+	if !m["p"] && !m["q"] {
+		t.Fatalf("model %v does not satisfy p ∨ q", m)
+	}
+}
+
+func TestPushPopTheory(t *testing.T) {
+	s := NewSolver()
+	tb := s.TB
+	x, y := tb.IntVar("x"), tb.IntVar("y")
+	s.Assert(tb.Eq(x, y))
+
+	s.Push()
+	s.Assert(tb.Ne(tb.App("f", SortInt, x), tb.App("f", SortInt, y)))
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("congruence conflict under Push: Check = %v, want unsat", got)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after Pop: Check = %v, want sat", got)
+	}
+
+	// A second scope over the same base must be just as decidable.
+	s.Push()
+	s.Assert(tb.Lt(x, y))
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("x=y ∧ x<y under second Push: Check = %v, want unsat", got)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after second Pop: Check = %v, want sat", got)
+	}
+}
+
+func TestPushPopNested(t *testing.T) {
+	s := NewSolver()
+	p, q := s.TB.BoolVar("p"), s.TB.BoolVar("q")
+	s.Assert(p)
+	s.Push()
+	s.Assert(q)
+	s.Push()
+	s.Assert(s.TB.Not(p))
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("inner scope: Check = %v, want unsat", got)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("middle scope: Check = %v, want sat", got)
+	}
+	if m := s.BoolModel(); !m["p"] || !m["q"] {
+		t.Fatalf("middle-scope model %v must satisfy p ∧ q", m)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("outer scope: Check = %v, want sat", got)
+	}
+}
+
+// TestPushPopDeadScope checks that an assertion reducing to false inside a
+// scope does not poison the solver after Pop.
+func TestPushPopDeadScope(t *testing.T) {
+	s := NewSolver()
+	s.Assert(s.TB.BoolVar("p"))
+	s.Push()
+	s.Assert(s.TB.False())
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("dead scope: Check = %v, want unsat", got)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after popping dead scope: Check = %v, want sat", got)
+	}
+}
+
+// TestLearnedClauseRetention puts a search-heavy unsat core (pigeonhole:
+// 4 pigeons, 3 holes) inside a Push scope and checks (a) the verdicts stay
+// correct through Push/Check/Pop, and (b) conflict-driven learning actually
+// fired and the solver remains usable afterwards — learned clauses are
+// retained across Pop (those depending on the scope carry its selector's
+// negation by resolution and deactivate themselves).
+func TestLearnedClauseRetention(t *testing.T) {
+	s := NewSolver()
+	tb := s.TB
+	s.Assert(tb.BoolVar("base"))
+	if got := s.Check(); got != Sat {
+		t.Fatalf("base: Check = %v, want sat", got)
+	}
+
+	const pigeons, holes = 4, 3
+	x := func(p, h int) *Term { return tb.BoolVar(fmt.Sprintf("x%d_%d", p, h)) }
+	s.Push()
+	for p := 0; p < pigeons; p++ {
+		row := make([]*Term, holes)
+		for h := 0; h < holes; h++ {
+			row[h] = x(p, h)
+		}
+		s.Assert(tb.Or(row...))
+	}
+	for h := 0; h < holes; h++ {
+		for p := 0; p < pigeons; p++ {
+			for q := p + 1; q < pigeons; q++ {
+				s.Assert(tb.Or(tb.Not(x(p, h)), tb.Not(x(q, h))))
+			}
+		}
+	}
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("pigeonhole scope: Check = %v, want unsat", got)
+	}
+	_, conflicts, learned := s.Stats()
+	if conflicts == 0 || learned == 0 {
+		t.Fatalf("no learning happened (conflicts=%d learned=%d); retention test is vacuous",
+			conflicts, learned)
+	}
+	s.Pop()
+	if got := s.Check(); got != Sat {
+		t.Fatalf("after Pop: Check = %v, want sat", got)
+	}
+	if m := s.BoolModel(); !m["base"] {
+		t.Fatalf("model %v lost the base assertion", m)
+	}
+}
+
+// TestResetEqualsFresh is the invariant the per-candidate solver reuse
+// relies on: a Reset solver reproduces a fresh solver bit-for-bit — same
+// term IDs, same verdict, same model.
+func TestResetEqualsFresh(t *testing.T) {
+	run := func(s *Solver) (Result, map[string]bool, []int) {
+		tb := s.TB
+		p, q := tb.BoolVar("p"), tb.BoolVar("q")
+		x, y := tb.IntVar("x"), tb.IntVar("y")
+		terms := []*Term{
+			tb.Or(p, q),
+			tb.Implies(p, tb.Lt(x, y)),
+			tb.Implies(q, tb.Lt(y, x)),
+			tb.Le(x, tb.Int(4)),
+		}
+		ids := make([]int, len(terms))
+		for i, f := range terms {
+			ids[i] = f.ID()
+			s.Assert(f)
+		}
+		res := s.Check()
+		return res, s.BoolModel(), ids
+	}
+
+	used := NewSolver()
+	// Dirty the solver with an unrelated query first.
+	used.Assert(used.TB.And(used.TB.BoolVar("junk"), used.TB.Lt(used.TB.IntVar("a"), used.TB.Int(0))))
+	if used.Check() == Unknown {
+		t.Fatal("warm-up query unexpectedly exhausted the budget")
+	}
+	used.Reset()
+	gotRes, gotModel, gotIDs := run(used)
+
+	wantRes, wantModel, wantIDs := run(NewSolver())
+	if gotRes != wantRes {
+		t.Fatalf("reset solver: Check = %v, fresh = %v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotModel, wantModel) {
+		t.Fatalf("reset solver model %v != fresh model %v", gotModel, wantModel)
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		t.Fatalf("reset builder IDs %v != fresh IDs %v", gotIDs, wantIDs)
+	}
+}
+
+func TestSolverPoolReuse(t *testing.T) {
+	s := GetSolver()
+	s.Assert(s.TB.False())
+	if got := s.Check(); got != Unsat {
+		t.Fatalf("Check = %v, want unsat", got)
+	}
+	PutSolver(s)
+
+	// Whatever the pool hands back must behave fresh.
+	s2 := GetSolver()
+	defer PutSolver(s2)
+	s2.Assert(s2.TB.BoolVar("p"))
+	if got := s2.Check(); got != Sat {
+		t.Fatalf("pooled solver: Check = %v, want sat", got)
+	}
+}
+
+// queryBench asserts and checks a moderately-sized feasibility query, the
+// shape the detection layer issues per candidate.
+func queryBench(s *Solver) Result {
+	tb := s.TB
+	var conds []*Term
+	for i := 0; i < 8; i++ {
+		c := tb.BoolVar(fmt.Sprintf("c%d@f", i))
+		x := tb.IntVar(fmt.Sprintf("v%d", i))
+		conds = append(conds, tb.Or(c, tb.Lt(x, tb.Int(int64(i)))))
+	}
+	s.Assert(tb.And(conds...))
+	return s.Check()
+}
+
+// BenchmarkSolverFresh allocates a brand-new solver per query — the
+// pre-elimination behavior.
+func BenchmarkSolverFresh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		if queryBench(s) != Sat {
+			b.Fatal("unexpected verdict")
+		}
+	}
+}
+
+// BenchmarkSolverPooled reuses one pooled solver via Reset, retaining the
+// SAT core's and TermBuilder's backing allocations.
+func BenchmarkSolverPooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := GetSolver()
+		if queryBench(s) != Sat {
+			b.Fatal("unexpected verdict")
+		}
+		PutSolver(s)
+	}
+}

@@ -1,0 +1,28 @@
+package smt
+
+import "sync"
+
+// Solver pooling. Detection issues one SMT query per candidate; building a
+// fresh Solver (and with it a TermBuilder, SAT solver, and CNF encoder)
+// per candidate dominated allocation churn on the hot path. GetSolver /
+// PutSolver recycle fully reset solvers through a sync.Pool: because
+// Solver.Reset reproduces the freshly-constructed state exactly (term IDs
+// restart at zero), a pooled solver is observationally indistinguishable
+// from a new one, so pooling cannot perturb verdicts or witnesses.
+
+var solverPool = sync.Pool{
+	New: func() any { return NewSolver() },
+}
+
+// GetSolver returns a solver in the freshly-constructed state, reusing a
+// pooled instance when available.
+func GetSolver() *Solver {
+	return solverPool.Get().(*Solver)
+}
+
+// PutSolver resets s and returns it to the pool. The caller must not use
+// s afterwards.
+func PutSolver(s *Solver) {
+	s.Reset()
+	solverPool.Put(s)
+}

@@ -1,0 +1,106 @@
+package smt
+
+// Semi-decision prefilter: a linear-time refutation pass over the interned
+// term DAG that returns Unsat without building CNF or touching the SAT
+// core. It generalizes the cond.LinearSolver idea (complementary
+// positive/negative condition sets) from Boolean atoms to smt.Term
+// arithmetic by reusing the solver's own unit-level theory procedures.
+//
+// Soundness argument (why a prefilter Unsat can never change a report):
+// the pass only inspects top-level facts — the conjuncts obtained by
+// flattening asserted TAnd terms exactly as cnfEncoder.assert does. Every
+// such conjunct is forced by a unit clause, so EVERY full propositional
+// model the SAT core can produce assigns these facts accordingly. If the
+// prefilter refutes:
+//
+//   - an asserted `false` (or negated `true`) makes cnfEncoder.assert add
+//     the empty clause, so the full solver answers Unsat;
+//   - complementary conjuncts t and ¬t share one hash-consed proxy
+//     variable, forcing unit clauses p and ¬p — the full solver answers
+//     Unsat;
+//   - unit equality facts that congruence closure (eufCheck) refutes, or
+//     unit comparison facts that difference-bound propagation
+//     (arithCheck, which subsumes interval bounds x ⋈ c through the
+//     distinguished zero node) refutes, are a subset of the atoms
+//     theoryCheck sees in every full model; both procedures are monotone
+//     — a superset of an inconsistent literal set stays inconsistent —
+//     so theoryCheck rejects every model and the full solver can only
+//     answer Unsat (or Unknown on budget exhaustion), never Sat.
+//
+// In all cases the full solver produces no Sat verdict, hence no report:
+// replacing its answer with Unsat is observationally identical. The
+// prefilter never answers Sat and never inspects non-unit structure, so
+// a pass-through (Unknown) simply falls back to the full solver.
+
+// Prefilter attempts to refute the conjunction of the asserted terms.
+// It returns Unsat when refuted and Unknown when no verdict was reached;
+// it never returns Sat.
+func Prefilter(terms []*Term) Result {
+	// Flatten top-level conjunctions exactly as cnfEncoder.assert does.
+	var conjuncts []*Term
+	var flatten func(t *Term)
+	flatten = func(t *Term) {
+		if t.Kind == TAnd {
+			for _, a := range t.Args {
+				flatten(a)
+			}
+			return
+		}
+		conjuncts = append(conjuncts, t)
+	}
+	for _, t := range terms {
+		flatten(t)
+	}
+
+	// Polarity map over hash-consed term ids: complementary facts refute.
+	pol := make(map[int]bool, len(conjuncts))
+	var eqs, neqs [][2]*Term
+	var arith []arithLit
+	for _, c := range conjuncts {
+		pos := true
+		for c.Kind == TNot {
+			pos = !pos
+			c = c.Args[0]
+		}
+		if c.Kind == TBoolConst {
+			if (c.Int == 0) == pos {
+				return Unsat // asserted false
+			}
+			continue // asserted true: vacuous
+		}
+		if prev, seen := pol[c.id]; seen {
+			if prev != pos {
+				return Unsat // t and ¬t both asserted
+			}
+		} else {
+			pol[c.id] = pos
+		}
+		// Unit theory facts.
+		switch c.Kind {
+		case TEq:
+			pair := [2]*Term{c.Args[0], c.Args[1]}
+			if pos {
+				eqs = append(eqs, pair)
+			} else {
+				neqs = append(neqs, pair)
+			}
+			if c.Args[0].Sort == SortInt {
+				arith = append(arith, arithLit{t: c, positive: pos, index: len(arith)})
+			}
+		case TLt, TLe:
+			if c.Args[0].Sort == SortInt {
+				arith = append(arith, arithLit{t: c, positive: pos, index: len(arith)})
+			}
+		}
+	}
+
+	if len(eqs)+len(neqs) > 0 && !eufCheck(eqs, neqs) {
+		return Unsat
+	}
+	if len(arith) > 0 {
+		if ok, _ := arithCheck(arith); !ok {
+			return Unsat
+		}
+	}
+	return Unknown
+}

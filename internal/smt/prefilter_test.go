@@ -1,0 +1,143 @@
+package smt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPrefilterAssertedFalse(t *testing.T) {
+	tb := NewTermBuilder()
+	if got := Prefilter([]*Term{tb.False()}); got != Unsat {
+		t.Errorf("Prefilter(false) = %v, want unsat", got)
+	}
+	if got := Prefilter([]*Term{tb.BoolVar("p"), tb.False()}); got != Unsat {
+		t.Errorf("Prefilter(p ∧ false) = %v, want unsat", got)
+	}
+}
+
+func TestPrefilterComplementaryLiterals(t *testing.T) {
+	tb := NewTermBuilder()
+	p := tb.BoolVar("p")
+	if got := Prefilter([]*Term{p, tb.Not(p)}); got != Unsat {
+		t.Errorf("Prefilter(p ∧ ¬p) = %v, want unsat", got)
+	}
+	// The complement may be buried in a flattened conjunction.
+	q := tb.BoolVar("q")
+	if got := Prefilter([]*Term{tb.And(p, q), tb.Not(q)}); got != Unsat {
+		t.Errorf("Prefilter((p ∧ q) ∧ ¬q) = %v, want unsat", got)
+	}
+	// ...but NOT under a disjunction: (p ∨ q) ∧ ¬q is satisfiable.
+	if got := Prefilter([]*Term{tb.Or(p, q), tb.Not(q)}); got != Unknown {
+		t.Errorf("Prefilter((p ∨ q) ∧ ¬q) = %v, want unknown", got)
+	}
+}
+
+func TestPrefilterEUFUnits(t *testing.T) {
+	tb := NewTermBuilder()
+	x, y, z := tb.IntVar("x"), tb.IntVar("y"), tb.IntVar("z")
+	// x = y ∧ y = z ∧ x ≠ z: transitivity conflict.
+	got := Prefilter([]*Term{tb.Eq(x, y), tb.Eq(y, z), tb.Ne(x, z)})
+	if got != Unsat {
+		t.Errorf("transitivity conflict = %v, want unsat", got)
+	}
+	// x = y ∧ f(x) ≠ f(y): congruence conflict.
+	fx, fy := tb.App("f", SortInt, x), tb.App("f", SortInt, y)
+	if got := Prefilter([]*Term{tb.Eq(x, y), tb.Ne(fx, fy)}); got != Unsat {
+		t.Errorf("congruence conflict = %v, want unsat", got)
+	}
+}
+
+func TestPrefilterArithUnits(t *testing.T) {
+	tb := NewTermBuilder()
+	x, y := tb.IntVar("x"), tb.IntVar("y")
+	// x < y ∧ y < x.
+	if got := Prefilter([]*Term{tb.Lt(x, y), tb.Lt(y, x)}); got != Unsat {
+		t.Errorf("cyclic strict order = %v, want unsat", got)
+	}
+	// Interval conflict through constants: x <= 3 ∧ 5 <= x.
+	if got := Prefilter([]*Term{tb.Le(x, tb.Int(3)), tb.Le(tb.Int(5), x)}); got != Unsat {
+		t.Errorf("interval conflict = %v, want unsat", got)
+	}
+	// Equality feeding the difference solver: x = 1 ∧ x = 2.
+	if got := Prefilter([]*Term{tb.Eq(x, tb.Int(1)), tb.Eq(x, tb.Int(2))}); got != Unsat {
+		t.Errorf("conflicting int equalities = %v, want unsat", got)
+	}
+}
+
+func TestPrefilterNeverSat(t *testing.T) {
+	tb := NewTermBuilder()
+	p := tb.BoolVar("p")
+	x := tb.IntVar("x")
+	for _, terms := range [][]*Term{
+		{tb.True()},
+		{p},
+		{p, tb.Le(x, tb.Int(3))},
+		{tb.Or(p, tb.Not(p))},
+	} {
+		if got := Prefilter(terms); got != Unknown {
+			t.Errorf("Prefilter(%v) = %v, want unknown (never Sat)", terms, got)
+		}
+	}
+}
+
+// TestPrefilterSoundness is the differential soundness check backing the
+// report-identity argument: on random unit-fact conjunctions, whenever the
+// prefilter answers Unsat the full DPLL(T) solver must not answer Sat.
+// (The converse — prefilter Unknown but solver Unsat — is expected: the
+// prefilter only sees top-level units.)
+func TestPrefilterSoundness(t *testing.T) {
+	kills := 0
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSolver()
+		tb := s.TB
+		v := func(i int) *Term { return tb.IntVar(fmt.Sprintf("v%d", i)) }
+		b := func(i int) *Term { return tb.BoolVar(fmt.Sprintf("c%d", i)) }
+
+		n := rng.Intn(6) + 2
+		terms := make([]*Term, 0, n)
+		for i := 0; i < n; i++ {
+			x, y := v(rng.Intn(3)), v(rng.Intn(3))
+			c := tb.Int(int64(rng.Intn(5)))
+			var f *Term
+			switch rng.Intn(6) {
+			case 0:
+				f = tb.Lt(x, y)
+			case 1:
+				f = tb.Le(x, c)
+			case 2:
+				f = tb.Eq(x, c)
+			case 3:
+				f = tb.Eq(tb.App("f", SortInt, x), tb.App("f", SortInt, y))
+			case 4:
+				f = b(rng.Intn(2))
+			default:
+				f = tb.Or(b(rng.Intn(2)), tb.Lt(x, c))
+			}
+			if rng.Intn(3) == 0 {
+				f = tb.Not(f)
+			}
+			terms = append(terms, f)
+		}
+
+		pre := Prefilter(terms)
+		if pre == Sat {
+			t.Fatalf("seed %d: prefilter answered Sat", seed)
+		}
+		if pre != Unsat {
+			continue
+		}
+		kills++
+		for _, f := range terms {
+			s.Assert(f)
+		}
+		if full := s.Check(); full == Sat {
+			t.Fatalf("seed %d: prefilter refuted %v but full solver found a model",
+				seed, terms)
+		}
+	}
+	if kills == 0 {
+		t.Fatal("no random formula was refuted; soundness check is vacuous")
+	}
+}

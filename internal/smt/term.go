@@ -161,6 +161,19 @@ func NewTermBuilder() *TermBuilder {
 // NumTerms returns the number of distinct terms created.
 func (tb *TermBuilder) NumTerms() int { return tb.nextID }
 
+// Reset drops every interned term and restarts ID allocation, keeping the
+// backing table for reuse. A reset builder interns terms with exactly the
+// same IDs a fresh builder would — term-ID-sensitive canonicalization
+// (operand ordering in Eq/Add/Mul) is therefore reproducible across
+// Reset, which the detection layer's byte-identical-reports guarantee
+// relies on.
+func (tb *TermBuilder) Reset() {
+	clear(tb.table)
+	tb.nextID = 0
+	tb.trueT = tb.intern(&Term{Kind: TBoolConst, Sort: SortBool, Int: 1})
+	tb.falseT = tb.intern(&Term{Kind: TBoolConst, Sort: SortBool, Int: 0})
+}
+
 func (tb *TermBuilder) intern(t *Term) *Term {
 	key := termKey(t)
 	if old, ok := tb.table[key]; ok {

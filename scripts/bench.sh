@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Benchmarks: the detection worker-scaling sweep and the incremental-rebuild
-# (cold vs warm one-function-edit) measurement, on synthetic subjects. Leaves
-# JSON snapshots (BENCH_detect.json, BENCH_incremental.json) in the repo root
-# for trend tracking. Extra arguments pass through to benchsnap
-# (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50).
+# Benchmarks: the detection worker-scaling sweep, the incremental-rebuild
+# (cold vs warm one-function-edit) measurement, and the SMT query-elimination
+# (cache + prefilter on vs off) measurement, on synthetic subjects. Leaves
+# JSON snapshots (BENCH_detect.json, BENCH_incremental.json, BENCH_smt.json)
+# in the repo root for trend tracking. Extra arguments pass through to
+# benchsnap (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50 -smt-scale 50).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== detection scaling + incremental rebuild benchmarks"
-go run ./cmd/benchsnap -out BENCH_detect.json -inc-out BENCH_incremental.json "$@"
+echo "== detection scaling + incremental rebuild + SMT elimination benchmarks"
+go run ./cmd/benchsnap -out BENCH_detect.json -inc-out BENCH_incremental.json -smt-out BENCH_smt.json "$@"
