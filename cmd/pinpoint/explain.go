@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/minic"
+)
+
+// runExplain implements `pinpoint explain`: run the analysis with
+// provenance capture on and render each report's value-flow path
+// interleaved with the source lines it traverses, so a report can be read
+// top to bottom without opening an editor.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("pinpoint explain", flag.ExitOnError)
+	sel := fs.String("checkers", "all", "comma-separated checker list, or 'all'")
+	workers := fs.Int("workers", -1, "worker goroutines for build and detection")
+	depth := fs.Int("depth", 6, "maximum nested call depth")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "pinpoint explain: no input files")
+		fs.Usage()
+		os.Exit(2)
+	}
+	specs, err := selectCheckers(*sel)
+	if err != nil {
+		fatal(err)
+	}
+
+	units := readUnits(fs.Args())
+	a, err := core.BuildFromSource(units, core.BuildOptions{Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	res := a.CheckAll(specs, detect.Options{
+		MaxCallDepth: *depth,
+		Workers:      *workers,
+		Witness:      true,
+	})
+
+	sources := make(map[string][]string, len(units))
+	for _, u := range units {
+		sources[u.Name] = strings.Split(u.Src, "\n")
+	}
+	for i, r := range res.Reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		explainReport(os.Stdout, r, sources)
+	}
+	if len(res.Reports) > 0 {
+		os.Exit(1)
+	}
+}
+
+// explainReport renders one report: the normal one-line summary, the
+// verdict provenance, then the hop-by-hop path with each hop's source line
+// quoted under it.
+func explainReport(w io.Writer, r detect.Report, sources map[string][]string) {
+	fmt.Fprintln(w, r)
+	p := r.Provenance
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(w, "  verdict: %s", p.VerdictSource)
+	if p.CondTerms > 0 {
+		fmt.Fprintf(w, " (%d path-condition terms)", p.CondTerms)
+	}
+	fmt.Fprintln(w)
+	for i, h := range p.Hops {
+		loc := "<unknown>"
+		if h.Pos.File != "" {
+			loc = fmt.Sprintf("%s:%d", h.Pos.File, h.Pos.Line)
+		}
+		fmt.Fprintf(w, "  %2d. %-28s %s", i+1, loc, h.Node)
+		if h.Fn != "" {
+			fmt.Fprintf(w, "  in %s", h.Fn)
+		}
+		if h.Inst > 0 {
+			fmt.Fprintf(w, "  [ctx %d]", h.Inst)
+		}
+		fmt.Fprintln(w)
+		if line, ok := sourceLine(sources, h.Pos); ok {
+			fmt.Fprintf(w, "      %4d | %s\n", h.Pos.Line, line)
+		}
+	}
+	if len(r.Witness) > 0 {
+		fmt.Fprintf(w, "  branches: %s\n", strings.Join(r.Witness, ", "))
+	}
+}
+
+// sourceLine fetches the 1-based source line at pos, trimmed of trailing
+// whitespace.
+func sourceLine(sources map[string][]string, pos minic.Pos) (string, bool) {
+	lines, ok := sources[pos.File]
+	if !ok || pos.Line < 1 || pos.Line > len(lines) {
+		return "", false
+	}
+	return strings.TrimRight(lines[pos.Line-1], " \t\r"), true
+}

@@ -4,12 +4,17 @@
 // Usage:
 //
 //	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref,memory-leak]
-//	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats]
+//	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats] [-provenance]
 //	         [-trace out.json] [-stats-json out.json] [-pprof addr] file.mc...
+//	pinpoint serve [-addr host:port] [-workers N] [-max-inflight N]
+//	         [-request-timeout d] [-log-json]
+//	pinpoint explain [-checkers list] [-workers N] [-depth N] file.mc...
 //
 // Each file is one compilation unit. -checkers all selects every registered
-// checker. Exit status is 1 when any bug is reported (so the tool slots
-// into CI), 2 on usage or analysis errors.
+// checker. `serve` runs the analysis service (see internal/server);
+// `explain` renders each report's value-flow path interleaved with the
+// source lines it traverses. Exit status is 1 when any bug is reported (so
+// the tool slots into CI), 2 on usage or analysis errors.
 package main
 
 import (
@@ -32,6 +37,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "explain":
+			runExplain(os.Args[2:])
+			return
+		}
+	}
+	runBatch()
+}
+
+func runBatch() {
 	sel := flag.String("checkers", "uaf", "comma-separated checker list ("+strings.Join(checkers.Names(), ", ")+"), or 'all'")
 	workers := flag.Int("workers", -1, "worker goroutines for build and detection (0/1 = sequential, negative = all CPUs)")
 	depth := flag.Int("depth", 6, "maximum nested call depth")
@@ -48,6 +67,7 @@ func main() {
 	smtCache := flag.Bool("smt-cache", true, "answer SMT queries isomorphic to an already-decided formula from the canonical verdict cache")
 	smtPrefilter := flag.Bool("smt-prefilter", true, "refute contradictory SMT queries with a linear-time pass before entering the DPLL(T) solver")
 	smtIncremental := flag.Bool("smt-incremental", false, "reuse one Push/Pop solver with learned-clause retention per (checker, source) task; Sat witnesses may differ from the default mode")
+	provenance := flag.Bool("provenance", false, "capture per-report provenance (value-flow hops, path-condition size, verdict source); shown in -format json and by 'pinpoint explain'")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -73,40 +93,15 @@ func main() {
 		rec = obs.New()
 	}
 
-	var specs []*checkers.Spec
-	if strings.TrimSpace(*sel) == "all" {
-		specs = checkers.All()
-	} else {
-		picked := make(map[string]bool)
-		for _, name := range strings.Split(*sel, ",") {
-			name = strings.TrimSpace(name)
-			sp, ok := checkers.ByName(name)
-			if !ok {
-				fatal(fmt.Errorf("unknown checker %q (known: %s)", name, strings.Join(checkers.Names(), ", ")))
-			}
-			if picked[sp.Name] { // "uaf,use-after-free" names one checker, not two
-				continue
-			}
-			picked[sp.Name] = true
-			specs = append(specs, sp)
-		}
+	specs, err := selectCheckers(*sel)
+	if err != nil {
+		fatal(err)
 	}
 
-	readUnits := func() []minic.NamedSource {
-		var units []minic.NamedSource
-		for _, path := range flag.Args() {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				fatal(err)
-			}
-			units = append(units, minic.NamedSource{Name: path, Src: string(data)})
-		}
-		return units
-	}
+	readUnitsArgs := func() []minic.NamedSource { return readUnits(flag.Args()) }
 
 	bopts := core.BuildOptions{Workers: *workers, Obs: rec}
 	var a *core.Analysis
-	var err error
 	if *incremental {
 		sess := core.NewSession(bopts)
 		rounds := *repeat
@@ -114,12 +109,12 @@ func main() {
 			rounds = 1
 		}
 		for i := 0; i < rounds; i++ {
-			if a, err = sess.Update(readUnits()); err != nil {
+			if a, err = sess.Update(readUnitsArgs()); err != nil {
 				fatal(err)
 			}
 		}
 	} else {
-		if a, err = core.BuildFromSource(readUnits(), bopts); err != nil {
+		if a, err = core.BuildFromSource(readUnitsArgs(), bopts); err != nil {
 			fatal(err)
 		}
 	}
@@ -156,6 +151,7 @@ func main() {
 		DisableSMTPrefilter:    !*smtPrefilter,
 		SMTIncremental:         *smtIncremental,
 		Workers:                *workers,
+		Witness:                *provenance,
 		Obs:                    rec,
 	})
 
@@ -338,6 +334,42 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 		return werr
 	}
 	return cerr
+}
+
+// selectCheckers resolves a comma-separated -checkers value ("all", names,
+// or aliases) into fresh specs, deduplicating aliases of the same checker.
+func selectCheckers(sel string) ([]*checkers.Spec, error) {
+	if strings.TrimSpace(sel) == "all" {
+		return checkers.All(), nil
+	}
+	var specs []*checkers.Spec
+	picked := make(map[string]bool)
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		sp, ok := checkers.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (known: %s)", name, strings.Join(checkers.Names(), ", "))
+		}
+		if picked[sp.Name] { // "uaf,use-after-free" names one checker, not two
+			continue
+		}
+		picked[sp.Name] = true
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// readUnits loads each path as one named translation unit.
+func readUnits(paths []string) []minic.NamedSource {
+	var units []minic.NamedSource
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		units = append(units, minic.NamedSource{Name: path, Src: string(data)})
+	}
+	return units
 }
 
 func fatal(err error) {

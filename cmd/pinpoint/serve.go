@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// runServe implements `pinpoint serve`: the analysis pipeline behind a
+// persistent HTTP service (see internal/server for the endpoint surface).
+func runServe(args []string) {
+	fs := flag.NewFlagSet("pinpoint serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7345", "listen address")
+	workers := fs.Int("workers", -1, "default build/detection worker-pool size (0/1 = sequential, negative = all CPUs)")
+	maxInflight := fs.Int("max-inflight", -1, "max concurrently admitted /analyze requests (0/1 = one at a time, negative = all CPUs)")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request deadline covering queueing and analysis (<=0 disables)")
+	grace := fs.Duration("grace", 15*time.Second, "graceful-shutdown drain period for in-flight requests")
+	logJSON := fs.Bool("log-json", false, "emit the structured request log as JSON lines instead of text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "pinpoint serve: positional arguments are not accepted; programs are POSTed to /analyze")
+		os.Exit(2)
+	}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	}
+
+	timeout := *reqTimeout
+	if timeout <= 0 {
+		timeout = -1 // Config: negative disables, zero means default.
+	}
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: timeout,
+		Workers:        *workers,
+		Logger:         slog.New(handler),
+		Rec:            obs.New(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx, *grace); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package conc
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrGateFull is returned by Gate.Enter when the caller asked not to wait
+// for a slot (a nil context) and none was free.
+var ErrGateFull = errors.New("conc: gate full")
+
+// Gate bounds the number of concurrently admitted operations. It is a
+// counting semaphore with context-aware admission: callers block in Enter
+// until a slot frees up or their context is done, so a bounded service can
+// apply per-request deadlines to queueing time, not just to work time.
+//
+// The zero Gate is not usable; construct with NewGate.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most limit concurrent holders. The
+// limit is normalized by Workers, so 0/1 serialize and a negative limit
+// admits GOMAXPROCS holders.
+func NewGate(limit int) *Gate {
+	return &Gate{slots: make(chan struct{}, Workers(limit))}
+}
+
+// Enter blocks until a slot is free or ctx is done, returning ctx.Err() in
+// the latter case. A nil ctx never blocks: it admits immediately if a slot
+// is free and returns ErrGateFull otherwise. Every successful Enter must be
+// paired with exactly one Leave.
+func (g *Gate) Enter(ctx context.Context) error {
+	if ctx == nil {
+		select {
+		case g.slots <- struct{}{}:
+			return nil
+		default:
+			return ErrGateFull
+		}
+	}
+	// Don't let an already-expired context win a race against a free slot.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot taken by Enter. Leaving more often than entering
+// panics — it means the pairing discipline is broken.
+func (g *Gate) Leave() {
+	select {
+	case <-g.slots:
+	default:
+		panic("conc: Gate.Leave without matching Enter")
+	}
+}
+
+// InFlight reports the number of currently admitted holders. Diagnostic:
+// the value may be stale by the time the caller looks at it.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Limit reports the gate's normalized admission limit.
+func (g *Gate) Limit() int { return cap(g.slots) }

@@ -1,0 +1,100 @@
+package conc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateLimitNormalization(t *testing.T) {
+	if got := NewGate(0).Limit(); got != 1 {
+		t.Errorf("NewGate(0).Limit() = %d, want 1", got)
+	}
+	if got := NewGate(3).Limit(); got != 3 {
+		t.Errorf("NewGate(3).Limit() = %d, want 3", got)
+	}
+	if got := NewGate(-1).Limit(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewGate(-1).Limit() = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestGateNonBlocking(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(nil); err != nil {
+		t.Fatalf("first Enter: %v", err)
+	}
+	if err := g.Enter(nil); err != ErrGateFull {
+		t.Fatalf("second Enter = %v, want ErrGateFull", err)
+	}
+	g.Leave()
+	if err := g.Enter(nil); err != nil {
+		t.Fatalf("Enter after Leave: %v", err)
+	}
+	g.Leave()
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Enter on full gate = %v, want DeadlineExceeded", err)
+	}
+	// An already-expired context must fail even when a slot is free.
+	g.Leave()
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := g.Enter(expired); err != context.Canceled {
+		t.Fatalf("Enter with canceled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const limit, workers = 3, 16
+	g := NewGate(limit)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := g.Enter(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent holders, limit %d", p, limit)
+	}
+	if n := g.InFlight(); n != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", n)
+	}
+}
+
+func TestGateLeaveWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Leave on empty gate did not panic")
+		}
+	}()
+	NewGate(2).Leave()
+}

@@ -117,6 +117,14 @@ func newSession(opts BuildOptions) *Session {
 // ArtifactStats reports the artifact-store counters of the last Update.
 func (s *Session) ArtifactStats() ArtifactStats { return s.stats }
 
+// ArtifactCount reports the number of per-function artifacts currently
+// retained in the content-addressed store.
+func (s *Session) ArtifactCount() int { return len(s.artifacts) }
+
+// UnitCount reports the number of distinct translation-unit sources whose
+// parses are currently cached.
+func (s *Session) UnitCount() int { return len(s.files) }
+
 // Analysis returns the analysis committed by the last successful Update
 // (nil before the first).
 func (s *Session) Analysis() *Analysis { return s.analysis }

@@ -136,17 +136,17 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 	d := time.Since(start)
 	e.stats.SMTTime += d
 	e.stats.SMTQueries++
-	switch how {
-	case querySolved:
+	switch {
+	case how == querySolved:
 		e.stats.SMTSolved++
-	case queryCacheHit:
+	case how.isCacheHit():
 		e.stats.SMTCacheHits++
-	case queryPrefilterUnsat:
+	case how == queryPrefilterUnsat:
 		e.stats.SMTPrefilterUnsat++
 	}
 	if e.obs != nil {
-		switch how {
-		case querySolved:
+		switch {
+		case how == querySolved:
 			// Only queries that actually entered the DPLL(T) loop count
 			// toward solver latency (and its trace spans); eliminated
 			// candidates land on their own counters.
@@ -154,11 +154,15 @@ func (e *Engine) checkCandidate(c *candidate) smt.Result {
 			if e.obs.Tracing() {
 				e.obs.Event(e.tid, "smt", start, d, obs.Arg{Key: "checker", Val: e.spec.Name})
 			}
-		case queryCacheHit:
+		case how.isCacheHit():
 			e.obs.Counter("smt.cache_hits").Inc()
-		case queryPrefilterUnsat:
+		case how == queryPrefilterUnsat:
 			e.obs.Counter("smt.prefilter_unsat").Inc()
 		}
+	}
+	if e.opts.Witness {
+		e.lastCondTerms = len(enc.terms)
+		e.lastVerdictSource = verdictSourceOf(how)
 	}
 
 	switch res {

@@ -55,6 +55,10 @@ type LeakReport struct {
 	// Witness is a branch assignment avoiding every reachable free
 	// (LeakConditional only).
 	Witness []string
+	// Provenance, captured only when Options.Witness is on, records the
+	// allocation-to-free hops considered, the query size, and the verdict
+	// source (VerdictStructural for never-freed allocations).
+	Provenance *Provenance
 }
 
 func (r LeakReport) String() string {
@@ -226,9 +230,16 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 		return nil, true
 	}
 	if len(frees) == 0 {
-		return &LeakReport{
+		rep := &LeakReport{
 			Fn: f.Name, Pos: alloc.Pos, Alloc: alloc, Kind: LeakNeverFreed,
-		}, false
+		}
+		if lc.opts.Witness {
+			rep.Provenance = &Provenance{
+				Hops:          []Hop{allocHop(f, alloc)},
+				VerdictSource: VerdictStructural,
+			}
+		}
+		return rep, false
 	}
 
 	// Path-sensitive residue: is there an execution where the allocation
@@ -262,33 +273,59 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 		enc.add(enc.tb.Not(t))
 	}
 	res, model, how := decideQuery(s, enc.terms, lc.prog.smtCache, lc.opts)
-	switch how {
-	case querySolved:
+	switch {
+	case how == querySolved:
 		stats.Solved++
-	case queryCacheHit:
+	case how.isCacheHit():
 		stats.CacheHits++
-	case queryPrefilterUnsat:
+	case how == queryPrefilterUnsat:
 		stats.PrefilterUnsat++
 	}
 	if rec != nil {
-		switch how {
-		case querySolved:
+		switch {
+		case how == querySolved:
 			d := time.Since(start)
 			rec.Histogram("smt.query_ns").Observe(int64(d))
 			if rec.Tracing() {
 				rec.Event(tid, "smt", start, d, obs.Arg{Key: "checker", Val: "memory-leak"})
 			}
-		case queryCacheHit:
+		case how.isCacheHit():
 			rec.Counter("smt.cache_hits").Inc()
-		case queryPrefilterUnsat:
+		case how == queryPrefilterUnsat:
 			rec.Counter("smt.prefilter_unsat").Inc()
 		}
 	}
 	if res != smt.Sat {
 		return nil, false
 	}
-	return &LeakReport{
+	rep := &LeakReport{
 		Fn: f.Name, Pos: alloc.Pos, Alloc: alloc, Kind: LeakConditional,
 		Witness: extractWitness(model, enc),
-	}, false
+	}
+	if lc.opts.Witness {
+		// The "path" of a leak is the set of flows whose frees the model
+		// avoids: the allocation first, then each reached free terminal in
+		// the deterministic flow-enumeration order.
+		hops := []Hop{allocHop(f, alloc)}
+		for _, rf := range frees {
+			term := rf.flow.Terminal()
+			h := Hop{Fn: f.Name, Node: term.String()}
+			if term.Instr != nil {
+				h.Pos = term.Instr.Pos
+			}
+			hops = append(hops, h)
+		}
+		rep.Provenance = &Provenance{
+			Hops:          hops,
+			CondTerms:     len(enc.terms),
+			VerdictSource: verdictSourceOf(how),
+		}
+	}
+	return rep, false
+}
+
+// allocHop renders the allocation site of a leak report as the path's first
+// hop.
+func allocHop(f *ir.Func, alloc *ir.Instr) Hop {
+	return Hop{Fn: f.Name, Node: alloc.Dst.String(), Pos: alloc.Pos}
 }

@@ -88,6 +88,18 @@ func NewProgram(m *ir.Module, infos map[*ir.Func]*ssa.Info, segs map[*ir.Func]*s
 	return p
 }
 
+// SMTCacheStats reports the verdict cache's per-tier occupancy: exact
+// alpha-normalized entries and commutative shape-tier entries. Read-only
+// and safe to call concurrently with detection (shards lock per read); the
+// numbers are a diagnostic snapshot, not part of the deterministic result
+// surface.
+func (p *Program) SMTCacheStats() (exact, shape int) {
+	if p.smtCache == nil {
+		return 0, 0
+	}
+	return p.smtCache.sizes()
+}
+
 // EnableCachePersistence makes detection caches survive across CheckAll
 // calls on this Program. Cache contents are memoized pure functions of the
 // frozen per-function SEGs, so persistence changes wall-clock and the
@@ -180,6 +192,15 @@ type Options struct {
 	// 1 runs sequentially, negative selects GOMAXPROCS. The reported
 	// results are identical at every setting; only wall-clock changes.
 	Workers int
+	// Witness enables per-report provenance capture (Report.Provenance):
+	// the ordered value-flow hops of the reported path, the
+	// path-condition term count, and the verdict source. Off by default,
+	// in which case the search allocates nothing for provenance.
+	Witness bool
+	// TraceID, when non-empty, tags every scheduler task span with a
+	// trace_id argument so trace events can be correlated with the
+	// request-scoped log lines and reports of the analysis service.
+	TraceID string
 	// Obs, when non-nil, receives detection metrics (SMT latency
 	// histograms, SAT-core counters, summary-cache hit rates, per-worker
 	// utilization) and — when the recorder is tracing — per-task and
@@ -232,6 +253,10 @@ type Report struct {
 	// the path — the trigger recipe for the bug. Entries look like
 	// "c@f = true". Empty when path sensitivity is disabled.
 	Witness []string
+	// Provenance, captured only when Options.Witness is on, explains the
+	// report: the traversed value-flow hops, the path-condition size, and
+	// the verdict source. Nil otherwise.
+	Provenance *Provenance
 }
 
 func (r Report) String() string {

@@ -1,0 +1,172 @@
+package detect
+
+// Per-report provenance: a machine-readable explanation of *why* a warning
+// fired. A Provenance records the ordered value-flow hops the demand-driven
+// search traversed from source to sink, the size of the Equations 1–3 path
+// condition handed to the SMT layer, and which elimination-pipeline stage
+// produced the feasibility verdict. Capture is gated behind
+// Options.Witness: with it off (the default) nothing here runs and the hot
+// path pays a single branch per report.
+
+import (
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// VerdictSource identifies which stage of the SMT elimination pipeline
+// (smtcache.go) produced a report's feasibility verdict.
+type VerdictSource uint8
+
+const (
+	// VerdictUnchecked: path sensitivity was disabled; the candidate was
+	// reported without a feasibility check.
+	VerdictUnchecked VerdictSource = iota
+	// VerdictStructural: the report needed no SMT query at all (a
+	// never-freed allocation has no free to reason about).
+	VerdictStructural
+	// VerdictSolved: the query entered the DPLL(T) loop.
+	VerdictSolved
+	// VerdictCacheExact: the verdict (and model) was replayed from the
+	// exact tier of the canonical verdict cache.
+	VerdictCacheExact
+	// VerdictCacheShape: the Unsat verdict came from the
+	// commutative-normalized shape tier. Never appears on a report —
+	// shape hits are always Unsat — but shows up in explain-mode dumps of
+	// refuted candidates.
+	VerdictCacheShape
+	// VerdictPrefilter: the linear-time semi-decision prefilter refuted
+	// the query. Like VerdictCacheShape, Unsat-only.
+	VerdictPrefilter
+)
+
+var verdictSourceNames = [...]string{
+	VerdictUnchecked:  "unchecked",
+	VerdictStructural: "structural",
+	VerdictSolved:     "solved",
+	VerdictCacheExact: "cache_exact",
+	VerdictCacheShape: "cache_shape",
+	VerdictPrefilter:  "prefilter",
+}
+
+func (v VerdictSource) String() string { return verdictSourceNames[v] }
+
+// Hop is one vertex on the witnessing value-flow path, tagged with the
+// context instance (the cloned function invocation) it was traversed in.
+type Hop struct {
+	// Inst is the context-instance id (0 is the source's own frame; ids
+	// increase in discovery order as the search crosses call boundaries).
+	Inst int
+	// Fn is the function whose SEG the hop's vertex belongs to.
+	Fn string
+	// Node renders the SEG vertex ("v12" for a value, "p@free#3" for a
+	// use).
+	Node string
+	// Pos locates the vertex's instruction in the source, when it has one
+	// (parameters, for example, do not).
+	Pos minic.Pos
+}
+
+// Provenance explains one report. Everything except VerdictSource is a
+// deterministic function of the program and the options; the
+// solved-vs-cache_exact split mirrors Stats.SMTSolved/SMTCacheHits and
+// depends on which worker first decided an isomorphic formula (and on
+// cache warmth across runs of a shared Program), so only the *set*
+// {solved, cache_exact} is schedule-independent.
+type Provenance struct {
+	// Hops is the ordered list of SEG vertices the search traversed,
+	// source first. Empty for reports whose checker does not path-search
+	// (never-freed leaks).
+	Hops []Hop
+	// CondTerms is the number of top-level terms asserted in the path
+	// condition (Equations 1–3) for this report's feasibility query; 0
+	// when no query ran.
+	CondTerms int
+	// VerdictSource is the pipeline stage that produced the verdict.
+	VerdictSource VerdictSource
+}
+
+// hopsFromSteps renders a candidate's step list. instFn resolves the
+// function of instances that carry conditions; instances met only through
+// steps fall back to the step's own vertex, exactly like the encoder does.
+func hopsFromSteps(steps []gstep, conds map[int]*instCond) []Hop {
+	instFn := make(map[int]*ir.Func, len(conds))
+	for inst, ic := range conds {
+		instFn[inst] = ic.fn
+	}
+	hops := make([]Hop, 0, len(steps))
+	for _, st := range steps {
+		fn := instFn[st.inst]
+		if fn == nil {
+			if st.node.Instr != nil {
+				fn = st.node.Instr.Block.Fn
+			} else if st.node.Val != nil && st.node.Val.Def != nil {
+				fn = st.node.Val.Def.Block.Fn
+			}
+			instFn[st.inst] = fn
+		}
+		h := Hop{Inst: st.inst, Node: st.node.String()}
+		if fn != nil {
+			h.Fn = fn.Name
+		}
+		if st.node.Instr != nil {
+			h.Pos = st.node.Instr.Pos
+		} else if st.node.Val != nil && st.node.Val.Def != nil {
+			h.Pos = st.node.Val.Def.Pos
+		}
+		hops = append(hops, h)
+	}
+	return hops
+}
+
+// verdictSourceOf maps an elimination-pipeline outcome to the report-level
+// enum.
+func verdictSourceOf(how queryOutcome) VerdictSource {
+	switch how {
+	case queryCacheExact:
+		return VerdictCacheExact
+	case queryCacheShape:
+		return VerdictCacheShape
+	case queryPrefilterUnsat:
+		return VerdictPrefilter
+	default:
+		return VerdictSolved
+	}
+}
+
+// JSONProvenance is the exported provenance schema, nested inside
+// JSONReport when Options.Witness is on.
+type JSONProvenance struct {
+	Hops      []JSONHop `json:"hops,omitempty"`
+	CondTerms int       `json:"condTerms"`
+	// VerdictSource is "unchecked", "structural", "solved", "cache_exact",
+	// "cache_shape", or "prefilter". The solved/cache_exact split is
+	// schedule-dependent (see Provenance.VerdictSource).
+	VerdictSource string `json:"verdictSource"`
+}
+
+// JSONHop is one exported path hop.
+type JSONHop struct {
+	Ctx  int    `json:"ctx"`
+	Func string `json:"func,omitempty"`
+	Node string `json:"node"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+}
+
+// ToJSON converts a provenance record to the exported schema.
+func (p *Provenance) ToJSON() *JSONProvenance {
+	if p == nil {
+		return nil
+	}
+	jp := &JSONProvenance{
+		CondTerms:     p.CondTerms,
+		VerdictSource: p.VerdictSource.String(),
+	}
+	for _, h := range p.Hops {
+		jp.Hops = append(jp.Hops, JSONHop{
+			Ctx: h.Inst, Func: h.Fn, Node: h.Node,
+			File: h.Pos.File, Line: h.Pos.Line,
+		})
+	}
+	return jp
+}

@@ -1,0 +1,186 @@
+package detect_test
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+)
+
+// Provenance determinism: with Options.Witness on, the captured hops and
+// path-condition sizes are pure functions of the program, so reports must
+// be byte-identical across worker counts and across warm/cold sessions.
+// The verdict source needs care: its solved-vs-cache_exact split mirrors
+// Stats.SMTSolved/SMTCacheHits and depends on cache warmth and worker
+// interleaving, so the default-mode comparison masks it (and separately
+// pins its value set), while the cache-disabled comparison — where every
+// verdict is deterministically "solved" or "prefilter" — compares every
+// byte including it.
+
+// witnessReports runs all checkers with provenance capture on and returns
+// the reports.
+func witnessReports(t *testing.T, a *core.Analysis, opts detect.Options) []detect.Report {
+	t.Helper()
+	opts.Witness = true
+	return a.CheckAll(checkers.All(), opts).Reports
+}
+
+// maskVerdictSource clones the reports with every provenance verdict
+// source forced to a fixed value, leaving everything else untouched.
+func maskVerdictSource(rs []detect.Report) []detect.Report {
+	out := make([]detect.Report, len(rs))
+	for i, r := range rs {
+		out[i] = r
+		if r.Provenance != nil {
+			p := *r.Provenance
+			p.VerdictSource = detect.VerdictSolved
+			out[i].Provenance = &p
+		}
+	}
+	return out
+}
+
+func marshalJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func toJSONReports(rs []detect.Report) []detect.JSONReport {
+	js := make([]detect.JSONReport, len(rs))
+	for i, r := range rs {
+		js[i] = r.ToJSON()
+	}
+	return js
+}
+
+func TestWitnessDeterminismAcrossWorkers(t *testing.T) {
+	units := exampleUnits(t)
+
+	// Cache and prefilter disabled: the verdict source is deterministic,
+	// so the full JSON — provenance bytes included — must agree between a
+	// sequential and a GOMAXPROCS run on independent cold builds.
+	strict := detect.Options{DisableSMTCache: true}
+	var strictBaseline string
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		a, err := core.BuildFromSource(units, core.BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := strict
+		opts.Workers = workers
+		got := marshalJSON(t, toJSONReports(witnessReports(t, a, opts)))
+		if strictBaseline == "" {
+			strictBaseline = got
+		} else if got != strictBaseline {
+			t.Errorf("workers=%d: cache-disabled witness reports differ from sequential run", workers)
+		}
+	}
+
+	// Default mode: everything except the verdict source must still be
+	// byte-identical; the verdict source must stay inside {solved,
+	// cache_exact} (reports are Sat, so the Unsat-only stages can never
+	// appear).
+	var defBaseline string
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		a, err := core.BuildFromSource(units, core.BuildOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports := witnessReports(t, a, detect.Options{Workers: workers})
+		for _, r := range reports {
+			if r.Provenance == nil {
+				t.Fatalf("report %s has no provenance with Witness on", r)
+			}
+			switch r.Provenance.VerdictSource {
+			case detect.VerdictSolved, detect.VerdictCacheExact, detect.VerdictStructural:
+			default:
+				t.Errorf("report %s: unexpected verdict source %s", r, r.Provenance.VerdictSource)
+			}
+			if r.Sink != nil && len(r.Provenance.Hops) == 0 {
+				t.Errorf("source–sink report %s has no hops", r)
+			}
+			if r.Sink != nil && r.Provenance.CondTerms == 0 {
+				t.Errorf("path-checked report %s has CondTerms = 0", r)
+			}
+		}
+		got := marshalJSON(t, toJSONReports(maskVerdictSource(reports)))
+		if defBaseline == "" {
+			defBaseline = got
+		} else if got != defBaseline {
+			t.Errorf("workers=%d: masked witness reports differ from sequential run", workers)
+		}
+	}
+}
+
+func TestWitnessDeterminismWarmCold(t *testing.T) {
+	units := exampleUnits(t)
+	workers := runtime.GOMAXPROCS(0)
+
+	// Cold: a fresh one-shot build.
+	cold, err := core.BuildFromSource(units, core.BuildOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := detect.Options{DisableSMTCache: true, Workers: workers}
+	coldStrict := marshalJSON(t, toJSONReports(witnessReports(t, cold, strict)))
+	coldMasked := marshalJSON(t, toJSONReports(maskVerdictSource(witnessReports(t, cold, detect.Options{Workers: workers}))))
+
+	// Warm: a session updated twice with identical sources — every
+	// artifact is retained and the sticky detection caches (and the SMT
+	// verdict cache) carry over.
+	sess := core.NewSession(core.BuildOptions{Workers: workers})
+	if _, err := sess.Update(units); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := witnessWarmup(sess); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.Update(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Artifacts.Hits == 0 || warm.Artifacts.Misses+warm.Artifacts.Invalidated != 0 {
+		t.Fatalf("expected an all-hits warm update, got %+v", warm.Artifacts)
+	}
+	if got := marshalJSON(t, toJSONReports(witnessReports(t, warm, strict))); got != coldStrict {
+		t.Error("cache-disabled witness reports differ between warm and cold builds")
+	}
+	if got := marshalJSON(t, toJSONReports(maskVerdictSource(witnessReports(t, warm, detect.Options{Workers: workers})))); got != coldMasked {
+		t.Error("masked witness reports differ between warm and cold builds")
+	}
+}
+
+// witnessWarmup heats the session's sticky caches and SMT verdict cache by
+// running a full default-mode detection pass between the two Updates.
+func witnessWarmup(sess *core.Session) (detect.Results, error) {
+	a := sess.Analysis()
+	return a.CheckAll(checkers.All(), detect.Options{Witness: true, Workers: -1}), nil
+}
+
+// TestWitnessOffNoProvenance pins the gating: without Options.Witness no
+// report carries provenance (the hot path allocates nothing for it).
+func TestWitnessOffNoProvenance(t *testing.T) {
+	a, err := core.BuildFromSource(exampleUnits(t), core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.CheckAll(checkers.All(), detect.Options{})
+	if len(res.Reports) == 0 {
+		t.Fatal("examples produced no reports")
+	}
+	for _, r := range res.Reports {
+		if r.Provenance != nil {
+			t.Errorf("report %s carries provenance with Witness off", r)
+		}
+		if r.ToJSON().Provenance != nil {
+			t.Errorf("JSON report for %s carries provenance with Witness off", r)
+		}
+	}
+}

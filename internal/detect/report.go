@@ -22,6 +22,9 @@ type JSONReport struct {
 	PathLen    int      `json:"pathLen,omitempty"`
 	Contexts   int      `json:"contexts,omitempty"`
 	Witness    []string `json:"witness,omitempty"`
+	// Provenance is present only when the run captured it
+	// (detect.Options.Witness / `pinpoint -provenance`).
+	Provenance *JSONProvenance `json:"provenance,omitempty"`
 }
 
 // ToJSON converts a report to the exported JSON schema.
@@ -33,6 +36,7 @@ func (r Report) ToJSON() JSONReport {
 		SourceLine: r.SourcePos.Line,
 		SourceFunc: r.SourceFn,
 		Witness:    r.Witness,
+		Provenance: r.Provenance.ToJSON(),
 	}
 	if r.Sink != nil {
 		j.SinkFile = r.SinkPos.File
@@ -47,13 +51,14 @@ func (r Report) ToJSON() JSONReport {
 // leakToReport lifts a LeakReport into the uniform Report shape.
 func leakToReport(checker string, lr LeakReport) Report {
 	return Report{
-		Checker:   checker,
-		Kind:      lr.Kind.String(),
-		SourceFn:  lr.Fn,
-		SourcePos: lr.Pos,
-		Source:    lr.Alloc,
-		Verdict:   smt.Sat,
-		Witness:   lr.Witness,
+		Checker:    checker,
+		Kind:       lr.Kind.String(),
+		SourceFn:   lr.Fn,
+		SourcePos:  lr.Pos,
+		Source:     lr.Alloc,
+		Verdict:    smt.Sat,
+		Witness:    lr.Witness,
+		Provenance: lr.Provenance,
 	}
 }
 

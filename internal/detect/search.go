@@ -23,6 +23,10 @@ type Engine struct {
 	reported    map[[2]*ir.Instr]bool
 	stats       Stats
 	lastWitness []string
+	// lastCondTerms / lastVerdictSource mirror the latest checkCandidate
+	// outcome; read only when opts.Witness captures provenance.
+	lastCondTerms     int
+	lastVerdictSource VerdictSource
 
 	// obs mirrors opts.Obs (nil = no recording); tid is the trace track
 	// this engine's SMT query spans land on (its scheduler worker + 1, or
@@ -591,6 +595,7 @@ func (e *Engine) emitCandidate(fr *frame, sink *seg.Node, sourceAt *ir.Instr, so
 	}
 	verdict := smt.Sat
 	e.lastWitness = nil
+	e.lastCondTerms, e.lastVerdictSource = 0, VerdictUnchecked
 	if !e.opts.DisablePathSensitivity {
 		verdict = e.checkCandidate(c)
 	}
@@ -598,18 +603,27 @@ func (e *Engine) emitCandidate(fr *frame, sink *seg.Node, sourceAt *ir.Instr, so
 		return
 	}
 	e.reported[key] = true
+	var prov *Provenance
+	if e.opts.Witness {
+		prov = &Provenance{
+			Hops:          hopsFromSteps(p.steps, p.conds),
+			CondTerms:     e.lastCondTerms,
+			VerdictSource: e.lastVerdictSource,
+		}
+	}
 	e.reports = append(e.reports, Report{
-		Checker:   e.spec.Name,
-		SourceFn:  sourceFn.Name,
-		SinkFn:    fr.fn.Name,
-		SourcePos: sourceAt.Pos,
-		SinkPos:   sink.Instr.Pos,
-		Source:    sourceAt,
-		Sink:      sink.Instr,
-		PathLen:   len(p.steps),
-		Contexts:  countInstances(p.steps),
-		Verdict:   verdict,
-		Witness:   e.lastWitness,
+		Checker:    e.spec.Name,
+		SourceFn:   sourceFn.Name,
+		SinkFn:     fr.fn.Name,
+		SourcePos:  sourceAt.Pos,
+		SinkPos:    sink.Instr.Pos,
+		Source:     sourceAt,
+		Sink:       sink.Instr,
+		PathLen:    len(p.steps),
+		Contexts:   countInstances(p.steps),
+		Verdict:    verdict,
+		Witness:    e.lastWitness,
+		Provenance: prov,
 	})
 }
 

@@ -31,12 +31,21 @@ type queryOutcome uint8
 const (
 	// querySolved: the query entered the DPLL(T) loop.
 	querySolved queryOutcome = iota
-	// queryCacheHit: the verdict (and model, if Sat) was replayed from the
-	// canonical verdict cache.
-	queryCacheHit
+	// queryCacheExact: the verdict (and model, if Sat) was replayed from
+	// the exact (alpha-normalized, order-preserving) cache tier.
+	queryCacheExact
+	// queryCacheShape: the Unsat verdict came from the
+	// commutative-normalized shape tier.
+	queryCacheShape
 	// queryPrefilterUnsat: the semi-decision prefilter refuted the query.
 	queryPrefilterUnsat
 )
+
+// isCacheHit groups the two cache tiers for the stats split, which counts
+// them together as SMTCacheHits.
+func (o queryOutcome) isCacheHit() bool {
+	return o == queryCacheExact || o == queryCacheShape
+}
 
 const smtCacheShards = 32
 
@@ -79,23 +88,25 @@ func (c *smtVerdictCache) shard(key [32]byte) *smtCacheShard {
 
 // lookup consults the exact tier, then the Unsat-only shape tier. On an
 // exact Sat hit the cached canonical model is projected into this query's
-// variable names.
-func (c *smtVerdictCache) lookup(fp *smt.Canon) (smt.Result, map[string]bool, bool) {
+// variable names. The returned outcome distinguishes the tier that hit
+// (queryCacheExact / queryCacheShape); it is querySolved when the cache
+// missed.
+func (c *smtVerdictCache) lookup(fp *smt.Canon) (smt.Result, map[string]bool, queryOutcome, bool) {
 	sh := c.shard(fp.Exact)
 	sh.mu.RLock()
 	v, ok := sh.exact[fp.Exact]
 	sh.mu.RUnlock()
 	if ok {
-		return v.res, fp.ProjectModel(v.model), true
+		return v.res, fp.ProjectModel(v.model), queryCacheExact, true
 	}
 	sh = c.shard(fp.Shape)
 	sh.mu.RLock()
 	_, ok = sh.shape[fp.Shape]
 	sh.mu.RUnlock()
 	if ok {
-		return smt.Unsat, nil, true
+		return smt.Unsat, nil, queryCacheShape, true
 	}
-	return smt.Unknown, nil, false
+	return smt.Unknown, nil, querySolved, false
 }
 
 // store records a solved verdict. Exact entries are stored for every
@@ -125,13 +136,19 @@ func (c *smtVerdictCache) store(fp *smt.Canon, res smt.Result, model map[int]boo
 
 // size returns the number of exact entries (for diagnostics).
 func (c *smtVerdictCache) size() int {
-	n := 0
+	exact, _ := c.sizes()
+	return exact
+}
+
+// sizes returns the exact- and shape-tier entry counts (for diagnostics).
+func (c *smtVerdictCache) sizes() (exact, shape int) {
 	for i := range c.shards {
 		c.shards[i].mu.RLock()
-		n += len(c.shards[i].exact)
+		exact += len(c.shards[i].exact)
+		shape += len(c.shards[i].shape)
 		c.shards[i].mu.RUnlock()
 	}
-	return n
+	return exact, shape
 }
 
 // decideQuery runs the elimination pipeline over an asserted term
@@ -149,8 +166,8 @@ func decideQuery(s *smt.Solver, terms []*smt.Term, cache *smtVerdictCache, opts 
 	useCache := cache != nil && !opts.DisableSMTCache
 	if useCache {
 		fp = smt.Fingerprint(terms)
-		if res, model, ok := cache.lookup(fp); ok {
-			return res, model, queryCacheHit
+		if res, model, tier, ok := cache.lookup(fp); ok {
+			return res, model, tier
 		}
 	}
 	for _, t := range terms {

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"math/bits"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -141,15 +142,30 @@ func (h *Histogram) Quantile(q float64) int64 {
 }
 
 // HistSnapshot is a point-in-time summary of a histogram, shaped for JSON.
-// All values share the histogram's unit (nanoseconds for _ns metrics).
+// All values except Count share the unit named by Unit (the registry derives
+// it from the metric-name suffix; "_ns" metrics are nanoseconds).
 type HistSnapshot struct {
-	Count int64 `json:"count"`
-	Sum   int64 `json:"sum"`
-	Min   int64 `json:"min"`
-	Max   int64 `json:"max"`
-	P50   int64 `json:"p50"`
-	P90   int64 `json:"p90"`
-	P99   int64 `json:"p99"`
+	// Unit names the unit of Sum/Min/Max and the percentiles ("ns" for
+	// nanosecond latencies, empty for plain counts). Count is always a
+	// number of observations.
+	Unit  string `json:"unit,omitempty"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+}
+
+// UnitOf derives a metric's unit from its name suffix, the repo-wide
+// convention documented on package obs: "_ns" metrics are nanoseconds.
+func UnitOf(name string) string {
+	if strings.HasSuffix(name, "_ns") {
+		return "ns"
+	}
+	return ""
 }
 
 // Snapshot summarizes the histogram. An empty histogram snapshots to all
@@ -165,6 +181,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		Max:   h.max.Load(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
 }

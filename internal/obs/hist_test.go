@@ -59,7 +59,7 @@ func TestHistogramSinglePoint(t *testing.T) {
 		}
 	}
 	snap := h.Snapshot()
-	want := HistSnapshot{Count: 100, Sum: 4200, Min: 42, Max: 42, P50: 42, P90: 42, P99: 42}
+	want := HistSnapshot{Count: 100, Sum: 4200, Min: 42, Max: 42, P50: 42, P90: 42, P95: 42, P99: 42}
 	if snap != want {
 		t.Errorf("snapshot = %+v, want %+v", snap, want)
 	}

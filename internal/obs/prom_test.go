@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition byte-for-byte: family order
+// (counters, gauges, summaries), name sort inside each family, name
+// sanitization, and HELP escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("detect.tasks").Add(7)
+	r.Counter("smt.cache_hits").Add(3)
+	r.Gauge("build.functions").Set(12)
+	// A hostile name: sanitized in the metric name, escaped in HELP.
+	r.Counter("weird name\\with\nstuff").Inc()
+	h := r.Histogram("smt.query_ns")
+	h.Observe(1000)
+	h.Observe(1000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+	want := `# HELP pinpoint_detect_tasks detect.tasks
+# TYPE pinpoint_detect_tasks counter
+pinpoint_detect_tasks 7
+# HELP pinpoint_smt_cache_hits smt.cache_hits
+# TYPE pinpoint_smt_cache_hits counter
+pinpoint_smt_cache_hits 3
+# HELP pinpoint_weird_name_with_stuff weird name\\with\nstuff
+# TYPE pinpoint_weird_name_with_stuff counter
+pinpoint_weird_name_with_stuff 1
+# HELP pinpoint_build_functions build.functions
+# TYPE pinpoint_build_functions gauge
+pinpoint_build_functions 12
+# HELP pinpoint_smt_query_ns smt.query_ns
+# TYPE pinpoint_smt_query_ns summary
+pinpoint_smt_query_ns{quantile="0.5"} 1000
+pinpoint_smt_query_ns{quantile="0.95"} 1000
+pinpoint_smt_query_ns{quantile="0.99"} 1000
+pinpoint_smt_query_ns_sum 2000
+pinpoint_smt_query_ns_count 2
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Stability: a second write of the same state is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatalf("WritePrometheus (second): %v", err)
+	}
+	if sb2.String() != got {
+		t.Error("second exposition of unchanged state differs from the first")
+	}
+}
+
+// TestPrometheusNilAndEmpty: a nil recorder writes nothing; an empty one
+// writes nothing either (no families registered).
+func TestPrometheusNilAndEmpty(t *testing.T) {
+	var nilRec *Recorder
+	var sb strings.Builder
+	if err := nilRec.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil recorder: err=%v, wrote %q", err, sb.String())
+	}
+	if err := New().WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("empty recorder: err=%v, wrote %q", err, sb.String())
+	}
+}
+
+// TestPrometheusConcurrent scrapes while writers hammer the registry; run
+// under -race this pins the lock-consistency of Snapshot/WriteTo.
+func TestPrometheusConcurrent(t *testing.T) {
+	r := New()
+	// Seed each family so the post-load assertions hold even if the writer
+	// goroutines are scheduled only after the scrapes finish.
+	r.Counter("c.load").Inc()
+	r.Gauge("g.load").Set(0)
+	r.Histogram("h.load_ns").Observe(1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c.load").Inc()
+				r.Gauge("g.load").Set(int64(i))
+				r.Histogram("h.load_ns").Observe(int64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pinpoint_c_load ", "pinpoint_g_load ", "pinpoint_h_load_ns_count "} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -168,7 +168,9 @@ func (g *Registry) Snapshot() Snapshot {
 	if len(g.hists) > 0 {
 		s.Histograms = make(map[string]HistSnapshot, len(g.hists))
 		for name, h := range g.hists {
-			s.Histograms[name] = h.Snapshot()
+			hs := h.Snapshot()
+			hs.Unit = UnitOf(name)
+			s.Histograms[name] = hs
 		}
 	}
 	return s

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/conc"
+	"repro/internal/detect"
+	"repro/internal/minic"
+)
+
+// AnalyzeRequest is the POST /analyze body: the full set of translation
+// units (the session diffs them against the previous request, so unchanged
+// functions are served from the artifact store) plus detection options.
+type AnalyzeRequest struct {
+	// Units is the complete program, one entry per translation unit.
+	Units []UnitJSON `json:"units"`
+	// Checkers selects detectors by registry name or alias; empty or
+	// ["all"] runs every registered checker.
+	Checkers []string `json:"checkers,omitempty"`
+	// Witness enables per-report provenance capture
+	// (detect.Options.Witness).
+	Witness bool `json:"witness,omitempty"`
+	// Workers overrides the server's default worker-pool size for this
+	// request (conc.Workers semantics). Nil keeps the server default.
+	Workers *int `json:"workers,omitempty"`
+	// MaxCallDepth overrides the demand-driven search's call-depth bound;
+	// 0 keeps the engine default.
+	MaxCallDepth int `json:"maxCallDepth,omitempty"`
+}
+
+// UnitJSON is one named translation unit.
+type UnitJSON struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+}
+
+// AnalyzeResponse is the POST /analyze reply. Reports uses the exact
+// detect.JSONReport schema of `pinpoint -format json`, so batch and served
+// analyses of the same program are byte-identical report-for-report.
+type AnalyzeResponse struct {
+	TraceID string              `json:"traceId"`
+	Reports []detect.JSONReport `json:"reports"`
+	Stats   AnalyzeStats        `json:"stats"`
+}
+
+// AnalyzeStats summarizes the request's work: what the incremental store
+// reused, how large the program is, and where the wall-clock went.
+type AnalyzeStats struct {
+	Functions           int   `json:"functions"`
+	ArtifactHits        int   `json:"artifactHits"`
+	ArtifactMisses      int   `json:"artifactMisses"`
+	ArtifactInvalidated int   `json:"artifactInvalidated"`
+	Reports             int   `json:"reports"`
+	Workers             int   `json:"workers"`
+	BuildNs             int64 `json:"buildNs"`
+	DetectNs            int64 `json:"detectNs"`
+	GateWaitNs          int64 `json:"gateWaitNs"`
+	SMTQueries          int   `json:"smtQueries"`
+	SMTSolved           int   `json:"smtSolved"`
+	SMTCacheHits        int   `json:"smtCacheHits"`
+	SMTPrefilterUnsat   int   `json:"smtPrefilterUnsat"`
+	SummaryCacheHits    int   `json:"summaryCacheHits"`
+	SummaryCacheMisses  int   `json:"summaryCacheMisses"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	ri := reqInfo(r)
+	ctx := r.Context()
+	if d := s.requestTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	resp, err := s.analyze(ctx, r, ri)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			status = he.status
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.Canceled):
+			// Client went away; the status is never seen but keeps the
+			// log honest.
+			status = 499
+		}
+		ri.Log.Warn("analyze failed", "status", status, "err", err.Error())
+		writeJSON(w, status, map[string]string{"error": err.Error(), "traceId": ri.TraceID})
+		return
+	}
+	ri.Log.Info("analyze done",
+		"functions", resp.Stats.Functions,
+		"reports", resp.Stats.Reports,
+		"artifact_hits", resp.Stats.ArtifactHits,
+		"artifact_misses", resp.Stats.ArtifactMisses,
+		"build_ns", resp.Stats.BuildNs,
+		"detect_ns", resp.Stats.DetectNs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) (*AnalyzeResponse, error) {
+	var req AnalyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
+	}
+	if len(req.Units) == 0 {
+		return nil, &httpError{http.StatusBadRequest, "no translation units"}
+	}
+	specs, err := resolveCheckers(req.Checkers)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	units := make([]minic.NamedSource, len(req.Units))
+	for i, u := range req.Units {
+		if u.Name == "" {
+			return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unit %d has no name", i)}
+		}
+		units[i] = minic.NamedSource{Name: u.Name, Src: u.Src}
+	}
+	workers := s.cfg.Workers
+	if req.Workers != nil {
+		workers = *req.Workers
+	}
+
+	// Admission: wait for a gate slot under the request deadline, so a
+	// saturated server sheds queued load instead of accumulating it.
+	gateStart := time.Now()
+	if err := s.gate.Enter(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, &httpError{http.StatusServiceUnavailable, "server saturated: deadline expired waiting for an analysis slot"}
+		}
+		return nil, err
+	}
+	defer s.gate.Leave()
+	gateWait := time.Since(gateStart)
+
+	// The session itself is single-writer; see Server.mu.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	buildStart := time.Now()
+	a, err := s.sess.Update(units)
+	if err != nil {
+		// A parse/lowering error leaves the session untouched (Update's
+		// commit-on-success contract), so the request is at fault.
+		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	buildNs := time.Since(buildStart)
+
+	detectStart := time.Now()
+	res := a.CheckAll(specs, detect.Options{
+		MaxCallDepth: req.MaxCallDepth,
+		Workers:      workers,
+		Witness:      req.Witness,
+		TraceID:      ri.TraceID,
+		Obs:          s.rec,
+	})
+	detectNs := time.Since(detectStart)
+
+	reports := make([]detect.JSONReport, 0, len(res.Reports))
+	for _, rep := range res.Reports {
+		reports = append(reports, rep.ToJSON())
+	}
+	stats := AnalyzeStats{
+		Functions:           a.Sizes.Functions,
+		ArtifactHits:        a.Artifacts.Hits,
+		ArtifactMisses:      a.Artifacts.Misses,
+		ArtifactInvalidated: a.Artifacts.Invalidated,
+		Reports:             len(reports),
+		Workers:             conc.Workers(workers),
+		BuildNs:             buildNs.Nanoseconds(),
+		DetectNs:            detectNs.Nanoseconds(),
+		GateWaitNs:          gateWait.Nanoseconds(),
+		SummaryCacheHits:    res.SummaryHits,
+		SummaryCacheMisses:  res.SummaryMisses,
+	}
+	for _, cs := range res.Checkers {
+		stats.SMTQueries += cs.Stats.SMTQueries
+		stats.SMTSolved += cs.Stats.SMTSolved
+		stats.SMTCacheHits += cs.Stats.SMTCacheHits
+		stats.SMTPrefilterUnsat += cs.Stats.SMTPrefilterUnsat
+	}
+	return &AnalyzeResponse{TraceID: ri.TraceID, Reports: reports, Stats: stats}, nil
+}
+
+// resolveCheckers maps request names to fresh checker specs. Empty and
+// ["all"] mean every registered checker.
+func resolveCheckers(names []string) ([]*checkers.Spec, error) {
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return checkers.All(), nil
+	}
+	specs := make([]*checkers.Spec, 0, len(names))
+	for _, n := range names {
+		sp, ok := checkers.ByName(strings.TrimSpace(n))
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (known: %s)", n, strings.Join(checkers.Names(), ", "))
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+)
+
+// handleHealthz is the liveness probe: the process is up and the mux is
+// answering. Always 200 while the listener is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: 200 while the server accepts work,
+// 503 once graceful shutdown has begun (load balancers drain on this).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// handleMetrics exposes the recorder in Prometheus text format. The
+// snapshot is lock-consistent, so a scrape racing an in-flight analysis
+// sees a coherent view.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.rec.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is log.
+		reqInfo(r).Log.Warn("metrics write failed", "err", err.Error())
+	}
+}
+
+// sessionDebug is the GET /debug/session schema: occupancy of every
+// persistent store the session carries across requests.
+type sessionDebug struct {
+	// Units and Artifacts are the parse- and function-artifact store
+	// sizes; LastUpdate is the artifact outcome of the latest /analyze.
+	Units      int `json:"units"`
+	Artifacts  int `json:"artifacts"`
+	LastUpdate struct {
+		Hits        int `json:"hits"`
+		Misses      int `json:"misses"`
+		Invalidated int `json:"invalidated"`
+	} `json:"lastUpdate"`
+	// Functions is the current program's function count (0 before the
+	// first analysis).
+	Functions int `json:"functions"`
+	// SMTCacheExact/SMTCacheShape are the verdict cache's per-tier entry
+	// counts.
+	SMTCacheExact int `json:"smtCacheExact"`
+	SMTCacheShape int `json:"smtCacheShape"`
+}
+
+func (s *Server) handleDebugSession(w http.ResponseWriter, r *http.Request) {
+	var d sessionDebug
+	s.mu.Lock()
+	d.Units = s.sess.UnitCount()
+	d.Artifacts = s.sess.ArtifactCount()
+	st := s.sess.ArtifactStats()
+	d.LastUpdate.Hits, d.LastUpdate.Misses, d.LastUpdate.Invalidated =
+		st.Hits, st.Misses, st.Invalidated
+	if a := s.sess.Analysis(); a != nil {
+		d.Functions = a.Sizes.Functions
+		if a.Prog != nil {
+			d.SMTCacheExact, d.SMTCacheShape = a.Prog.SMTCacheStats()
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, d)
+}
+
+// inflightDebug is the GET /debug/inflight schema.
+type inflightDebug struct {
+	Limit    int            `json:"limit"`
+	InFlight int            `json:"inFlight"`
+	Requests []inflightJSON `json:"requests"`
+}
+
+func (s *Server) handleDebugInflight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, inflightDebug{
+		Limit:    s.gate.Limit(),
+		InFlight: s.gate.InFlight(),
+		Requests: s.snapshotInflight(),
+	})
+}

@@ -1,0 +1,313 @@
+// Package server exposes the analysis pipeline as a long-lived HTTP
+// service: a persistent core.Session answers POST /analyze requests so
+// repeated analyses of an evolving program reuse the incremental artifact
+// store, the sticky detection caches, and the SMT verdict cache, while the
+// process's live metrics are scraped from GET /metrics in Prometheus text
+// format.
+//
+// The service is deliberately conservative about concurrency:
+// core.Session.Update is not safe for concurrent use, so analysis requests
+// are serialized on a mutex, and a conc.Gate bounds how many requests may
+// even be queued — overload turns into fast 429/timeout responses and
+// backpressure rather than unbounded memory growth. Every request gets a
+// trace ID that is threaded through its structured log lines, its response
+// body and header, and (when tracing) the detection scheduler's task spans.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: it listens on a
+// random localhost port, admits GOMAXPROCS concurrent requests, applies a
+// 2-minute per-request deadline, and logs text lines to stderr.
+type Config struct {
+	// Addr is the listen address ("host:port"). Empty means
+	// "127.0.0.1:0" (a random localhost port; see Server.Addr).
+	Addr string
+	// MaxInFlight bounds concurrently admitted /analyze requests,
+	// normalized by conc.Workers (0/1 = one at a time, negative =
+	// GOMAXPROCS). Requests beyond the bound wait on the gate until their
+	// deadline expires.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline covering both gate
+	// admission and analysis. Zero means 2 minutes; negative disables the
+	// deadline.
+	RequestTimeout time.Duration
+	// Workers is the default build/detection worker-pool size for
+	// requests that don't set their own (conc.Workers semantics).
+	Workers int
+	// Logger receives the structured request log. Nil means a text
+	// handler on stderr at Info level.
+	Logger *slog.Logger
+	// Rec is the process-wide metrics recorder backing /metrics. Nil
+	// means a fresh non-tracing recorder.
+	Rec *obs.Recorder
+}
+
+// Server is the analysis service. Create with New, then Serve or
+// ListenAndServe.
+type Server struct {
+	cfg  Config
+	log  *slog.Logger
+	rec  *obs.Recorder
+	gate *conc.Gate
+
+	// mu serializes all session access: core.Session.Update is not safe
+	// for concurrent use, and serializing CheckAll too keeps the warm
+	// sticky-cache behavior identical to the CLI's -incremental mode.
+	mu   sync.Mutex
+	sess *core.Session
+
+	ready  atomic.Bool
+	reqSeq atomic.Uint64
+
+	inMu     sync.Mutex
+	inflight map[uint64]*inflightEntry
+
+	addrMu sync.Mutex
+	addr   net.Addr
+}
+
+type inflightEntry struct {
+	TraceID string
+	Method  string
+	Path    string
+	Start   time.Time
+}
+
+// New builds a Server from cfg. The underlying session is created eagerly
+// so the first /analyze request behaves exactly like every later one.
+func New(cfg Config) *Server {
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	rec := cfg.Rec
+	if rec == nil {
+		rec = obs.New()
+	}
+	return &Server{
+		cfg:      cfg,
+		log:      log,
+		rec:      rec,
+		gate:     conc.NewGate(cfg.MaxInFlight),
+		sess:     core.NewSession(core.BuildOptions{Workers: cfg.Workers, Obs: rec}),
+		inflight: make(map[uint64]*inflightEntry),
+	}
+}
+
+// Handler returns the service's route table. Useful for tests
+// (httptest.NewServer) and for embedding under a larger mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/session", s.handleDebugSession)
+	mux.HandleFunc("GET /debug/inflight", s.handleDebugInflight)
+	return s.track(mux)
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is canceled, then
+// shuts down gracefully (in-flight requests get gracePeriod to finish).
+func (s *Server) ListenAndServe(ctx context.Context, gracePeriod time.Duration) error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, gracePeriod)
+}
+
+// Serve runs the service on an existing listener until ctx is canceled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, gracePeriod time.Duration) error {
+	s.addrMu.Lock()
+	s.addr = ln.Addr()
+	s.addrMu.Unlock()
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.ready.Store(true)
+	s.log.Info("serving", "addr", ln.Addr().String(),
+		"max_in_flight", s.gate.Limit(), "request_timeout", s.requestTimeout().String())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		s.ready.Store(false)
+		s.log.Info("shutting down", "grace", gracePeriod.String())
+		sctx, cancel := context.WithTimeout(context.Background(), gracePeriod)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	case err := <-errc:
+		s.ready.Store(false)
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Addr reports the bound listen address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	return s.addr
+}
+
+func (s *Server) requestTimeout() time.Duration {
+	switch {
+	case s.cfg.RequestTimeout == 0:
+		return 2 * time.Minute
+	case s.cfg.RequestTimeout < 0:
+		return 0
+	default:
+		return s.cfg.RequestTimeout
+	}
+}
+
+// newTraceID mints a random 64-bit hex trace ID.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a process-unique (if not globally unique) ID; the
+		// ID only correlates logs, so uniqueness is best-effort.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// track wraps the mux with per-request bookkeeping: a trace ID (minted or
+// taken from an X-Trace-Id header), request-scoped structured logs, the
+// in-flight table behind /debug/inflight, and the server.* metrics.
+func (s *Server) track(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = newTraceID()
+		}
+		id := s.reqSeq.Add(1)
+		start := time.Now()
+		s.inMu.Lock()
+		s.inflight[id] = &inflightEntry{
+			TraceID: traceID, Method: r.Method, Path: r.URL.Path, Start: start,
+		}
+		s.inMu.Unlock()
+		defer func() {
+			s.inMu.Lock()
+			delete(s.inflight, id)
+			s.inMu.Unlock()
+		}()
+
+		log := s.log.With("trace_id", traceID, "method", r.Method, "path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Trace-Id", traceID)
+
+		ctx := withRequestInfo(r.Context(), &requestInfo{TraceID: traceID, Log: log})
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		d := time.Since(start)
+		s.rec.Counter("server.requests").Inc()
+		if sw.status >= 400 {
+			s.rec.Counter("server.errors").Inc()
+		}
+		s.rec.Histogram("server.request_ns").Observe(int64(d))
+		// /metrics and health probes would drown the request log; keep
+		// Info for the endpoints that do work.
+		lvl := slog.LevelInfo
+		if r.URL.Path != "/analyze" {
+			lvl = slog.LevelDebug
+		}
+		log.Log(r.Context(), lvl, "request done", "status", sw.status, "dur", d.String())
+	})
+}
+
+// requestInfo carries per-request context down to handlers.
+type requestInfo struct {
+	TraceID string
+	Log     *slog.Logger
+}
+
+type ctxKey struct{}
+
+func withRequestInfo(ctx context.Context, ri *requestInfo) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ri)
+}
+
+func reqInfo(r *http.Request) *requestInfo {
+	if ri, ok := r.Context().Value(ctxKey{}).(*requestInfo); ok {
+		return ri
+	}
+	return &requestInfo{TraceID: "", Log: slog.New(slog.NewTextHandler(os.Stderr, nil))}
+}
+
+// statusWriter records the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// snapshotInflight renders the in-flight table sorted by start time.
+func (s *Server) snapshotInflight() []inflightJSON {
+	now := time.Now()
+	s.inMu.Lock()
+	out := make([]inflightJSON, 0, len(s.inflight))
+	for _, e := range s.inflight {
+		out = append(out, inflightJSON{
+			TraceID:   e.TraceID,
+			Method:    e.Method,
+			Path:      e.Path,
+			ElapsedNs: now.Sub(e.Start).Nanoseconds(),
+		})
+	}
+	s.inMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedNs > out[j].ElapsedNs })
+	return out
+}
+
+type inflightJSON struct {
+	TraceID   string `json:"traceId"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	ElapsedNs int64  `json:"elapsedNs"`
+}

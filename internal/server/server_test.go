@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/minic"
+	"repro/internal/obs"
+)
+
+// exampleUnits loads the repository's example programs — the same corpus
+// the CLI examples and detect's own tests run on.
+func exampleUnits(t *testing.T) []minic.NamedSource {
+	t.Helper()
+	paths, err := filepath.Glob("../../examples/mc/*.mc")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	sort.Strings(paths)
+	var units []minic.NamedSource
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units = append(units, minic.NamedSource{Name: p, Src: string(data)})
+	}
+	return units
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	s := New(cfg)
+	s.ready.Store(true)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postAnalyze(t *testing.T, url string, req AnalyzeRequest) (*AnalyzeResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /analyze: %s: %s", resp.Status, b)
+	}
+	var ar AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	return &ar, resp
+}
+
+func unitsToJSON(units []minic.NamedSource) []UnitJSON {
+	out := make([]UnitJSON, len(units))
+	for i, u := range units {
+		out[i] = UnitJSON{Name: u.Name, Src: u.Src}
+	}
+	return out
+}
+
+// TestServeMatchesBatch is the tentpole acceptance check: a served analysis
+// answers with the same JSONReport values as `pinpoint -format json` batch
+// mode, on cold and warm sessions alike.
+func TestServeMatchesBatch(t *testing.T) {
+	units := exampleUnits(t)
+
+	a, err := core.BuildFromSource(units, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.CheckAll(checkers.All(), detect.Options{})
+	batch := make([]detect.JSONReport, 0, len(res.Reports))
+	for _, r := range res.Reports {
+		batch = append(batch, r.ToJSON())
+	}
+	want, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Units: unitsToJSON(units)}
+	for round, label := range []string{"cold", "warm"} {
+		ar, resp := postAnalyze(t, ts.URL, req)
+		got, err := json.Marshal(ar.Reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s serve reports differ from batch mode:\nserve: %s\nbatch: %s", label, got, want)
+		}
+		if ar.TraceID == "" || resp.Header.Get("X-Trace-Id") != ar.TraceID {
+			t.Errorf("%s: traceId %q not echoed in X-Trace-Id header %q",
+				label, ar.TraceID, resp.Header.Get("X-Trace-Id"))
+		}
+		if round == 1 && (ar.Stats.ArtifactHits == 0 || ar.Stats.ArtifactMisses+ar.Stats.ArtifactInvalidated != 0) {
+			t.Errorf("warm request did not reuse artifacts: %+v", ar.Stats)
+		}
+	}
+
+	// Witness mode adds provenance without disturbing the base fields.
+	req.Witness = true
+	ar, _ := postAnalyze(t, ts.URL, req)
+	if len(ar.Reports) == 0 {
+		t.Fatal("witness request returned no reports")
+	}
+	for _, r := range ar.Reports {
+		if r.Provenance == nil {
+			t.Errorf("witness request: report %s:%d has no provenance", r.SourceFile, r.SourceLine)
+		}
+	}
+}
+
+// TestMetricsScrapeDuringAnalyze runs concurrent /metrics, /debug/*, and
+// probe scrapes while /analyze requests are in flight — the -race exercise
+// for the lock-consistent snapshot path.
+func TestMetricsScrapeDuringAnalyze(t *testing.T) {
+	units := exampleUnits(t)
+	_, ts := newTestServer(t, Config{MaxInFlight: 4, Rec: obs.New()})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrape := func(path string, wantType string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Errorf("GET %s: %v", path, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s: %s", path, resp.Status)
+				return
+			}
+			if wantType != "" && !strings.HasPrefix(resp.Header.Get("Content-Type"), wantType) {
+				t.Errorf("GET %s: content type %q", path, resp.Header.Get("Content-Type"))
+				return
+			}
+			_ = body
+		}
+	}
+	wg.Add(4)
+	go scrape("/metrics", "text/plain")
+	go scrape("/debug/session", "application/json")
+	go scrape("/debug/inflight", "application/json")
+	go scrape("/healthz", "text/plain")
+
+	req := AnalyzeRequest{Units: unitsToJSON(units)}
+	var aw sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		aw.Add(1)
+		go func() {
+			defer aw.Done()
+			for j := 0; j < 3; j++ {
+				postAnalyze(t, ts.URL, req)
+			}
+		}()
+	}
+	aw.Wait()
+	close(stop)
+	wg.Wait()
+
+	// After the analyses, the exposition must carry non-zero pipeline
+	// counters in parseable Prometheus text format.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE pinpoint_detect_reports counter",
+		"# TYPE pinpoint_server_requests counter",
+		"pinpoint_server_request_ns_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	var reports float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "pinpoint_detect_reports ") {
+			fmt.Sscanf(line, "pinpoint_detect_reports %f", &reports)
+		}
+	}
+	if reports == 0 {
+		t.Error("pinpoint_detect_reports is zero after analyses")
+	}
+}
+
+// TestDebugSessionOccupancy pins the /debug/session schema against the
+// session's real stores.
+func TestDebugSessionOccupancy(t *testing.T) {
+	units := exampleUnits(t)
+	_, ts := newTestServer(t, Config{})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Units: unitsToJSON(units)})
+
+	resp, err := http.Get(ts.URL + "/debug/session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d sessionDebug
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Units != len(units) {
+		t.Errorf("units = %d, want %d", d.Units, len(units))
+	}
+	if d.Artifacts == 0 || d.Functions == 0 {
+		t.Errorf("empty occupancy after analyze: %+v", d)
+	}
+	if d.LastUpdate.Misses == 0 {
+		t.Errorf("cold analyze reported no artifact misses: %+v", d)
+	}
+	if d.SMTCacheExact == 0 {
+		t.Errorf("verdict cache empty after analyze: %+v", d)
+	}
+}
+
+// TestAnalyzeErrors pins the error statuses: malformed body, empty unit
+// set, unknown checker, and parse errors (which must leave the session
+// usable).
+func TestAnalyzeErrors(t *testing.T) {
+	units := exampleUnits(t)
+	_, ts := newTestServer(t, Config{})
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("{"); got != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", got)
+	}
+	if got := post(`{"units":[]}`); got != http.StatusBadRequest {
+		t.Errorf("empty units: %d, want 400", got)
+	}
+	if got := post(`{"units":[{"name":"a.mc","src":""}],"checkers":["nope"]}`); got != http.StatusBadRequest {
+		t.Errorf("unknown checker: %d, want 400", got)
+	}
+	if got := post(`{"units":[{"name":"a.mc","src":"int f( {"}]}`); got != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: %d, want 422", got)
+	}
+	// The failed update must not have corrupted the session.
+	postAnalyze(t, ts.URL, AnalyzeRequest{Units: unitsToJSON(units)})
+}
+
+// TestGracefulShutdown starts a real listener, verifies readiness flips,
+// and checks the server drains cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Logger: quietLogger()})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, 5*time.Second) }()
+
+	// Wait for the listener to come up.
+	var base string
+	for i := 0; i < 100; i++ {
+		if a := s.Addr(); a != nil {
+			base = "http://" + a.String()
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("server did not bind")
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before shutdown: %s", resp.Status)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

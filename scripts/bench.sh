@@ -5,8 +5,42 @@
 # JSON snapshots (BENCH_detect.json, BENCH_incremental.json, BENCH_smt.json)
 # in the repo root for trend tracking. Extra arguments pass through to
 # benchsnap (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50 -smt-scale 50).
+#
+# Snapshots are written to a temp directory and only moved into the repo
+# root once the whole run has succeeded, so a failed run can neither leave
+# truncated JSON behind nor clobber the previous good snapshots.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d "${TMPDIR:-/tmp}/pinpoint-bench.XXXXXX")"
+cleanup() {
+  status=$?
+  rm -rf "$tmpdir"
+  if [ "$status" -ne 0 ]; then
+    echo "bench.sh: FAILED (exit $status); no snapshot was written" >&2
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
 echo "== detection scaling + incremental rebuild + SMT elimination benchmarks"
-go run ./cmd/benchsnap -out BENCH_detect.json -inc-out BENCH_incremental.json -smt-out BENCH_smt.json "$@"
+go run ./cmd/benchsnap \
+  -out "$tmpdir/BENCH_detect.json" \
+  -inc-out "$tmpdir/BENCH_incremental.json" \
+  -smt-out "$tmpdir/BENCH_smt.json" \
+  "$@"
+
+# Refuse to commit empty or invalid snapshots: every output must exist,
+# be non-empty, and parse as JSON.
+for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json; do
+  if [ ! -s "$tmpdir/$f" ]; then
+    echo "bench.sh: $f is missing or empty" >&2
+    exit 1
+  fi
+  if ! go run ./scripts/jsoncheck "$tmpdir/$f"; then
+    echo "bench.sh: $f is not valid JSON" >&2
+    exit 1
+  fi
+  mv "$tmpdir/$f" "$f"
+done
+echo "== snapshots written: BENCH_detect.json BENCH_incremental.json BENCH_smt.json"

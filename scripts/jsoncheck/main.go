@@ -1,0 +1,36 @@
+// Command jsoncheck validates that each argument file parses as a single
+// JSON document. scripts/bench.sh and scripts/serve_smoke.sh use it to
+// refuse truncated or malformed output without depending on tools outside
+// the Go toolchain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jsoncheck:", err)
+			os.Exit(1)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if dec.More() {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: trailing data after JSON document\n", path)
+			os.Exit(1)
+		}
+	}
+}

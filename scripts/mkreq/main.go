@@ -1,0 +1,52 @@
+// Command mkreq packs MiniC source files into a POST /analyze request body
+// (see internal/server.AnalyzeRequest). scripts/serve_smoke.sh uses it to
+// build smoke-test requests without depending on jq or python.
+//
+// Usage: mkreq [-checkers all] [-witness] file.mc... > request.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	sel := flag.String("checkers", "all", "comma-separated checker list, or 'all'")
+	witness := flag.Bool("witness", false, "request per-report provenance")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mkreq [-checkers list] [-witness] file.mc...")
+		os.Exit(2)
+	}
+
+	type unit struct {
+		Name string `json:"name"`
+		Src  string `json:"src"`
+	}
+	req := struct {
+		Units    []unit   `json:"units"`
+		Checkers []string `json:"checkers,omitempty"`
+		Witness  bool     `json:"witness,omitempty"`
+	}{Witness: *witness}
+	for _, name := range strings.Split(*sel, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			req.Checkers = append(req.Checkers, name)
+		}
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkreq:", err)
+			os.Exit(1)
+		}
+		req.Units = append(req.Units, unit{Name: path, Src: string(data)})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(req); err != nil {
+		fmt.Fprintln(os.Stderr, "mkreq:", err)
+		os.Exit(1)
+	}
+}

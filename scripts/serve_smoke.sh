@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Smoke test for the analysis service: start `pinpoint serve`, wait for
+# readiness, POST every example program, and assert that the reports come
+# back and the /metrics exposition carries non-zero detect.* counters.
+# Used by CI's serve-smoke job and runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${PINPOINT_SMOKE_ADDR:-127.0.0.1:7431}"
+BASE="http://$ADDR"
+tmpdir="$(mktemp -d "${TMPDIR:-/tmp}/pinpoint-smoke.XXXXXX")"
+server_pid=""
+cleanup() {
+  status=$?
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmpdir"
+  if [ "$status" -ne 0 ]; then
+    echo "serve_smoke.sh: FAILED (exit $status)" >&2
+    [ -f "$tmpdir/serve.log" ] || true
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmpdir/pinpoint" ./cmd/pinpoint
+
+echo "== start serve on $ADDR"
+"$tmpdir/pinpoint" serve -addr "$ADDR" -log-json >"$tmpdir/serve.log" 2>&1 &
+server_pid=$!
+
+# Wait for readiness (the binary is prebuilt, so this is fast).
+ready=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then ready=1; break; fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve_smoke.sh: server exited during startup" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$ready" ]; then
+  echo "serve_smoke.sh: server never became ready" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+
+echo "== POST /analyze (all examples, witness on)"
+go run ./scripts/mkreq -checkers all -witness examples/mc/*.mc >"$tmpdir/req.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmpdir/req.json" "$BASE/analyze" >"$tmpdir/resp.json"
+go run ./scripts/jsoncheck "$tmpdir/resp.json"
+grep -q '"traceId"' "$tmpdir/resp.json"
+grep -q '"provenance"' "$tmpdir/resp.json"
+if grep -q '"reports": \[\]' "$tmpdir/resp.json"; then
+  echo "serve_smoke.sh: examples produced no reports" >&2
+  exit 1
+fi
+
+echo "== scrape /metrics"
+curl -fsS "$BASE/metrics" >"$tmpdir/metrics.txt"
+for metric in pinpoint_detect_reports pinpoint_detect_tasks pinpoint_server_requests; do
+  value="$(awk -v m="$metric" '$1 == m { print $2 }' "$tmpdir/metrics.txt")"
+  if [ -z "$value" ] || [ "$value" = "0" ]; then
+    echo "serve_smoke.sh: metric $metric missing or zero (got '${value:-<absent>}')" >&2
+    exit 1
+  fi
+  echo "   $metric = $value"
+done
+
+echo "== debug endpoints"
+curl -fsS "$BASE/debug/session" | go run ./scripts/jsoncheck /dev/stdin
+curl -fsS "$BASE/debug/inflight" | go run ./scripts/jsoncheck /dev/stdin
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== graceful shutdown"
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "serve_smoke.sh: OK"
