@@ -8,6 +8,7 @@
 //	benchsnap [-out BENCH_detect.json] [-scale N] [-workers 1,2,4]
 //	          [-inc-out BENCH_incremental.json] [-inc-scale N]
 //	          [-smt-out BENCH_smt.json] [-smt-scale N]
+//	          [-store-out BENCH_store.json] [-store-scale N]
 package main
 
 import (
@@ -57,6 +58,20 @@ type smtSnapshot struct {
 	QueryNsOn         obs.HistSnapshot `json:"query_ns_on"`
 }
 
+type storeSnapshot struct {
+	Subject       string  `json:"subject"`
+	Lines         int     `json:"lines"`
+	Functions     int     `json:"functions"`
+	Units         int     `json:"units"`
+	ColdNs        int64   `json:"cold_ns"`
+	WarmRestartNs int64   `json:"warm_restart_ns"`
+	Speedup       float64 `json:"speedup"`
+	StoreHits     int     `json:"store_hits"`
+	Records       int     `json:"records"`
+	DiskBytes     int64   `json:"disk_bytes"`
+	ResidentBytes int64   `json:"resident_bytes"`
+}
+
 type incSnapshot struct {
 	Subject     string  `json:"subject"`
 	Lines       int     `json:"lines"`
@@ -78,6 +93,8 @@ func main() {
 	incScale := flag.Int("inc-scale", 30, "workload scale factor for the incremental benchmark")
 	smtOut := flag.String("smt-out", "BENCH_smt.json", "output file for the SMT query-elimination snapshot (empty disables)")
 	smtScale := flag.Int("smt-scale", 30, "workload scale factor for the SMT elimination benchmark")
+	storeOut := flag.String("store-out", "BENCH_store.json", "output file for the persistent-store warm-restart snapshot (empty disables)")
+	storeScale := flag.Int("store-scale", 30, "workload scale factor for the store warm-restart benchmark")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -129,6 +146,29 @@ func main() {
 		fmt.Printf("incremental: cold=%-14s warm=%-14s speedup=%.2fx (artifacts: %d hits, %d misses, %d invalidated)\n",
 			inc.Cold, inc.Warm, inc.Speedup, inc.Artifacts.Hits, inc.Artifacts.Misses, inc.Artifacts.Invalidated)
 		writeJSON(*incOut, isnap)
+	}
+
+	if *storeOut != "" {
+		sr, err := bench.MeasureStore(subj, *storeScale)
+		if err != nil {
+			fatal(err)
+		}
+		stsnap := storeSnapshot{
+			Subject:       sr.Subject,
+			Lines:         sr.Lines,
+			Functions:     sr.Functions,
+			Units:         sr.Units,
+			ColdNs:        int64(sr.Cold),
+			WarmRestartNs: int64(sr.WarmRestart),
+			Speedup:       sr.Speedup,
+			StoreHits:     sr.StoreHits,
+			Records:       sr.Stats.Records,
+			DiskBytes:     sr.Stats.DiskBytes,
+			ResidentBytes: sr.Stats.ResidentBytes,
+		}
+		fmt.Printf("store: cold=%-14s warm-restart=%-14s speedup=%.2fx (%d artifacts store-loaded; %d records, %d KiB on disk)\n",
+			sr.Cold, sr.WarmRestart, sr.Speedup, sr.StoreHits, sr.Stats.Records, sr.Stats.DiskBytes/1024)
+		writeJSON(*storeOut, stsnap)
 	}
 
 	if *smtOut != "" {

@@ -5,9 +5,10 @@
 //
 //	pinpoint [-checkers uaf,double-free,path-traversal,data-transmission,null-deref,memory-leak]
 //	         [-workers N] [-depth N] [-no-path-sensitivity] [-stats] [-provenance]
+//	         [-store-dir dir] [-store-max-bytes N]
 //	         [-trace out.json] [-stats-json out.json] [-pprof addr] file.mc...
 //	pinpoint serve [-addr host:port] [-workers N] [-max-inflight N]
-//	         [-request-timeout d] [-log-json]
+//	         [-request-timeout d] [-log-json] [-store-dir dir] [-store-max-bytes N]
 //	pinpoint explain [-checkers list] [-workers N] [-depth N] file.mc...
 //
 // Each file is one compilation unit. -checkers all selects every registered
@@ -33,6 +34,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/pinpoint"
 	"repro/internal/pta"
 )
 
@@ -68,6 +70,8 @@ func runBatch() {
 	smtPrefilter := flag.Bool("smt-prefilter", true, "refute contradictory SMT queries with a linear-time pass before entering the DPLL(T) solver")
 	smtIncremental := flag.Bool("smt-incremental", false, "reuse one Push/Pop solver with learned-clause retention per (checker, source) task; Sat witnesses may differ from the default mode")
 	provenance := flag.Bool("provenance", false, "capture per-report provenance (value-flow hops, path-condition size, verdict source); shown in -format json and by 'pinpoint explain'")
+	storeDir := flag.String("store-dir", "", "persist artifacts and SMT verdicts in this directory across runs (works with and without -incremental; empty = memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "in-memory residency bound for the persistent store's record cache (0 = store default, negative = unbounded)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -100,10 +104,29 @@ func runBatch() {
 
 	readUnitsArgs := func() []minic.NamedSource { return readUnits(flag.Args()) }
 
-	bopts := core.BuildOptions{Workers: *workers, Obs: rec}
+	// The unified config front door: build, store, and detection options
+	// all derive from one pinpoint.Config, so the CLI cannot hand different
+	// worker pools or recorders to different layers.
+	rt, err := pinpoint.Open(pinpoint.Config{
+		Workers:                *workers,
+		Obs:                    rec,
+		StoreDir:               *storeDir,
+		StoreMaxBytes:          *storeMaxBytes,
+		MaxCallDepth:           *depth,
+		DisablePathSensitivity: *noPS,
+		DisableSMTCache:        !*smtCache,
+		DisableSMTPrefilter:    !*smtPrefilter,
+		SMTIncremental:         *smtIncremental,
+		Witness:                *provenance,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
 	var a *core.Analysis
-	if *incremental {
-		sess := core.NewSession(bopts)
+	if *incremental || *storeDir != "" {
+		sess := rt.NewSession()
 		rounds := *repeat
 		if rounds < 1 {
 			rounds = 1
@@ -114,7 +137,7 @@ func runBatch() {
 			}
 		}
 	} else {
-		if a, err = core.BuildFromSource(readUnitsArgs(), bopts); err != nil {
+		if a, err = core.BuildFromSource(readUnitsArgs(), rt.BuildOptions()); err != nil {
 			fatal(err)
 		}
 	}
@@ -122,9 +145,9 @@ func runBatch() {
 		fmt.Fprintf(os.Stderr, "pinpoint: %d functions, %d IR instructions, %d SEG nodes, %d SEG edges; build %s\n",
 			a.Sizes.Functions, a.Sizes.Lines, a.Sizes.SEGNodes, a.Sizes.SEGEdges, a.Timings.Total())
 		fmt.Fprintf(os.Stderr, "pinpoint: pta: %s\n", a.PTAStats)
-		if *incremental {
-			fmt.Fprintf(os.Stderr, "pinpoint: artifacts: %d hits, %d misses, %d invalidated\n",
-				a.Artifacts.Hits, a.Artifacts.Misses, a.Artifacts.Invalidated)
+		if *incremental || *storeDir != "" {
+			fmt.Fprintf(os.Stderr, "pinpoint: artifacts: %d hits, %d misses, %d invalidated, %d store-loaded\n",
+				a.Artifacts.Hits, a.Artifacts.Misses, a.Artifacts.Invalidated, a.Artifacts.StoreHits)
 		}
 	}
 	if *dump != "" {
@@ -144,16 +167,7 @@ func runBatch() {
 		return
 	}
 
-	res := a.CheckAll(specs, detect.Options{
-		MaxCallDepth:           *depth,
-		DisablePathSensitivity: *noPS,
-		DisableSMTCache:        !*smtCache,
-		DisableSMTPrefilter:    !*smtPrefilter,
-		SMTIncremental:         *smtIncremental,
-		Workers:                *workers,
-		Witness:                *provenance,
-		Obs:                    rec,
-	})
+	res := a.CheckAll(specs, rt.DetectOptions())
 
 	if *format == "json" {
 		jsonReports := make([]detect.JSONReport, 0, len(res.Reports))
@@ -195,6 +209,7 @@ func runBatch() {
 		}
 	}
 	if len(res.Reports) > 0 {
+		_ = rt.Close() // os.Exit skips the deferred close
 		os.Exit(1)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pinpoint"
 	"repro/internal/server"
 )
 
@@ -25,6 +26,8 @@ func runServe(args []string) {
 	grace := fs.Duration("grace", 15*time.Second, "graceful-shutdown drain period for in-flight requests")
 	logJSON := fs.Bool("log-json", false, "emit the structured request log as JSON lines instead of text")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	storeDir := fs.String("store-dir", "", "persist artifacts and SMT verdicts in this directory; a restarted server warm-loads instead of cold building (empty = memory only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "in-memory residency bound for the persistent store's record cache (0 = store default, negative = unbounded)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "pinpoint serve: positional arguments are not accepted; programs are POSTed to /analyze")
@@ -47,14 +50,25 @@ func runServe(args []string) {
 	if timeout <= 0 {
 		timeout = -1 // Config: negative disables, zero means default.
 	}
-	srv := server.New(server.Config{
+	rt, err := pinpoint.Open(pinpoint.Config{
+		Workers:        *workers,
+		Obs:            obs.New(),
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMaxBytes,
 		Addr:           *addr,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: timeout,
-		Workers:        *workers,
 		Logger:         slog.New(handler),
-		Rec:            obs.New(),
 	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := rt.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pinpoint serve: store close:", err)
+		}
+	}()
+	srv := server.New(rt.ServerConfig())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

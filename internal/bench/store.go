@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// Warm-restart experiment for the persistent store: how close does a fresh
+// process pointed at a populated -store-dir get to an in-process warm
+// session? The store should serve every artifact (zero rebuilds), so the
+// restart build time is dominated by parsing plus record decode instead of
+// the full SSA/PTA/SEG pipeline.
+
+// StoreResult is the outcome of one cold-vs-warm-restart measurement.
+type StoreResult struct {
+	Subject   string
+	Lines     int
+	Functions int
+	Units     int
+	// Cold is the from-scratch build time with no store at all.
+	Cold time.Duration
+	// WarmRestart is the first Update of a fresh session (a restarted
+	// process) warm-loading from the populated store.
+	WarmRestart time.Duration
+	// Speedup is Cold / WarmRestart.
+	Speedup float64
+	// StoreHits is the number of artifacts the restart served from disk;
+	// it must equal the function count (zero rebuilds).
+	StoreHits int
+	// Stats is the store's view after the restart: records, disk bytes,
+	// and residency.
+	Stats store.Stats
+}
+
+// MeasureStore populates a DiskStore through one build+detect cycle,
+// discards all in-memory state, and times a fresh session's warm-load
+// against a cold from-scratch build. Reports of the cold and restarted
+// runs are verified byte-identical before timings are returned.
+func MeasureStore(subj workload.Subject, scale int) (*StoreResult, error) {
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
+	dir, err := os.MkdirTemp("", "pinpoint-bench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	specs := checkers.All()
+	dopts := detect.Options{Workers: -1}
+
+	// Cold: no store anywhere.
+	t0 := time.Now()
+	coldA, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(t0)
+	cj, err := reportsJSON(coldA.CheckAll(specs, dopts).Reports)
+	if err != nil {
+		return nil, err
+	}
+
+	// Populate the store: one full build+detect cycle, then drop the
+	// process state.
+	st1, err := store.Open(dir, store.DiskOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s1 := core.NewSession(core.BuildOptions{Workers: -1, Store: st1})
+	a1, err := s1.Update(gen.Units)
+	if err != nil {
+		return nil, err
+	}
+	a1.CheckAll(specs, dopts)
+	if err := st1.Close(); err != nil {
+		return nil, err
+	}
+
+	// Restart: fresh store handle, fresh session, same directory.
+	st2, err := store.Open(dir, store.DiskOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer st2.Close()
+	s2 := core.NewSession(core.BuildOptions{Workers: -1, Store: st2})
+	t0 = time.Now()
+	a2, err := s2.Update(gen.Units)
+	if err != nil {
+		return nil, err
+	}
+	warm := time.Since(t0)
+
+	if got, want := a2.Artifacts.StoreHits, a2.Sizes.Functions; got != want {
+		return nil, fmt.Errorf("warm restart store-loaded %d of %d artifacts", got, want)
+	}
+	wj, err := reportsJSON(a2.CheckAll(specs, dopts).Reports)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(wj, cj) {
+		return nil, fmt.Errorf("warm restart and cold build disagree on reports")
+	}
+
+	out := &StoreResult{
+		Subject:     subj.Name,
+		Lines:       gen.Lines,
+		Functions:   a2.Sizes.Functions,
+		Units:       len(gen.Units),
+		Cold:        cold,
+		WarmRestart: warm,
+		StoreHits:   a2.Artifacts.StoreHits,
+		Stats:       st2.Stat(),
+	}
+	if warm > 0 {
+		out.Speedup = float64(cold) / float64(warm)
+	}
+	return out, nil
+}

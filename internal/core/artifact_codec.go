@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/seg"
+	"repro/internal/ssa"
+)
+
+// Serialization of one funcArtifact for the persistent store. The wire
+// form composes the per-package codecs (cond, ir, ssa, pta, seg) plus the
+// session's own fingerprints. The record is keyed by function name —
+// mirroring the in-memory artifact map — and carries the program-shape
+// fingerprint it was built under; a record from a different shape decodes
+// to a miss, exactly as shapeChanged discards the in-memory map.
+//
+// The cached AST declaration (funcArtifact.decl) is deliberately absent:
+// Update always refreshes it from the current parse before anything reads
+// it, so persisting it would only risk staleness.
+
+// artifactCodecVersion gates decoding: bump on any wire-format change so
+// old records read as misses instead of garbage.
+const artifactCodecVersion = 1
+
+// pathFlagWire is one Mod/Ref summary entry in canonical order.
+type pathFlagWire struct {
+	Path modref.Path
+	Ref  bool
+	Mod  bool
+}
+
+type artifactWire struct {
+	Version int
+	ProgFP  string
+	Name    string
+	AstHash string
+	SumFP   string
+	SigFP   string
+	DepFP   string
+	Callees []string
+	HasSum  bool
+	Sum     []pathFlagWire
+	Conds   []cond.NodeWire
+	Fn      *ir.FuncWire
+	Info    *ssa.InfoWire
+	PTA     *pta.ResultWire
+	SEG     *seg.GraphWire
+
+	SegNodes  int
+	SegEdges  int
+	CondNodes int
+	PTAStats  pta.Stats
+}
+
+// artifactMeta is the change-detection key for re-persisting: if it is
+// unchanged since the last Put, the on-disk record is already current.
+// The firewall makes this necessary — a retained artifact's summary and
+// fingerprints can be refreshed at commit without a rebuild, and skipping
+// the re-Put would leave a stale summary to be warm-loaded later.
+func artifactMeta(progFP string, art *funcArtifact) string {
+	return progFP + "|" + art.astHash + "|" + art.sumFP + "|" + art.sigFP + "|" + art.depFP
+}
+
+func exportSummary(sum *modref.Summary) (bool, []pathFlagWire) {
+	if sum == nil {
+		return false, nil
+	}
+	set := make(map[modref.Path]bool, len(sum.Ref)+len(sum.Mod))
+	for p := range sum.Ref {
+		set[p] = true
+	}
+	for p := range sum.Mod {
+		set[p] = true
+	}
+	paths := make([]modref.Path, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		a, b := paths[i], paths[j]
+		if a.Root.Param != b.Root.Param {
+			return a.Root.Param < b.Root.Param
+		}
+		if a.Root.Global != b.Root.Global {
+			return a.Root.Global < b.Root.Global
+		}
+		return a.Depth < b.Depth
+	})
+	out := make([]pathFlagWire, len(paths))
+	for i, p := range paths {
+		out[i] = pathFlagWire{Path: p, Ref: sum.Ref[p], Mod: sum.Mod[p]}
+	}
+	return true, out
+}
+
+func importSummary(has bool, ws []pathFlagWire) *modref.Summary {
+	if !has {
+		return nil
+	}
+	sum := modref.NewSummary()
+	for _, w := range ws {
+		if w.Ref {
+			sum.Ref[w.Path] = true
+		}
+		if w.Mod {
+			sum.Mod[w.Path] = true
+		}
+	}
+	return sum
+}
+
+// encodeArtifact flattens art into a self-contained byte record.
+func encodeArtifact(name, progFP string, art *funcArtifact) ([]byte, error) {
+	condsWire, err := art.info.Conds.Export()
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	fnWire, _ := ir.ExportFunc(art.fn)
+	w := artifactWire{
+		Version: artifactCodecVersion,
+		ProgFP:  progFP,
+		Name:    name,
+		AstHash: art.astHash,
+		SumFP:   art.sumFP,
+		SigFP:   art.sigFP,
+		DepFP:   art.depFP,
+		Callees: art.callees,
+		Conds:   condsWire,
+		Fn:      fnWire,
+		Info:    ssa.ExportInfo(art.info),
+		PTA:     pta.ExportResult(art.seg.PTA),
+		SEG:     seg.ExportGraph(art.seg),
+
+		SegNodes:  art.segNodes,
+		SegEdges:  art.segEdges,
+		CondNodes: art.condNodes,
+		PTAStats:  art.ptaStats,
+	}
+	w.HasSum, w.Sum = exportSummary(art.sum)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeArtifact rebuilds a funcArtifact from a stored record. A record
+// for a different function, program shape, or codec version returns an
+// error; callers treat every error as a store miss and rebuild.
+func decodeArtifact(name, progFP string, data []byte) (*funcArtifact, error) {
+	var w artifactWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	if w.Version != artifactCodecVersion {
+		return nil, fmt.Errorf("artifact %s: codec version %d, want %d", name, w.Version, artifactCodecVersion)
+	}
+	if w.Name != name {
+		return nil, fmt.Errorf("artifact %s: record names %q", name, w.Name)
+	}
+	if w.ProgFP != progFP {
+		return nil, fmt.Errorf("artifact %s: program shape changed", name)
+	}
+	if w.Fn == nil || w.Info == nil || w.PTA == nil || w.SEG == nil {
+		return nil, fmt.Errorf("artifact %s: incomplete record", name)
+	}
+	b, nodes, err := cond.ImportBuilder(w.Conds)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	f, ix, err := ir.ImportFunc(w.Fn)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	if f.Name != name {
+		return nil, fmt.Errorf("artifact %s: function names %q", name, f.Name)
+	}
+	inf, err := ssa.ImportInfo(w.Info, f, ix, b, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	pr, err := pta.ImportResult(w.PTA, f, inf, ix, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	g, err := seg.ImportGraph(w.SEG, f, inf, pr, ix, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", name, err)
+	}
+	art := &funcArtifact{
+		astHash:   w.AstHash,
+		sumFP:     w.SumFP,
+		sigFP:     w.SigFP,
+		depFP:     w.DepFP,
+		callees:   w.Callees,
+		sum:       importSummary(w.HasSum, w.Sum),
+		fn:        f,
+		info:      inf,
+		seg:       g,
+		segNodes:  w.SegNodes,
+		segEdges:  w.SegEdges,
+		condNodes: w.CondNodes,
+		ptaStats:  w.PTAStats,
+	}
+	art.persistedMeta = artifactMeta(progFP, art)
+	return art, nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/pta"
 	"repro/internal/seg"
 	"repro/internal/ssa"
+	"repro/internal/store"
 	"repro/internal/transform"
 )
 
@@ -57,6 +58,13 @@ type BuildOptions struct {
 	// per-function stages, and structural gauges. nil disables all
 	// recording; the build result is identical either way.
 	Obs *obs.Recorder
+	// Store, when non-nil and persistent, backs the session's per-function
+	// artifacts and the SMT verdict cache: artifacts are warm-loaded on
+	// the first Update after a restart and every commit writes back what
+	// changed. A non-persistent store (MemStore, the default nil) leaves
+	// behavior exactly as before — the in-memory maps are already the
+	// cache, so the byte round-trip would be pure overhead.
+	Store store.Store
 }
 
 // Timings records per-stage durations.

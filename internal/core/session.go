@@ -45,6 +45,7 @@ import (
 	"repro/internal/pta"
 	"repro/internal/seg"
 	"repro/internal/ssa"
+	"repro/internal/store"
 	"repro/internal/transform"
 )
 
@@ -52,11 +53,14 @@ import (
 // Hits are functions whose artifacts were reused untouched, Misses are
 // functions built for the first time, Invalidated are functions whose prior
 // artifacts were discarded and rebuilt. Misses+Invalidated is the dirty
-// frontier actually recomputed.
+// frontier actually recomputed. StoreHits counts artifacts warm-loaded from
+// the persistent store this Update (a subset of Hits unless a dependency
+// change invalidated the loaded artifact anyway).
 type ArtifactStats struct {
 	Hits        int
 	Misses      int
 	Invalidated int
+	StoreHits   int
 }
 
 // funcArtifact is the cached per-function build output, valid as long as
@@ -79,6 +83,11 @@ type funcArtifact struct {
 	segEdges  int
 	condNodes int
 	ptaStats  pta.Stats
+	// persistedMeta is the artifactMeta the persistent store last accepted
+	// for this function ("" = never persisted). Commit re-encodes whenever
+	// the live metadata differs — including the firewall case, where a
+	// retained artifact's summary is refreshed without a rebuild.
+	persistedMeta string
 }
 
 // Session is an incremental analysis pipeline. Create one with NewSession,
@@ -97,6 +106,11 @@ type Session struct {
 	artifacts map[string]*funcArtifact
 	analysis  *Analysis
 	stats     ArtifactStats // last Update's counters
+	// store is the persistent artifact/verdict backing, nil when the
+	// configured Store cannot outlive the process (MemStore or none) —
+	// in that case the encode/decode round-trip could never pay off and
+	// the session behaves exactly like the historical memory-only one.
+	store store.Store
 }
 
 // NewSession returns an empty incremental session.
@@ -107,11 +121,15 @@ func NewSession(opts BuildOptions) *Session {
 }
 
 func newSession(opts BuildOptions) *Session {
-	return &Session{
+	s := &Session{
 		opts:      opts,
 		files:     make(map[string]*minic.File),
 		artifacts: make(map[string]*funcArtifact),
 	}
+	if opts.Store != nil && opts.Store.Persistent() {
+		s.store = opts.Store
+	}
+	return s
 }
 
 // ArtifactStats reports the artifact-store counters of the last Update.
@@ -218,6 +236,40 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 			order = append(order, fn.Name)
 		}
 	}
+	// ---- Warm-load: functions with no live artifact consult the
+	// persistent store (a restarted server's first Update arrives here with
+	// an empty in-memory map). Records carry the program-shape fingerprint
+	// they were built under, so a shape change reads as a miss — the same
+	// rule shapeChanged applies to the in-memory map. Any decode failure
+	// (truncated, bit-flipped, stale codec) is also just a miss: corruption
+	// costs a rebuild, never a wrong artifact.
+	if s.store != nil {
+		sp := rec.Phase("store.load")
+		for _, name := range order {
+			st := states[name]
+			if st.old != nil {
+				continue
+			}
+			data, ok, err := s.store.Get(store.NSArtifact, name)
+			if err != nil || !ok {
+				continue
+			}
+			art, err := decodeArtifact(name, progFP, data)
+			if err != nil {
+				if rec != nil {
+					rec.Counter("store.artifact.decode_errors").Inc()
+				}
+				continue
+			}
+			st.old = art
+			stats.StoreHits++
+		}
+		if rec != nil {
+			rec.Counter("store.artifact.loads").Add(int64(stats.StoreHits))
+		}
+		sp.End()
+	}
+
 	dirty := func(st *fnState) bool {
 		return st.old == nil || st.old.astHash != st.astHash
 	}
@@ -485,6 +537,34 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		newArts[name] = &art
 	}
 
+	// ---- Persist: write every artifact whose on-disk record is missing or
+	// stale. Store errors are swallowed — persistence buys warmth, and a
+	// failed write must not fail a build that already succeeded.
+	if s.store != nil {
+		sp := rec.Phase("store.save")
+		saved := 0
+		for _, name := range order {
+			art := newArts[name]
+			meta := artifactMeta(progFP, art)
+			if art.persistedMeta == meta {
+				continue
+			}
+			data, err := encodeArtifact(name, progFP, art)
+			if err != nil {
+				continue
+			}
+			if err := s.store.Put(store.NSArtifact, name, data); err != nil {
+				continue
+			}
+			art.persistedMeta = meta
+			saved++
+		}
+		if rec != nil {
+			rec.Counter("store.artifact.saves").Add(int64(saved))
+		}
+		sp.End()
+	}
+
 	a := &Analysis{
 		Module:    m,
 		Infos:     make(map[*ir.Func]*ssa.Info, len(order)),
@@ -514,6 +594,11 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		a.Prog = detect.NewProgramFrom(prev, m, a.Infos, a.SEGs)
 	} else {
 		a.Prog = detect.NewProgram(m, a.Infos, a.SEGs)
+	}
+	if s.store != nil {
+		// Back the SMT verdict cache with the same persistent store so a
+		// restarted process replays verdicts it already solved.
+		a.Prog.AttachStore(s.store)
 	}
 
 	if rec != nil {

@@ -1,0 +1,293 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// openDisk opens a DiskStore in dir, failing the test on error.
+func openDisk(t *testing.T, dir string, maxResident int64) *store.DiskStore {
+	t.Helper()
+	st, err := store.Open(dir, store.DiskOptions{MaxResidentBytes: maxResident})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSessionStoreWarmRestartEquivalence is the persistent-store contract:
+// a fresh session pointed at a populated store directory — a restarted
+// server — must produce reports byte-identical to a cold build AND to an
+// in-process warm session, while rebuilding zero unchanged artifacts.
+func TestSessionStoreWarmRestartEquivalence(t *testing.T) {
+	gen := workload.Generate(workload.Subjects[2], workload.GenOptions{Scale: 140, Taint: true})
+
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		dir := t.TempDir()
+		specs := checkers.All()
+		dopts := detect.Options{Workers: workers}
+
+		// Cold: no store at all.
+		cold := core.NewSession(core.BuildOptions{Workers: workers})
+		coldA, err := cold.Update(gen.Units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRes := normalizeResults(coldA.CheckAll(specs, dopts))
+
+		// First process: populate the store.
+		st1 := openDisk(t, dir, 0)
+		s1 := core.NewSession(core.BuildOptions{Workers: workers, Store: st1})
+		a1, err := s1.Update(gen.Units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hits := s1.ArtifactStats().StoreHits; hits != 0 {
+			t.Fatalf("first build had %d store hits; want 0", hits)
+		}
+		warmRes := normalizeResults(a1.CheckAll(specs, dopts))
+		if err := st1.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Second process: same directory, empty memory.
+		st2 := openDisk(t, dir, 0)
+		s2 := core.NewSession(core.BuildOptions{Workers: workers, Store: st2})
+		a2, err := s2.Update(gen.Units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := s2.ArtifactStats()
+		if stats.Misses != 0 || stats.Invalidated != 0 {
+			t.Fatalf("warm restart rebuilt artifacts: %+v", stats)
+		}
+		if stats.StoreHits != stats.Hits || stats.StoreHits == 0 {
+			t.Fatalf("warm restart stats %+v: want every hit store-loaded", stats)
+		}
+		restartRes := normalizeResults(a2.CheckAll(specs, dopts))
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		cb := reportsJSON(t, coldRes.Reports)
+		wb := reportsJSON(t, warmRes.Reports)
+		rb := reportsJSON(t, restartRes.Reports)
+		if !bytes.Equal(rb, cb) {
+			t.Fatalf("workers=%d: restart reports differ from cold\nrestart: %s\ncold: %s", workers, rb, cb)
+		}
+		if !bytes.Equal(rb, wb) {
+			t.Fatalf("workers=%d: restart reports differ from in-process warm", workers)
+		}
+		if coldA.Sizes != a2.Sizes {
+			t.Fatalf("workers=%d: sizes differ: cold %+v restart %+v", workers, coldA.Sizes, a2.Sizes)
+		}
+		if coldA.PTAStats != a2.PTAStats {
+			t.Fatalf("workers=%d: PTA stats differ", workers)
+		}
+	}
+}
+
+// TestSessionStoreWarmRestartAfterEdit checks the harder path: the store
+// was populated, the process restarted, AND the sources changed. Unedited
+// functions load from disk; the edit's invalidation frontier rebuilds; the
+// result matches a cold build of the edited program.
+func TestSessionStoreWarmRestartAfterEdit(t *testing.T) {
+	gen := workload.Generate(workload.Subjects[2], workload.GenOptions{Scale: 140, Taint: true})
+	if len(gen.Units) < 2 {
+		t.Fatalf("workload has %d units; want multi-unit", len(gen.Units))
+	}
+	dir := t.TempDir()
+
+	st1 := openDisk(t, dir, 0)
+	s1 := core.NewSession(core.BuildOptions{Store: st1})
+	if _, err := s1.Update(gen.Units); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	editedUnits := append(gen.Units[:0:0], gen.Units...)
+	editedUnits[0] = editUnit(t, editedUnits[0])
+
+	st2 := openDisk(t, dir, 0)
+	s2 := core.NewSession(core.BuildOptions{Store: st2})
+	a2, err := s2.Update(editedUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s2.ArtifactStats()
+	if stats.StoreHits == 0 {
+		t.Fatalf("edited restart loaded nothing: %+v", stats)
+	}
+	if stats.Invalidated+stats.Misses == 0 {
+		t.Fatalf("edited restart rebuilt nothing: %+v", stats)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := core.NewSession(core.BuildOptions{})
+	coldA, err := cold.Update(editedUnits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, "edited-restart", a2, coldA, 1)
+}
+
+// TestSessionStoreVerdictPersistence checks the second half of the store
+// contract: SMT verdicts written through during one process's CheckAll are
+// replayed from disk by a restarted process, so the restart solves (almost)
+// nothing while reporting byte-identical results. "Almost": Unknown
+// verdicts are deliberately never persisted, so at most those re-solve.
+func TestSessionStoreVerdictPersistence(t *testing.T) {
+	gen := workload.Generate(workload.Subjects[2], workload.GenOptions{Scale: 140, Taint: true})
+	specs := checkers.All()
+	dopts := detect.Options{Workers: 1}
+	dir := t.TempDir()
+
+	sum := func(rs detect.Results) (solved, cached, unknown, queries int) {
+		for _, cs := range rs.Checkers {
+			solved += cs.Stats.SMTSolved
+			cached += cs.Stats.SMTCacheHits
+			unknown += cs.Stats.SMTUnknown
+			queries += cs.Stats.SMTQueries
+		}
+		return
+	}
+
+	// Cold baseline, no store anywhere.
+	cold := core.NewSession(core.BuildOptions{})
+	coldA, err := cold.Update(gen.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := coldA.CheckAll(specs, dopts)
+	// Read the counters before normalizeResults folds the cache-hit split.
+	coldSolved, coldCached, coldUnknown, coldQueries := sum(coldRes)
+	coldB := reportsJSON(t, normalizeResults(coldRes).Reports)
+	if coldSolved == 0 {
+		t.Fatal("baseline solved nothing; workload cannot exercise the verdict store")
+	}
+
+	// First process: detection writes verdicts through to the store.
+	st1 := openDisk(t, dir, 0)
+	s1 := core.NewSession(core.BuildOptions{Store: st1})
+	a1, err := s1.Update(gen.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artRecords := st1.Stat().Records
+	a1.CheckAll(specs, dopts)
+	if got := st1.Stat().Records; got <= artRecords {
+		t.Fatalf("CheckAll persisted no verdicts: %d records before, %d after", artRecords, got)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: same directory, empty memory.
+	st2 := openDisk(t, dir, 0)
+	s2 := core.NewSession(core.BuildOptions{Store: st2})
+	a2, err := s2.Update(gen.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restartRes := a2.CheckAll(specs, dopts)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	solved, cached, _, queries := sum(restartRes)
+	if got := reportsJSON(t, normalizeResults(restartRes).Reports); !bytes.Equal(got, coldB) {
+		t.Fatalf("verdict-store restart changed reports\ngot: %s\nwant: %s", got, coldB)
+	}
+	if queries != coldQueries {
+		t.Fatalf("restart issued %d SMT queries; cold issued %d", queries, coldQueries)
+	}
+	if solved > coldUnknown {
+		t.Fatalf("restart solved %d queries (want <= %d unpersisted Unknowns); cache replay failed", solved, coldUnknown)
+	}
+	if solved+cached != coldSolved+coldCached {
+		// The prefilter split is deterministic, so the solve-or-cache total
+		// must match; only the split inside it moves toward the cache.
+		t.Fatalf("restart solved+cached = %d; cold = %d", solved+cached, coldSolved+coldCached)
+	}
+}
+
+// TestSessionStoreCorruption covers the crash-safety contract end to end:
+// a truncated or bit-flipped store log is detected, the affected artifacts
+// rebuild from source, and reports never differ from a cold build.
+func TestSessionStoreCorruption(t *testing.T) {
+	gen := workload.Generate(workload.Subjects[2], workload.GenOptions{Scale: 140, Taint: true})
+	specs := checkers.All()
+	dopts := detect.Options{Workers: 1}
+
+	cold := core.NewSession(core.BuildOptions{})
+	coldA, err := cold.Update(gen.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldB := reportsJSON(t, normalizeResults(coldA.CheckAll(specs, dopts)).Reports)
+
+	corrupt := func(t *testing.T, name string, mutate func(t *testing.T, path string)) {
+		dir := t.TempDir()
+		st1 := openDisk(t, dir, 0)
+		s1 := core.NewSession(core.BuildOptions{Store: st1})
+		if _, err := s1.Update(gen.Units); err != nil {
+			t.Fatal(err)
+		}
+		if err := st1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mutate(t, store.LogPath(dir))
+
+		st2 := openDisk(t, dir, 0)
+		defer st2.Close()
+		s2 := core.NewSession(core.BuildOptions{Store: st2})
+		a2, err := s2.Update(gen.Units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := s2.ArtifactStats()
+		total := stats.Hits + stats.Misses + stats.Invalidated
+		if stats.Misses+stats.Invalidated == 0 {
+			t.Fatalf("%s: corruption rebuilt nothing (%+v) — was it detected?", name, stats)
+		}
+		if stats.StoreHits+stats.Misses+stats.Invalidated < total {
+			t.Fatalf("%s: inconsistent stats %+v", name, stats)
+		}
+		got := reportsJSON(t, normalizeResults(a2.CheckAll(specs, dopts)).Reports)
+		if !bytes.Equal(got, coldB) {
+			t.Fatalf("%s: corrupted store produced different reports\ngot: %s\nwant: %s", name, got, coldB)
+		}
+	}
+
+	corrupt(t, "truncated-tail", func(t *testing.T, path string) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()*2/3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	corrupt(t, "bit-flip", func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x20
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

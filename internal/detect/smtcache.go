@@ -21,6 +21,7 @@ package detect
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/smt"
 )
@@ -71,6 +72,11 @@ type smtCacheShard struct {
 // cache.
 type smtVerdictCache struct {
 	shards [smtCacheShards]smtCacheShard
+	// backing, when set, is a persistent store consulted after both memory
+	// tiers miss and written through on fresh solves, so verdicts survive
+	// process restarts (see verdictstore.go). Attached via
+	// Program.AttachStore.
+	backing atomic.Pointer[verdictBacking]
 }
 
 func newSMTVerdictCache() *smtVerdictCache {
@@ -106,7 +112,7 @@ func (c *smtVerdictCache) lookup(fp *smt.Canon) (smt.Result, map[string]bool, qu
 	if ok {
 		return smt.Unsat, nil, queryCacheShape, true
 	}
-	return smt.Unknown, nil, querySolved, false
+	return c.backingLookup(fp)
 }
 
 // store records a solved verdict. Exact entries are stored for every
@@ -122,7 +128,8 @@ func (c *smtVerdictCache) store(fp *smt.Canon, res smt.Result, model map[int]boo
 	}
 	sh := c.shard(fp.Exact)
 	sh.mu.Lock()
-	if _, dup := sh.exact[fp.Exact]; !dup {
+	_, dup := sh.exact[fp.Exact]
+	if !dup {
 		sh.exact[fp.Exact] = &smtVerdict{res: res, model: model}
 	}
 	sh.mu.Unlock()
@@ -131,6 +138,9 @@ func (c *smtVerdictCache) store(fp *smt.Canon, res smt.Result, model map[int]boo
 		sh.mu.Lock()
 		sh.shape[fp.Shape] = struct{}{}
 		sh.mu.Unlock()
+	}
+	if !dup {
+		c.backingStore(fp, res, model)
 	}
 }
 

@@ -1,0 +1,162 @@
+package detect
+
+// Persistence of the canonical SMT verdict cache (smtcache.go). The
+// in-memory sharded cache stays the canonical tier; a persistent
+// store.Store attached via Program.AttachStore becomes a third lookup
+// stage behind it: queries that miss both memory tiers consult the store,
+// and fresh solves write through. A restarted process pointed at the same
+// store directory therefore replays the verdicts it solved before instead
+// of re-entering DPLL(T).
+//
+// Record formats (little-endian, fixed width — no gob, the records are
+// tiny and read on the detection hot path):
+//
+//	NSVerdict, key = hex(Canon.Exact):
+//	    1 byte result (smt.Sat / smt.Unsat)
+//	    followed by the canonical Sat model as 5-byte pairs:
+//	    uint32 canonical variable id, 1 byte boolean value,
+//	    sorted by id. Unsat records carry no pairs.
+//	NSVerdictShape, key = hex(Canon.Shape):
+//	    the single byte 0x01, present iff the shape was proven Unsat.
+//
+// Unknown verdicts are never persisted: Unknown encodes this run's budget
+// boundary, not a property of the formula, so replaying one under a
+// different SMTBudget could mask a now-affordable solve. (The in-memory
+// tier does cache Unknowns — within one Program the budget is fixed.)
+// The incremental-solver guard of store() applies before write-through,
+// so only Unsat ever reaches disk from incremental runs.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/smt"
+	"repro/internal/store"
+)
+
+// AttachStore backs the verdict cache with a persistent store. Memory
+// misses read through to it and fresh solves write through, so verdicts
+// survive restarts; which pipeline stage answers a query changes, the
+// answer never does. A nil or non-persistent store is a no-op — the
+// in-memory cache is already the canonical map, and mirroring it into
+// another memory map would be pure overhead.
+func (p *Program) AttachStore(st store.Store) {
+	if p == nil || p.smtCache == nil || st == nil || !st.Persistent() {
+		return
+	}
+	p.smtCache.backing.Store(&verdictBacking{st: st})
+}
+
+// verdictBacking wraps the store handle so the cache can swap it
+// atomically (AttachStore may race with in-flight CheckAll lookups).
+type verdictBacking struct {
+	st store.Store
+}
+
+func (c *smtVerdictCache) backingHandle() store.Store {
+	if b := c.backing.Load(); b != nil {
+		return b.st
+	}
+	return nil
+}
+
+// backingLookup is the third lookup stage, tried after both memory tiers
+// miss. A hit populates the memory shard (so the next isomorphic query
+// stops there) and reports the same tier outcome a memory hit would.
+// Store errors and undecodable records read as misses: the caller solves.
+func (c *smtVerdictCache) backingLookup(fp *smt.Canon) (smt.Result, map[string]bool, queryOutcome, bool) {
+	st := c.backingHandle()
+	if st == nil {
+		return smt.Unknown, nil, querySolved, false
+	}
+	if data, ok, err := st.Get(store.NSVerdict, hex.EncodeToString(fp.Exact[:])); err == nil && ok {
+		if res, model, ok := decodeVerdict(data); ok {
+			sh := c.shard(fp.Exact)
+			sh.mu.Lock()
+			if _, dup := sh.exact[fp.Exact]; !dup {
+				sh.exact[fp.Exact] = &smtVerdict{res: res, model: model}
+			}
+			sh.mu.Unlock()
+			if res == smt.Unsat {
+				sh = c.shard(fp.Shape)
+				sh.mu.Lock()
+				sh.shape[fp.Shape] = struct{}{}
+				sh.mu.Unlock()
+			}
+			return res, fp.ProjectModel(model), queryCacheExact, true
+		}
+	}
+	if data, ok, err := st.Get(store.NSVerdictShape, hex.EncodeToString(fp.Shape[:])); err == nil && ok && len(data) == 1 && data[0] == 1 {
+		sh := c.shard(fp.Shape)
+		sh.mu.Lock()
+		sh.shape[fp.Shape] = struct{}{}
+		sh.mu.Unlock()
+		return smt.Unsat, nil, queryCacheShape, true
+	}
+	return smt.Unknown, nil, querySolved, false
+}
+
+// backingStore writes a freshly solved verdict through to the persistent
+// store. Put errors are swallowed: persistence is best-effort, the memory
+// tier carries the current run either way.
+func (c *smtVerdictCache) backingStore(fp *smt.Canon, res smt.Result, model map[int]bool) {
+	st := c.backingHandle()
+	if st == nil {
+		return
+	}
+	if res == smt.Sat || res == smt.Unsat {
+		_ = st.Put(store.NSVerdict, hex.EncodeToString(fp.Exact[:]), encodeVerdict(res, model))
+	}
+	if res == smt.Unsat {
+		_ = st.Put(store.NSVerdictShape, hex.EncodeToString(fp.Shape[:]), []byte{1})
+	}
+}
+
+// encodeVerdict flattens one exact-tier record; see the format comment at
+// the top of the file.
+func encodeVerdict(res smt.Result, model map[int]bool) []byte {
+	buf := make([]byte, 1, 1+5*len(model))
+	buf[0] = byte(res)
+	ids := make([]int, 0, len(model))
+	for id := range model {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var pair [5]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(pair[:4], uint32(id))
+		pair[4] = 0
+		if model[id] {
+			pair[4] = 1
+		}
+		buf = append(buf, pair[:]...)
+	}
+	return buf
+}
+
+// decodeVerdict parses an exact-tier record, reporting ok=false for any
+// malformed byte so corrupted records degrade to cache misses.
+func decodeVerdict(data []byte) (smt.Result, map[int]bool, bool) {
+	if len(data) < 1 || (len(data)-1)%5 != 0 {
+		return smt.Unknown, nil, false
+	}
+	res := smt.Result(data[0])
+	if res != smt.Sat && res != smt.Unsat {
+		return smt.Unknown, nil, false
+	}
+	n := (len(data) - 1) / 5
+	var model map[int]bool
+	if n > 0 {
+		model = make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			p := data[1+5*i:]
+			v := p[4]
+			if v > 1 {
+				return smt.Unknown, nil, false
+			}
+			model[int(int32(binary.LittleEndian.Uint32(p[:4])))] = v == 1
+		}
+	}
+	return res, model, true
+}

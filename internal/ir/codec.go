@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// This file defines the wire form of a function for the persistent
+// artifact store. The IR is a pointer graph with cycles (values point at
+// defining instructions, instructions at blocks, blocks at the function),
+// so the wire form flattens everything to the dense per-function ID spaces
+// the constructors already maintain: values, instructions, and blocks are
+// serialized once and referenced by int32 ID (-1 = nil). Export and Import
+// reproduce the function exactly — including ID counters and constant
+// intern tables — so a warm-loaded function is indistinguishable from the
+// one the build produced.
+
+// ValueWire is the serialized form of one Value.
+type ValueWire struct {
+	ID       int32
+	Kind     ValueKind
+	Name     string
+	Type     minic.Type
+	Def      int32 // instruction ID, -1 for none
+	IntVal   int64
+	BoolVal  bool
+	ParamIdx int32
+	Aux      bool
+}
+
+// InstrWire is the serialized form of one Instr. Dst/Dsts/Args hold value
+// IDs; Blocks holds block IDs. A -1 slot means nil (void call receivers).
+type InstrWire struct {
+	ID        int32
+	Op        Op
+	Dst       int32
+	Dsts      []int32
+	Args      []int32
+	Sub       string
+	Callee    string
+	Blocks    []int32
+	Pos       minic.Pos
+	Synthetic bool
+}
+
+// BlockWire is the serialized form of one Block.
+type BlockWire struct {
+	ID     int32
+	Instrs []InstrWire
+	Preds  []int32
+	Succs  []int32
+}
+
+// FuncWire is the serialized form of one Func.
+type FuncWire struct {
+	Name   string
+	Ret    minic.Type
+	Params []int32
+	Values []ValueWire // every live value, ascending ID
+	Blocks []BlockWire // in Func.Blocks order
+	Entry  int32
+	Exit   int32
+	Unit   int
+	Pos    minic.Pos
+	AuxIn  []AuxSpec
+	AuxOut []AuxSpec
+	// ID counters, preserved so post-import edits allocate fresh IDs.
+	NextValID   int32
+	NextInstrID int32
+	NextBlockID int32
+}
+
+// Index maps a function's dense ID spaces back to pointers. The companion
+// codecs (ssa, pta, seg) resolve their serialized references through it.
+type Index struct {
+	Values []*Value
+	Instrs []*Instr
+	Blocks []*Block
+}
+
+// BuildIndex collects every value, instruction, and block reachable from f
+// into ID-indexed tables.
+func BuildIndex(f *Func) *Index {
+	ix := &Index{
+		Values: make([]*Value, f.nextValID),
+		Instrs: make([]*Instr, f.nextInstrID),
+		Blocks: make([]*Block, f.nextBlockID),
+	}
+	addV := func(v *Value) {
+		if v != nil {
+			ix.Values[v.ID] = v
+		}
+	}
+	for _, p := range f.Params {
+		addV(p)
+	}
+	for _, c := range f.intConsts {
+		addV(c)
+	}
+	addV(f.boolConsts[0])
+	addV(f.boolConsts[1])
+	addV(f.nullConst)
+	for _, b := range f.Blocks {
+		ix.Blocks[b.ID] = b
+		for _, in := range b.Instrs {
+			ix.Instrs[in.ID] = in
+			addV(in.Dst)
+			for _, d := range in.Dsts {
+				addV(d)
+			}
+			for _, a := range in.Args {
+				addV(a)
+			}
+		}
+	}
+	return ix
+}
+
+func valID(v *Value) int32 {
+	if v == nil {
+		return -1
+	}
+	return int32(v.ID)
+}
+
+func instrID(in *Instr) int32 {
+	if in == nil {
+		return -1
+	}
+	return int32(in.ID)
+}
+
+func blockID(b *Block) int32 {
+	if b == nil {
+		return -1
+	}
+	return int32(b.ID)
+}
+
+// ExportFunc flattens f into its wire form. The returned Index is the one
+// used during export, handed back so callers can serialize companion
+// structures against the same ID spaces.
+func ExportFunc(f *Func) (*FuncWire, *Index) {
+	ix := BuildIndex(f)
+	w := &FuncWire{
+		Name: f.Name, Ret: f.Ret,
+		Entry: blockID(f.Entry), Exit: blockID(f.Exit),
+		Unit: f.Unit, Pos: f.Pos,
+		AuxIn: f.AuxIn, AuxOut: f.AuxOut,
+		NextValID:   int32(f.nextValID),
+		NextInstrID: int32(f.nextInstrID),
+		NextBlockID: int32(f.nextBlockID),
+	}
+	w.Params = make([]int32, len(f.Params))
+	for i, p := range f.Params {
+		w.Params[i] = valID(p)
+	}
+	for _, v := range ix.Values {
+		if v == nil {
+			continue // ID allocated but value no longer live
+		}
+		w.Values = append(w.Values, ValueWire{
+			ID: int32(v.ID), Kind: v.Kind, Name: v.Name, Type: v.Type,
+			Def: instrID(v.Def), IntVal: v.IntVal, BoolVal: v.BoolVal,
+			ParamIdx: int32(v.ParamIdx), Aux: v.Aux,
+		})
+	}
+	w.Blocks = make([]BlockWire, len(f.Blocks))
+	for i, b := range f.Blocks {
+		bw := BlockWire{ID: int32(b.ID)}
+		bw.Instrs = make([]InstrWire, len(b.Instrs))
+		for j, in := range b.Instrs {
+			iw := InstrWire{
+				ID: int32(in.ID), Op: in.Op, Dst: valID(in.Dst),
+				Sub: in.Sub, Callee: in.Callee, Pos: in.Pos,
+				Synthetic: in.Synthetic,
+			}
+			if len(in.Dsts) > 0 {
+				iw.Dsts = make([]int32, len(in.Dsts))
+				for k, d := range in.Dsts {
+					iw.Dsts[k] = valID(d)
+				}
+			}
+			if len(in.Args) > 0 {
+				iw.Args = make([]int32, len(in.Args))
+				for k, a := range in.Args {
+					iw.Args[k] = valID(a)
+				}
+			}
+			if len(in.Blocks) > 0 {
+				iw.Blocks = make([]int32, len(in.Blocks))
+				for k, t := range in.Blocks {
+					iw.Blocks[k] = blockID(t)
+				}
+			}
+			bw.Instrs[j] = iw
+		}
+		if len(b.Preds) > 0 {
+			bw.Preds = make([]int32, len(b.Preds))
+			for j, p := range b.Preds {
+				bw.Preds[j] = blockID(p)
+			}
+		}
+		if len(b.Succs) > 0 {
+			bw.Succs = make([]int32, len(b.Succs))
+			for j, s := range b.Succs {
+				bw.Succs[j] = blockID(s)
+			}
+		}
+		w.Blocks[i] = bw
+	}
+	return w, ix
+}
+
+// ImportFunc rebuilds a Func (and its Index) from wire form.
+func ImportFunc(w *FuncWire) (*Func, *Index, error) {
+	f := &Func{
+		Name: w.Name, Ret: w.Ret, Unit: w.Unit, Pos: w.Pos,
+		AuxIn: w.AuxIn, AuxOut: w.AuxOut,
+		nextValID:   int(w.NextValID),
+		nextInstrID: int(w.NextInstrID),
+		nextBlockID: int(w.NextBlockID),
+		intConsts:   make(map[int64]*Value),
+	}
+	ix := &Index{
+		Values: make([]*Value, w.NextValID),
+		Instrs: make([]*Instr, w.NextInstrID),
+		Blocks: make([]*Block, w.NextBlockID),
+	}
+	value := func(id int32) (*Value, error) {
+		if id == -1 {
+			return nil, nil
+		}
+		if id < 0 || int(id) >= len(ix.Values) || ix.Values[id] == nil {
+			return nil, fmt.Errorf("ir: import %s: bad value id %d", w.Name, id)
+		}
+		return ix.Values[id], nil
+	}
+	block := func(id int32) (*Block, error) {
+		if id == -1 {
+			return nil, nil
+		}
+		if id < 0 || int(id) >= len(ix.Blocks) || ix.Blocks[id] == nil {
+			return nil, fmt.Errorf("ir: import %s: bad block id %d", w.Name, id)
+		}
+		return ix.Blocks[id], nil
+	}
+
+	// Pass 1: values (Def wired in pass 3), restoring the intern tables.
+	for _, vw := range w.Values {
+		if vw.ID < 0 || int(vw.ID) >= len(ix.Values) || ix.Values[vw.ID] != nil {
+			return nil, nil, fmt.Errorf("ir: import %s: bad value id %d", w.Name, vw.ID)
+		}
+		v := &Value{
+			ID: int(vw.ID), Kind: vw.Kind, Name: vw.Name, Type: vw.Type,
+			IntVal: vw.IntVal, BoolVal: vw.BoolVal,
+			ParamIdx: int(vw.ParamIdx), Aux: vw.Aux,
+		}
+		ix.Values[vw.ID] = v
+		switch v.Kind {
+		case VConstInt:
+			f.intConsts[v.IntVal] = v
+		case VConstBool:
+			if v.BoolVal {
+				f.boolConsts[1] = v
+			} else {
+				f.boolConsts[0] = v
+			}
+		case VConstNull:
+			f.nullConst = v
+		}
+	}
+	f.Params = make([]*Value, len(w.Params))
+	for i, id := range w.Params {
+		p, err := value(id)
+		if err != nil || p == nil {
+			return nil, nil, fmt.Errorf("ir: import %s: bad param id %d", w.Name, id)
+		}
+		f.Params[i] = p
+	}
+
+	// Pass 2: block shells, so instruction targets can resolve.
+	f.Blocks = make([]*Block, len(w.Blocks))
+	for i, bw := range w.Blocks {
+		if bw.ID < 0 || int(bw.ID) >= len(ix.Blocks) || ix.Blocks[bw.ID] != nil {
+			return nil, nil, fmt.Errorf("ir: import %s: bad block id %d", w.Name, bw.ID)
+		}
+		b := &Block{ID: int(bw.ID), Fn: f}
+		ix.Blocks[bw.ID] = b
+		f.Blocks[i] = b
+	}
+
+	// Pass 3: instructions, CFG edges, and value Defs.
+	for i, bw := range w.Blocks {
+		b := f.Blocks[i]
+		b.Instrs = make([]*Instr, len(bw.Instrs))
+		for j, iw := range bw.Instrs {
+			if iw.ID < 0 || int(iw.ID) >= len(ix.Instrs) || ix.Instrs[iw.ID] != nil {
+				return nil, nil, fmt.Errorf("ir: import %s: bad instr id %d", w.Name, iw.ID)
+			}
+			in := &Instr{
+				ID: int(iw.ID), Op: iw.Op, Sub: iw.Sub, Callee: iw.Callee,
+				Pos: iw.Pos, Block: b, Synthetic: iw.Synthetic,
+			}
+			var err error
+			if in.Dst, err = value(iw.Dst); err != nil {
+				return nil, nil, err
+			}
+			if len(iw.Dsts) > 0 {
+				in.Dsts = make([]*Value, len(iw.Dsts))
+				for k, id := range iw.Dsts {
+					if in.Dsts[k], err = value(id); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			if len(iw.Args) > 0 {
+				in.Args = make([]*Value, len(iw.Args))
+				for k, id := range iw.Args {
+					if in.Args[k], err = value(id); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			if len(iw.Blocks) > 0 {
+				in.Blocks = make([]*Block, len(iw.Blocks))
+				for k, id := range iw.Blocks {
+					if in.Blocks[k], err = block(id); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			ix.Instrs[iw.ID] = in
+			b.Instrs[j] = in
+		}
+	}
+	for i, bw := range w.Blocks {
+		b := f.Blocks[i]
+		var err error
+		if len(bw.Preds) > 0 {
+			b.Preds = make([]*Block, len(bw.Preds))
+			for j, id := range bw.Preds {
+				if b.Preds[j], err = block(id); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if len(bw.Succs) > 0 {
+			b.Succs = make([]*Block, len(bw.Succs))
+			for j, id := range bw.Succs {
+				if b.Succs[j], err = block(id); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	// Defs last: they reference instructions.
+	for _, vw := range w.Values {
+		if vw.Def == -1 {
+			continue
+		}
+		if vw.Def < 0 || int(vw.Def) >= len(ix.Instrs) || ix.Instrs[vw.Def] == nil {
+			return nil, nil, fmt.Errorf("ir: import %s: bad def id %d", w.Name, vw.Def)
+		}
+		ix.Values[vw.ID].Def = ix.Instrs[vw.Def]
+	}
+	var err error
+	if f.Entry, err = block(w.Entry); err != nil {
+		return nil, nil, err
+	}
+	if f.Exit, err = block(w.Exit); err != nil {
+		return nil, nil, err
+	}
+	return f, ix, nil
+}

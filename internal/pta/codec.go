@@ -1,0 +1,237 @@
+package pta
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// Wire form of a Result for the persistent artifact store. Values,
+// instructions, and conditions are referenced by their dense per-function
+// IDs (-1 = nil); map entries are sorted by key ID so the encoding is
+// deterministic, while the guarded-pair slices keep their original order
+// (downstream traversals iterate them in order).
+
+// LocWire is the serialized form of a Loc.
+type LocWire struct {
+	Kind  LocKind
+	Instr int32
+	Val   int32
+	Name  string
+	Field string
+}
+
+// GuardedLocWire is the serialized form of a GuardedLoc.
+type GuardedLocWire struct {
+	Loc  LocWire
+	Cond int32
+}
+
+// GuardedValWire is the serialized form of a GuardedVal.
+type GuardedValWire struct {
+	Val  int32
+	Cond int32
+}
+
+// PTSWire is one PTS entry. An entry with an empty Locs list is still
+// meaningful: it caches "not a pointer / no targets".
+type PTSWire struct {
+	Val  int32
+	Locs []GuardedLocWire
+}
+
+// InstrLocsWire is one StoredAt entry.
+type InstrLocsWire struct {
+	Instr int32
+	Locs  []GuardedLocWire
+}
+
+// InstrValsWire is one LoadSources entry.
+type InstrValsWire struct {
+	Instr int32
+	Vals  []GuardedValWire
+}
+
+// ResultWire is the serialized form of a Result (minus Fn and Info, which
+// are re-attached at import).
+type ResultWire struct {
+	PTS         []PTSWire
+	LoadSources []InstrValsWire
+	StoredAt    []InstrLocsWire
+	Stats       Stats
+}
+
+func wireLoc(l Loc) LocWire {
+	w := LocWire{Kind: l.Kind, Instr: -1, Val: -1, Name: l.Name, Field: l.Field}
+	if l.Instr != nil {
+		w.Instr = int32(l.Instr.ID)
+	}
+	if l.Val != nil {
+		w.Val = int32(l.Val.ID)
+	}
+	return w
+}
+
+func wireCond(c *cond.Cond) int32 {
+	if c == nil {
+		return -1
+	}
+	return int32(c.ID())
+}
+
+func wireLocs(ls []GuardedLoc) []GuardedLocWire {
+	if ls == nil {
+		return nil
+	}
+	out := make([]GuardedLocWire, len(ls))
+	for i, gl := range ls {
+		out[i] = GuardedLocWire{Loc: wireLoc(gl.Loc), Cond: wireCond(gl.Cond)}
+	}
+	return out
+}
+
+// ExportResult flattens r into wire form.
+func ExportResult(r *Result) *ResultWire {
+	w := &ResultWire{Stats: r.Stats}
+	for v, locs := range r.PTS {
+		w.PTS = append(w.PTS, PTSWire{Val: int32(v.ID), Locs: wireLocs(locs)})
+	}
+	sort.Slice(w.PTS, func(i, j int) bool { return w.PTS[i].Val < w.PTS[j].Val })
+	for in, vals := range r.LoadSources {
+		vw := InstrValsWire{Instr: int32(in.ID)}
+		if vals != nil {
+			vw.Vals = make([]GuardedValWire, len(vals))
+			for i, gv := range vals {
+				vw.Vals[i] = GuardedValWire{Val: int32(gv.Val.ID), Cond: wireCond(gv.Cond)}
+			}
+		}
+		w.LoadSources = append(w.LoadSources, vw)
+	}
+	sort.Slice(w.LoadSources, func(i, j int) bool { return w.LoadSources[i].Instr < w.LoadSources[j].Instr })
+	for in, locs := range r.StoredAt {
+		w.StoredAt = append(w.StoredAt, InstrLocsWire{Instr: int32(in.ID), Locs: wireLocs(locs)})
+	}
+	sort.Slice(w.StoredAt, func(i, j int) bool { return w.StoredAt[i].Instr < w.StoredAt[j].Instr })
+	return w
+}
+
+type importer struct {
+	fn    *ir.Func
+	ix    *ir.Index
+	nodes []*cond.Cond
+}
+
+func (im *importer) value(id int32) (*ir.Value, error) {
+	if id == -1 {
+		return nil, nil
+	}
+	if id < 0 || int(id) >= len(im.ix.Values) || im.ix.Values[id] == nil {
+		return nil, fmt.Errorf("pta: import %s: bad value id %d", im.fn.Name, id)
+	}
+	return im.ix.Values[id], nil
+}
+
+func (im *importer) instr(id int32) (*ir.Instr, error) {
+	if id == -1 {
+		return nil, nil
+	}
+	if id < 0 || int(id) >= len(im.ix.Instrs) || im.ix.Instrs[id] == nil {
+		return nil, fmt.Errorf("pta: import %s: bad instr id %d", im.fn.Name, id)
+	}
+	return im.ix.Instrs[id], nil
+}
+
+func (im *importer) cond(id int32) (*cond.Cond, error) {
+	if id == -1 {
+		return nil, nil
+	}
+	if id < 0 || int(id) >= len(im.nodes) {
+		return nil, fmt.Errorf("pta: import %s: bad cond id %d", im.fn.Name, id)
+	}
+	return im.nodes[id], nil
+}
+
+func (im *importer) locs(ws []GuardedLocWire) ([]GuardedLoc, error) {
+	if ws == nil {
+		return nil, nil
+	}
+	out := make([]GuardedLoc, len(ws))
+	for i, glw := range ws {
+		l := Loc{Kind: glw.Loc.Kind, Name: glw.Loc.Name, Field: glw.Loc.Field}
+		var err error
+		if l.Instr, err = im.instr(glw.Loc.Instr); err != nil {
+			return nil, err
+		}
+		if l.Val, err = im.value(glw.Loc.Val); err != nil {
+			return nil, err
+		}
+		c, err := im.cond(glw.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = GuardedLoc{Loc: l, Cond: c}
+	}
+	return out, nil
+}
+
+// ImportResult rebuilds a Result for f from wire form. ix and nodes must
+// come from the companion ir/cond imports of the same artifact.
+func ImportResult(w *ResultWire, f *ir.Func, inf *ssa.Info, ix *ir.Index, nodes []*cond.Cond) (*Result, error) {
+	im := &importer{fn: f, ix: ix, nodes: nodes}
+	r := &Result{
+		Fn:          f,
+		Info:        inf,
+		PTS:         make(map[*ir.Value][]GuardedLoc, len(w.PTS)),
+		LoadSources: make(map[*ir.Instr][]GuardedVal, len(w.LoadSources)),
+		StoredAt:    make(map[*ir.Instr][]GuardedLoc, len(w.StoredAt)),
+		Stats:       w.Stats,
+	}
+	for _, pw := range w.PTS {
+		v, err := im.value(pw.Val)
+		if err != nil || v == nil {
+			return nil, fmt.Errorf("pta: import %s: bad PTS value id %d", f.Name, pw.Val)
+		}
+		locs, err := im.locs(pw.Locs)
+		if err != nil {
+			return nil, err
+		}
+		r.PTS[v] = locs
+	}
+	for _, lw := range w.LoadSources {
+		in, err := im.instr(lw.Instr)
+		if err != nil || in == nil {
+			return nil, fmt.Errorf("pta: import %s: bad load instr id %d", f.Name, lw.Instr)
+		}
+		var vals []GuardedVal
+		if lw.Vals != nil {
+			vals = make([]GuardedVal, len(lw.Vals))
+			for i, gvw := range lw.Vals {
+				v, err := im.value(gvw.Val)
+				if err != nil || v == nil {
+					return nil, fmt.Errorf("pta: import %s: bad source value id %d", f.Name, gvw.Val)
+				}
+				c, err := im.cond(gvw.Cond)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = GuardedVal{Val: v, Cond: c}
+			}
+		}
+		r.LoadSources[in] = vals
+	}
+	for _, sw := range w.StoredAt {
+		in, err := im.instr(sw.Instr)
+		if err != nil || in == nil {
+			return nil, fmt.Errorf("pta: import %s: bad store instr id %d", f.Name, sw.Instr)
+		}
+		locs, err := im.locs(sw.Locs)
+		if err != nil {
+			return nil, err
+		}
+		r.StoredAt[in] = locs
+	}
+	return r, nil
+}

@@ -1,0 +1,151 @@
+package seg
+
+import (
+	"fmt"
+
+	"repro/internal/cond"
+	"repro/internal/ir"
+	"repro/internal/pta"
+	"repro/internal/ssa"
+)
+
+// Wire form of a Graph for the persistent artifact store. Vertices are
+// serialized in creation order and referenced by position; values,
+// instructions, and conditions by their dense per-function IDs. Creation
+// order is load-bearing: ByRole index order equals vertex creation order,
+// and detection iterates ByRole, so preserving the order preserves report
+// determinism. The lazy happens-after memo (blockReach) restarts empty and
+// the intra-block instruction index is rebuilt by the same scan Build uses.
+
+// SEGNodeWire is the serialized form of one Node.
+type SEGNodeWire struct {
+	Kind   NodeKind
+	Role   UseRole
+	Val    int32
+	Instr  int32
+	ArgIdx int32
+}
+
+// SEGEdgeWire is one outgoing edge.
+type SEGEdgeWire struct {
+	To   int32 // node position
+	Cond int32
+}
+
+// SEGSuccWire is one vertex's ordered edge list.
+type SEGSuccWire struct {
+	From  int32 // node position
+	Edges []SEGEdgeWire
+}
+
+// GraphWire is the serialized form of a Graph (minus Fn/Info/PTA, which
+// are re-attached at import).
+type GraphWire struct {
+	Nodes []SEGNodeWire
+	Succs []SEGSuccWire
+}
+
+// ExportGraph flattens g into wire form.
+func ExportGraph(g *Graph) *GraphWire {
+	w := &GraphWire{Nodes: make([]SEGNodeWire, len(g.nodes))}
+	pos := make(map[*Node]int32, len(g.nodes))
+	for i, n := range g.nodes {
+		pos[n] = int32(i)
+		nw := SEGNodeWire{Kind: n.Kind, Role: n.Role, Val: -1, Instr: -1, ArgIdx: int32(n.ArgIdx)}
+		if n.Val != nil {
+			nw.Val = int32(n.Val.ID)
+		}
+		if n.Instr != nil {
+			nw.Instr = int32(n.Instr.ID)
+		}
+		w.Nodes[i] = nw
+	}
+	// Emit edge lists in vertex order (map iteration would be random).
+	for i, n := range g.nodes {
+		es := g.succ[n]
+		if len(es) == 0 {
+			continue
+		}
+		sw := SEGSuccWire{From: int32(i), Edges: make([]SEGEdgeWire, len(es))}
+		for j, e := range es {
+			ew := SEGEdgeWire{To: pos[e.To], Cond: -1}
+			if e.Cond != nil {
+				ew.Cond = int32(e.Cond.ID())
+			}
+			sw.Edges[j] = ew
+		}
+		w.Succs = append(w.Succs, sw)
+	}
+	return w
+}
+
+// ImportGraph rebuilds a Graph for f from wire form. ix and nodes must be
+// the companion ir/cond imports of the same artifact.
+func ImportGraph(w *GraphWire, f *ir.Func, inf *ssa.Info, pr *pta.Result, ix *ir.Index, nodes []*cond.Cond) (*Graph, error) {
+	g := &Graph{
+		Fn:         f,
+		Info:       inf,
+		PTA:        pr,
+		values:     make(map[*ir.Value]*Node),
+		uses:       make(map[useKey]*Node, len(w.Nodes)),
+		succ:       make(map[*Node][]Edge, len(w.Succs)),
+		nodes:      make([]*Node, len(w.Nodes)),
+		ByRole:     make(map[UseRole][]*Node),
+		instrIdx:   make(map[*ir.Instr]int),
+		blockReach: make(map[*ir.Block]map[*ir.Block]bool),
+	}
+	for i, nw := range w.Nodes {
+		n := &Node{Kind: nw.Kind, Role: nw.Role, ArgIdx: int(nw.ArgIdx)}
+		if nw.Val != -1 {
+			if nw.Val < 0 || int(nw.Val) >= len(ix.Values) || ix.Values[nw.Val] == nil {
+				return nil, fmt.Errorf("seg: import %s: bad value id %d", f.Name, nw.Val)
+			}
+			n.Val = ix.Values[nw.Val]
+		}
+		if nw.Instr != -1 {
+			if nw.Instr < 0 || int(nw.Instr) >= len(ix.Instrs) || ix.Instrs[nw.Instr] == nil {
+				return nil, fmt.Errorf("seg: import %s: bad instr id %d", f.Name, nw.Instr)
+			}
+			n.Instr = ix.Instrs[nw.Instr]
+		}
+		g.nodes[i] = n
+		switch n.Kind {
+		case NValue:
+			if n.Val == nil {
+				return nil, fmt.Errorf("seg: import %s: value vertex %d without value", f.Name, i)
+			}
+			g.values[n.Val] = n
+		case NUse:
+			g.uses[useKey{instr: n.Instr, argIdx: n.ArgIdx, role: n.Role}] = n
+			g.ByRole[n.Role] = append(g.ByRole[n.Role], n)
+		default:
+			return nil, fmt.Errorf("seg: import %s: vertex %d has unknown kind %d", f.Name, i, n.Kind)
+		}
+	}
+	for _, sw := range w.Succs {
+		if sw.From < 0 || int(sw.From) >= len(g.nodes) {
+			return nil, fmt.Errorf("seg: import %s: bad edge source %d", f.Name, sw.From)
+		}
+		es := make([]Edge, len(sw.Edges))
+		for j, ew := range sw.Edges {
+			if ew.To < 0 || int(ew.To) >= len(g.nodes) {
+				return nil, fmt.Errorf("seg: import %s: bad edge target %d", f.Name, ew.To)
+			}
+			var c *cond.Cond
+			if ew.Cond != -1 {
+				if ew.Cond < 0 || int(ew.Cond) >= len(nodes) {
+					return nil, fmt.Errorf("seg: import %s: bad edge cond %d", f.Name, ew.Cond)
+				}
+				c = nodes[ew.Cond]
+			}
+			es[j] = Edge{To: g.nodes[ew.To], Cond: c}
+		}
+		g.succ[g.nodes[sw.From]] = es
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			g.instrIdx[in] = i
+		}
+	}
+	return g, nil
+}

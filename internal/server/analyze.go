@@ -53,21 +53,25 @@ type AnalyzeResponse struct {
 // AnalyzeStats summarizes the request's work: what the incremental store
 // reused, how large the program is, and where the wall-clock went.
 type AnalyzeStats struct {
-	Functions           int   `json:"functions"`
-	ArtifactHits        int   `json:"artifactHits"`
-	ArtifactMisses      int   `json:"artifactMisses"`
-	ArtifactInvalidated int   `json:"artifactInvalidated"`
-	Reports             int   `json:"reports"`
-	Workers             int   `json:"workers"`
-	BuildNs             int64 `json:"buildNs"`
-	DetectNs            int64 `json:"detectNs"`
-	GateWaitNs          int64 `json:"gateWaitNs"`
-	SMTQueries          int   `json:"smtQueries"`
-	SMTSolved           int   `json:"smtSolved"`
-	SMTCacheHits        int   `json:"smtCacheHits"`
-	SMTPrefilterUnsat   int   `json:"smtPrefilterUnsat"`
-	SummaryCacheHits    int   `json:"summaryCacheHits"`
-	SummaryCacheMisses  int   `json:"summaryCacheMisses"`
+	Functions           int `json:"functions"`
+	ArtifactHits        int `json:"artifactHits"`
+	ArtifactMisses      int `json:"artifactMisses"`
+	ArtifactInvalidated int `json:"artifactInvalidated"`
+	// ArtifactStoreHits counts the artifacts warm-loaded from the
+	// persistent store rather than found in memory — nonzero only on the
+	// first request after a restart with a populated -store-dir.
+	ArtifactStoreHits  int   `json:"artifactStoreHits"`
+	Reports            int   `json:"reports"`
+	Workers            int   `json:"workers"`
+	BuildNs            int64 `json:"buildNs"`
+	DetectNs           int64 `json:"detectNs"`
+	GateWaitNs         int64 `json:"gateWaitNs"`
+	SMTQueries         int   `json:"smtQueries"`
+	SMTSolved          int   `json:"smtSolved"`
+	SMTCacheHits       int   `json:"smtCacheHits"`
+	SMTPrefilterUnsat  int   `json:"smtPrefilterUnsat"`
+	SummaryCacheHits   int   `json:"summaryCacheHits"`
+	SummaryCacheMisses int   `json:"summaryCacheMisses"`
 }
 
 type httpError struct {
@@ -167,6 +171,14 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	buildNs := time.Since(buildStart)
+	if a.Artifacts.StoreHits > 0 {
+		// The greppable restart marker: the persistent store served
+		// artifacts that would otherwise have been rebuilt.
+		ri.Log.Info("store warm load",
+			"artifact_store_hits", a.Artifacts.StoreHits,
+			"artifact_hits", a.Artifacts.Hits,
+			"artifact_misses", a.Artifacts.Misses)
+	}
 
 	detectStart := time.Now()
 	res := a.CheckAll(specs, detect.Options{
@@ -187,6 +199,7 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 		ArtifactHits:        a.Artifacts.Hits,
 		ArtifactMisses:      a.Artifacts.Misses,
 		ArtifactInvalidated: a.Artifacts.Invalidated,
+		ArtifactStoreHits:   a.Artifacts.StoreHits,
 		Reports:             len(reports),
 		Workers:             conc.Workers(workers),
 		BuildNs:             buildNs.Nanoseconds(),

@@ -2,6 +2,8 @@ package server
 
 import (
 	"net/http"
+
+	"repro/internal/store"
 )
 
 // handleHealthz is the liveness probe: the process is up and the mux is
@@ -72,6 +74,31 @@ func (s *Server) handleDebugSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, d)
+}
+
+// storeDebug is the GET /v1/debug/store schema: whether a persistent
+// store backs the session, its residency and on-disk occupancy, and the
+// last compaction. Counters are cumulative since the store was opened.
+type storeDebug struct {
+	// Persistent is false when the server runs memory-only (no -store-dir);
+	// every other field is zero then.
+	Persistent bool        `json:"persistent"`
+	Stats      store.Stats `json:"stats"`
+	// ArtifactStoreHits is the number of artifacts the session's last
+	// Update warm-loaded from the store instead of rebuilding.
+	ArtifactStoreHits int `json:"artifactStoreHits"`
+}
+
+func (s *Server) handleDebugStore(w http.ResponseWriter, r *http.Request) {
+	var d storeDebug
+	if st := s.cfg.Store; st != nil && st.Persistent() {
+		d.Persistent = true
+		d.Stats = st.Stat()
+		s.mu.Lock()
+		d.ArtifactStoreHits = s.sess.ArtifactStats().StoreHits
+		s.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, d)
 }
 

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config parameterizes a Server. The zero value is usable: it listens on a
@@ -58,6 +60,12 @@ type Config struct {
 	// Rec is the process-wide metrics recorder backing /metrics. Nil
 	// means a fresh non-tracing recorder.
 	Rec *obs.Recorder
+	// Store, when non-nil and persistent, backs the session's artifacts
+	// and the SMT verdict cache (see internal/store): a restarted server
+	// pointed at the same store directory warm-loads instead of cold
+	// building. The caller owns the store and closes it after Serve
+	// returns. Nil keeps the historical in-memory-only behavior.
+	Store store.Store
 }
 
 // Server is the analysis service. Create with New, then Serve or
@@ -107,21 +115,39 @@ func New(cfg Config) *Server {
 		log:      log,
 		rec:      rec,
 		gate:     conc.NewGate(cfg.MaxInFlight),
-		sess:     core.NewSession(core.BuildOptions{Workers: cfg.Workers, Obs: rec}),
+		sess:     core.NewSession(core.BuildOptions{Workers: cfg.Workers, Obs: rec, Store: cfg.Store}),
 		inflight: make(map[uint64]*inflightEntry),
 	}
 }
 
-// Handler returns the service's route table. Useful for tests
-// (httptest.NewServer) and for embedding under a larger mux.
+// Handler returns the service's route table. The API is versioned under
+// /v1/; the original unversioned paths stay registered as aliases bound to
+// the same handlers, so existing clients keep working byte-for-byte.
+// Useful for tests (httptest.NewServer) and for embedding under a larger
+// mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /analyze", s.handleAnalyze)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/session", s.handleDebugSession)
-	mux.HandleFunc("GET /debug/inflight", s.handleDebugInflight)
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /analyze", s.handleAnalyze},
+		{"GET /healthz", s.handleHealthz},
+		{"GET /readyz", s.handleReadyz},
+		{"GET /metrics", s.handleMetrics},
+		{"GET /debug/session", s.handleDebugSession},
+		{"GET /debug/inflight", s.handleDebugInflight},
+		{"GET /debug/store", s.handleDebugStore},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.pattern, rt.h)
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, rt.h)
+	}
+	// /v1/health is the canonical spelling of the versioned liveness
+	// probe; /v1/healthz remains from the alias loop above.
+	mux.HandleFunc("GET /v1/health", s.handleHealthz)
+	mux.HandleFunc("GET /v1/ready", s.handleReadyz)
 	return s.track(mux)
 }
 
@@ -241,7 +267,7 @@ func (s *Server) track(next http.Handler) http.Handler {
 		// /metrics and health probes would drown the request log; keep
 		// Info for the endpoints that do work.
 		lvl := slog.LevelInfo
-		if r.URL.Path != "/analyze" {
+		if r.URL.Path != "/analyze" && r.URL.Path != "/v1/analyze" {
 			lvl = slog.LevelDebug
 		}
 		log.Log(r.Context(), lvl, "request done", "status", sw.status, "dur", d.String())

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestV1Aliases checks the versioned surface: every /v1/ path answers, and
+// the legacy unversioned spelling stays wired to the same handler.
+func TestV1Aliases(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, path := range []string{
+		"/healthz", "/v1/healthz", "/v1/health",
+		"/readyz", "/v1/readyz", "/v1/ready",
+		"/metrics", "/v1/metrics",
+		"/debug/session", "/v1/debug/session",
+		"/debug/inflight", "/v1/debug/inflight",
+		"/debug/store", "/v1/debug/store",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+
+	units := unitsToJSON(exampleUnits(t))
+	legacy, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Units: units})
+	body, err := json.Marshal(AnalyzeRequest{Units: units})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/analyze: %s", resp.Status)
+	}
+	var versioned AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&versioned); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := json.Marshal(legacy.Reports)
+	vb, _ := json.Marshal(versioned.Reports)
+	if string(lb) != string(vb) {
+		t.Fatalf("/v1/analyze reports differ from /analyze:\n%s\n%s", vb, lb)
+	}
+}
+
+// TestServeStoreWarmRestart drives the persistent store through the HTTP
+// surface: a second server process on the same store directory answers its
+// first request from warm-loaded artifacts, with identical reports, and
+// /v1/debug/store reports the residency.
+func TestServeStoreWarmRestart(t *testing.T) {
+	units := unitsToJSON(exampleUnits(t))
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Store: st1})
+	first, _ := postAnalyze(t, ts1.URL, AnalyzeRequest{Units: units})
+	if first.Stats.ArtifactStoreHits != 0 {
+		t.Fatalf("cold server store-loaded %d artifacts; want 0", first.Stats.ArtifactStoreHits)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	_, ts2 := newTestServer(t, Config{Store: st2})
+	second, _ := postAnalyze(t, ts2.URL, AnalyzeRequest{Units: units})
+
+	if second.Stats.ArtifactStoreHits == 0 || second.Stats.ArtifactMisses != 0 {
+		t.Fatalf("restarted server did not warm-load: %+v", second.Stats)
+	}
+	fb, _ := json.Marshal(first.Reports)
+	sb, _ := json.Marshal(second.Reports)
+	if string(fb) != string(sb) {
+		t.Fatalf("restarted server reports differ:\n%s\n%s", sb, fb)
+	}
+
+	resp, err := http.Get(ts2.URL + "/v1/debug/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d storeDebug
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Persistent {
+		t.Fatal("/v1/debug/store reports no persistent store")
+	}
+	if d.Stats.Records == 0 || d.Stats.DiskBytes == 0 {
+		t.Fatalf("/v1/debug/store reports an empty store: %+v", d.Stats)
+	}
+	if d.ArtifactStoreHits != second.Stats.ArtifactStoreHits {
+		t.Fatalf("debug store hits %d != response stats %d", d.ArtifactStoreHits, second.Stats.ArtifactStoreHits)
+	}
+}

@@ -1,0 +1,141 @@
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/cond"
+	"repro/internal/ir"
+)
+
+// Wire form of an Info for the persistent artifact store. Only state that
+// cannot be recomputed deterministically from the (already serialized)
+// function and condition builder goes on the wire: the φ gates, the
+// atom-to-value mapping, and the canonical reach conditions. Dominator
+// trees, control dependences, and RPO numbering are pure functions of the
+// CFG and are rebuilt at import; the lazy memos (JoinGates, CDCond) start
+// empty and replay into the imported builder, which hash-conses them back
+// to the identical nodes.
+
+// GateWire serializes one φ's gate list (parallel to the φ's Args).
+type GateWire struct {
+	Instr int32
+	Gates []int32 // condition node IDs, -1 = nil
+}
+
+// AtomWire serializes one AtomValue entry.
+type AtomWire struct {
+	Atom int32
+	Val  int32
+}
+
+// ReachWire serializes one block's canonical reach condition.
+type ReachWire struct {
+	Block int32
+	Cond  int32
+}
+
+// InfoWire is the serialized form of an Info (minus Fn and Conds, which
+// are serialized separately and passed back in at import).
+type InfoWire struct {
+	Gates     []GateWire
+	AtomValue []AtomWire
+	Reach     []ReachWire
+}
+
+func condID(c *cond.Cond) int32 {
+	if c == nil {
+		return -1
+	}
+	return int32(c.ID())
+}
+
+// ExportInfo flattens inf into wire form. The caller must ensure no
+// concurrent mutation (no in-flight detection on this function).
+func ExportInfo(inf *Info) *InfoWire {
+	w := &InfoWire{}
+	for in, gates := range inf.Gates {
+		gw := GateWire{Instr: int32(in.ID), Gates: make([]int32, len(gates))}
+		for i, g := range gates {
+			gw.Gates[i] = condID(g)
+		}
+		w.Gates = append(w.Gates, gw)
+	}
+	sort.Slice(w.Gates, func(i, j int) bool { return w.Gates[i].Instr < w.Gates[j].Instr })
+	for a, v := range inf.AtomValue {
+		w.AtomValue = append(w.AtomValue, AtomWire{Atom: int32(a), Val: int32(v.ID)})
+	}
+	sort.Slice(w.AtomValue, func(i, j int) bool { return w.AtomValue[i].Atom < w.AtomValue[j].Atom })
+	for b, c := range inf.ReachCond {
+		w.Reach = append(w.Reach, ReachWire{Block: int32(b.ID), Cond: condID(c)})
+	}
+	sort.Slice(w.Reach, func(i, j int) bool { return w.Reach[i].Block < w.Reach[j].Block })
+	return w
+}
+
+// ImportInfo rebuilds an Info for f from wire form. ix must be the Index
+// returned by ir.ImportFunc for f; b and nodes the builder and dense node
+// slice returned by cond.ImportBuilder.
+func ImportInfo(w *InfoWire, f *ir.Func, ix *ir.Index, b *cond.Builder, nodes []*cond.Cond) (*Info, error) {
+	order, err := cfg.Topological(f)
+	if err != nil {
+		return nil, fmt.Errorf("ssa: import %s: %w", f.Name, err)
+	}
+	dom := cfg.Dominators(f)
+	pdom := cfg.PostDominators(f)
+	inf := &Info{
+		Fn:        f,
+		Conds:     b,
+		Gates:     make(map[*ir.Instr][]*cond.Cond, len(w.Gates)),
+		Dom:       dom,
+		PostDom:   pdom,
+		AtomValue: make(map[int]*ir.Value, len(w.AtomValue)),
+		ReachCond: make(map[*ir.Block]*cond.Cond, len(w.Reach)),
+		rpoIdx:    make(map[*ir.Block]int, len(order)),
+		joinGates: make(map[*ir.Block]map[*ir.Block]*cond.Cond),
+	}
+	for i, blk := range order {
+		inf.rpoIdx[blk] = i
+	}
+	inf.CD = cfg.ControlDeps(f, pdom)
+
+	node := func(id int32) (*cond.Cond, error) {
+		if id == -1 {
+			return nil, nil
+		}
+		if id < 0 || int(id) >= len(nodes) {
+			return nil, fmt.Errorf("ssa: import %s: bad cond id %d", f.Name, id)
+		}
+		return nodes[id], nil
+	}
+	for _, gw := range w.Gates {
+		if gw.Instr < 0 || int(gw.Instr) >= len(ix.Instrs) || ix.Instrs[gw.Instr] == nil {
+			return nil, fmt.Errorf("ssa: import %s: bad gate instr id %d", f.Name, gw.Instr)
+		}
+		gates := make([]*cond.Cond, len(gw.Gates))
+		for i, id := range gw.Gates {
+			if gates[i], err = node(id); err != nil {
+				return nil, err
+			}
+		}
+		inf.Gates[ix.Instrs[gw.Instr]] = gates
+	}
+	for _, aw := range w.AtomValue {
+		if aw.Val < 0 || int(aw.Val) >= len(ix.Values) || ix.Values[aw.Val] == nil {
+			return nil, fmt.Errorf("ssa: import %s: bad atom value id %d", f.Name, aw.Val)
+		}
+		inf.AtomValue[int(aw.Atom)] = ix.Values[aw.Val]
+	}
+	for _, rw := range w.Reach {
+		if rw.Block < 0 || int(rw.Block) >= len(ix.Blocks) || ix.Blocks[rw.Block] == nil {
+			return nil, fmt.Errorf("ssa: import %s: bad reach block id %d", f.Name, rw.Block)
+		}
+		c, err := node(rw.Cond)
+		if err != nil {
+			return nil, err
+		}
+		inf.ReachCond[ix.Blocks[rw.Block]] = c
+	}
+	return inf, nil
+}

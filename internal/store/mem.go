@@ -1,0 +1,75 @@
+package store
+
+import "sync"
+
+// MemStore is the in-process Store: a mutex-guarded map with the same
+// observable API as DiskStore but no persistence. It is the default
+// injection point — a session configured with a MemStore behaves exactly
+// like the historical memory-only session, because clients consult
+// Persistent() and skip the byte round-trip when records cannot outlive
+// the process anyway.
+type MemStore struct {
+	mu    sync.Mutex
+	m     map[string][]byte
+	stats Stats
+}
+
+// NewMem returns an empty MemStore.
+func NewMem() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+func memKey(ns, key string) string { return ns + "\x00" + key }
+
+// Get implements Store.
+func (s *MemStore) Get(ns, key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[memKey(ns, key)]
+	if !ok {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	s.stats.Hits++
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(ns, key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := memKey(ns, key)
+	if old, ok := s.m[k]; ok && string(old) == string(val) {
+		s.stats.DedupedPuts++
+		return nil
+	}
+	if old, ok := s.m[k]; ok {
+		s.stats.ResidentBytes -= int64(len(old))
+	} else {
+		s.stats.Records++
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.m[k] = cp
+	s.stats.Puts++
+	s.stats.ResidentBytes += int64(len(cp))
+	return nil
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Compact implements Store. A map has no garbage to reclaim.
+func (s *MemStore) Compact() error { return nil }
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// Persistent implements Store: MemStore records die with the process.
+func (s *MemStore) Persistent() bool { return false }

@@ -1,0 +1,100 @@
+// Package store provides the pluggable persistence layer behind the
+// incremental session's per-function artifacts and the SMT verdict cache.
+//
+// A Store is a flat content-addressed map: namespaced string keys to opaque
+// byte records. Callers derive keys from content fingerprints (AST hashes,
+// dependency fingerprints, canonical formula digests), so records never
+// need in-place updates — a key either names exactly the bytes it was
+// written with, or a newer record for the same key supersedes the old one
+// (last writer wins, reclaimed by Compact).
+//
+// Two implementations exist:
+//
+//   - MemStore: a process-local map. Persistent() is false, which tells
+//     clients that records cannot outlive the process; the session and the
+//     verdict cache then skip the encode/decode round-trip entirely and
+//     behave exactly like the historical memory-only code paths.
+//   - DiskStore: an append-only checksummed log with an in-memory index,
+//     read-on-demand record loading, a size-bounded LRU residency layer,
+//     and atomic (write-temp-then-rename) compaction.
+//
+// All implementations are safe for concurrent use.
+package store
+
+import "repro/internal/obs"
+
+// Namespaces used by the analysis pipeline. A Store treats namespaces as
+// opaque; they exist so artifacts and verdicts can share one log without
+// key collisions.
+const (
+	// NSArtifact holds encoded per-function build artifacts, keyed by
+	// program-shape fingerprint + AST hash.
+	NSArtifact = "artifact"
+	// NSVerdict holds exact-tier SMT verdicts (result + canonical model),
+	// keyed by the alpha-normalized formula digest.
+	NSVerdict = "verdict"
+	// NSVerdictShape holds shape-tier Unsat markers, keyed by the
+	// commutative-normalized formula digest.
+	NSVerdictShape = "vshape"
+)
+
+// Stats is a point-in-time snapshot of a store's counters.
+type Stats struct {
+	// Hits / Misses count Get outcomes (a corrupt record reads as a miss).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts records accepted; DedupedPuts counts Put calls skipped
+	// because the key already held byte-identical content.
+	Puts        int64 `json:"puts"`
+	DedupedPuts int64 `json:"dedupedPuts"`
+	// Evictions counts residency-layer evictions (the record stays on
+	// disk; only the cached bytes are dropped).
+	Evictions int64 `json:"evictions"`
+	// CorruptRecords counts records rejected by checksum or framing
+	// validation, at open or at read time.
+	CorruptRecords int64 `json:"corruptRecords"`
+	// Compactions counts completed Compact runs; LastCompactUnixNano is
+	// the wall-clock completion time of the latest (0 = never).
+	Compactions         int64 `json:"compactions"`
+	LastCompactUnixNano int64 `json:"lastCompactUnixNano"`
+	// Records is the live (indexed) record count.
+	Records int `json:"records"`
+	// ResidentBytes is the current residency-layer footprint;
+	// MaxResidentBytes is its configured bound (0 = unbounded).
+	ResidentBytes    int64 `json:"residentBytes"`
+	MaxResidentBytes int64 `json:"maxResidentBytes"`
+	// DiskBytes is the backing file size (0 for MemStore).
+	DiskBytes int64 `json:"diskBytes"`
+}
+
+// Store is the persistence interface the session and the verdict cache
+// speak. Implementations must be safe for concurrent use.
+type Store interface {
+	// Get returns the record stored under (ns, key), or ok=false if the
+	// key is absent or its record failed validation.
+	Get(ns, key string) (val []byte, ok bool, err error)
+	// Put stores val under (ns, key). Re-putting identical content is a
+	// cheap no-op; different content supersedes the old record.
+	Put(ns, key string, val []byte) error
+	// Stat reports the store's counters.
+	Stat() Stats
+	// Compact reclaims space held by superseded or dropped records.
+	Compact() error
+	// Close flushes and releases resources. The store must not be used
+	// afterwards.
+	Close() error
+	// Persistent reports whether records survive process exit. Clients
+	// use this to skip encode/decode work that could never pay off.
+	Persistent() bool
+}
+
+// counters mirrors Stats into an obs.Recorder so /metrics exposes
+// residency and compaction behavior. A nil recorder is a no-op.
+func publish(rec *obs.Recorder, s Stats) {
+	if rec == nil {
+		return
+	}
+	rec.Gauge("store.records").Set(int64(s.Records))
+	rec.Gauge("store.resident_bytes").Set(s.ResidentBytes)
+	rec.Gauge("store.disk_bytes").Set(s.DiskBytes)
+}

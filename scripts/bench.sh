@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Benchmarks: the detection worker-scaling sweep, the incremental-rebuild
-# (cold vs warm one-function-edit) measurement, and the SMT query-elimination
-# (cache + prefilter on vs off) measurement, on synthetic subjects. Leaves
-# JSON snapshots (BENCH_detect.json, BENCH_incremental.json, BENCH_smt.json)
-# in the repo root for trend tracking. Extra arguments pass through to
-# benchsnap (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50 -smt-scale 50).
+# (cold vs warm one-function-edit) measurement, the SMT query-elimination
+# (cache + prefilter on vs off) measurement, and the persistent-store
+# warm-restart measurement, on synthetic subjects. Leaves JSON snapshots
+# (BENCH_detect.json, BENCH_incremental.json, BENCH_smt.json,
+# BENCH_store.json) in the repo root for trend tracking. Extra arguments
+# pass through to benchsnap (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50
+# -smt-scale 50 -store-scale 50).
 #
 # Snapshots are written to a temp directory and only moved into the repo
 # root once the whole run has succeeded, so a failed run can neither leave
@@ -23,16 +25,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== detection scaling + incremental rebuild + SMT elimination benchmarks"
+echo "== detection scaling + incremental rebuild + SMT elimination + store warm-restart benchmarks"
 go run ./cmd/benchsnap \
   -out "$tmpdir/BENCH_detect.json" \
   -inc-out "$tmpdir/BENCH_incremental.json" \
   -smt-out "$tmpdir/BENCH_smt.json" \
+  -store-out "$tmpdir/BENCH_store.json" \
   "$@"
 
 # Refuse to commit empty or invalid snapshots: every output must exist,
 # be non-empty, and parse as JSON.
-for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json; do
+for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json; do
   if [ ! -s "$tmpdir/$f" ]; then
     echo "bench.sh: $f is missing or empty" >&2
     exit 1
@@ -43,4 +46,4 @@ for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json; do
   fi
   mv "$tmpdir/$f" "$f"
 done
-echo "== snapshots written: BENCH_detect.json BENCH_incremental.json BENCH_smt.json"
+echo "== snapshots written: BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json"

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Warm-restart round trip for the persistent store: start `pinpoint serve`
+# with a -store-dir, analyze the examples, SIGTERM the server, restart it on
+# the same directory, analyze again, and assert (1) the restarted server
+# logged the store warm-load line, (2) its response rebuilt zero artifacts
+# (artifactStoreHits > 0, artifactMisses == 0), and (3) the two reports
+# arrays are byte-identical. Used by CI's store-restart job and runnable
+# locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${PINPOINT_STORE_ADDR:-127.0.0.1:7432}"
+BASE="http://$ADDR"
+tmpdir="$(mktemp -d "${TMPDIR:-/tmp}/pinpoint-store.XXXXXX")"
+server_pid=""
+cleanup() {
+  status=$?
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmpdir"
+  if [ "$status" -ne 0 ]; then
+    echo "store_restart.sh: FAILED (exit $status)" >&2
+    for log in "$tmpdir"/serve*.log; do
+      [ -f "$log" ] && { echo "== $log" >&2; cat "$log" >&2; }
+    done
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmpdir/pinpoint" ./cmd/pinpoint
+go run ./scripts/mkreq -checkers all examples/mc/*.mc >"$tmpdir/req.json"
+
+start_server() {
+  local log="$1"
+  "$tmpdir/pinpoint" serve -addr "$ADDR" -log-json \
+    -store-dir "$tmpdir/store" >"$log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/v1/readyz" >/dev/null 2>&1; then return 0; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "store_restart.sh: server exited during startup" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "store_restart.sh: server never became ready" >&2
+  exit 1
+}
+
+stop_server() {
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  server_pid=""
+}
+
+echo "== first run: populate $tmpdir/store"
+start_server "$tmpdir/serve1.log"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmpdir/req.json" "$BASE/v1/analyze" >"$tmpdir/resp1.json"
+go run ./scripts/jsoncheck "$tmpdir/resp1.json"
+if ! grep -q '"artifactStoreHits": 0' "$tmpdir/resp1.json"; then
+  echo "store_restart.sh: cold run reported store hits" >&2
+  exit 1
+fi
+stop_server
+if [ ! -s "$tmpdir/store/store.log" ]; then
+  echo "store_restart.sh: no store log was written" >&2
+  exit 1
+fi
+
+echo "== second run: restart on the same -store-dir"
+start_server "$tmpdir/serve2.log"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmpdir/req.json" "$BASE/v1/analyze" >"$tmpdir/resp2.json"
+go run ./scripts/jsoncheck "$tmpdir/resp2.json"
+
+echo "== assert warm load"
+if ! grep -q 'store warm load' "$tmpdir/serve2.log"; then
+  echo "store_restart.sh: restarted server never logged the warm-load line" >&2
+  exit 1
+fi
+if grep -q '"artifactStoreHits": 0' "$tmpdir/resp2.json"; then
+  echo "store_restart.sh: restarted server store-loaded nothing" >&2
+  exit 1
+fi
+if ! grep -q '"artifactMisses": 0' "$tmpdir/resp2.json"; then
+  echo "store_restart.sh: restarted server rebuilt artifacts" >&2
+  exit 1
+fi
+
+echo "== assert byte-identical reports"
+python3 - "$tmpdir/resp1.json" "$tmpdir/resp2.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))["reports"]
+b = json.load(open(sys.argv[2]))["reports"]
+ja, jb = json.dumps(a, sort_keys=True), json.dumps(b, sort_keys=True)
+if ja != jb:
+    sys.exit("reports differ between cold and restarted server")
+if not a:
+    sys.exit("no reports at all; the round trip proved nothing")
+EOF
+
+echo "== /v1/debug/store"
+curl -fsS "$BASE/v1/debug/store" >"$tmpdir/store.json"
+go run ./scripts/jsoncheck "$tmpdir/store.json"
+if ! grep -q '"persistent": true' "$tmpdir/store.json"; then
+  echo "store_restart.sh: /v1/debug/store does not report a persistent store" >&2
+  exit 1
+fi
+
+stop_server
+echo "store_restart.sh: OK"
