@@ -9,6 +9,7 @@
 //	          [-inc-out BENCH_incremental.json] [-inc-scale N]
 //	          [-smt-out BENCH_smt.json] [-smt-scale N]
 //	          [-store-out BENCH_store.json] [-store-scale N]
+//	          [-serve-out BENCH_serve.json] [-serve-scale N]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -65,11 +67,34 @@ type storeSnapshot struct {
 	Units         int     `json:"units"`
 	ColdNs        int64   `json:"cold_ns"`
 	WarmRestartNs int64   `json:"warm_restart_ns"`
+	WarmLoadNs    int64   `json:"warm_load_ns"`
+	WarmParseNs   int64   `json:"warm_parse_ns"`
+	WarmPersistNs int64   `json:"warm_persist_ns"`
 	Speedup       float64 `json:"speedup"`
 	StoreHits     int     `json:"store_hits"`
 	Records       int     `json:"records"`
 	DiskBytes     int64   `json:"disk_bytes"`
 	ResidentBytes int64   `json:"resident_bytes"`
+}
+
+type serveScenarioSnap struct {
+	Name        string            `json:"name"`
+	Requests    int               `json:"requests"`
+	Errors      int               `json:"errors"`
+	Throughput  float64           `json:"throughput"`
+	LatencyNs   loadgen.LatencyNs `json:"latency_ns"`
+	PhaseMeanNs map[string]int64  `json:"phase_mean_ns"`
+	GapMean     float64           `json:"gap_mean"`
+	GapP50      float64           `json:"gap_p50"`
+	GapMax      float64           `json:"gap_max"`
+}
+
+type serveSnapshot struct {
+	Subject    string              `json:"subject"`
+	Lines      int                 `json:"lines"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	MaxGapP50  float64             `json:"max_gap_p50"`
+	Scenarios  []serveScenarioSnap `json:"scenarios"`
 }
 
 type incSnapshot struct {
@@ -95,6 +120,8 @@ func main() {
 	smtScale := flag.Int("smt-scale", 30, "workload scale factor for the SMT elimination benchmark")
 	storeOut := flag.String("store-out", "BENCH_store.json", "output file for the persistent-store warm-restart snapshot (empty disables)")
 	storeScale := flag.Int("store-scale", 30, "workload scale factor for the store warm-restart benchmark")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for the service-latency snapshot (empty disables)")
+	serveScale := flag.Int("serve-scale", 30, "workload scale factor for the service-latency benchmark")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -160,15 +187,53 @@ func main() {
 			Units:         sr.Units,
 			ColdNs:        int64(sr.Cold),
 			WarmRestartNs: int64(sr.WarmRestart),
+			WarmLoadNs:    int64(sr.WarmLoad),
+			WarmParseNs:   int64(sr.WarmParse),
+			WarmPersistNs: int64(sr.WarmPersist),
 			Speedup:       sr.Speedup,
 			StoreHits:     sr.StoreHits,
 			Records:       sr.Stats.Records,
 			DiskBytes:     sr.Stats.DiskBytes,
 			ResidentBytes: sr.Stats.ResidentBytes,
 		}
-		fmt.Printf("store: cold=%-14s warm-restart=%-14s speedup=%.2fx (%d artifacts store-loaded; %d records, %d KiB on disk)\n",
-			sr.Cold, sr.WarmRestart, sr.Speedup, sr.StoreHits, sr.Stats.Records, sr.Stats.DiskBytes/1024)
+		fmt.Printf("store: cold=%-14s warm-restart=%-14s speedup=%.2fx (load=%s parse=%s persist=%s; %d artifacts store-loaded; %d records, %d KiB on disk)\n",
+			sr.Cold, sr.WarmRestart, sr.Speedup, sr.WarmLoad, sr.WarmParse, sr.WarmPersist, sr.StoreHits, sr.Stats.Records, sr.Stats.DiskBytes/1024)
 		writeJSON(*storeOut, stsnap)
+	}
+
+	if *serveOut != "" {
+		sv, err := bench.MeasureServe(subj, *serveScale)
+		if err != nil {
+			fatal(err)
+		}
+		vsnap := serveSnapshot{
+			Subject:    sv.Subject,
+			Lines:      sv.Lines,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			MaxGapP50:  sv.MaxGapP50,
+		}
+		for _, sc := range sv.Scenarios {
+			vsnap.Scenarios = append(vsnap.Scenarios, serveScenarioSnap{
+				Name:        sc.Name,
+				Requests:    sc.Requests,
+				Errors:      sc.Errors,
+				Throughput:  sc.Throughput,
+				LatencyNs:   sc.Latency,
+				PhaseMeanNs: sc.PhaseMeanNs,
+				GapMean:     sc.Gap.Mean,
+				GapP50:      sc.Gap.P50,
+				GapMax:      sc.Gap.Max,
+			})
+			fmt.Printf("serve %-6s %d req (%d errors) %.1f req/s; p50/p95/p99 %s/%s/%s; gap p50 %.1f%%\n",
+				sc.Name, sc.Requests, sc.Errors, sc.Throughput,
+				time.Duration(sc.Latency.P50), time.Duration(sc.Latency.P95),
+				time.Duration(sc.Latency.P99), 100*sc.Gap.P50)
+		}
+		if sv.MaxGapP50 > bench.GapBudget {
+			fmt.Printf("serve: WARNING: median attribution gap %.1f%% exceeds the %.0f%% budget\n",
+				100*sv.MaxGapP50, 100*bench.GapBudget)
+		}
+		writeJSON(*serveOut, vsnap)
 	}
 
 	if *smtOut != "" {

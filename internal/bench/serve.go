@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Service-latency experiment: drive an in-process analysis service through
+// the three canonical traffic shapes (cold builds, warm single-function
+// edits, burst arrivals) with the loadgen harness and record the
+// client-observed latency distribution next to the server's own
+// phase-attributed breakdown. The attribution gap — the slice of client
+// latency the server's timing does not explain — is the experiment's
+// honesty check: if the phase histograms on /metrics are to be trusted for
+// capacity planning, the per-request breakdown must account for what
+// clients actually feel.
+
+// ServeScenario is one scenario's outcome.
+type ServeScenario struct {
+	Name       string
+	Requests   int
+	Errors     int
+	Throughput float64
+	Latency    loadgen.LatencyNs
+	// PhaseMeanNs attributes the mean request to server phases (same
+	// names as server.phase_ns{phase=...} on /metrics).
+	PhaseMeanNs map[string]int64
+	// Gap is the unattributed fraction of client latency.
+	Gap loadgen.GapStats
+}
+
+// ServeResult is the outcome of one MeasureServe run.
+type ServeResult struct {
+	Subject   string
+	Lines     int
+	Scenarios []ServeScenario
+	// MaxGapP50 is the worst median attribution gap across the
+	// closed-loop scenarios (cold, warm, edit). The serve snapshot gate
+	// wants this at or below GapBudget: the median request's server-side
+	// breakdown explains at least 90% of what the client measured (the
+	// remainder is response marshaling and loopback transfer, which the
+	// server cannot time into its own response body). The burst scenario
+	// is excluded — overlapped arrivals queue in the kernel accept path
+	// and the Go scheduler before the handler's first line runs, wait no
+	// server-side clock can observe — but its gap is still recorded in
+	// its ServeScenario for the snapshot trend.
+	MaxGapP50 float64
+}
+
+// GapBudget is the acceptable median attribution gap.
+const GapBudget = 0.10
+
+// serveRequests is the per-scenario request budget. Enough for stable
+// medians; small enough that the whole trajectory runs in CI.
+const serveRequests = 12
+
+// MeasureServe starts an in-process analysis service and runs the cold,
+// warm, edit, and burst scenarios against it in that order (cold first, so
+// the later scenarios measure the warm steady state the service is built
+// for).
+func MeasureServe(subj workload.Subject, scale int) (*ServeResult, error) {
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale})
+
+	srv := server.New(server.Config{
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Workers: -1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	scenarios := []struct {
+		name string
+		spec loadgen.Spec
+	}{
+		{"cold", loadgen.Spec{Clients: []loadgen.ClientSpec{{
+			ID: "cold", Mutate: "fresh", Requests: serveRequests,
+			Arrival: loadgen.ArrivalSpec{Process: "closed"},
+		}}}},
+		{"warm", loadgen.Spec{Clients: []loadgen.ClientSpec{{
+			ID: "warm", Requests: serveRequests,
+			Arrival: loadgen.ArrivalSpec{Process: "closed"},
+		}}}},
+		{"edit", loadgen.Spec{Clients: []loadgen.ClientSpec{{
+			ID: "editor", Mutate: "edit", Requests: serveRequests,
+			Arrival: loadgen.ArrivalSpec{Process: "closed"},
+		}}}},
+		{"burst", loadgen.Spec{Clients: []loadgen.ClientSpec{{
+			ID: "burst", Mutate: "edit", Requests: serveRequests,
+			Arrival: loadgen.ArrivalSpec{Process: "burst", Rate: 16, Burst: 4},
+		}}}},
+	}
+
+	res := &ServeResult{Subject: subj.Name, Lines: gen.Lines}
+	for _, sc := range scenarios {
+		spec := sc.spec
+		spec.Name = sc.name
+		spec.Subject = loadgen.SubjectSpec{Scale: scale}
+		spec.SubjectOverride = &subj
+		run, err := loadgen.Run(context.Background(), &spec, loadgen.Options{
+			BaseURL: ts.URL,
+			// A generous cap: the budget ends the run, the duration only
+			// guards against a wedged server.
+			Duration: 5 * time.Minute,
+			Timeout:  time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum := loadgen.Summarize(run)
+		res.Scenarios = append(res.Scenarios, ServeScenario{
+			Name:        sc.name,
+			Requests:    sum.Requests,
+			Errors:      sum.Errors,
+			Throughput:  sum.Throughput,
+			Latency:     sum.Latency,
+			PhaseMeanNs: sum.PhaseMeanNs,
+			Gap:         sum.AttributionGap,
+		})
+		if sc.name != "burst" && sum.AttributionGap.P50 > res.MaxGapP50 {
+			res.MaxGapP50 = sum.AttributionGap.P50
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMeasureServe(t *testing.T) {
+	subj := workload.Subject{
+		Name: "bench-serve-test", Origin: "synthetic", PaperKLoC: 60,
+		TrueBugs: 2, OpaqueTraps: 1,
+	}
+	sv, err := MeasureServe(subj, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Subject != subj.Name || sv.Lines <= 0 {
+		t.Errorf("subject=%q lines=%d", sv.Subject, sv.Lines)
+	}
+	want := map[string]bool{"cold": false, "warm": false, "edit": false, "burst": false}
+	for _, sc := range sv.Scenarios {
+		if _, ok := want[sc.Name]; !ok {
+			t.Errorf("unexpected scenario %q", sc.Name)
+			continue
+		}
+		want[sc.Name] = true
+		if sc.Errors != 0 {
+			t.Errorf("%s: %d errors", sc.Name, sc.Errors)
+		}
+		if sc.Requests != serveRequests {
+			t.Errorf("%s: %d requests, want %d", sc.Name, sc.Requests, serveRequests)
+		}
+		if sc.Latency.P50 <= 0 || sc.Latency.Max < sc.Latency.P50 {
+			t.Errorf("%s: bad latency summary %+v", sc.Name, sc.Latency)
+		}
+		if sc.Throughput <= 0 {
+			t.Errorf("%s: throughput %v", sc.Name, sc.Throughput)
+		}
+		if sc.PhaseMeanNs["build"] <= 0 || sc.PhaseMeanNs["detect"] <= 0 {
+			t.Errorf("%s: phase means missing build/detect: %v", sc.Name, sc.PhaseMeanNs)
+		}
+		// The breakdown can't explain more than everything; the tight
+		// GapBudget check belongs to the full-scale snapshot, where
+		// per-request work dwarfs the fixed marshaling overhead.
+		if sc.Gap.P50 >= 1 || sc.Gap.Max >= 1 {
+			t.Errorf("%s: attribution gap out of range: %+v", sc.Name, sc.Gap)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("scenario %q missing", name)
+		}
+	}
+}

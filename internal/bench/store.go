@@ -30,6 +30,15 @@ type StoreResult struct {
 	// WarmRestart is the first Update of a fresh session (a restarted
 	// process) warm-loading from the populated store.
 	WarmRestart time.Duration
+	// WarmLoad is the store.load slice of WarmRestart: reading and
+	// decoding artifact segments. WarmParse is the parse slice, and
+	// WarmPersist is any store.save time inside the warm window (zero
+	// when the restart found everything current — re-persisting what was
+	// just loaded would be pure waste, and timing it as "restart cost"
+	// was exactly the measurement bug this split exposes).
+	WarmLoad    time.Duration
+	WarmParse   time.Duration
+	WarmPersist time.Duration
 	// Speedup is Cold / WarmRestart.
 	Speedup float64
 	// StoreHits is the number of artifacts the restart served from disk;
@@ -40,10 +49,18 @@ type StoreResult struct {
 	Stats store.Stats
 }
 
+// storeReps is the number of repetitions of each timed window. The
+// shared benchmark hosts this runs on show >50% run-to-run swings on a
+// single measurement; min-of-N is the standard estimator for "what does
+// this code cost without interference" and stabilizes the cold/warm
+// ratio to a few percent.
+const storeReps = 5
+
 // MeasureStore populates a DiskStore through one build+detect cycle,
 // discards all in-memory state, and times a fresh session's warm-load
-// against a cold from-scratch build. Reports of the cold and restarted
-// runs are verified byte-identical before timings are returned.
+// against a cold from-scratch build (best of storeReps runs each).
+// Reports of the cold and restarted runs are verified byte-identical
+// before timings are returned.
 func MeasureStore(subj workload.Subject, scale int) (*StoreResult, error) {
 	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
 	dir, err := os.MkdirTemp("", "pinpoint-bench-store-")
@@ -55,12 +72,18 @@ func MeasureStore(subj workload.Subject, scale int) (*StoreResult, error) {
 	dopts := detect.Options{Workers: -1}
 
 	// Cold: no store anywhere.
-	t0 := time.Now()
-	coldA, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
-	if err != nil {
-		return nil, err
+	var coldA *core.Analysis
+	var cold time.Duration
+	for i := 0; i < storeReps; i++ {
+		t0 := time.Now()
+		a, err := core.BuildFromSource(gen.Units, core.BuildOptions{Workers: -1})
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); i == 0 || d < cold {
+			cold, coldA = d, a
+		}
 	}
-	cold := time.Since(t0)
 	cj, err := reportsJSON(coldA.CheckAll(specs, dopts).Reports)
 	if err != nil {
 		return nil, err
@@ -82,24 +105,32 @@ func MeasureStore(subj workload.Subject, scale int) (*StoreResult, error) {
 		return nil, err
 	}
 
-	// Restart: fresh store handle, fresh session, same directory.
+	// Restart: fresh store handle, fresh session, same directory. Every
+	// repetition builds a brand-new session so each one pays the full
+	// warm-load path (segment read, decode, import).
 	st2, err := store.Open(dir, store.DiskOptions{})
 	if err != nil {
 		return nil, err
 	}
 	defer st2.Close()
-	s2 := core.NewSession(core.BuildOptions{Workers: -1, Store: st2})
-	t0 = time.Now()
-	a2, err := s2.Update(gen.Units)
-	if err != nil {
-		return nil, err
+	var warmA *core.Analysis
+	var warm time.Duration
+	for i := 0; i < storeReps; i++ {
+		s2 := core.NewSession(core.BuildOptions{Workers: -1, Store: st2})
+		t0 := time.Now()
+		a2, err := s2.Update(gen.Units)
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(t0); i == 0 || d < warm {
+			warm, warmA = d, a2
+		}
 	}
-	warm := time.Since(t0)
 
-	if got, want := a2.Artifacts.StoreHits, a2.Sizes.Functions; got != want {
+	if got, want := warmA.Artifacts.StoreHits, warmA.Sizes.Functions; got != want {
 		return nil, fmt.Errorf("warm restart store-loaded %d of %d artifacts", got, want)
 	}
-	wj, err := reportsJSON(a2.CheckAll(specs, dopts).Reports)
+	wj, err := reportsJSON(warmA.CheckAll(specs, dopts).Reports)
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +141,14 @@ func MeasureStore(subj workload.Subject, scale int) (*StoreResult, error) {
 	out := &StoreResult{
 		Subject:     subj.Name,
 		Lines:       gen.Lines,
-		Functions:   a2.Sizes.Functions,
+		Functions:   warmA.Sizes.Functions,
 		Units:       len(gen.Units),
 		Cold:        cold,
 		WarmRestart: warm,
-		StoreHits:   a2.Artifacts.StoreHits,
+		WarmLoad:    warmA.Timings.StoreLoad,
+		WarmParse:   warmA.Timings.Parse,
+		WarmPersist: warmA.Timings.StoreSave,
+		StoreHits:   warmA.Artifacts.StoreHits,
 		Stats:       st2.Stat(),
 	}
 	if warm > 0 {

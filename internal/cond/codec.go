@@ -1,6 +1,10 @@
 package cond
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/wirebin"
+)
 
 // NodeWire is the serialized form of one Cond node. A Builder's node set is
 // exported as a dense slice indexed by node ID, so operand references are
@@ -120,4 +124,31 @@ func ImportBuilder(wire []NodeWire) (*Builder, []*Cond, error) {
 		return nil, nil, fmt.Errorf("cond: import: missing constant nodes")
 	}
 	return b, nodes, nil
+}
+
+// AppendNodeWires appends the binary encoding of an Export snapshot to e.
+func AppendNodeWires(e *wirebin.Writer, wire []NodeWire) {
+	e.Uvarint(uint64(len(wire)))
+	for i := range wire {
+		w := &wire[i]
+		e.U8(uint8(w.Kind))
+		e.I32(w.Atom)
+		e.I32s(w.Ops)
+	}
+}
+
+// DecodeNodeWires reads one Export snapshot from r.
+func DecodeNodeWires(r *wirebin.Reader) ([]NodeWire, error) {
+	n := r.Len()
+	var out []NodeWire
+	if n > 0 {
+		out = make([]NodeWire, n)
+		for i := range out {
+			out[i] = NodeWire{Kind: Kind(r.U8()), Atom: r.I32(), Ops: r.I32s()}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cond: decode node wires: %w", err)
+	}
+	return out, nil
 }

@@ -67,7 +67,10 @@ type BuildOptions struct {
 	Store store.Store
 }
 
-// Timings records per-stage durations.
+// Timings records per-stage durations. StoreLoad and StoreSave are
+// persistent-store I/O (segment decode on a warm restart, segment
+// append at commit); they are reported separately from the pipeline
+// stages so Total keeps its historical meaning of "analysis work".
 type Timings struct {
 	Parse     time.Duration
 	Lower     time.Duration
@@ -76,9 +79,11 @@ type Timings struct {
 	Transform time.Duration
 	PTA       time.Duration
 	SEG       time.Duration
+	StoreLoad time.Duration
+	StoreSave time.Duration
 }
 
-// Total sums all stages.
+// Total sums all pipeline stages (store I/O excluded).
 func (t Timings) Total() time.Duration {
 	return t.Parse + t.Lower + t.SSA + t.ModRef + t.Transform + t.PTA + t.SEG
 }

@@ -111,6 +111,12 @@ type Session struct {
 	// in that case the encode/decode round-trip could never pay off and
 	// the session behaves exactly like the historical memory-only one.
 	store store.Store
+	// Segment-ring bookkeeping for the persistent artifact store (see
+	// artifact_codec.go). storeLoaded gates the one-time warm-load pass:
+	// after the first successful Update the in-memory artifact map is the
+	// authority and re-reading segments could only serve stale data.
+	storeLoaded bool
+	ring        segState
 }
 
 // NewSession returns an empty incremental session.
@@ -236,37 +242,33 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 			order = append(order, fn.Name)
 		}
 	}
-	// ---- Warm-load: functions with no live artifact consult the
-	// persistent store (a restarted server's first Update arrives here with
-	// an empty in-memory map). Records carry the program-shape fingerprint
-	// they were built under, so a shape change reads as a miss — the same
-	// rule shapeChanged applies to the in-memory map. Any decode failure
-	// (truncated, bit-flipped, stale codec) is also just a miss: corruption
-	// costs a rebuild, never a wrong artifact.
-	if s.store != nil {
+	// ---- Warm-load: the first Update of a session reads the persistent
+	// store's artifact segments in one pass (a restarted server arrives
+	// here with an empty in-memory map). Segments carry the program-shape
+	// fingerprint they were built under, so a shape change reads as a miss
+	// — the same rule shapeChanged applies to the in-memory map. Any
+	// decode failure (truncated, bit-flipped, stale codec) is also just a
+	// miss: corruption costs a rebuild, never a wrong artifact.
+	ring := s.ring
+	if s.store != nil && !s.storeLoaded {
 		sp := rec.Phase("store.load")
+		t0 := time.Now()
+		var loaded map[string]*funcArtifact
+		loaded, ring = loadSegments(s.store, progFP, rec)
 		for _, name := range order {
 			st := states[name]
 			if st.old != nil {
 				continue
 			}
-			data, ok, err := s.store.Get(store.NSArtifact, name)
-			if err != nil || !ok {
-				continue
+			if art := loaded[name]; art != nil {
+				st.old = art
+				stats.StoreHits++
 			}
-			art, err := decodeArtifact(name, progFP, data)
-			if err != nil {
-				if rec != nil {
-					rec.Counter("store.artifact.decode_errors").Inc()
-				}
-				continue
-			}
-			st.old = art
-			stats.StoreHits++
 		}
 		if rec != nil {
 			rec.Counter("store.artifact.loads").Add(int64(stats.StoreHits))
 		}
+		tm.StoreLoad = time.Since(t0)
 		sp.End()
 	}
 
@@ -537,31 +539,47 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		newArts[name] = &art
 	}
 
-	// ---- Persist: write every artifact whose on-disk record is missing or
-	// stale. Store errors are swallowed — persistence buys warmth, and a
-	// failed write must not fail a build that already succeeded.
+	// ---- Persist: bundle every artifact whose on-disk record is missing
+	// or stale into one segment — a delta holding just the change set, or
+	// a rewritten full snapshot when the delta ring is exhausted or the
+	// change touched most of the program. Store errors are swallowed —
+	// persistence buys warmth, and a failed write must not fail a build
+	// that already succeeded.
 	if s.store != nil {
 		sp := rec.Phase("store.save")
-		saved := 0
+		t0 := time.Now()
+		var changed []string
 		for _, name := range order {
 			art := newArts[name]
-			meta := artifactMeta(progFP, art)
-			if art.persistedMeta == meta {
-				continue
+			if art.persistedMeta != artifactMeta(progFP, art) {
+				changed = append(changed, name)
 			}
-			data, err := encodeArtifact(name, progFP, art)
-			if err != nil {
-				continue
-			}
-			if err := s.store.Put(store.NSArtifact, name, data); err != nil {
-				continue
-			}
-			art.persistedMeta = meta
-			saved++
 		}
-		if rec != nil {
-			rec.Counter("store.artifact.saves").Add(int64(saved))
+		if len(changed) > 0 {
+			full := !ring.hasFull || ring.deltas >= maxDeltaSegments || 2*len(changed) >= len(order)
+			key, names := segFullKey, order
+			if !full {
+				key, names = segDeltaKey(ring.deltas), changed
+			}
+			if data, err := encodeSegment(progFP, ring.next, names, newArts); err == nil {
+				if err := s.store.Put(store.NSArtifact, key, data); err == nil {
+					for _, name := range names {
+						art := newArts[name]
+						art.persistedMeta = artifactMeta(progFP, art)
+					}
+					ring.next++
+					if full {
+						ring.deltas, ring.hasFull = 0, true
+					} else {
+						ring.deltas++
+					}
+					if rec != nil {
+						rec.Counter("store.artifact.saves").Add(int64(len(names)))
+					}
+				}
+			}
 		}
+		tm.StoreSave = time.Since(t0)
 		sp.End()
 	}
 
@@ -617,6 +635,10 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 	s.artifacts = newArts
 	s.analysis = a
 	s.stats = stats
+	if s.store != nil {
+		s.storeLoaded = true
+		s.ring = ring
+	}
 	return a, nil
 }
 

@@ -75,6 +75,10 @@ type LeakStats struct {
 	Solved         int
 	CacheHits      int
 	PrefilterUnsat int
+	// SMTTime is wall time inside the elimination pipeline (encode +
+	// prefilter + cache probe + solve), schedule-dependent and therefore
+	// excluded from determinism comparisons like Stats.SMTTime.
+	SMTTime time.Duration
 }
 
 // String renders the counters in the one-line shape shared by
@@ -273,6 +277,7 @@ func (lc *leakChecker) checkAlloc(f *ir.Func, g *seg.Graph, alloc *ir.Instr, sta
 		enc.add(enc.tb.Not(t))
 	}
 	res, model, how := decideQuery(s, enc.terms, lc.prog.smtCache, lc.opts)
+	stats.SMTTime += time.Since(start)
 	switch {
 	case how == querySolved:
 		stats.Solved++

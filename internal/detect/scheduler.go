@@ -305,6 +305,7 @@ func runTask(prog *Program, specs []*checkers.Spec, opts Options, c *caches, lc 
 			SMTSolved:         ls.Solved,
 			SMTCacheHits:      ls.CacheHits,
 			SMTPrefilterUnsat: ls.PrefilterUnsat,
+			SMTTime:           ls.SMTTime,
 		}}
 		if rep != nil {
 			tr.reports = []Report{leakToReport(sp.Name, *rep)}

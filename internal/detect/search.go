@@ -133,6 +133,7 @@ func (e *Engine) runUnreleased() ([]Report, Stats) {
 				e.stats.SMTSolved += ls.Solved
 				e.stats.SMTCacheHits += ls.CacheHits
 				e.stats.SMTPrefilterUnsat += ls.PrefilterUnsat
+				e.stats.SMTTime += ls.SMTTime
 				if rep != nil {
 					e.reports = append(e.reports, leakToReport(e.spec.Name, *rep))
 					if e.opts.MaxReportsPerChecker > 0 && len(e.reports) >= e.opts.MaxReportsPerChecker {

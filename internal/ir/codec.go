@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/minic"
+	"repro/internal/wirebin"
 )
 
 // This file defines the wire form of a function for the persistent
@@ -16,12 +17,20 @@ import (
 // intern tables — so a warm-loaded function is indistinguishable from the
 // one the build produced.
 
+// Strings that repeat across a function's values and instructions — type
+// base names, source file names, callee names, struct field names — are
+// interned into FuncWire.Strs and referenced by index (-1 = ""). gob does
+// not deduplicate strings, so without the table every instruction's
+// Pos.File would be re-transmitted and re-allocated on decode; with it the
+// per-element fields are plain integers.
+
 // ValueWire is the serialized form of one Value.
 type ValueWire struct {
 	ID       int32
 	Kind     ValueKind
 	Name     string
-	Type     minic.Type
+	TypeBase int32 // string-table index of Type.Base
+	TypePtr  int32
 	Def      int32 // instruction ID, -1 for none
 	IntVal   int64
 	BoolVal  bool
@@ -31,16 +40,19 @@ type ValueWire struct {
 
 // InstrWire is the serialized form of one Instr. Dst/Dsts/Args hold value
 // IDs; Blocks holds block IDs. A -1 slot means nil (void call receivers).
+// Sub, Callee, and PosFile are string-table indices.
 type InstrWire struct {
 	ID        int32
 	Op        Op
 	Dst       int32
 	Dsts      []int32
 	Args      []int32
-	Sub       string
-	Callee    string
+	Sub       int32
+	Callee    int32
 	Blocks    []int32
-	Pos       minic.Pos
+	PosFile   int32
+	PosLine   int32
+	PosCol    int32
 	Synthetic bool
 }
 
@@ -57,6 +69,7 @@ type FuncWire struct {
 	Name   string
 	Ret    minic.Type
 	Params []int32
+	Strs   []string    // intern table for repeated strings
 	Values []ValueWire // every live value, ascending ID
 	Blocks []BlockWire // in Func.Blocks order
 	Entry  int32
@@ -69,6 +82,28 @@ type FuncWire struct {
 	NextValID   int32
 	NextInstrID int32
 	NextBlockID int32
+}
+
+// strTable interns strings during export; index -1 is the empty string.
+type strTable struct {
+	ids map[string]int32
+	s   []string
+}
+
+func (t *strTable) id(s string) int32 {
+	if s == "" {
+		return -1
+	}
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[string]int32)
+	}
+	id := int32(len(t.s))
+	t.ids[s] = id
+	t.s = append(t.s, s)
+	return id
 }
 
 // Index maps a function's dense ID spaces back to pointers. The companion
@@ -156,12 +191,14 @@ func ExportFunc(f *Func) (*FuncWire, *Index) {
 	for i, p := range f.Params {
 		w.Params[i] = valID(p)
 	}
+	var strs strTable
 	for _, v := range ix.Values {
 		if v == nil {
 			continue // ID allocated but value no longer live
 		}
 		w.Values = append(w.Values, ValueWire{
-			ID: int32(v.ID), Kind: v.Kind, Name: v.Name, Type: v.Type,
+			ID: int32(v.ID), Kind: v.Kind, Name: v.Name,
+			TypeBase: strs.id(v.Type.Base), TypePtr: int32(v.Type.Ptr),
 			Def: instrID(v.Def), IntVal: v.IntVal, BoolVal: v.BoolVal,
 			ParamIdx: int32(v.ParamIdx), Aux: v.Aux,
 		})
@@ -173,7 +210,8 @@ func ExportFunc(f *Func) (*FuncWire, *Index) {
 		for j, in := range b.Instrs {
 			iw := InstrWire{
 				ID: int32(in.ID), Op: in.Op, Dst: valID(in.Dst),
-				Sub: in.Sub, Callee: in.Callee, Pos: in.Pos,
+				Sub: strs.id(in.Sub), Callee: strs.id(in.Callee),
+				PosFile: strs.id(in.Pos.File), PosLine: int32(in.Pos.Line), PosCol: int32(in.Pos.Col),
 				Synthetic: in.Synthetic,
 			}
 			if len(in.Dsts) > 0 {
@@ -210,6 +248,7 @@ func ExportFunc(f *Func) (*FuncWire, *Index) {
 		}
 		w.Blocks[i] = bw
 	}
+	w.Strs = strs.s
 	return w, ix
 }
 
@@ -246,14 +285,33 @@ func ImportFunc(w *FuncWire) (*Func, *Index, error) {
 		}
 		return ix.Blocks[id], nil
 	}
+	str := func(id int32) (string, error) {
+		if id == -1 {
+			return "", nil
+		}
+		if id < 0 || int(id) >= len(w.Strs) {
+			return "", fmt.Errorf("ir: import %s: bad string id %d", w.Name, id)
+		}
+		return w.Strs[id], nil
+	}
 
 	// Pass 1: values (Def wired in pass 3), restoring the intern tables.
-	for _, vw := range w.Values {
+	// Values are batch-allocated from one backing array — the artifact
+	// lives or dies wholesale, and one allocation for thousands of nodes
+	// is a large share of warm-restart time on the allocator alone.
+	valArena := make([]Value, len(w.Values))
+	for wi, vw := range w.Values {
 		if vw.ID < 0 || int(vw.ID) >= len(ix.Values) || ix.Values[vw.ID] != nil {
 			return nil, nil, fmt.Errorf("ir: import %s: bad value id %d", w.Name, vw.ID)
 		}
-		v := &Value{
-			ID: int(vw.ID), Kind: vw.Kind, Name: vw.Name, Type: vw.Type,
+		base, err := str(vw.TypeBase)
+		if err != nil {
+			return nil, nil, err
+		}
+		v := &valArena[wi]
+		*v = Value{
+			ID: int(vw.ID), Kind: vw.Kind, Name: vw.Name,
+			Type:   minic.Type{Base: base, Ptr: int(vw.TypePtr)},
 			IntVal: vw.IntVal, BoolVal: vw.BoolVal,
 			ParamIdx: int(vw.ParamIdx), Aux: vw.Aux,
 		}
@@ -281,17 +339,25 @@ func ImportFunc(w *FuncWire) (*Func, *Index, error) {
 	}
 
 	// Pass 2: block shells, so instruction targets can resolve.
+	blockArena := make([]Block, len(w.Blocks))
 	f.Blocks = make([]*Block, len(w.Blocks))
 	for i, bw := range w.Blocks {
 		if bw.ID < 0 || int(bw.ID) >= len(ix.Blocks) || ix.Blocks[bw.ID] != nil {
 			return nil, nil, fmt.Errorf("ir: import %s: bad block id %d", w.Name, bw.ID)
 		}
-		b := &Block{ID: int(bw.ID), Fn: f}
+		b := &blockArena[i]
+		*b = Block{ID: int(bw.ID), Fn: f}
 		ix.Blocks[bw.ID] = b
 		f.Blocks[i] = b
 	}
 
-	// Pass 3: instructions, CFG edges, and value Defs.
+	// Pass 3: instructions, CFG edges, and value Defs. Instructions are
+	// batch-allocated like values.
+	nInstrs := 0
+	for _, bw := range w.Blocks {
+		nInstrs += len(bw.Instrs)
+	}
+	instrArena := make([]Instr, nInstrs)
 	for i, bw := range w.Blocks {
 		b := f.Blocks[i]
 		b.Instrs = make([]*Instr, len(bw.Instrs))
@@ -299,11 +365,25 @@ func ImportFunc(w *FuncWire) (*Func, *Index, error) {
 			if iw.ID < 0 || int(iw.ID) >= len(ix.Instrs) || ix.Instrs[iw.ID] != nil {
 				return nil, nil, fmt.Errorf("ir: import %s: bad instr id %d", w.Name, iw.ID)
 			}
-			in := &Instr{
-				ID: int(iw.ID), Op: iw.Op, Sub: iw.Sub, Callee: iw.Callee,
-				Pos: iw.Pos, Block: b, Synthetic: iw.Synthetic,
+			sub, err := str(iw.Sub)
+			if err != nil {
+				return nil, nil, err
 			}
-			var err error
+			callee, err := str(iw.Callee)
+			if err != nil {
+				return nil, nil, err
+			}
+			file, err := str(iw.PosFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			in := &instrArena[0]
+			instrArena = instrArena[1:]
+			*in = Instr{
+				ID: int(iw.ID), Op: iw.Op, Sub: sub, Callee: callee,
+				Pos:   minic.Pos{File: file, Line: int(iw.PosLine), Col: int(iw.PosCol)},
+				Block: b, Synthetic: iw.Synthetic,
+			}
 			if in.Dst, err = value(iw.Dst); err != nil {
 				return nil, nil, err
 			}
@@ -373,4 +453,168 @@ func ImportFunc(w *FuncWire) (*Func, *Index, error) {
 		return nil, nil, err
 	}
 	return f, ix, nil
+}
+
+// Binary codec for FuncWire: field-by-field wirebin encoding, in a fixed
+// order Append and Decode must keep in lockstep. The artifact store bundles
+// these blobs into segments; gob's reflective decode of this struct (the
+// largest artifact section) dominated warm-restart time, and the linear
+// scan here replaces it.
+
+func appendValueWire(e *wirebin.Writer, v *ValueWire) {
+	e.I32(v.ID)
+	e.U8(uint8(v.Kind))
+	e.Str(v.Name)
+	e.I32(v.TypeBase)
+	e.I32(v.TypePtr)
+	e.I32(v.Def)
+	e.Varint(v.IntVal)
+	e.Bool(v.BoolVal)
+	e.I32(v.ParamIdx)
+	e.Bool(v.Aux)
+}
+
+func decodeValueWire(r *wirebin.Reader, v *ValueWire) {
+	v.ID = r.I32()
+	v.Kind = ValueKind(r.U8())
+	v.Name = r.Str()
+	v.TypeBase = r.I32()
+	v.TypePtr = r.I32()
+	v.Def = r.I32()
+	v.IntVal = r.Varint()
+	v.BoolVal = r.Bool()
+	v.ParamIdx = r.I32()
+	v.Aux = r.Bool()
+}
+
+func appendInstrWire(e *wirebin.Writer, in *InstrWire) {
+	e.I32(in.ID)
+	e.U8(uint8(in.Op))
+	e.I32(in.Dst)
+	e.I32s(in.Dsts)
+	e.I32s(in.Args)
+	e.I32(in.Sub)
+	e.I32(in.Callee)
+	e.I32s(in.Blocks)
+	e.I32(in.PosFile)
+	e.I32(in.PosLine)
+	e.I32(in.PosCol)
+	e.Bool(in.Synthetic)
+}
+
+func decodeInstrWire(r *wirebin.Reader, in *InstrWire) {
+	in.ID = r.I32()
+	in.Op = Op(r.U8())
+	in.Dst = r.I32()
+	in.Dsts = r.I32s()
+	in.Args = r.I32s()
+	in.Sub = r.I32()
+	in.Callee = r.I32()
+	in.Blocks = r.I32s()
+	in.PosFile = r.I32()
+	in.PosLine = r.I32()
+	in.PosCol = r.I32()
+	in.Synthetic = r.Bool()
+}
+
+func appendAuxSpecs(e *wirebin.Writer, specs []AuxSpec) {
+	e.Uvarint(uint64(len(specs)))
+	for _, a := range specs {
+		e.Int(a.Root)
+		e.Str(a.Global)
+		e.Int(a.Depth)
+	}
+}
+
+func decodeAuxSpecs(r *wirebin.Reader) []AuxSpec {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]AuxSpec, n)
+	for i := range out {
+		out[i] = AuxSpec{Root: r.Int(), Global: r.Str(), Depth: r.Int()}
+	}
+	return out
+}
+
+// AppendWire appends w's binary encoding to e.
+func (w *FuncWire) AppendWire(e *wirebin.Writer) {
+	e.Str(w.Name)
+	e.Str(w.Ret.Base)
+	e.Int(w.Ret.Ptr)
+	e.I32s(w.Params)
+	e.Strs(w.Strs)
+	e.Uvarint(uint64(len(w.Values)))
+	for i := range w.Values {
+		appendValueWire(e, &w.Values[i])
+	}
+	e.Uvarint(uint64(len(w.Blocks)))
+	for i := range w.Blocks {
+		bw := &w.Blocks[i]
+		e.I32(bw.ID)
+		e.Uvarint(uint64(len(bw.Instrs)))
+		for j := range bw.Instrs {
+			appendInstrWire(e, &bw.Instrs[j])
+		}
+		e.I32s(bw.Preds)
+		e.I32s(bw.Succs)
+	}
+	e.I32(w.Entry)
+	e.I32(w.Exit)
+	e.Int(w.Unit)
+	e.Str(w.Pos.File)
+	e.Int(w.Pos.Line)
+	e.Int(w.Pos.Col)
+	appendAuxSpecs(e, w.AuxIn)
+	appendAuxSpecs(e, w.AuxOut)
+	e.I32(w.NextValID)
+	e.I32(w.NextInstrID)
+	e.I32(w.NextBlockID)
+}
+
+// DecodeFuncWire reads one FuncWire from r.
+func DecodeFuncWire(r *wirebin.Reader) (*FuncWire, error) {
+	w := &FuncWire{}
+	w.Name = r.Str()
+	w.Ret.Base = r.Str()
+	w.Ret.Ptr = r.Int()
+	w.Params = r.I32s()
+	w.Strs = r.Strs()
+	if n := r.Len(); n > 0 {
+		w.Values = make([]ValueWire, n)
+		for i := range w.Values {
+			decodeValueWire(r, &w.Values[i])
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.Blocks = make([]BlockWire, n)
+		for i := range w.Blocks {
+			bw := &w.Blocks[i]
+			bw.ID = r.I32()
+			if m := r.Len(); m > 0 {
+				bw.Instrs = make([]InstrWire, m)
+				for j := range bw.Instrs {
+					decodeInstrWire(r, &bw.Instrs[j])
+				}
+			}
+			bw.Preds = r.I32s()
+			bw.Succs = r.I32s()
+		}
+	}
+	w.Entry = r.I32()
+	w.Exit = r.I32()
+	w.Unit = r.Int()
+	w.Pos.File = r.Str()
+	w.Pos.Line = r.Int()
+	w.Pos.Col = r.Int()
+	w.AuxIn = decodeAuxSpecs(r)
+	w.AuxOut = decodeAuxSpecs(r)
+	w.NextValID = r.I32()
+	w.NextInstrID = r.I32()
+	w.NextBlockID = r.I32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ir: decode func wire: %w", err)
+	}
+	return w, nil
 }

@@ -1,0 +1,265 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/minic"
+	"repro/internal/server"
+)
+
+// startServer brings up an in-process analysis service and returns its
+// base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// smallSpec is a fast single-group scenario for tests.
+func smallSpec(id, mutate string, requests int) *Spec {
+	return &Spec{
+		Name:    "test-" + id,
+		Subject: SubjectSpec{Scale: 4},
+		Clients: []ClientSpec{{
+			ID: id, Mutate: mutate, Requests: requests,
+			Arrival: ArrivalSpec{Process: "closed"},
+		}},
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	url := startServer(t)
+	spec := smallSpec("warm", "none", 4)
+	res, err := Run(context.Background(), spec, Options{BaseURL: url, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(res.Samples))
+	}
+	for i := range res.Samples {
+		s := &res.Samples[i]
+		if !s.OK() {
+			t.Fatalf("sample %d failed: status=%d err=%q", i, s.Status, s.Err)
+		}
+		if s.Timing.TotalNs <= 0 {
+			t.Errorf("sample %d: timing.totalNs = %d, want > 0", i, s.Timing.TotalNs)
+		}
+		if s.LatencyNs <= 0 {
+			t.Errorf("sample %d: latencyNs = %d, want > 0", i, s.LatencyNs)
+		}
+	}
+
+	sum := Summarize(res)
+	if sum.Requests != 4 || sum.Errors != 0 {
+		t.Errorf("summary requests=%d errors=%d, want 4/0", sum.Requests, sum.Errors)
+	}
+	l := sum.Latency
+	if !(l.Min <= l.P50 && l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+		t.Errorf("percentiles not monotone: %+v", l)
+	}
+	if sum.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", sum.Throughput)
+	}
+	if sum.PhaseMeanNs["build"] <= 0 || sum.PhaseMeanNs["detect"] <= 0 {
+		t.Errorf("phase means missing build/detect: %v", sum.PhaseMeanNs)
+	}
+	// The server's breakdown cannot attribute more than the client saw
+	// by a wide margin, nor explain less than nothing.
+	if g := sum.AttributionGap; g.Mean >= 1 || g.Max >= 1 {
+		t.Errorf("attribution gap out of range: %+v", g)
+	}
+	if len(sum.Groups) != 1 || sum.Groups[0].Client != "warm" || sum.Groups[0].Requests != 4 {
+		t.Errorf("bad group summary: %+v", sum.Groups)
+	}
+}
+
+func TestRunMutations(t *testing.T) {
+	url := startServer(t)
+	for _, mode := range []string{"edit", "fresh"} {
+		spec := smallSpec(mode, mode, 3)
+		res, err := Run(context.Background(), spec, Options{BaseURL: url, Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(res.Samples) != 3 {
+			t.Fatalf("%s: got %d samples, want 3", mode, len(res.Samples))
+		}
+		for i := range res.Samples {
+			if s := &res.Samples[i]; !s.OK() {
+				t.Fatalf("%s: sample %d failed: status=%d err=%q", mode, i, s.Status, s.Err)
+			}
+		}
+	}
+}
+
+func TestRunOpenLoopBurst(t *testing.T) {
+	url := startServer(t)
+	spec := &Spec{
+		Name:    "test-burst",
+		Subject: SubjectSpec{Scale: 4},
+		Clients: []ClientSpec{{
+			ID: "burst", Requests: 6,
+			Arrival: ArrivalSpec{Process: "burst", Rate: 60, Burst: 3},
+		}},
+	}
+	res, err := Run(context.Background(), spec, Options{
+		BaseURL: url, Duration: 10 * time.Second, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(res.Samples))
+	}
+	if res.Offered != 60 {
+		t.Errorf("offered = %v, want 60", res.Offered)
+	}
+	for i := range res.Samples {
+		if s := &res.Samples[i]; !s.OK() {
+			t.Fatalf("sample %d failed: status=%d err=%q", i, s.Status, s.Err)
+		}
+	}
+}
+
+func TestEditUnitMakesDistinctBodies(t *testing.T) {
+	u := minic.NamedSource{Name: "u.mc", Src: "int x;\nvoid drive_a_0(int seed, bool flag) {\n\tx = 1;\n}\n"}
+	e1, e2 := editUnit(u, 1), editUnit(u, 2)
+	if e1.Src == u.Src {
+		t.Fatal("edit 1 did not change the unit")
+	}
+	if e1.Src == e2.Src {
+		t.Fatal("edits 1 and 2 produced identical bodies")
+	}
+	if !strings.Contains(e1.Src, "seed = seed +") {
+		t.Fatalf("edit missing inserted statement:\n%s", e1.Src)
+	}
+}
+
+func TestLatencySummaryExactPercentiles(t *testing.T) {
+	s := latencySummary([]int64{5, 1, 4, 2, 3})
+	want := LatencyNs{Min: 1, Mean: 3, P50: 3, P95: 5, P99: 5, Max: 5}
+	if s != want {
+		t.Errorf("got %+v, want %+v", s, want)
+	}
+	if got := latencySummary(nil); got != (LatencyNs{}) {
+		t.Errorf("empty summary = %+v, want zero", got)
+	}
+	// 100 samples: p99 is exactly the 99th value.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	s = latencySummary(vals)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("p50/p95/p99 = %d/%d/%d, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Result{
+		Spec:    smallSpec("x", "none", 1),
+		Elapsed: time.Second,
+		Samples: []Sample{
+			{Client: "x", Seq: 0, LatencyNs: 100, Status: 200},
+			{Client: "x", Seq: 1, LatencyNs: 200, Status: 503, Err: "saturated"},
+		},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d CSV lines, want 3 (header + 2 rows):\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "client,seq,start_ns,latency_ns,status,ok") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"saturated"`) {
+		t.Errorf("error row missing err field: %s", lines[2])
+	}
+}
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		s, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Error("unknown builtin resolved")
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{
+		"name": "custom",
+		"subject": {"scale": 4},
+		"clients": [
+			{"id": "a", "arrival": {"process": "poisson", "rate": 2}},
+			{"id": "b", "mutate": "edit", "arrival": {"thinkMs": 10}}
+		]
+	}`), 0o644)
+	s, err := LoadSpec(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "custom" || len(s.Clients) != 2 || s.Clients[0].Arrival.Rate != 2 {
+		t.Errorf("bad parse: %+v", s)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"name": "x", "clients": [{"id": "a", "arrival": {"process": "warp"}}]}`), 0o644)
+	if _, err := LoadSpec(bad); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	os.WriteFile(unknown, []byte(`{"name": "x", "clients": [{"id": "a"}], "bogus": 1}`), 0o644)
+	if _, err := LoadSpec(unknown); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+}
+
+func TestSweepShortLadder(t *testing.T) {
+	url := startServer(t)
+	spec := smallSpec("sweep", "none", 0)
+	// Warm the session once so the sweep measures steady state.
+	warm := smallSpec("warmup", "none", 1)
+	if _, err := Run(context.Background(), warm, Options{BaseURL: url, Timeout: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(context.Background(), spec, Options{BaseURL: url, Timeout: 30 * time.Second},
+		[]float64{4}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("got %d sweep points, want 1", len(res.Points))
+	}
+	pt := res.Points[0]
+	if pt.Offered != 4 {
+		t.Errorf("offered = %v, want 4", pt.Offered)
+	}
+	if pt.Summary.Errors > 0 {
+		t.Errorf("sweep rung had %d errors", pt.Summary.Errors)
+	}
+}

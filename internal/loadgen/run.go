@@ -1,0 +1,384 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/minic"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// Options parameterize one load run.
+type Options struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8972".
+	BaseURL string
+	// Duration bounds the run's wall clock. Zero is allowed only when
+	// every client group sets Requests (the run ends when budgets drain).
+	Duration time.Duration
+	// Timeout is the per-request deadline (default 60s).
+	Timeout time.Duration
+	// Seed drives the arrival-process randomness (default 1), so runs
+	// with the same spec and seed offer the same schedule.
+	Seed int64
+	// Client overrides the HTTP client (default: fresh client with
+	// per-request timeouts from Timeout).
+	Client *http.Client
+}
+
+// Sample is one request as the client observed it, paired with the
+// server's own phase attribution for the same request.
+type Sample struct {
+	// Client is the issuing group's ID.
+	Client string `json:"client"`
+	// Seq numbers the request within its group.
+	Seq int `json:"seq"`
+	// StartNs is the request start, as an offset from the run start.
+	StartNs int64 `json:"startNs"`
+	// LatencyNs is the client-observed round-trip latency.
+	LatencyNs int64 `json:"latencyNs"`
+	// Status is the HTTP status (0 on transport error).
+	Status int `json:"status"`
+	// Err is the transport or server error, if any.
+	Err string `json:"err,omitempty"`
+	// Reports is the number of bug reports in the response.
+	Reports int `json:"reports"`
+	// Timing is the server's phase breakdown for this request.
+	Timing server.TimingJSON `json:"timing"`
+}
+
+// OK reports whether the request succeeded.
+func (s *Sample) OK() bool { return s.Err == "" && s.Status == http.StatusOK }
+
+// Result is one executed run.
+type Result struct {
+	Spec    *Spec         `json:"spec"`
+	Elapsed time.Duration `json:"elapsedNs"`
+	// Offered is the total offered rate of the open-loop groups in
+	// requests/second (0 when all groups are closed-loop).
+	Offered float64  `json:"offered"`
+	Samples []Sample `json:"samples"`
+}
+
+// Run executes spec against the service at opts.BaseURL and returns every
+// per-request sample. The run ends when opts.Duration elapses, all request
+// budgets drain, or ctx is canceled — whichever comes first.
+func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: no base URL")
+	}
+	if opts.Duration <= 0 {
+		for _, c := range spec.Clients {
+			if c.Requests <= 0 {
+				return nil, fmt.Errorf("loadgen: spec %q: client %q needs a request budget when the run has no duration", spec.Name, c.ID)
+			}
+		}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	httpc := opts.Client
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+
+	subj, gen := spec.subject()
+	base := workload.Generate(subj, gen)
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if opts.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, opts.Duration)
+		defer cancel()
+	}
+
+	res := &Result{Spec: spec}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		start   = time.Now()
+		url     = strings.TrimRight(opts.BaseURL, "/") + "/v1/analyze"
+		collect = func(s Sample) {
+			mu.Lock()
+			res.Samples = append(res.Samples, s)
+			mu.Unlock()
+		}
+	)
+	for gi := range spec.Clients {
+		c := &spec.Clients[gi]
+		g := &group{
+			spec:    c,
+			subject: subj,
+			gen:     gen,
+			base:    base,
+			url:     url,
+			httpc:   httpc,
+			timeout: opts.Timeout,
+			start:   start,
+			collect: collect,
+		}
+		if c.Requests > 0 {
+			g.budget = new(atomic.Int64)
+			g.budget.Store(int64(c.Requests))
+		}
+		switch c.Arrival.Process {
+		case "", "closed":
+		default:
+			res.Offered += c.Arrival.Rate
+		}
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			g.run(runCtx, seed)
+		}(opts.Seed + int64(gi)*7919)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// group is one executing client group.
+type group struct {
+	spec    *ClientSpec
+	subject workload.Subject
+	gen     workload.GenOptions
+	base    *workload.Generated
+	url     string
+	httpc   *http.Client
+	timeout time.Duration
+	start   time.Time
+	collect func(Sample)
+	budget  *atomic.Int64 // nil = unbounded
+	seq     atomic.Int64
+
+	freshOnce sync.Once
+	fresh     []json.RawMessage
+}
+
+// take claims one request slot from the group's budget.
+func (g *group) take() (int, bool) {
+	if g.budget != nil && g.budget.Add(-1) < 0 {
+		return 0, false
+	}
+	return int(g.seq.Add(1) - 1), true
+}
+
+func (g *group) run(ctx context.Context, seed int64) {
+	switch g.spec.Arrival.Process {
+	case "", "closed":
+		g.runClosed(ctx)
+	default:
+		g.runOpen(ctx, seed)
+	}
+}
+
+// runClosed drives Count synchronous clients: request, think, repeat.
+func (g *group) runClosed(ctx context.Context) {
+	think := time.Duration(g.spec.Arrival.ThinkMs) * time.Millisecond
+	var wg sync.WaitGroup
+	for w := 0; w < g.spec.count(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				seq, ok := g.take()
+				if !ok {
+					return
+				}
+				g.do(ctx, seq)
+				if think > 0 {
+					select {
+					case <-time.After(think):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen fires arrivals on a schedule that ignores completions: each
+// arrival gets its own goroutine, so a slow server faces the full offered
+// load instead of implicitly throttling the client.
+func (g *group) runOpen(ctx context.Context, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rate := g.spec.Arrival.Rate
+	burst := g.spec.Arrival.Burst
+	if burst <= 0 {
+		burst = 1
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for ctx.Err() == nil {
+		var gap time.Duration
+		switch g.spec.Arrival.Process {
+		case "poisson":
+			gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		case "uniform":
+			gap = time.Duration(float64(time.Second) / rate)
+		case "burst":
+			// Bursts of `burst` simultaneous arrivals, spaced so the
+			// long-run offered rate stays Rate.
+			gap = time.Duration(float64(burst) / rate * float64(time.Second))
+		}
+		select {
+		case <-time.After(gap):
+		case <-ctx.Done():
+			return
+		}
+		n := 1
+		if g.spec.Arrival.Process == "burst" {
+			n = burst
+		}
+		for i := 0; i < n; i++ {
+			seq, ok := g.take()
+			if !ok {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g.do(ctx, seq)
+			}()
+		}
+	}
+}
+
+// do issues request seq and records its sample.
+func (g *group) do(ctx context.Context, seq int) {
+	body, err := g.payload(seq)
+	s := Sample{Client: g.spec.ID, Seq: seq, StartNs: time.Since(g.start).Nanoseconds()}
+	if err != nil {
+		s.Err = err.Error()
+		g.collect(s)
+		return
+	}
+	rctx, cancel := context.WithTimeout(ctx, g.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, g.url, bytes.NewReader(body))
+	if err != nil {
+		s.Err = err.Error()
+		g.collect(s)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		s.LatencyNs = time.Since(t0).Nanoseconds()
+		s.Err = err.Error()
+		g.collect(s)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	s.LatencyNs = time.Since(t0).Nanoseconds()
+	s.Status = resp.StatusCode
+	switch {
+	case err != nil:
+		s.Err = err.Error()
+	case resp.StatusCode != http.StatusOK:
+		s.Err = strings.TrimSpace(string(data))
+	default:
+		var ar server.AnalyzeResponse
+		if err := json.Unmarshal(data, &ar); err != nil {
+			s.Err = "bad response body: " + err.Error()
+		} else {
+			s.Reports = len(ar.Reports)
+			s.Timing = ar.Timing
+		}
+	}
+	g.collect(s)
+}
+
+// payload builds the request body for the group's seq-th request.
+func (g *group) payload(seq int) ([]byte, error) {
+	switch g.spec.Mutate {
+	case "", "none":
+		return g.marshal(g.base.Units)
+	case "edit":
+		units := make([]minic.NamedSource, len(g.base.Units))
+		copy(units, g.base.Units)
+		for i, u := range units {
+			if strings.Contains(u.Src, "\nvoid drive_") || strings.HasPrefix(u.Src, "void drive_") {
+				units[i] = editUnit(u, seq)
+				break
+			}
+		}
+		return g.marshal(units)
+	case "fresh":
+		// Pre-generate a small pool of distinct programs and rotate:
+		// every transition between pool members invalidates most of the
+		// session, so each request pays a near-cold rebuild without the
+		// client regenerating per request.
+		g.freshOnce.Do(func() {
+			const pool = 4
+			g.fresh = make([]json.RawMessage, pool)
+			for i := 0; i < pool; i++ {
+				gen := g.gen
+				gen.Seed = gen.Seed + int64(i)*1_000_003 + 17
+				v := workload.Generate(g.subject, gen)
+				b, err := g.marshal(v.Units)
+				if err != nil {
+					b = nil
+				}
+				g.fresh[i] = b
+			}
+		})
+		b := g.fresh[seq%len(g.fresh)]
+		if b == nil {
+			return nil, fmt.Errorf("loadgen: fresh pool generation failed")
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mutate mode %q", g.spec.Mutate)
+	}
+}
+
+func (g *group) marshal(units []minic.NamedSource) ([]byte, error) {
+	req := server.AnalyzeRequest{
+		Checkers: g.spec.Checkers,
+		Witness:  g.spec.Witness,
+	}
+	req.Units = make([]server.UnitJSON, len(units))
+	for i, u := range units {
+		req.Units[i] = server.UnitJSON{Name: u.Name, Src: u.Src}
+	}
+	return json.Marshal(&req)
+}
+
+// achievedRate is the successful-request throughput of a result in
+// requests/second.
+func achievedRate(r *Result) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	ok := 0
+	for i := range r.Samples {
+		if r.Samples[i].OK() {
+			ok++
+		}
+	}
+	return float64(ok) / r.Elapsed.Seconds()
+}
+
+// isFinite guards summary math against degenerate runs.
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

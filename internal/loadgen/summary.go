@@ -1,0 +1,220 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LatencyNs summarizes a latency distribution with exact (sort-based,
+// nearest-rank) percentiles — no bucketing error, since the harness keeps
+// every sample.
+type LatencyNs struct {
+	Min  int64 `json:"min"`
+	Mean int64 `json:"mean"`
+	P50  int64 `json:"p50"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+}
+
+// latencySummary computes exact percentiles over vals (unsorted, not
+// modified). Zero value for an empty input.
+func latencySummary(vals []int64) LatencyNs {
+	if len(vals) == 0 {
+		return LatencyNs{}
+	}
+	s := make([]int64, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	return LatencyNs{
+		Min:  s[0],
+		Mean: sum / int64(len(s)),
+		P50:  nearestRank(s, 0.50),
+		P95:  nearestRank(s, 0.95),
+		P99:  nearestRank(s, 0.99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// nearestRank returns the q-th percentile of sorted s by the nearest-rank
+// definition: the smallest value with at least ceil(q*n) samples at or
+// below it.
+func nearestRank(s []int64, q float64) int64 {
+	n := len(s)
+	rank := int(q*float64(n) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s[rank-1]
+}
+
+// GroupSummary is one client group's slice of the run.
+type GroupSummary struct {
+	Client   string    `json:"client"`
+	Requests int       `json:"requests"`
+	Errors   int       `json:"errors"`
+	Latency  LatencyNs `json:"latencyNs"`
+}
+
+// Summary is the aggregate view of one Result.
+type Summary struct {
+	Scenario  string  `json:"scenario"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"errorRate"`
+	ElapsedNs int64   `json:"elapsedNs"`
+	// Throughput is successful requests per second.
+	Throughput float64 `json:"throughput"`
+	// Offered is the open-loop offered rate (0 for closed-loop runs).
+	Offered float64 `json:"offered,omitempty"`
+	// Latency covers successful requests only.
+	Latency LatencyNs `json:"latencyNs"`
+	// PhaseMeanNs is the mean server-side time per phase over successes,
+	// keyed by the same phase names as server.phase_ns{phase=...}.
+	PhaseMeanNs map[string]int64 `json:"phaseMeanNs"`
+	// AttributionGap is the fraction of client-observed latency the
+	// server's timing breakdown does not account for
+	// ((latency - totalNs) / latency), summarized over successes. Small
+	// values mean the phase attribution explains what clients feel.
+	AttributionGap GapStats `json:"attributionGap"`
+	// Groups breaks the run down per client group.
+	Groups []GroupSummary `json:"groups"`
+}
+
+// GapStats summarizes the client-vs-server attribution gap.
+type GapStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize aggregates a Result into percentile and phase statistics.
+func Summarize(r *Result) Summary {
+	sum := Summary{
+		Scenario:  r.Spec.Name,
+		Requests:  len(r.Samples),
+		ElapsedNs: r.Elapsed.Nanoseconds(),
+		Offered:   r.Offered,
+	}
+	var (
+		lats      []int64
+		gaps      []float64
+		phaseSums = map[string]int64{}
+		perGroup  = map[string]*GroupSummary{}
+		groupLats = map[string][]int64{}
+	)
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		g := perGroup[s.Client]
+		if g == nil {
+			g = &GroupSummary{Client: s.Client}
+			perGroup[s.Client] = g
+		}
+		g.Requests++
+		if !s.OK() {
+			sum.Errors++
+			g.Errors++
+			continue
+		}
+		lats = append(lats, s.LatencyNs)
+		groupLats[s.Client] = append(groupLats[s.Client], s.LatencyNs)
+		t := s.Timing
+		for _, p := range []struct {
+			name string
+			v    int64
+		}{
+			{"decode", t.DecodeNs}, {"queue_wait", t.QueueWaitNs},
+			{"session_wait", t.SessionWaitNs}, {"build", t.BuildNs},
+			{"parse", t.ParseNs}, {"store_load", t.StoreLoadNs},
+			{"store_save", t.StoreSaveNs}, {"detect", t.DetectNs},
+			{"smt", t.SMTNs}, {"other", t.OtherNs},
+		} {
+			phaseSums[p.name] += p.v
+		}
+		if s.LatencyNs > 0 {
+			gap := float64(s.LatencyNs-t.TotalNs) / float64(s.LatencyNs)
+			if isFinite(gap) {
+				gaps = append(gaps, gap)
+			}
+		}
+	}
+	ok := len(lats)
+	sum.Latency = latencySummary(lats)
+	if sum.Requests > 0 {
+		sum.ErrorRate = float64(sum.Errors) / float64(sum.Requests)
+	}
+	if r.Elapsed > 0 {
+		sum.Throughput = float64(ok) / r.Elapsed.Seconds()
+	}
+	sum.PhaseMeanNs = map[string]int64{}
+	for name, total := range phaseSums {
+		if ok > 0 {
+			sum.PhaseMeanNs[name] = total / int64(ok)
+		}
+	}
+	if len(gaps) > 0 {
+		sort.Float64s(gaps)
+		var gsum float64
+		for _, g := range gaps {
+			gsum += g
+		}
+		sum.AttributionGap = GapStats{
+			Mean: gsum / float64(len(gaps)),
+			P50:  gaps[(len(gaps)-1)/2],
+			Max:  gaps[len(gaps)-1],
+		}
+	}
+	names := make([]string, 0, len(perGroup))
+	for name := range perGroup {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := perGroup[name]
+		g.Latency = latencySummary(groupLats[name])
+		sum.Groups = append(sum.Groups, *g)
+	}
+	return sum
+}
+
+// WriteCSV writes one row per sample: the client-side observation plus
+// the server's full phase breakdown, all durations in nanoseconds.
+func WriteCSV(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintln(w, "client,seq,start_ns,latency_ns,status,ok,reports,"+
+		"total_ns,decode_ns,queue_wait_ns,session_wait_ns,build_ns,parse_ns,"+
+		"store_load_ns,store_save_ns,detect_ns,smt_ns,other_ns,err"); err != nil {
+		return err
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		ok := 0
+		if s.OK() {
+			ok = 1
+		}
+		t := s.Timing
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%q\n",
+			s.Client, s.Seq, s.StartNs, s.LatencyNs, s.Status, ok, s.Reports,
+			t.TotalNs, t.DecodeNs, t.QueueWaitNs, t.SessionWaitNs, t.BuildNs,
+			t.ParseNs, t.StoreLoadNs, t.StoreSaveNs, t.DetectNs, t.SMTNs,
+			t.OtherNs, s.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummaryJSON writes the summary as indented JSON.
+func WriteSummaryJSON(w io.Writer, s Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

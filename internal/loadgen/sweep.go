@@ -1,0 +1,73 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// SweepPoint is one rung of a saturation sweep.
+type SweepPoint struct {
+	// Offered is the open-loop offered rate in requests/second.
+	Offered float64 `json:"offered"`
+	// Achieved is the measured successful throughput at that rate.
+	Achieved float64 `json:"achieved"`
+	// Summary is the full run summary for the rung.
+	Summary Summary `json:"summary"`
+}
+
+// SweepResult is a saturation sweep: a ladder of open-loop runs at
+// increasing offered rates, plus the located knee.
+type SweepResult struct {
+	Points []SweepPoint `json:"points"`
+	// Knee is the highest offered rate the service kept up with: achieved
+	// throughput at least kneeFraction of offered with zero errors. Zero
+	// if the service kept up with no rung.
+	Knee float64 `json:"knee"`
+}
+
+// kneeFraction is the achieved/offered ratio below which a rung counts as
+// saturated.
+const kneeFraction = 0.95
+
+// Sweep runs spec's first client group open-loop (Poisson arrivals) at
+// each rate in rates for stepDur apiece and locates the saturation knee.
+// The ladder stops one rung after the first saturated point — past the
+// knee every further rung only queues deeper and slows the sweep down.
+func Sweep(ctx context.Context, spec *Spec, opts Options, rates []float64, stepDur time.Duration) (*SweepResult, error) {
+	if len(spec.Clients) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep needs a client group")
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep needs at least one rate")
+	}
+	res := &SweepResult{}
+	for _, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		rung := *spec
+		rung.Name = fmt.Sprintf("%s@%.3g", spec.Name, rate)
+		rung.Clients = []ClientSpec{spec.Clients[0]}
+		rung.Clients[0].Arrival = ArrivalSpec{Process: "poisson", Rate: rate}
+		rung.Clients[0].Requests = 0
+
+		ropts := opts
+		ropts.Duration = stepDur
+		run, err := Run(ctx, &rung, ropts)
+		if err != nil {
+			return res, err
+		}
+		sum := Summarize(run)
+		pt := SweepPoint{Offered: rate, Achieved: achievedRate(run), Summary: sum}
+		res.Points = append(res.Points, pt)
+		keptUp := sum.Errors == 0 && pt.Achieved >= kneeFraction*rate
+		if keptUp && rate > res.Knee {
+			res.Knee = rate
+		}
+		if !keptUp {
+			break
+		}
+	}
+	return res, nil
+}

@@ -161,7 +161,9 @@ type HistSnapshot struct {
 
 // UnitOf derives a metric's unit from its name suffix, the repo-wide
 // convention documented on package obs: "_ns" metrics are nanoseconds.
+// Labeled names are judged by their base name alone.
 func UnitOf(name string) string {
+	name, _ = SplitLabels(name)
 	if strings.HasSuffix(name, "_ns") {
 		return "ns"
 	}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled metric names. The registry is a flat name → metric map with no
+// native label dimension; rather than grow a second key space (and touch
+// every lookup path), labels ride inside the name using the Prometheus
+// exposition syntax itself:
+//
+//	Labeled("server.phase_ns", "phase", "detect")  →  server.phase_ns{phase="detect"}
+//
+// Each distinct label combination is its own registry entry (its own
+// atomics), which is exactly Prometheus's data model — a labeled family is
+// a set of independent series. The exposition writer groups entries that
+// share a base name into one family: HELP/TYPE once, then every series
+// with its label block. Keys are emitted in sorted order so the same label
+// set always produces the same registry key regardless of argument order.
+
+// Labeled builds a labeled metric name from a base name and key/value
+// pairs. It panics on an odd number of pairs (a programming error, like a
+// bad fmt verb). Label values are escaped per the exposition format;
+// label keys must be legal Prometheus label names ([a-zA-Z_][a-zA-Z0-9_]*)
+// and are used as-is.
+func Labeled(base string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labeled requires key/value pairs")
+	}
+	if len(kv) == 0 {
+		return base
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, len(kv)/2)
+	for i := range pairs {
+		pairs[i] = pair{kv[2*i], kv[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.Grow(len(base) + 16*len(pairs))
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabels splits a (possibly labeled) registry name into its base name
+// and label block ("" when unlabeled). The label block keeps its braces.
+func SplitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	cases := []struct {
+		base string
+		kv   []string
+		want string
+	}{
+		{"server.phase_ns", []string{"phase", "detect"}, `server.phase_ns{phase="detect"}`},
+		{"server.phase_ns", nil, "server.phase_ns"},
+		// Keys sort, so argument order does not fork the series.
+		{"x", []string{"b", "2", "a", "1"}, `x{a="1",b="2"}`},
+		{"x", []string{"a", `q"uote\back`}, `x{a="q\"uote\\back"}`},
+	}
+	for _, c := range cases {
+		if got := Labeled(c.base, c.kv...); got != c.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", c.base, c.kv, got, c.want)
+		}
+	}
+}
+
+func TestLabeledPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on odd kv count")
+		}
+	}()
+	Labeled("x", "key-without-value")
+}
+
+func TestSplitLabels(t *testing.T) {
+	if b, l := SplitLabels(`a.b_ns{phase="x"}`); b != "a.b_ns" || l != `{phase="x"}` {
+		t.Errorf("got %q, %q", b, l)
+	}
+	if b, l := SplitLabels("a.b_ns"); b != "a.b_ns" || l != "" {
+		t.Errorf("got %q, %q", b, l)
+	}
+}
+
+func TestUnitOfLabeled(t *testing.T) {
+	if got := UnitOf(`server.phase_ns{phase="detect"}`); got != "ns" {
+		t.Errorf("UnitOf labeled _ns name: got %q", got)
+	}
+	if got := UnitOf(`server.requests{code="200"}`); got != "" {
+		t.Errorf("UnitOf labeled plain name: got %q", got)
+	}
+}
+
+// A labeled family exposes one HELP/TYPE pair and one series per label
+// combination; summaries merge the quantile label into the series labels.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := New()
+	r.Counter(Labeled("server.requests", "code", "200")).Add(7)
+	r.Counter(Labeled("server.requests", "code", "500")).Add(1)
+	r.Histogram(Labeled("server.phase_ns", "phase", "detect")).Observe(100)
+	r.Histogram(Labeled("server.phase_ns", "phase", "build")).Observe(200)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	if n := strings.Count(got, "# HELP pinpoint_server_requests "); n != 1 {
+		t.Errorf("HELP pinpoint_server_requests emitted %d times:\n%s", n, got)
+	}
+	if n := strings.Count(got, "# TYPE pinpoint_server_phase_ns summary"); n != 1 {
+		t.Errorf("TYPE pinpoint_server_phase_ns emitted %d times:\n%s", n, got)
+	}
+	for _, want := range []string{
+		`pinpoint_server_requests{code="200"} 7`,
+		`pinpoint_server_requests{code="500"} 1`,
+		`pinpoint_server_phase_ns{phase="detect",quantile="0.5"} 100`,
+		`pinpoint_server_phase_ns{phase="build",quantile="0.99"} 200`,
+		`pinpoint_server_phase_ns_sum{phase="detect"} 100`,
+		`pinpoint_server_phase_ns_count{phase="build"} 1`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("missing series %q in:\n%s", want, got)
+		}
+	}
+	// Label blocks must not be mangled by name sanitization.
+	if strings.Contains(got, "_code_") || strings.Contains(got, "_phase_detect") {
+		t.Errorf("label block was sanitized into the name:\n%s", got)
+	}
+}

@@ -18,13 +18,17 @@ import (
 //     samples plus the cumulative <name>_sum and <name>_count series;
 //   - every name is prefixed "pinpoint_" and dots become underscores, so
 //     "smt.query_ns" scrapes as pinpoint_smt_query_ns;
+//   - labeled registry entries (see Labeled) expose as one family: series
+//     sharing a base name emit a single HELP/TYPE pair followed by every
+//     label combination, and for summaries the quantile label merges into
+//     the series' own label block;
 //   - a # HELP line carries the original registry name (escaped per the
 //     exposition format), keeping the dotted name greppable from scrape
 //     output.
 //
 // Families are emitted counters-first, then gauges, then histograms, each
-// block sorted by name — the output of a deterministic metric state is
-// byte-stable, which the golden test pins down.
+// block sorted by (base name, label block) — the output of a deterministic
+// metric state is byte-stable, which the golden test pins down.
 
 // WritePrometheus renders a lock-consistent snapshot of the recorder's
 // metrics in the Prometheus text exposition format (version 0.0.4). A nil
@@ -46,12 +50,26 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		return err
 	}
 
+	// Sort by (base, labels) so every series of a labeled family is
+	// adjacent, then emit HELP/TYPE once per base.
 	family := func(names []string, typ string, emit func(name string) error) error {
-		sort.Strings(names)
+		sort.Slice(names, func(i, j int) bool {
+			bi, li := SplitLabels(names[i])
+			bj, lj := SplitLabels(names[j])
+			if bi != bj {
+				return bi < bj
+			}
+			return li < lj
+		})
+		prevBase := ""
 		for _, name := range names {
-			pn := PromName(name)
-			if err := write("# HELP %s %s\n# TYPE %s %s\n", pn, escapeHelp(name), pn, typ); err != nil {
-				return err
+			base, _ := SplitLabels(name)
+			if base != prevBase {
+				pn := PromName(base)
+				if err := write("# HELP %s %s\n# TYPE %s %s\n", pn, escapeHelp(base), pn, typ); err != nil {
+					return err
+				}
+				prevBase = base
 			}
 			if err := emit(name); err != nil {
 				return err
@@ -65,7 +83,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		counterNames = append(counterNames, name)
 	}
 	err := family(counterNames, "counter", func(name string) error {
-		return write("%s %d\n", PromName(name), s.Counters[name])
+		return write("%s %d\n", promSeries(name), s.Counters[name])
 	})
 	if err != nil {
 		return cw.n, err
@@ -76,7 +94,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		gaugeNames = append(gaugeNames, name)
 	}
 	err = family(gaugeNames, "gauge", func(name string) error {
-		return write("%s %d\n", PromName(name), s.Gauges[name])
+		return write("%s %d\n", promSeries(name), s.Gauges[name])
 	})
 	if err != nil {
 		return cw.n, err
@@ -87,22 +105,41 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		histNames = append(histNames, name)
 	}
 	err = family(histNames, "summary", func(name string) error {
-		pn := PromName(name)
+		base, labels := SplitLabels(name)
+		pn := PromName(base)
 		h := s.Histograms[name]
 		for _, q := range [...]struct {
 			label string
 			v     int64
 		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-			if err := write("%s{quantile=\"%s\"} %d\n", pn, q.label, q.v); err != nil {
+			var err error
+			if labels == "" {
+				err = write("%s{quantile=\"%s\"} %d\n", pn, q.label, q.v)
+			} else {
+				// Merge quantile into the series' own label block:
+				// {phase="x"} → {phase="x",quantile="0.5"}.
+				err = write("%s%s,quantile=\"%s\"} %d\n", pn, labels[:len(labels)-1], q.label, q.v)
+			}
+			if err != nil {
 				return err
 			}
 		}
-		if err := write("%s_sum %d\n", pn, h.Sum); err != nil {
+		if err := write("%s_sum%s %d\n", pn, labels, h.Sum); err != nil {
 			return err
 		}
-		return write("%s_count %d\n", pn, h.Count)
+		return write("%s_count%s %d\n", pn, labels, h.Count)
 	})
 	return cw.n, err
+}
+
+// promSeries renders a registry name as a full Prometheus series name:
+// sanitized base plus the label block verbatim.
+func promSeries(name string) string {
+	base, labels := SplitLabels(name)
+	if labels == "" {
+		return PromName(base)
+	}
+	return PromName(base) + labels
 }
 
 // PromName sanitizes a registry metric name into a legal Prometheus metric

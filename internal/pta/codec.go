@@ -7,6 +7,7 @@ import (
 	"repro/internal/cond"
 	"repro/internal/ir"
 	"repro/internal/ssa"
+	"repro/internal/wirebin"
 )
 
 // Wire form of a Result for the persistent artifact store. Values,
@@ -234,4 +235,174 @@ func ImportResult(w *ResultWire, f *ir.Func, inf *ssa.Info, ix *ir.Index, nodes 
 		r.StoredAt[in] = locs
 	}
 	return r, nil
+}
+
+// Binary codec for ResultWire. Loc names and fields repeat heavily across
+// a function's points-to sets, so they are interned into a per-result
+// string table (index -1 = ""). Nil and empty guarded lists are distinct
+// on the wire (0 = nil, n+1 = list of n): an empty PTS entry caches "no
+// targets" and must survive the round trip.
+
+type strTable struct {
+	ids map[string]int32
+	s   []string
+}
+
+func (t *strTable) id(s string) int32 {
+	if s == "" {
+		return -1
+	}
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[string]int32)
+	}
+	id := int32(len(t.s))
+	t.ids[s] = id
+	t.s = append(t.s, s)
+	return id
+}
+
+func appendLocList(e *wirebin.Writer, t *strTable, ls []GuardedLocWire) {
+	if ls == nil {
+		e.Uvarint(0)
+		return
+	}
+	e.Uvarint(uint64(len(ls)) + 1)
+	for i := range ls {
+		gl := &ls[i]
+		e.U8(uint8(gl.Loc.Kind))
+		e.I32(gl.Loc.Instr)
+		e.I32(gl.Loc.Val)
+		e.I32(t.id(gl.Loc.Name))
+		e.I32(t.id(gl.Loc.Field))
+		e.I32(gl.Cond)
+	}
+}
+
+func decodeLocList(r *wirebin.Reader, strs []string) ([]GuardedLocWire, error) {
+	n := r.Uvarint()
+	if n == 0 {
+		return nil, nil
+	}
+	n--
+	if n > uint64(r.Rest()) {
+		return nil, fmt.Errorf("pta: decode: loc list length %d exceeds input", n)
+	}
+	str := func(id int32) (string, error) {
+		if id == -1 {
+			return "", nil
+		}
+		if id < 0 || int(id) >= len(strs) {
+			return "", fmt.Errorf("pta: decode: bad string id %d", id)
+		}
+		return strs[id], nil
+	}
+	out := make([]GuardedLocWire, n)
+	for i := range out {
+		gl := &out[i]
+		gl.Loc.Kind = LocKind(r.U8())
+		gl.Loc.Instr = r.I32()
+		gl.Loc.Val = r.I32()
+		var err error
+		if gl.Loc.Name, err = str(r.I32()); err != nil {
+			return nil, err
+		}
+		if gl.Loc.Field, err = str(r.I32()); err != nil {
+			return nil, err
+		}
+		gl.Cond = r.I32()
+	}
+	return out, nil
+}
+
+// AppendWire appends w's binary encoding to e.
+func (w *ResultWire) AppendWire(e *wirebin.Writer) {
+	// The string table is built while encoding entries into a side buffer,
+	// then emitted first so decoding can resolve indices in one pass.
+	var body wirebin.Writer
+	var t strTable
+	body.Uvarint(uint64(len(w.PTS)))
+	for i := range w.PTS {
+		body.I32(w.PTS[i].Val)
+		appendLocList(&body, &t, w.PTS[i].Locs)
+	}
+	body.Uvarint(uint64(len(w.LoadSources)))
+	for i := range w.LoadSources {
+		vw := &w.LoadSources[i]
+		body.I32(vw.Instr)
+		if vw.Vals == nil {
+			body.Uvarint(0)
+		} else {
+			body.Uvarint(uint64(len(vw.Vals)) + 1)
+			for j := range vw.Vals {
+				body.I32(vw.Vals[j].Val)
+				body.I32(vw.Vals[j].Cond)
+			}
+		}
+	}
+	body.Uvarint(uint64(len(w.StoredAt)))
+	for i := range w.StoredAt {
+		body.I32(w.StoredAt[i].Instr)
+		appendLocList(&body, &t, w.StoredAt[i].Locs)
+	}
+	body.Int(w.Stats.GuardsPruned)
+	body.Int(w.Stats.GuardsKept)
+	body.Int(w.Stats.CapWidened)
+	body.Int(w.Stats.LinearQueries)
+	body.Int(w.Stats.LinearUnsat)
+	e.Strs(t.s)
+	e.B = append(e.B, body.B...)
+}
+
+// DecodeResultWire reads one ResultWire from r.
+func DecodeResultWire(r *wirebin.Reader) (*ResultWire, error) {
+	strs := r.Strs()
+	w := &ResultWire{}
+	var err error
+	if n := r.Len(); n > 0 {
+		w.PTS = make([]PTSWire, n)
+		for i := range w.PTS {
+			w.PTS[i].Val = r.I32()
+			if w.PTS[i].Locs, err = decodeLocList(r, strs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.LoadSources = make([]InstrValsWire, n)
+		for i := range w.LoadSources {
+			vw := &w.LoadSources[i]
+			vw.Instr = r.I32()
+			if m := r.Uvarint(); m > 0 {
+				m--
+				if m > uint64(r.Rest()) {
+					return nil, fmt.Errorf("pta: decode: val list length %d exceeds input", m)
+				}
+				vw.Vals = make([]GuardedValWire, m)
+				for j := range vw.Vals {
+					vw.Vals[j] = GuardedValWire{Val: r.I32(), Cond: r.I32()}
+				}
+			}
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.StoredAt = make([]InstrLocsWire, n)
+		for i := range w.StoredAt {
+			w.StoredAt[i].Instr = r.I32()
+			if w.StoredAt[i].Locs, err = decodeLocList(r, strs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w.Stats.GuardsPruned = r.Int()
+	w.Stats.GuardsKept = r.Int()
+	w.Stats.CapWidened = r.Int()
+	w.Stats.LinearQueries = r.Int()
+	w.Stats.LinearUnsat = r.Int()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("pta: decode result wire: %w", err)
+	}
+	return w, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/pta"
 	"repro/internal/ssa"
+	"repro/internal/wirebin"
 )
 
 // Wire form of a Graph for the persistent artifact store. Vertices are
@@ -94,8 +95,12 @@ func ImportGraph(w *GraphWire, f *ir.Func, inf *ssa.Info, pr *pta.Result, ix *ir
 		instrIdx:   make(map[*ir.Instr]int),
 		blockReach: make(map[*ir.Block]map[*ir.Block]bool),
 	}
+	// Nodes are batch-allocated from one backing array: the graph lives or
+	// dies wholesale, and per-node allocations dominate import time.
+	arena := make([]Node, len(w.Nodes))
 	for i, nw := range w.Nodes {
-		n := &Node{Kind: nw.Kind, Role: nw.Role, ArgIdx: int(nw.ArgIdx)}
+		n := &arena[i]
+		*n = Node{Kind: nw.Kind, Role: nw.Role, ArgIdx: int(nw.ArgIdx)}
 		if nw.Val != -1 {
 			if nw.Val < 0 || int(nw.Val) >= len(ix.Values) || ix.Values[nw.Val] == nil {
 				return nil, fmt.Errorf("seg: import %s: bad value id %d", f.Name, nw.Val)
@@ -148,4 +153,58 @@ func ImportGraph(w *GraphWire, f *ir.Func, inf *ssa.Info, pr *pta.Result, ix *ir
 		}
 	}
 	return g, nil
+}
+
+// AppendWire appends w's binary encoding to e.
+func (w *GraphWire) AppendWire(e *wirebin.Writer) {
+	e.Uvarint(uint64(len(w.Nodes)))
+	for i := range w.Nodes {
+		nw := &w.Nodes[i]
+		e.U8(uint8(nw.Kind))
+		e.U8(uint8(nw.Role))
+		e.I32(nw.Val)
+		e.I32(nw.Instr)
+		e.I32(nw.ArgIdx)
+	}
+	e.Uvarint(uint64(len(w.Succs)))
+	for i := range w.Succs {
+		sw := &w.Succs[i]
+		e.I32(sw.From)
+		e.Uvarint(uint64(len(sw.Edges)))
+		for j := range sw.Edges {
+			e.I32(sw.Edges[j].To)
+			e.I32(sw.Edges[j].Cond)
+		}
+	}
+}
+
+// DecodeGraphWire reads one GraphWire from r.
+func DecodeGraphWire(r *wirebin.Reader) (*GraphWire, error) {
+	w := &GraphWire{}
+	if n := r.Len(); n > 0 {
+		w.Nodes = make([]SEGNodeWire, n)
+		for i := range w.Nodes {
+			w.Nodes[i] = SEGNodeWire{
+				Kind: NodeKind(r.U8()), Role: UseRole(r.U8()),
+				Val: r.I32(), Instr: r.I32(), ArgIdx: r.I32(),
+			}
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.Succs = make([]SEGSuccWire, n)
+		for i := range w.Succs {
+			sw := &w.Succs[i]
+			sw.From = r.I32()
+			if m := r.Len(); m > 0 {
+				sw.Edges = make([]SEGEdgeWire, m)
+				for j := range sw.Edges {
+					sw.Edges[j] = SEGEdgeWire{To: r.I32(), Cond: r.I32()}
+				}
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("seg: decode graph wire: %w", err)
+	}
+	return w, nil
 }

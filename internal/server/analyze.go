@@ -13,6 +13,7 @@ import (
 	"repro/internal/conc"
 	"repro/internal/detect"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 // AnalyzeRequest is the POST /analyze body: the full set of translation
@@ -48,6 +49,43 @@ type AnalyzeResponse struct {
 	TraceID string              `json:"traceId"`
 	Reports []detect.JSONReport `json:"reports"`
 	Stats   AnalyzeStats        `json:"stats"`
+	Timing  TimingJSON          `json:"timing"`
+}
+
+// TimingJSON attributes one request's server-side wall clock to phases.
+// The top-level phases partition TotalNs exactly:
+//
+//	TotalNs = DecodeNs + QueueWaitNs + SessionWaitNs + BuildNs + DetectNs + OtherNs
+//
+// with OtherNs computed as the remainder (checker resolution, report
+// marshaling, response assembly). ParseNs/StoreLoadNs/StoreSaveNs are
+// slices of BuildNs and SMTNs a slice of DetectNs, so they refine their
+// parents without double counting in the sum. The same phases feed the
+// server.phase_ns{phase=...} histograms on /metrics.
+type TimingJSON struct {
+	// TotalNs is wall time inside the analyze handler, from the first
+	// byte of body decoding to the assembled response.
+	TotalNs int64 `json:"totalNs"`
+	// DecodeNs is request-body JSON decoding.
+	DecodeNs int64 `json:"decodeNs"`
+	// QueueWaitNs is admission-gate queueing (saturated server backlog).
+	QueueWaitNs int64 `json:"queueWaitNs"`
+	// SessionWaitNs is contention on the single-writer session mutex.
+	SessionWaitNs int64 `json:"sessionWaitNs"`
+	// BuildNs is Session.Update: parse, diff, rebuild, persist.
+	BuildNs int64 `json:"buildNs"`
+	// ParseNs is the parse slice of BuildNs.
+	ParseNs int64 `json:"parseNs"`
+	// StoreLoadNs is the persistent-store warm-load slice of BuildNs.
+	StoreLoadNs int64 `json:"storeLoadNs"`
+	// StoreSaveNs is the persistent-store persist slice of BuildNs.
+	StoreSaveNs int64 `json:"storeSaveNs"`
+	// DetectNs is CheckAll: demand-driven search plus SMT.
+	DetectNs int64 `json:"detectNs"`
+	// SMTNs is the SMT elimination-pipeline slice of DetectNs.
+	SMTNs int64 `json:"smtNs"`
+	// OtherNs is TotalNs minus every top-level phase.
+	OtherNs int64 `json:"otherNs"`
 }
 
 // AnalyzeStats summarizes the request's work: what the incremental store
@@ -119,12 +157,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) (*AnalyzeResponse, error) {
+	reqStart := time.Now()
 	var req AnalyzeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return nil, &httpError{http.StatusBadRequest, "bad request body: " + err.Error()}
 	}
+	decodeNs := time.Since(reqStart)
 	if len(req.Units) == 0 {
 		return nil, &httpError{http.StatusBadRequest, "no translation units"}
 	}
@@ -147,7 +187,10 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 	// Admission: wait for a gate slot under the request deadline, so a
 	// saturated server sheds queued load instead of accumulating it.
 	gateStart := time.Now()
-	if err := s.gate.Enter(ctx); err != nil {
+	s.rec.Gauge("server.queue_depth").Add(1)
+	err = s.gate.Enter(ctx)
+	s.rec.Gauge("server.queue_depth").Add(-1)
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return nil, &httpError{http.StatusServiceUnavailable, "server saturated: deadline expired waiting for an analysis slot"}
 		}
@@ -157,8 +200,10 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 	gateWait := time.Since(gateStart)
 
 	// The session itself is single-writer; see Server.mu.
+	lockStart := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sessionWait := time.Since(lockStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -208,13 +253,49 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 		SummaryCacheHits:    res.SummaryHits,
 		SummaryCacheMisses:  res.SummaryMisses,
 	}
+	var smtNs int64
 	for _, cs := range res.Checkers {
 		stats.SMTQueries += cs.Stats.SMTQueries
 		stats.SMTSolved += cs.Stats.SMTSolved
 		stats.SMTCacheHits += cs.Stats.SMTCacheHits
 		stats.SMTPrefilterUnsat += cs.Stats.SMTPrefilterUnsat
+		smtNs += int64(cs.Stats.SMTTime)
 	}
-	return &AnalyzeResponse{TraceID: ri.TraceID, Reports: reports, Stats: stats}, nil
+
+	timing := TimingJSON{
+		DecodeNs:      decodeNs.Nanoseconds(),
+		QueueWaitNs:   gateWait.Nanoseconds(),
+		SessionWaitNs: sessionWait.Nanoseconds(),
+		BuildNs:       buildNs.Nanoseconds(),
+		ParseNs:       a.Timings.Parse.Nanoseconds(),
+		StoreLoadNs:   a.Timings.StoreLoad.Nanoseconds(),
+		StoreSaveNs:   a.Timings.StoreSave.Nanoseconds(),
+		DetectNs:      detectNs.Nanoseconds(),
+		SMTNs:         smtNs,
+	}
+	timing.TotalNs = time.Since(reqStart).Nanoseconds()
+	timing.OtherNs = timing.TotalNs - timing.DecodeNs - timing.QueueWaitNs -
+		timing.SessionWaitNs - timing.BuildNs - timing.DetectNs
+	s.observePhases(timing)
+	return &AnalyzeResponse{TraceID: ri.TraceID, Reports: reports, Stats: stats, Timing: timing}, nil
+}
+
+// observePhases feeds one request's timing breakdown into the labeled
+// server.phase_ns histograms behind /metrics.
+func (s *Server) observePhases(t TimingJSON) {
+	observe := func(phase string, v int64) {
+		s.rec.Histogram(obs.Labeled("server.phase_ns", "phase", phase)).Observe(v)
+	}
+	observe("decode", t.DecodeNs)
+	observe("queue_wait", t.QueueWaitNs)
+	observe("session_wait", t.SessionWaitNs)
+	observe("build", t.BuildNs)
+	observe("parse", t.ParseNs)
+	observe("store_load", t.StoreLoadNs)
+	observe("store_save", t.StoreSaveNs)
+	observe("detect", t.DetectNs)
+	observe("smt", t.SMTNs)
+	observe("other", t.OtherNs)
 }
 
 // resolveCheckers maps request names to fresh checker specs. Empty and

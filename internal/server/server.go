@@ -245,7 +245,9 @@ func (s *Server) track(next http.Handler) http.Handler {
 			TraceID: traceID, Method: r.Method, Path: r.URL.Path, Start: start,
 		}
 		s.inMu.Unlock()
+		s.rec.Gauge("server.inflight").Add(1)
 		defer func() {
+			s.rec.Gauge("server.inflight").Add(-1)
 			s.inMu.Lock()
 			delete(s.inflight, id)
 			s.inMu.Unlock()

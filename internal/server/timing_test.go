@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func unitsJSON(t *testing.T) []UnitJSON {
+	t.Helper()
+	var units []UnitJSON
+	for _, u := range exampleUnits(t) {
+		units = append(units, UnitJSON{Name: u.Name, Src: u.Src})
+	}
+	return units
+}
+
+// Every /v1/analyze response carries a timing breakdown whose top-level
+// phases partition the total exactly and whose sub-phases stay within
+// their parents.
+func TestAnalyzeTimingBreakdown(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ar, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Units: unitsJSON(t)})
+
+	tm := ar.Timing
+	if tm.TotalNs <= 0 {
+		t.Fatalf("timing.totalNs = %d, want > 0", tm.TotalNs)
+	}
+	if tm.BuildNs <= 0 || tm.DetectNs <= 0 {
+		t.Errorf("buildNs=%d detectNs=%d, want both > 0", tm.BuildNs, tm.DetectNs)
+	}
+	sum := tm.DecodeNs + tm.QueueWaitNs + tm.SessionWaitNs + tm.BuildNs + tm.DetectNs + tm.OtherNs
+	if sum != tm.TotalNs {
+		t.Errorf("top-level phases sum to %d, total is %d", sum, tm.TotalNs)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"decodeNs", tm.DecodeNs}, {"queueWaitNs", tm.QueueWaitNs},
+		{"sessionWaitNs", tm.SessionWaitNs}, {"parseNs", tm.ParseNs},
+		{"storeLoadNs", tm.StoreLoadNs}, {"storeSaveNs", tm.StoreSaveNs},
+		{"smtNs", tm.SMTNs}, {"otherNs", tm.OtherNs},
+	} {
+		if f.v < 0 {
+			t.Errorf("timing.%s = %d, want >= 0", f.name, f.v)
+		}
+	}
+	if sub := tm.ParseNs + tm.StoreLoadNs + tm.StoreSaveNs; sub > tm.BuildNs {
+		t.Errorf("build sub-phases (%d) exceed buildNs (%d)", sub, tm.BuildNs)
+	}
+	if tm.SMTNs > tm.DetectNs {
+		t.Errorf("smtNs (%d) exceeds detectNs (%d)", tm.SMTNs, tm.DetectNs)
+	}
+}
+
+// The timing phases surface as one labeled summary family on /metrics,
+// plus the queue-depth and in-flight gauges.
+func TestMetricsPhaseFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Units: unitsJSON(t)})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+
+	if n := strings.Count(body, "# TYPE pinpoint_server_phase_ns summary"); n != 1 {
+		t.Errorf("TYPE pinpoint_server_phase_ns emitted %d times", n)
+	}
+	for _, phase := range []string{
+		"decode", "queue_wait", "session_wait", "build", "parse",
+		"store_load", "store_save", "detect", "smt", "other",
+	} {
+		series := fmt.Sprintf("pinpoint_server_phase_ns_count{phase=%q} ", phase)
+		if !strings.Contains(body, series) {
+			t.Errorf("missing phase series %s", series)
+		}
+	}
+	for _, gauge := range []string{"pinpoint_server_queue_depth", "pinpoint_server_inflight"} {
+		if !strings.Contains(body, "# TYPE "+gauge+" gauge") {
+			t.Errorf("missing gauge %s", gauge)
+		}
+	}
+}
+
+// Concurrent /metrics scrapes during analyze load must be race-free and
+// observe monotone phase counts. Run with -race this exercises the
+// registry's lock discipline under the exact serve-mode access pattern.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	rec := obs.New()
+	_, ts := newTestServer(t, Config{Rec: rec, MaxInFlight: -1})
+	units := unitsJSON(t)
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Error(err)
+			return ""
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	rounds := 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				postAnalyze(t, ts.URL, AnalyzeRequest{Units: units, Checkers: []string{"null-deref"}})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				scrape()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the load drains, the build-phase count equals the number of
+	// successful analyzes and every phase family reports the same count —
+	// one observation per request per phase.
+	wantObs := int64(workers * rounds)
+	snap := rec.Snapshot()
+	for _, phase := range []string{"decode", "queue_wait", "session_wait", "build", "detect", "smt", "other"} {
+		name := obs.Labeled("server.phase_ns", "phase", phase)
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("missing histogram %s", name)
+			continue
+		}
+		if h.Count != wantObs {
+			t.Errorf("%s count = %d, want %d", name, h.Count, wantObs)
+		}
+	}
+	if g := snap.Gauges["server.inflight"]; g != 0 {
+		t.Errorf("server.inflight = %d after load drained, want 0", g)
+	}
+	if g := snap.Gauges["server.queue_depth"]; g != 0 {
+		t.Errorf("server.queue_depth = %d after load drained, want 0", g)
+	}
+}

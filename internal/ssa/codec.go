@@ -7,6 +7,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/cond"
 	"repro/internal/ir"
+	"repro/internal/wirebin"
 )
 
 // Wire form of an Info for the persistent artifact store. Only state that
@@ -138,4 +139,50 @@ func ImportInfo(w *InfoWire, f *ir.Func, ix *ir.Index, b *cond.Builder, nodes []
 		inf.ReachCond[ix.Blocks[rw.Block]] = c
 	}
 	return inf, nil
+}
+
+// AppendWire appends w's binary encoding to e.
+func (w *InfoWire) AppendWire(e *wirebin.Writer) {
+	e.Uvarint(uint64(len(w.Gates)))
+	for i := range w.Gates {
+		e.I32(w.Gates[i].Instr)
+		e.I32s(w.Gates[i].Gates)
+	}
+	e.Uvarint(uint64(len(w.AtomValue)))
+	for i := range w.AtomValue {
+		e.I32(w.AtomValue[i].Atom)
+		e.I32(w.AtomValue[i].Val)
+	}
+	e.Uvarint(uint64(len(w.Reach)))
+	for i := range w.Reach {
+		e.I32(w.Reach[i].Block)
+		e.I32(w.Reach[i].Cond)
+	}
+}
+
+// DecodeInfoWire reads one InfoWire from r.
+func DecodeInfoWire(r *wirebin.Reader) (*InfoWire, error) {
+	w := &InfoWire{}
+	if n := r.Len(); n > 0 {
+		w.Gates = make([]GateWire, n)
+		for i := range w.Gates {
+			w.Gates[i] = GateWire{Instr: r.I32(), Gates: r.I32s()}
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.AtomValue = make([]AtomWire, n)
+		for i := range w.AtomValue {
+			w.AtomValue[i] = AtomWire{Atom: r.I32(), Val: r.I32()}
+		}
+	}
+	if n := r.Len(); n > 0 {
+		w.Reach = make([]ReachWire, n)
+		for i := range w.Reach {
+			w.Reach[i] = ReachWire{Block: r.I32(), Cond: r.I32()}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ssa: decode info wire: %w", err)
+	}
+	return w, nil
 }

@@ -1,0 +1,117 @@
+package wirebin
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Varint(-1)
+	w.Int(-12345)
+	w.I32(-1)
+	w.I32(1<<31 - 1)
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("")
+	w.Str("hello, wire")
+	w.I32s(nil)
+	w.I32s([]int32{-1, 0, 7})
+	w.Strs([]string{"a", "", "bc"})
+
+	r := NewReader(w.B)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint: got %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint: got %d", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("varint: got %d", got)
+	}
+	if got := r.Int(); got != -12345 {
+		t.Errorf("int: got %d", got)
+	}
+	if got := r.I32(); got != -1 {
+		t.Errorf("i32: got %d", got)
+	}
+	if got := r.I32(); got != 1<<31-1 {
+		t.Errorf("i32: got %d", got)
+	}
+	if got := r.U8(); got != 0xab {
+		t.Errorf("u8: got %#x", got)
+	}
+	if got := r.Bool(); !got {
+		t.Errorf("bool: got false")
+	}
+	if got := r.Bool(); got {
+		t.Errorf("bool: got true")
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("str: got %q", got)
+	}
+	if got := r.Str(); got != "hello, wire" {
+		t.Errorf("str: got %q", got)
+	}
+	if got := r.I32s(); got != nil {
+		t.Errorf("i32s: got %v", got)
+	}
+	if got := r.I32s(); !reflect.DeepEqual(got, []int32{-1, 0, 7}) {
+		t.Errorf("i32s: got %v", got)
+	}
+	if got := r.Strs(); !reflect.DeepEqual(got, []string{"a", "", "bc"}) {
+		t.Errorf("strs: got %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("err: %v", err)
+	}
+	if rest := r.Rest(); rest != 0 {
+		t.Fatalf("rest: %d bytes unconsumed", rest)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.Str("some payload that will be cut")
+	w.I32s([]int32{1, 2, 3})
+	full := w.B
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Str()
+		r.I32s()
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d of %d not detected", cut, len(full))
+		}
+	}
+}
+
+// A corrupt length prefix must fail before allocating, not attempt a
+// huge make().
+func TestOversizedLength(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 50)
+	r := NewReader(w.B)
+	if n := r.Len(); n != 0 || r.Err() == nil {
+		t.Fatalf("oversized length accepted: n=%d err=%v", n, r.Err())
+	}
+}
+
+// Sticky errors: after a failure every read returns zero values and the
+// original error is preserved.
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.U8()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("str after error: %q", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error replaced: %v", r.Err())
+	}
+}

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Benchmarks: the detection worker-scaling sweep, the incremental-rebuild
 # (cold vs warm one-function-edit) measurement, the SMT query-elimination
-# (cache + prefilter on vs off) measurement, and the persistent-store
-# warm-restart measurement, on synthetic subjects. Leaves JSON snapshots
-# (BENCH_detect.json, BENCH_incremental.json, BENCH_smt.json,
-# BENCH_store.json) in the repo root for trend tracking. Extra arguments
+# (cache + prefilter on vs off) measurement, the persistent-store
+# warm-restart measurement, and the service-latency (cold/warm/edit/burst
+# scenarios against an in-process server) measurement, on synthetic
+# subjects. Leaves JSON snapshots (BENCH_detect.json,
+# BENCH_incremental.json, BENCH_smt.json, BENCH_store.json,
+# BENCH_serve.json) in the repo root for trend tracking. Extra arguments
 # pass through to benchsnap (e.g. -scale 5 -workers 1,2,4,8 -inc-scale 50
-# -smt-scale 50 -store-scale 50).
+# -smt-scale 50 -store-scale 50 -serve-scale 50).
 #
 # Snapshots are written to a temp directory and only moved into the repo
 # root once the whole run has succeeded, so a failed run can neither leave
@@ -25,17 +27,18 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== detection scaling + incremental rebuild + SMT elimination + store warm-restart benchmarks"
+echo "== detection scaling + incremental rebuild + SMT elimination + store warm-restart + service latency benchmarks"
 go run ./cmd/benchsnap \
   -out "$tmpdir/BENCH_detect.json" \
   -inc-out "$tmpdir/BENCH_incremental.json" \
   -smt-out "$tmpdir/BENCH_smt.json" \
   -store-out "$tmpdir/BENCH_store.json" \
+  -serve-out "$tmpdir/BENCH_serve.json" \
   "$@"
 
 # Refuse to commit empty or invalid snapshots: every output must exist,
 # be non-empty, and parse as JSON.
-for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json; do
+for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json BENCH_serve.json; do
   if [ ! -s "$tmpdir/$f" ]; then
     echo "bench.sh: $f is missing or empty" >&2
     exit 1
@@ -44,6 +47,15 @@ for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.jso
     echo "bench.sh: $f is not valid JSON" >&2
     exit 1
   fi
+done
+# The serve snapshot gets the stricter schema gate: a run that produced
+# zero-duration latencies or NaN throughput must not enter the history.
+if ! go run ./scripts/jsoncheck -schema serve "$tmpdir/BENCH_serve.json"; then
+  echo "bench.sh: BENCH_serve.json failed schema validation" >&2
+  exit 1
+fi
+# All snapshots validated: move them into place as one atomic commit set.
+for f in BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json BENCH_serve.json; do
   mv "$tmpdir/$f" "$f"
 done
-echo "== snapshots written: BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json"
+echo "== snapshots written: BENCH_detect.json BENCH_incremental.json BENCH_smt.json BENCH_store.json BENCH_serve.json"

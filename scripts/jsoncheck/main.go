@@ -2,21 +2,31 @@
 // JSON document. scripts/bench.sh and scripts/serve_smoke.sh use it to
 // refuse truncated or malformed output without depending on tools outside
 // the Go toolchain.
+//
+// With -schema serve, each file is additionally validated against the
+// BENCH_serve.json shape: a non-empty scenarios array whose entries carry
+// positive request counts, positive finite throughput, and a latency
+// summary with no zero durations — a snapshot that "passes" with 0ms
+// latencies or NaN throughput would poison the trend history silently.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck file.json...")
+	schema := flag.String("schema", "", `optional schema to validate against ("serve")`)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-schema serve] file.json...")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jsoncheck:", err)
@@ -32,5 +42,76 @@ func main() {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %s: trailing data after JSON document\n", path)
 			os.Exit(1)
 		}
+		switch *schema {
+		case "":
+		case "serve":
+			if err := checkServe(data); err != nil {
+				fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "jsoncheck: unknown schema %q\n", *schema)
+			os.Exit(2)
+		}
 	}
+}
+
+// serveDoc mirrors the parts of benchsnap's serve snapshot the gate
+// depends on. Pointers distinguish "absent" from "zero".
+type serveDoc struct {
+	Subject   string `json:"subject"`
+	Lines     int    `json:"lines"`
+	Scenarios []struct {
+		Name       string   `json:"name"`
+		Requests   int      `json:"requests"`
+		Errors     int      `json:"errors"`
+		Throughput *float64 `json:"throughput"`
+		LatencyNs  struct {
+			Min *int64 `json:"min"`
+			P50 *int64 `json:"p50"`
+			P95 *int64 `json:"p95"`
+			P99 *int64 `json:"p99"`
+			Max *int64 `json:"max"`
+		} `json:"latency_ns"`
+	} `json:"scenarios"`
+}
+
+func checkServe(data []byte) error {
+	var doc serveDoc
+	// A NaN or Infinity token is not valid JSON, so a writer that smuggled
+	// one in fails this decode even though the schema fields are floats.
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("serve schema: %w", err)
+	}
+	if doc.Subject == "" || doc.Lines <= 0 {
+		return fmt.Errorf("serve schema: missing subject/lines")
+	}
+	if len(doc.Scenarios) < 3 {
+		return fmt.Errorf("serve schema: %d scenarios, want at least cold/warm-edit/burst", len(doc.Scenarios))
+	}
+	for _, sc := range doc.Scenarios {
+		if sc.Name == "" {
+			return fmt.Errorf("serve schema: scenario with no name")
+		}
+		if sc.Requests <= 0 {
+			return fmt.Errorf("serve schema: scenario %q has no requests", sc.Name)
+		}
+		if sc.Throughput == nil || *sc.Throughput <= 0 ||
+			math.IsNaN(*sc.Throughput) || math.IsInf(*sc.Throughput, 0) {
+			return fmt.Errorf("serve schema: scenario %q has bad throughput", sc.Name)
+		}
+		l := sc.LatencyNs
+		for _, f := range []struct {
+			name string
+			v    *int64
+		}{{"min", l.Min}, {"p50", l.P50}, {"p95", l.P95}, {"p99", l.P99}, {"max", l.Max}} {
+			if f.v == nil || *f.v <= 0 {
+				return fmt.Errorf("serve schema: scenario %q latency_ns.%s missing or zero", sc.Name, f.name)
+			}
+		}
+		if !(*l.Min <= *l.P50 && *l.P50 <= *l.P95 && *l.P95 <= *l.P99 && *l.P99 <= *l.Max) {
+			return fmt.Errorf("serve schema: scenario %q latency percentiles not monotone", sc.Name)
+		}
+	}
+	return nil
 }

@@ -61,6 +61,23 @@ if grep -q '"reports": \[\]' "$tmpdir/resp.json"; then
   exit 1
 fi
 
+echo "== per-request timing breakdown (via /v1/analyze)"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmpdir/req.json" "$BASE/v1/analyze" >"$tmpdir/resp_v1.json"
+go run ./scripts/jsoncheck "$tmpdir/resp_v1.json"
+for field in totalNs decodeNs queueWaitNs sessionWaitNs buildNs parseNs \
+             storeLoadNs storeSaveNs detectNs smtNs otherNs; do
+  if ! grep -q "\"$field\"" "$tmpdir/resp_v1.json"; then
+    echo "serve_smoke.sh: timing field $field missing from /v1/analyze response" >&2
+    exit 1
+  fi
+done
+# The handler measured real work, so the total must be positive.
+if grep -q '"totalNs": 0,' "$tmpdir/resp_v1.json"; then
+  echo "serve_smoke.sh: timing.totalNs is zero" >&2
+  exit 1
+fi
+
 echo "== scrape /metrics"
 curl -fsS "$BASE/metrics" >"$tmpdir/metrics.txt"
 for metric in pinpoint_detect_reports pinpoint_detect_tasks pinpoint_server_requests; do
@@ -70,6 +87,20 @@ for metric in pinpoint_detect_reports pinpoint_detect_tasks pinpoint_server_requ
     exit 1
   fi
   echo "   $metric = $value"
+done
+# Phase-attributed histograms are labeled series; assert the family and a
+# couple of its phases made it into the exposition.
+for phase in build detect smt; do
+  if ! grep -q "pinpoint_server_phase_ns_count{phase=\"$phase\"}" "$tmpdir/metrics.txt"; then
+    echo "serve_smoke.sh: phase histogram for \"$phase\" missing from /metrics" >&2
+    exit 1
+  fi
+done
+for gauge in pinpoint_server_queue_depth pinpoint_server_inflight; do
+  if ! grep -q "^# TYPE $gauge gauge" "$tmpdir/metrics.txt"; then
+    echo "serve_smoke.sh: gauge $gauge missing from /metrics" >&2
+    exit 1
+  fi
 done
 
 echo "== debug endpoints"
