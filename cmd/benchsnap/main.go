@@ -78,9 +78,12 @@ type storeSnapshot struct {
 }
 
 type serveScenarioSnap struct {
-	Name        string            `json:"name"`
-	Requests    int               `json:"requests"`
-	Errors      int               `json:"errors"`
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Tenants is the number of distinct server-side tenants the
+	// scenario drove (the multi-tenant scenarios use one per group).
+	Tenants     int               `json:"tenants"`
 	Throughput  float64           `json:"throughput"`
 	LatencyNs   loadgen.LatencyNs `json:"latency_ns"`
 	PhaseMeanNs map[string]int64  `json:"phase_mean_ns"`
@@ -217,6 +220,7 @@ func main() {
 				Name:        sc.Name,
 				Requests:    sc.Requests,
 				Errors:      sc.Errors,
+				Tenants:     sc.Tenants,
 				Throughput:  sc.Throughput,
 				LatencyNs:   sc.Latency,
 				PhaseMeanNs: sc.PhaseMeanNs,
@@ -228,6 +232,19 @@ func main() {
 				sc.Name, sc.Requests, sc.Errors, sc.Throughput,
 				time.Duration(sc.Latency.P50), time.Duration(sc.Latency.P95),
 				time.Duration(sc.Latency.P99), 100*sc.Gap.P50)
+		}
+		var serialTP, tenantTP float64
+		for _, sc := range sv.Scenarios {
+			switch sc.Name {
+			case "tenants-serial":
+				serialTP = sc.Throughput
+			case "tenants":
+				tenantTP = sc.Throughput
+			}
+		}
+		if serialTP > 0 && tenantTP > 0 {
+			fmt.Printf("serve tenants: cross-tenant aggregate throughput %.2fx the serialized baseline (%.1f vs %.1f req/s)\n",
+				tenantTP/serialTP, tenantTP, serialTP)
 		}
 		if sv.MaxGapP50 > bench.GapBudget {
 			fmt.Printf("serve: WARNING: median attribution gap %.1f%% exceeds the %.0f%% budget\n",

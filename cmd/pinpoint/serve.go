@@ -28,6 +28,9 @@ func runServe(args []string) {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	storeDir := fs.String("store-dir", "", "persist artifacts and SMT verdicts in this directory; a restarted server warm-loads instead of cold building (empty = memory only)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "in-memory residency bound for the persistent store's record cache (0 = store default, negative = unbounded)")
+	maxTenants := fs.Int("max-tenants", 0, "max concurrently resident per-project sessions; beyond this the least-recently-used idle project is evicted, persisting to the store first (0 = 64, negative = unlimited)")
+	tenantIdle := fs.Duration("tenant-idle", 0, "evict a project's session after this much idle time (0 = 15m, negative = never)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "max concurrently admitted requests per project under -max-inflight (0 = no per-project bound)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "pinpoint serve: positional arguments are not accepted; programs are POSTed to /analyze")
@@ -51,14 +54,17 @@ func runServe(args []string) {
 		timeout = -1 // Config: negative disables, zero means default.
 	}
 	rt, err := pinpoint.Open(pinpoint.Config{
-		Workers:        *workers,
-		Obs:            obs.New(),
-		StoreDir:       *storeDir,
-		StoreMaxBytes:  *storeMaxBytes,
-		Addr:           *addr,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: timeout,
-		Logger:         slog.New(handler),
+		Workers:           *workers,
+		Obs:               obs.New(),
+		StoreDir:          *storeDir,
+		StoreMaxBytes:     *storeMaxBytes,
+		Addr:              *addr,
+		MaxInFlight:       *maxInflight,
+		RequestTimeout:    timeout,
+		MaxTenants:        *maxTenants,
+		TenantIdle:        *tenantIdle,
+		TenantMaxInFlight: *tenantInflight,
+		Logger:            slog.New(handler),
 	})
 	if err != nil {
 		fatal(err)

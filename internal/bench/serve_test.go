@@ -18,7 +18,14 @@ func TestMeasureServe(t *testing.T) {
 	if sv.Subject != subj.Name || sv.Lines <= 0 {
 		t.Errorf("subject=%q lines=%d", sv.Subject, sv.Lines)
 	}
-	want := map[string]bool{"cold": false, "warm": false, "edit": false, "burst": false}
+	want := map[string]bool{
+		"cold": false, "warm": false, "edit": false, "burst": false,
+		"tenants-serial": false, "tenants": false,
+	}
+	// The two tenant scenarios run two client groups with a full budget
+	// each; the single-group scenarios issue one budget.
+	wantReqs := map[string]int{"tenants-serial": 2 * serveRequests, "tenants": 2 * serveRequests}
+	wantTenants := map[string]int{"tenants": 2}
 	for _, sc := range sv.Scenarios {
 		if _, ok := want[sc.Name]; !ok {
 			t.Errorf("unexpected scenario %q", sc.Name)
@@ -28,8 +35,19 @@ func TestMeasureServe(t *testing.T) {
 		if sc.Errors != 0 {
 			t.Errorf("%s: %d errors", sc.Name, sc.Errors)
 		}
-		if sc.Requests != serveRequests {
-			t.Errorf("%s: %d requests, want %d", sc.Name, sc.Requests, serveRequests)
+		wr := serveRequests
+		if n, ok := wantReqs[sc.Name]; ok {
+			wr = n
+		}
+		if sc.Requests != wr {
+			t.Errorf("%s: %d requests, want %d", sc.Name, sc.Requests, wr)
+		}
+		wt := 1
+		if n, ok := wantTenants[sc.Name]; ok {
+			wt = n
+		}
+		if sc.Tenants != wt {
+			t.Errorf("%s: %d tenants, want %d", sc.Name, sc.Tenants, wt)
 		}
 		if sc.Latency.P50 <= 0 || sc.Latency.Max < sc.Latency.P50 {
 			t.Errorf("%s: bad latency summary %+v", sc.Name, sc.Latency)

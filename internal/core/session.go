@@ -42,6 +42,7 @@ import (
 	"repro/internal/lower"
 	"repro/internal/minic"
 	"repro/internal/modref"
+	"repro/internal/obs"
 	"repro/internal/pta"
 	"repro/internal/seg"
 	"repro/internal/ssa"
@@ -104,6 +105,7 @@ type Session struct {
 	files     map[string]*minic.File // unit source hash → parsed file
 	progFP    string                 // globals/structs/unit-shape fingerprint
 	artifacts map[string]*funcArtifact
+	order     []string // committed declaration order of the artifact map
 	analysis  *Analysis
 	stats     ArtifactStats // last Update's counters
 	// store is the persistent artifact/verdict backing, nil when the
@@ -548,37 +550,7 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 	if s.store != nil {
 		sp := rec.Phase("store.save")
 		t0 := time.Now()
-		var changed []string
-		for _, name := range order {
-			art := newArts[name]
-			if art.persistedMeta != artifactMeta(progFP, art) {
-				changed = append(changed, name)
-			}
-		}
-		if len(changed) > 0 {
-			full := !ring.hasFull || ring.deltas >= maxDeltaSegments || 2*len(changed) >= len(order)
-			key, names := segFullKey, order
-			if !full {
-				key, names = segDeltaKey(ring.deltas), changed
-			}
-			if data, err := encodeSegment(progFP, ring.next, names, newArts); err == nil {
-				if err := s.store.Put(store.NSArtifact, key, data); err == nil {
-					for _, name := range names {
-						art := newArts[name]
-						art.persistedMeta = artifactMeta(progFP, art)
-					}
-					ring.next++
-					if full {
-						ring.deltas, ring.hasFull = 0, true
-					} else {
-						ring.deltas++
-					}
-					if rec != nil {
-						rec.Counter("store.artifact.saves").Add(int64(len(names)))
-					}
-				}
-			}
-		}
+		ring, _ = persistChanged(s.store, rec, order, newArts, progFP, ring)
 		tm.StoreSave = time.Since(t0)
 		sp.End()
 	}
@@ -633,6 +605,7 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 	s.files = files
 	s.progFP = progFP
 	s.artifacts = newArts
+	s.order = order
 	s.analysis = a
 	s.stats = stats
 	if s.store != nil {
@@ -640,6 +613,68 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		s.ring = ring
 	}
 	return a, nil
+}
+
+// persistChanged bundles every artifact whose on-disk record is missing or
+// stale into one segment — a delta holding just the change set, or a
+// rewritten full snapshot when the delta ring is exhausted or the change
+// touched most of the program. Store errors are swallowed — persistence
+// buys warmth, and a failed write must not fail a build that already
+// succeeded. Returns the advanced ring state and the number of artifacts
+// persisted.
+func persistChanged(st store.Store, rec *obs.Recorder, order []string, arts map[string]*funcArtifact, progFP string, ring segState) (segState, int) {
+	var changed []string
+	for _, name := range order {
+		art := arts[name]
+		if art.persistedMeta != artifactMeta(progFP, art) {
+			changed = append(changed, name)
+		}
+	}
+	if len(changed) == 0 {
+		return ring, 0
+	}
+	full := !ring.hasFull || ring.deltas >= maxDeltaSegments || 2*len(changed) >= len(order)
+	key, names := segFullKey, order
+	if !full {
+		key, names = segDeltaKey(ring.deltas), changed
+	}
+	data, err := encodeSegment(progFP, ring.next, names, arts)
+	if err != nil {
+		return ring, 0
+	}
+	if err := st.Put(store.NSArtifact, key, data); err != nil {
+		return ring, 0
+	}
+	for _, name := range names {
+		art := arts[name]
+		art.persistedMeta = artifactMeta(progFP, art)
+	}
+	ring.next++
+	if full {
+		ring.deltas, ring.hasFull = 0, true
+	} else {
+		ring.deltas++
+	}
+	if rec != nil {
+		rec.Counter("store.artifact.saves").Add(int64(len(names)))
+	}
+	return ring, len(changed)
+}
+
+// Persist flushes any artifacts the persistent store does not yet hold in
+// their committed form and reports how many it wrote. Update already
+// persists at commit, so this is normally a no-op; the tenant layer calls
+// it before evicting a session so a commit whose store write failed (store
+// errors are swallowed) gets one more chance to reach disk, making
+// "evict, then warm re-admit" lose at most performance, never artifacts.
+// Without a persistent store it reports 0.
+func (s *Session) Persist() int {
+	if s.store == nil || s.analysis == nil {
+		return 0
+	}
+	ring, n := persistChanged(s.store, s.opts.Obs, s.order, s.artifacts, s.progFP, s.ring)
+	s.ring = ring
+	return n
 }
 
 // signatureFP fingerprints a function's post-transform interface: return

@@ -66,6 +66,15 @@ type SubjectSpec struct {
 type ClientSpec struct {
 	// ID labels the group in samples ("warm", "editor", ...).
 	ID string `json:"id"`
+	// Project routes this group's requests to a per-project tenant
+	// session on the server. Empty means the default tenant — the
+	// pre-tenant wire format, byte-identical request bodies. Groups with
+	// distinct projects exercise cross-tenant concurrency.
+	Project string `json:"project,omitempty"`
+	// SubjectSeed perturbs the workload generator seed for this group,
+	// modeling a distinct project codebase: groups with different
+	// SubjectSeeds send different programs. 0 shares the spec's subject.
+	SubjectSeed int64 `json:"subjectSeed,omitempty"`
 	// Count is the number of concurrent clients (closed) or parallel
 	// arrival streams (open); 0 means 1.
 	Count int `json:"count,omitempty"`
@@ -193,13 +202,36 @@ func Builtin(name string) (*Spec, bool) {
 					Arrival: ArrivalSpec{Process: "uniform", Rate: 2}},
 			},
 		},
+		// tenants: two editing clients on different projects with different
+		// codebases (distinct SubjectSeeds) — with the tenant layer each
+		// project keeps its own warm sticky session and their builds and
+		// detects overlap. Compare against tenants-serial (identical
+		// request bodies, no project routing) where both codebases thrash
+		// one session's sticky cache the way the pre-tenant single-mutex
+		// server forced them to.
+		"tenants": {
+			Name: "tenants",
+			Clients: []ClientSpec{
+				{ID: "alpha", Project: "alpha", Mutate: "edit", Arrival: ArrivalSpec{Process: "closed"}},
+				{ID: "beta", Project: "beta", SubjectSeed: 9973, Mutate: "edit", Arrival: ArrivalSpec{Process: "closed"}},
+			},
+		},
+		"tenants-serial": {
+			Name: "tenants-serial",
+			Clients: []ClientSpec{
+				{ID: "alpha", Mutate: "edit", Arrival: ArrivalSpec{Process: "closed"}},
+				{ID: "beta", SubjectSeed: 9973, Mutate: "edit", Arrival: ArrivalSpec{Process: "closed"}},
+			},
+		},
 	}
 	s, ok := scenarios[name]
 	return s, ok
 }
 
 // BuiltinNames lists the built-in scenario names.
-func BuiltinNames() []string { return []string{"warm", "cold", "edit", "burst", "mixed"} }
+func BuiltinNames() []string {
+	return []string{"warm", "cold", "edit", "burst", "mixed", "tenants", "tenants-serial"}
+}
 
 // subject resolves the spec's workload subject.
 func (s *Spec) subject() (workload.Subject, workload.GenOptions) {

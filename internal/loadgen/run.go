@@ -122,11 +122,21 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 	)
 	for gi := range spec.Clients {
 		c := &spec.Clients[gi]
+		ggen, gbase := gen, base
+		if c.SubjectSeed != 0 {
+			// This group models a distinct project: regenerate the subject
+			// under the group's seed so its program differs from the other
+			// groups' (unit bodies diverge; unit names stay shared, so on a
+			// shared session each alternation invalidates the sticky cache
+			// the way alternating real projects would).
+			ggen.Seed += c.SubjectSeed
+			gbase = workload.Generate(subj, ggen)
+		}
 		g := &group{
 			spec:    c,
 			subject: subj,
-			gen:     gen,
-			base:    base,
+			gen:     ggen,
+			base:    gbase,
 			url:     url,
 			httpc:   httpc,
 			timeout: opts.Timeout,
@@ -355,6 +365,7 @@ func (g *group) payload(seq int) ([]byte, error) {
 
 func (g *group) marshal(units []minic.NamedSource) ([]byte, error) {
 	req := server.AnalyzeRequest{
+		Project:  g.spec.Project,
 		Checkers: g.spec.Checkers,
 		Witness:  g.spec.Witness,
 	}

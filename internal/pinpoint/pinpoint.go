@@ -85,6 +85,17 @@ type Config struct {
 	// RequestTimeout is the per-request deadline (0 = server default,
 	// negative = disabled).
 	RequestTimeout time.Duration
+	// MaxTenants caps concurrently resident per-project sessions
+	// (0 = server default of 64, negative = unlimited); beyond the cap
+	// the least-recently-used idle tenant is evicted, persisting first
+	// when a store is configured.
+	MaxTenants int
+	// TenantIdle is the age past which an idle tenant's session is
+	// evicted (0 = server default of 15m, negative = disabled).
+	TenantIdle time.Duration
+	// TenantMaxInFlight bounds concurrently admitted requests per tenant
+	// under the global MaxInFlight gate (0 = no per-tenant bound).
+	TenantMaxInFlight int
 	// Logger receives the service's structured request log.
 	Logger *slog.Logger
 }
@@ -160,13 +171,16 @@ func (rt *Runtime) DetectOptions() detect.Options {
 // ServerConfig derives the HTTP-service configuration.
 func (rt *Runtime) ServerConfig() server.Config {
 	return server.Config{
-		Addr:           rt.cfg.Addr,
-		MaxInFlight:    rt.cfg.MaxInFlight,
-		RequestTimeout: rt.cfg.RequestTimeout,
-		Workers:        rt.cfg.Workers,
-		Logger:         rt.cfg.Logger,
-		Rec:            rt.cfg.Obs,
-		Store:          rt.st,
+		Addr:              rt.cfg.Addr,
+		MaxInFlight:       rt.cfg.MaxInFlight,
+		RequestTimeout:    rt.cfg.RequestTimeout,
+		Workers:           rt.cfg.Workers,
+		Logger:            rt.cfg.Logger,
+		Rec:               rt.cfg.Obs,
+		Store:             rt.st,
+		MaxTenants:        rt.cfg.MaxTenants,
+		TenantIdle:        rt.cfg.TenantIdle,
+		TenantMaxInFlight: rt.cfg.TenantMaxInFlight,
 	}
 }
 

@@ -14,12 +14,20 @@ import (
 	"repro/internal/detect"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // AnalyzeRequest is the POST /analyze body: the full set of translation
 // units (the session diffs them against the previous request, so unchanged
 // functions are served from the artifact store) plus detection options.
 type AnalyzeRequest struct {
+	// Project routes the request to a per-project session (see
+	// internal/tenant): requests for different projects analyze
+	// concurrently, same-project requests serialize on that project's
+	// session. Absent or empty means the "default" tenant — the exact
+	// behavior of the pre-tenant server. IDs are 1..64 bytes of
+	// [A-Za-z0-9._-].
+	Project string `json:"project,omitempty"`
 	// Units is the complete program, one entry per translation unit.
 	Units []UnitJSON `json:"units"`
 	// Checkers selects detectors by registry name or alias; empty or
@@ -46,7 +54,11 @@ type UnitJSON struct {
 // detect.JSONReport schema of `pinpoint -format json`, so batch and served
 // analyses of the same program are byte-identical report-for-report.
 type AnalyzeResponse struct {
-	TraceID string              `json:"traceId"`
+	TraceID string `json:"traceId"`
+	// Project echoes the request's project field. Omitted when the
+	// request didn't set one, so single-tenant response bodies stay
+	// byte-identical to the pre-tenant server's.
+	Project string              `json:"project,omitempty"`
 	Reports []detect.JSONReport `json:"reports"`
 	Stats   AnalyzeStats        `json:"stats"`
 	Timing  TimingJSON          `json:"timing"`
@@ -70,7 +82,9 @@ type TimingJSON struct {
 	DecodeNs int64 `json:"decodeNs"`
 	// QueueWaitNs is admission-gate queueing (saturated server backlog).
 	QueueWaitNs int64 `json:"queueWaitNs"`
-	// SessionWaitNs is contention on the single-writer session mutex.
+	// SessionWaitNs is tenant acquisition: resolving (or admitting) the
+	// project's tenant, its per-tenant gate, and contention on its
+	// single-writer session lock. Only same-project requests contend.
 	SessionWaitNs int64 `json:"sessionWaitNs"`
 	// BuildNs is Session.Update: parse, diff, rebuild, persist.
 	BuildNs int64 `json:"buildNs"`
@@ -199,17 +213,31 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 	defer s.gate.Leave()
 	gateWait := time.Since(gateStart)
 
-	// The session itself is single-writer; see Server.mu.
+	// Each tenant's session is single-writer; Acquire resolves (or admits)
+	// the project's tenant and waits for its gate and lock under the
+	// request deadline. The elapsed time is exactly the session-wait
+	// phase, so the timing partition stays exact per tenant.
 	lockStart := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	h, err := s.tenants.Acquire(ctx, req.Project)
 	sessionWait := time.Since(lockStart)
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if err != nil {
+		switch {
+		case errors.Is(err, tenant.ErrResidentLimit):
+			return nil, &httpError{http.StatusServiceUnavailable, err.Error()}
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, &httpError{http.StatusServiceUnavailable, "server saturated: deadline expired waiting for the project's session"}
+		case errors.Is(err, context.Canceled):
+			return nil, err
+		default:
+			// The remaining Acquire failure is a malformed project ID.
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
 	}
+	defer h.Release()
+	sess := h.Session()
 
 	buildStart := time.Now()
-	a, err := s.sess.Update(units)
+	a, err := sess.Update(units)
 	if err != nil {
 		// A parse/lowering error leaves the session untouched (Update's
 		// commit-on-success contract), so the request is at fault.
@@ -276,15 +304,16 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 	timing.TotalNs = time.Since(reqStart).Nanoseconds()
 	timing.OtherNs = timing.TotalNs - timing.DecodeNs - timing.QueueWaitNs -
 		timing.SessionWaitNs - timing.BuildNs - timing.DetectNs
-	s.observePhases(timing)
-	return &AnalyzeResponse{TraceID: ri.TraceID, Reports: reports, Stats: stats, Timing: timing}, nil
+	s.observePhases(h.Project(), timing)
+	return &AnalyzeResponse{TraceID: ri.TraceID, Project: req.Project, Reports: reports, Stats: stats, Timing: timing}, nil
 }
 
 // observePhases feeds one request's timing breakdown into the labeled
-// server.phase_ns histograms behind /metrics.
-func (s *Server) observePhases(t TimingJSON) {
+// server.phase_ns histograms behind /metrics, one series per
+// (phase, tenant) pair so per-project latency is scrapeable.
+func (s *Server) observePhases(project string, t TimingJSON) {
 	observe := func(phase string, v int64) {
-		s.rec.Histogram(obs.Labeled("server.phase_ns", "phase", phase)).Observe(v)
+		s.rec.Histogram(obs.Labeled("server.phase_ns", "phase", phase, "tenant", project)).Observe(v)
 	}
 	observe("decode", t.DecodeNs)
 	observe("queue_wait", t.QueueWaitNs)

@@ -3,7 +3,9 @@ package server
 import (
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // handleHealthz is the liveness probe: the process is up and the mux is
@@ -38,8 +40,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// sessionDebug is the GET /debug/session schema: occupancy of every
-// persistent store the session carries across requests.
+// tenantsDebug is the GET /v1/debug/tenants schema: the tenant.Snapshot
+// (resident set, per-tenant occupancy and last-use clocks, eviction
+// counters) — the multi-tenant successor to /debug/session.
+type tenantsDebug = tenant.Snapshot
+
+func (s *Server) handleDebugTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, tenantsDebug(s.tenants.Snapshot()))
+}
+
+// sessionDebug is the GET /debug/session schema: occupancy of the default
+// tenant's session. Pre-tenant clients keep their exact schema; resident
+// state for every project lives at /v1/debug/tenants.
 type sessionDebug struct {
 	// Units and Artifacts are the parse- and function-artifact store
 	// sizes; LastUpdate is the artifact outcome of the latest /analyze.
@@ -61,19 +73,21 @@ type sessionDebug struct {
 
 func (s *Server) handleDebugSession(w http.ResponseWriter, r *http.Request) {
 	var d sessionDebug
-	s.mu.Lock()
-	d.Units = s.sess.UnitCount()
-	d.Artifacts = s.sess.ArtifactCount()
-	st := s.sess.ArtifactStats()
-	d.LastUpdate.Hits, d.LastUpdate.Misses, d.LastUpdate.Invalidated =
-		st.Hits, st.Misses, st.Invalidated
-	if a := s.sess.Analysis(); a != nil {
-		d.Functions = a.Sizes.Functions
-		if a.Prog != nil {
-			d.SMTCacheExact, d.SMTCacheShape = a.Prog.SMTCacheStats()
+	// The default tenant may have been idle-evicted; an all-zero body is
+	// the honest report then (nothing is resident).
+	s.tenants.View(store.DefaultProject, func(sess *core.Session) {
+		d.Units = sess.UnitCount()
+		d.Artifacts = sess.ArtifactCount()
+		st := sess.ArtifactStats()
+		d.LastUpdate.Hits, d.LastUpdate.Misses, d.LastUpdate.Invalidated =
+			st.Hits, st.Misses, st.Invalidated
+		if a := sess.Analysis(); a != nil {
+			d.Functions = a.Sizes.Functions
+			if a.Prog != nil {
+				d.SMTCacheExact, d.SMTCacheShape = a.Prog.SMTCacheStats()
+			}
 		}
-	}
-	s.mu.Unlock()
+	})
 	writeJSON(w, http.StatusOK, d)
 }
 
@@ -95,9 +109,9 @@ func (s *Server) handleDebugStore(w http.ResponseWriter, r *http.Request) {
 	if st := s.cfg.Store; st != nil && st.Persistent() {
 		d.Persistent = true
 		d.Stats = st.Stat()
-		s.mu.Lock()
-		d.ArtifactStoreHits = s.sess.ArtifactStats().StoreHits
-		s.mu.Unlock()
+		s.tenants.View(store.DefaultProject, func(sess *core.Session) {
+			d.ArtifactStoreHits = sess.ArtifactStats().StoreHits
+		})
 	}
 	writeJSON(w, http.StatusOK, d)
 }

@@ -1,17 +1,20 @@
 // Package server exposes the analysis pipeline as a long-lived HTTP
-// service: a persistent core.Session answers POST /analyze requests so
+// service: persistent core.Sessions answer POST /analyze requests so
 // repeated analyses of an evolving program reuse the incremental artifact
 // store, the sticky detection caches, and the SMT verdict cache, while the
 // process's live metrics are scraped from GET /metrics in Prometheus text
 // format.
 //
-// The service is deliberately conservative about concurrency:
-// core.Session.Update is not safe for concurrent use, so analysis requests
-// are serialized on a mutex, and a conc.Gate bounds how many requests may
-// even be queued — overload turns into fast 429/timeout responses and
-// backpressure rather than unbounded memory growth. Every request gets a
-// trace ID that is threaded through its structured log lines, its response
-// body and header, and (when tracing) the detection scheduler's task spans.
+// The service is multi-tenant: a tenant.Manager maps the request's
+// `project` field (absent = "default") to an independently locked session,
+// so different projects build and detect concurrently while same-project
+// requests keep serialized, sticky-cache-identical semantics —
+// core.Session.Update is not safe for concurrent use. A global conc.Gate
+// still bounds how many requests may even be queued, so overload turns
+// into fast 429/timeout responses and backpressure rather than unbounded
+// memory growth. Every request gets a trace ID that is threaded through
+// its structured log lines, its response body and header, and (when
+// tracing) the detection scheduler's task spans.
 package server
 
 import (
@@ -33,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Config parameterizes a Server. The zero value is usable: it listens on a
@@ -60,12 +64,26 @@ type Config struct {
 	// Rec is the process-wide metrics recorder backing /metrics. Nil
 	// means a fresh non-tracing recorder.
 	Rec *obs.Recorder
-	// Store, when non-nil and persistent, backs the session's artifacts
+	// Store, when non-nil and persistent, backs the sessions' artifacts
 	// and the SMT verdict cache (see internal/store): a restarted server
 	// pointed at the same store directory warm-loads instead of cold
-	// building. The caller owns the store and closes it after Serve
-	// returns. Nil keeps the historical in-memory-only behavior.
+	// building. Non-default tenants get a per-project namespaced view of
+	// this store (store.Namespaced), so one physical store serves every
+	// project without key collisions. The caller owns the store and closes
+	// it after Serve returns. Nil keeps the historical in-memory-only
+	// behavior.
 	Store store.Store
+	// MaxTenants caps concurrently resident per-project sessions
+	// (tenant.Config.MaxResident semantics: 0 = 64, negative = unlimited).
+	// Admitting a project beyond the cap evicts the least-recently-used
+	// idle tenant, persisting it first when a store is configured.
+	MaxTenants int
+	// TenantIdle is the age past which an idle tenant's session is evicted
+	// (0 = 15 minutes, negative disables idle eviction).
+	TenantIdle time.Duration
+	// TenantMaxInFlight bounds concurrently admitted requests per tenant,
+	// under the global MaxInFlight gate. 0 disables the per-tenant bound.
+	TenantMaxInFlight int
 }
 
 // Server is the analysis service. Create with New, then Serve or
@@ -76,11 +94,9 @@ type Server struct {
 	rec  *obs.Recorder
 	gate *conc.Gate
 
-	// mu serializes all session access: core.Session.Update is not safe
-	// for concurrent use, and serializing CheckAll too keeps the warm
-	// sticky-cache behavior identical to the CLI's -incremental mode.
-	mu   sync.Mutex
-	sess *core.Session
+	// tenants maps project IDs to independently locked sessions; see
+	// internal/tenant for the lock hierarchy and eviction policy.
+	tenants *tenant.Manager
 
 	ready  atomic.Bool
 	reqSeq atomic.Uint64
@@ -99,8 +115,9 @@ type inflightEntry struct {
 	Start   time.Time
 }
 
-// New builds a Server from cfg. The underlying session is created eagerly
-// so the first /analyze request behaves exactly like every later one.
+// New builds a Server from cfg. The default tenant's session is created
+// eagerly so the first /analyze request behaves exactly like every later
+// one.
 func New(cfg Config) *Server {
 	log := cfg.Logger
 	if log == nil {
@@ -111,11 +128,17 @@ func New(cfg Config) *Server {
 		rec = obs.New()
 	}
 	return &Server{
-		cfg:      cfg,
-		log:      log,
-		rec:      rec,
-		gate:     conc.NewGate(cfg.MaxInFlight),
-		sess:     core.NewSession(core.BuildOptions{Workers: cfg.Workers, Obs: rec, Store: cfg.Store}),
+		cfg:  cfg,
+		log:  log,
+		rec:  rec,
+		gate: conc.NewGate(cfg.MaxInFlight),
+		tenants: tenant.NewManager(tenant.Config{
+			MaxResident: cfg.MaxTenants,
+			IdleTTL:     cfg.TenantIdle,
+			MaxInFlight: cfg.TenantMaxInFlight,
+			Build:       core.BuildOptions{Workers: cfg.Workers, Obs: rec, Store: cfg.Store},
+			Obs:         rec,
+		}),
 		inflight: make(map[uint64]*inflightEntry),
 	}
 }
@@ -135,6 +158,9 @@ func (s *Server) Handler() http.Handler {
 		{"GET /healthz", s.handleHealthz},
 		{"GET /readyz", s.handleReadyz},
 		{"GET /metrics", s.handleMetrics},
+		{"GET /debug/tenants", s.handleDebugTenants},
+		// /debug/session is the pre-tenant spelling: it reports the
+		// default tenant only. /debug/tenants supersedes it.
 		{"GET /debug/session", s.handleDebugSession},
 		{"GET /debug/inflight", s.handleDebugInflight},
 		{"GET /debug/store", s.handleDebugStore},
@@ -177,7 +203,36 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, gracePeriod time.Du
 	}
 	s.ready.Store(true)
 	s.log.Info("serving", "addr", ln.Addr().String(),
-		"max_in_flight", s.gate.Limit(), "request_timeout", s.requestTimeout().String())
+		"max_in_flight", s.gate.Limit(), "request_timeout", s.requestTimeout().String(),
+		"max_tenants", s.tenants.Snapshot().MaxResident)
+
+	// Idle janitor: Acquire sweeps lazily, but a server with no traffic
+	// should still release evictable sessions, so sweep on a timer too.
+	if ttl := time.Duration(s.tenants.Snapshot().IdleTTLNs); ttl > 0 {
+		tick := ttl / 4
+		if tick < time.Second {
+			tick = time.Second
+		}
+		if tick > time.Minute {
+			tick = time.Minute
+		}
+		janitor := time.NewTicker(tick)
+		defer janitor.Stop()
+		jctx, jcancel := context.WithCancel(ctx)
+		defer jcancel()
+		go func() {
+			for {
+				select {
+				case <-jctx.Done():
+					return
+				case <-janitor.C:
+					if n := s.tenants.SweepIdle(); n > 0 {
+						s.log.Info("evicted idle tenants", "count", n)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

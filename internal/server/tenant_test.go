@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/tenant"
+)
+
+// TestTenantIsolation: two projects posting different programs get
+// independent sessions — each one's reports come from its own program,
+// and neither invalidates the other's sticky cache.
+func TestTenantIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	units := unitsJSON(t)
+
+	full, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units})
+	one, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: "beta", Units: units[:1]})
+	if full.Stats.Functions <= one.Stats.Functions {
+		t.Fatalf("alpha (%d fns) not larger than beta (%d fns); projects share a session?",
+			full.Stats.Functions, one.Stats.Functions)
+	}
+	if full.Project != "alpha" || one.Project != "beta" {
+		t.Fatalf("responses echo projects %q/%q, want alpha/beta", full.Project, one.Project)
+	}
+
+	// Re-posting alpha's program is a full cache hit: beta's smaller
+	// program didn't evict alpha's artifacts the way a shared session
+	// would have.
+	again, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units})
+	if again.Stats.ArtifactMisses != 0 || again.Stats.ArtifactHits == 0 {
+		t.Fatalf("alpha repeat rebuilt artifacts after beta's request: %+v", again.Stats)
+	}
+}
+
+// TestNoProjectBytesUnchanged: a request without a project field must
+// produce a response with no "project" key at all — the single-tenant
+// wire format is byte-compatible with the pre-tenant server.
+func TestNoProjectBytesUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, err := json.Marshal(AnalyzeRequest{Units: unitsJSON(t)[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(body, []byte("project")) {
+		t.Fatalf("marshaled request leaks a project field: %s", body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/analyze: %s: %s", resp.Status, raw)
+	}
+	if bytes.Contains(raw, []byte(`"project"`)) {
+		t.Fatalf("response to a project-less request contains a project key:\n%s", raw)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traceId", "reports", "stats", "timing"} {
+		if _, ok := keys[want]; !ok {
+			t.Errorf("response lost key %q", want)
+		}
+	}
+}
+
+// TestInvalidProjectRejected: malformed project IDs are a client error,
+// not a server one.
+func TestInvalidProjectRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := []byte(`{"project":"a/b","units":[{"name":"u.mc","src":"void f() {}"}]}`)
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid project: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDebugTenants: the new endpoint lists every resident project with
+// occupancy, and the legacy /debug/session alias still answers with the
+// default tenant's schema.
+func TestDebugTenants(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	units := unitsJSON(t)
+	postAnalyze(t, ts.URL, AnalyzeRequest{Units: units})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units[:1]})
+
+	for _, path := range []string{"/debug/tenants", "/v1/debug/tenants"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap tenant.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Resident != 2 || len(snap.Tenants) != 2 {
+			t.Fatalf("%s: resident = %d/%d rows, want 2", path, snap.Resident, len(snap.Tenants))
+		}
+		if snap.Tenants[0].Project != "alpha" || snap.Tenants[1].Project != "default" {
+			t.Fatalf("%s: rows %q/%q, want alpha,default (sorted)",
+				path, snap.Tenants[0].Project, snap.Tenants[1].Project)
+		}
+		for _, row := range snap.Tenants {
+			if row.Units == 0 || row.Artifacts == 0 || row.Requests == 0 || row.LastUsedUnixNano == 0 {
+				t.Fatalf("%s: empty occupancy row %+v", path, row)
+			}
+		}
+	}
+
+	// Legacy alias: still the default tenant's session occupancy.
+	resp, err := http.Get(ts.URL + "/debug/session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d sessionDebug
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Units != len(units) || d.Functions == 0 {
+		t.Fatalf("/debug/session = %+v, want the default tenant's %d units", d, len(units))
+	}
+}
+
+// TestEvictionThroughHTTP: with MaxTenants=1 and a persistent store,
+// admitting a second project evicts the first, and re-requesting the
+// first warm-loads from its namespaced store slice with identical
+// reports.
+func TestEvictionThroughHTTP(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := newTestServer(t, Config{Store: st, MaxTenants: 1, TenantIdle: -1})
+	units := unitsJSON(t)
+
+	first, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Project: "beta", Units: units[:1]})
+
+	var snap tenant.Snapshot
+	resp, err := http.Get(ts.URL + "/v1/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resident != 1 || snap.Evictions == 0 {
+		t.Fatalf("snapshot after over-cap admissions: %+v", snap)
+	}
+
+	// alpha comes back warm: artifacts load from the store instead of
+	// rebuilding, and the reports are identical.
+	back, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units})
+	if back.Stats.ArtifactStoreHits == 0 || back.Stats.ArtifactMisses != 0 {
+		t.Fatalf("readmitted alpha did not warm-load: %+v", back.Stats)
+	}
+	fb, err := json.Marshal(first.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(back.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb, bb) {
+		t.Fatalf("readmitted reports differ:\nfirst: %s\nback:  %s", fb, bb)
+	}
+}
+
+// TestTenantMetricsOnScrape: /metrics carries tenant-labeled phase series
+// and the resident gauge after multi-project traffic.
+func TestTenantMetricsOnScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	units := unitsJSON(t)
+	postAnalyze(t, ts.URL, AnalyzeRequest{Units: units[:1]})
+	postAnalyze(t, ts.URL, AnalyzeRequest{Project: "alpha", Units: units[:1]})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	for _, want := range []string{
+		`pinpoint_server_phase_ns_count{phase="build",tenant="default"} `,
+		`pinpoint_server_phase_ns_count{phase="build",tenant="alpha"} `,
+		"# TYPE pinpoint_tenant_resident gauge",
+		"pinpoint_tenant_resident 2",
+		"pinpoint_tenant_created 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

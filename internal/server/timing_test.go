@@ -84,7 +84,7 @@ func TestMetricsPhaseFamilies(t *testing.T) {
 		"decode", "queue_wait", "session_wait", "build", "parse",
 		"store_load", "store_save", "detect", "smt", "other",
 	} {
-		series := fmt.Sprintf("pinpoint_server_phase_ns_count{phase=%q} ", phase)
+		series := fmt.Sprintf("pinpoint_server_phase_ns_count{phase=%q,tenant=\"default\"} ", phase)
 		if !strings.Contains(body, series) {
 			t.Errorf("missing phase series %s", series)
 		}
@@ -92,6 +92,50 @@ func TestMetricsPhaseFamilies(t *testing.T) {
 	for _, gauge := range []string{"pinpoint_server_queue_depth", "pinpoint_server_inflight"} {
 		if !strings.Contains(body, "# TYPE "+gauge+" gauge") {
 			t.Errorf("missing gauge %s", gauge)
+		}
+	}
+}
+
+// Under per-tenant locks the timing partition must stay exact for every
+// tenant: each response's top-level phases sum to its total, and each
+// request's phases land in its own tenant's metric series — never a
+// shared or mislabeled one.
+func TestTimingPartitionPerTenant(t *testing.T) {
+	rec := obs.New()
+	_, ts := newTestServer(t, Config{Rec: rec, MaxInFlight: -1})
+	units := unitsJSON(t)
+
+	reqs := map[string]int{"": 2, "alpha": 3, "beta": 1}
+	for project, n := range reqs {
+		for i := 0; i < n; i++ {
+			ar, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Project: project, Units: units})
+			tm := ar.Timing
+			sum := tm.DecodeNs + tm.QueueWaitNs + tm.SessionWaitNs + tm.BuildNs + tm.DetectNs + tm.OtherNs
+			if sum != tm.TotalNs {
+				t.Errorf("project %q: phases sum to %d, total is %d", project, sum, tm.TotalNs)
+			}
+			if tm.SessionWaitNs < 0 {
+				t.Errorf("project %q: sessionWaitNs = %d", project, tm.SessionWaitNs)
+			}
+		}
+	}
+
+	snap := rec.Snapshot()
+	for project, n := range reqs {
+		tenantLabel := project
+		if tenantLabel == "" {
+			tenantLabel = "default"
+		}
+		for _, phase := range []string{"session_wait", "build", "detect"} {
+			name := obs.Labeled("server.phase_ns", "phase", phase, "tenant", tenantLabel)
+			h, ok := snap.Histograms[name]
+			if !ok {
+				t.Errorf("missing per-tenant histogram %s", name)
+				continue
+			}
+			if h.Count != int64(n) {
+				t.Errorf("%s count = %d, want %d (one per request)", name, h.Count, n)
+			}
 		}
 	}
 }
@@ -142,7 +186,7 @@ func TestMetricsConcurrentScrape(t *testing.T) {
 	wantObs := int64(workers * rounds)
 	snap := rec.Snapshot()
 	for _, phase := range []string{"decode", "queue_wait", "session_wait", "build", "detect", "smt", "other"} {
-		name := obs.Labeled("server.phase_ns", "phase", phase)
+		name := obs.Labeled("server.phase_ns", "phase", phase, "tenant", "default")
 		h, ok := snap.Histograms[name]
 		if !ok {
 			t.Errorf("missing histogram %s", name)

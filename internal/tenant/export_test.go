@@ -1,0 +1,11 @@
+package tenant
+
+import "time"
+
+// SetClock replaces the manager's wall clock so tests drive LRU age and
+// idle TTLs deterministically.
+func (m *Manager) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}

@@ -5,9 +5,12 @@
 //
 // With -schema serve, each file is additionally validated against the
 // BENCH_serve.json shape: a non-empty scenarios array whose entries carry
-// positive request counts, positive finite throughput, and a latency
-// summary with no zero durations — a snapshot that "passes" with 0ms
-// latencies or NaN throughput would poison the trend history silently.
+// positive request counts, tenant counts, positive finite throughput, and
+// a latency summary with no zero durations — a snapshot that "passes"
+// with 0ms latencies or NaN throughput would poison the trend history
+// silently. The multi-tenant pair is gated too: the tenants scenario must
+// drive at least two tenants and out-throughput tenants-serial, the
+// identical load serialized on one session.
 package main
 
 import (
@@ -65,6 +68,7 @@ type serveDoc struct {
 		Name       string   `json:"name"`
 		Requests   int      `json:"requests"`
 		Errors     int      `json:"errors"`
+		Tenants    *int     `json:"tenants"`
 		Throughput *float64 `json:"throughput"`
 		LatencyNs  struct {
 			Min *int64 `json:"min"`
@@ -89,6 +93,7 @@ func checkServe(data []byte) error {
 	if len(doc.Scenarios) < 3 {
 		return fmt.Errorf("serve schema: %d scenarios, want at least cold/warm-edit/burst", len(doc.Scenarios))
 	}
+	var serialTP, tenantTP float64
 	for _, sc := range doc.Scenarios {
 		if sc.Name == "" {
 			return fmt.Errorf("serve schema: scenario with no name")
@@ -96,9 +101,21 @@ func checkServe(data []byte) error {
 		if sc.Requests <= 0 {
 			return fmt.Errorf("serve schema: scenario %q has no requests", sc.Name)
 		}
+		if sc.Tenants == nil || *sc.Tenants < 1 {
+			return fmt.Errorf("serve schema: scenario %q missing tenant count", sc.Name)
+		}
 		if sc.Throughput == nil || *sc.Throughput <= 0 ||
 			math.IsNaN(*sc.Throughput) || math.IsInf(*sc.Throughput, 0) {
 			return fmt.Errorf("serve schema: scenario %q has bad throughput", sc.Name)
+		}
+		switch sc.Name {
+		case "tenants-serial":
+			serialTP = *sc.Throughput
+		case "tenants":
+			if *sc.Tenants < 2 {
+				return fmt.Errorf("serve schema: tenants scenario drove %d tenants, want >= 2", *sc.Tenants)
+			}
+			tenantTP = *sc.Throughput
 		}
 		l := sc.LatencyNs
 		for _, f := range []struct {
@@ -112,6 +129,16 @@ func checkServe(data []byte) error {
 		if !(*l.Min <= *l.P50 && *l.P50 <= *l.P95 && *l.P95 <= *l.P99 && *l.P99 <= *l.Max) {
 			return fmt.Errorf("serve schema: scenario %q latency percentiles not monotone", sc.Name)
 		}
+	}
+	// The multi-tenant acceptance gate: identical load split across two
+	// projects must beat the same load serialized on one session. A
+	// snapshot where it doesn't means the tenant layer stopped buying
+	// concurrency.
+	if serialTP == 0 || tenantTP == 0 {
+		return fmt.Errorf("serve schema: missing tenants/tenants-serial scenario pair")
+	}
+	if tenantTP <= serialTP {
+		return fmt.Errorf("serve schema: cross-tenant throughput %.2f req/s not above the serialized baseline %.2f req/s", tenantTP, serialTP)
 	}
 	return nil
 }

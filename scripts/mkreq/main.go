@@ -2,7 +2,7 @@
 // (see internal/server.AnalyzeRequest). scripts/serve_smoke.sh uses it to
 // build smoke-test requests without depending on jq or python.
 //
-// Usage: mkreq [-checkers all] [-witness] file.mc... > request.json
+// Usage: mkreq [-checkers all] [-witness] [-project id] file.mc... > request.json
 package main
 
 import (
@@ -16,9 +16,10 @@ import (
 func main() {
 	sel := flag.String("checkers", "all", "comma-separated checker list, or 'all'")
 	witness := flag.Bool("witness", false, "request per-report provenance")
+	project := flag.String("project", "", "route the request to this tenant project (empty = default tenant, field omitted)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mkreq [-checkers list] [-witness] file.mc...")
+		fmt.Fprintln(os.Stderr, "usage: mkreq [-checkers list] [-witness] [-project id] file.mc...")
 		os.Exit(2)
 	}
 
@@ -27,10 +28,11 @@ func main() {
 		Src  string `json:"src"`
 	}
 	req := struct {
+		Project  string   `json:"project,omitempty"`
 		Units    []unit   `json:"units"`
 		Checkers []string `json:"checkers,omitempty"`
 		Witness  bool     `json:"witness,omitempty"`
-	}{Witness: *witness}
+	}{Project: *project, Witness: *witness}
 	for _, name := range strings.Split(*sel, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			req.Checkers = append(req.Checkers, name)

@@ -77,6 +77,22 @@ if grep -q '"totalNs": 0,' "$tmpdir/resp_v1.json"; then
   echo "serve_smoke.sh: timing.totalNs is zero" >&2
   exit 1
 fi
+# Byte-compat: a request with no project field gets a response with no
+# project field.
+if grep -q '"project"' "$tmpdir/resp_v1.json"; then
+  echo "serve_smoke.sh: project key leaked into a project-less response" >&2
+  exit 1
+fi
+
+echo "== POST /v1/analyze (tenant project=alpha)"
+go run ./scripts/mkreq -checkers all -project alpha examples/mc/*.mc >"$tmpdir/req_alpha.json"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  --data-binary @"$tmpdir/req_alpha.json" "$BASE/v1/analyze" >"$tmpdir/resp_alpha.json"
+go run ./scripts/jsoncheck "$tmpdir/resp_alpha.json"
+if ! grep -q '"project": "alpha"' "$tmpdir/resp_alpha.json"; then
+  echo "serve_smoke.sh: response did not echo project=alpha" >&2
+  exit 1
+fi
 
 echo "== scrape /metrics"
 curl -fsS "$BASE/metrics" >"$tmpdir/metrics.txt"
@@ -88,14 +104,22 @@ for metric in pinpoint_detect_reports pinpoint_detect_tasks pinpoint_server_requ
   fi
   echo "   $metric = $value"
 done
-# Phase-attributed histograms are labeled series; assert the family and a
-# couple of its phases made it into the exposition.
+# Phase-attributed histograms are labeled per (phase, tenant); assert the
+# family carries both tenants' series for a few phases.
 for phase in build detect smt; do
-  if ! grep -q "pinpoint_server_phase_ns_count{phase=\"$phase\"}" "$tmpdir/metrics.txt"; then
-    echo "serve_smoke.sh: phase histogram for \"$phase\" missing from /metrics" >&2
-    exit 1
-  fi
+  for tenant in default alpha; do
+    if ! grep -q "pinpoint_server_phase_ns_count{phase=\"$phase\",tenant=\"$tenant\"}" "$tmpdir/metrics.txt"; then
+      echo "serve_smoke.sh: phase histogram for phase=$phase tenant=$tenant missing from /metrics" >&2
+      exit 1
+    fi
+  done
 done
+# The tenant layer's own occupancy metrics: two resident sessions.
+resident="$(awk '$1 == "pinpoint_tenant_resident" { print $2 }' "$tmpdir/metrics.txt")"
+if [ "$resident" != "2" ]; then
+  echo "serve_smoke.sh: pinpoint_tenant_resident = '${resident:-<absent>}', want 2" >&2
+  exit 1
+fi
 for gauge in pinpoint_server_queue_depth pinpoint_server_inflight; do
   if ! grep -q "^# TYPE $gauge gauge" "$tmpdir/metrics.txt"; then
     echo "serve_smoke.sh: gauge $gauge missing from /metrics" >&2
@@ -104,6 +128,15 @@ for gauge in pinpoint_server_queue_depth pinpoint_server_inflight; do
 done
 
 echo "== debug endpoints"
+curl -fsS "$BASE/v1/debug/tenants" >"$tmpdir/tenants.json"
+go run ./scripts/jsoncheck "$tmpdir/tenants.json"
+for project in default alpha; do
+  if ! grep -q "\"project\": \"$project\"" "$tmpdir/tenants.json"; then
+    echo "serve_smoke.sh: /v1/debug/tenants missing project $project" >&2
+    exit 1
+  fi
+done
+curl -fsS "$BASE/debug/tenants" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/debug/session" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/debug/inflight" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/healthz" >/dev/null
