@@ -10,6 +10,7 @@
 //	          [-smt-out BENCH_smt.json] [-smt-scale N]
 //	          [-store-out BENCH_store.json] [-store-scale N]
 //	          [-serve-out BENCH_serve.json] [-serve-scale N]
+//	          [-build-out BENCH_build.json] [-build-scale N]
 package main
 
 import (
@@ -100,6 +101,17 @@ type serveSnapshot struct {
 	Scenarios  []serveScenarioSnap `json:"scenarios"`
 }
 
+type buildSnapshot struct {
+	Subject    string        `json:"subject"`
+	Lines      int           `json:"lines"`
+	Functions  int           `json:"functions"`
+	Units      int           `json:"units"`
+	Reports    int           `json:"reports"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Equivalent bool          `json:"equivalent"`
+	Rows       []snapshotRow `json:"rows"`
+}
+
 type incSnapshot struct {
 	Subject     string  `json:"subject"`
 	Lines       int     `json:"lines"`
@@ -125,6 +137,8 @@ func main() {
 	storeScale := flag.Int("store-scale", 30, "workload scale factor for the store warm-restart benchmark")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "output file for the service-latency snapshot (empty disables)")
 	serveScale := flag.Int("serve-scale", 30, "workload scale factor for the service-latency benchmark")
+	buildOut := flag.String("build-out", "BENCH_build.json", "output file for the cold-build worker-scaling snapshot (empty disables)")
+	buildScale := flag.Int("build-scale", 30, "workload scale factor for the build-scaling benchmark")
 	flag.Parse()
 
 	counts, err := parseWorkers(*workersFlag)
@@ -253,6 +267,29 @@ func main() {
 		writeJSON(*serveOut, vsnap)
 	}
 
+	if *buildOut != "" {
+		bs, err := bench.MeasureBuild(subj, *buildScale, counts, 3)
+		if err != nil {
+			fatal(err)
+		}
+		bsnap := buildSnapshot{
+			Subject:    bs.Subject,
+			Lines:      bs.Lines,
+			Functions:  bs.Functions,
+			Units:      bs.Units,
+			Reports:    bs.Reports,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Equivalent: bs.Equivalent,
+		}
+		for _, r := range bs.Rows {
+			bsnap.Rows = append(bsnap.Rows, snapshotRow{
+				Workers: r.Workers, WallNs: int64(r.Wall), Speedup: r.Speedup,
+			})
+			fmt.Printf("build workers=%-3d wall=%-14s speedup=%.2fx\n", r.Workers, r.Wall, r.Speedup)
+		}
+		writeJSON(*buildOut, bsnap)
+	}
+
 	if *smtOut != "" {
 		sm, err := bench.MeasureSMT(subj, *smtScale)
 		if err != nil {
@@ -300,16 +337,20 @@ func writeJSON(path string, v any) {
 	fmt.Println("wrote", path)
 }
 
-// parseWorkers turns "1,2,4" into worker counts; empty selects a doubling
-// ladder from 1 up to GOMAXPROCS (always including GOMAXPROCS itself).
+// parseWorkers turns "1,2,4" into worker counts; empty selects the
+// standard ladder {1, 2, GOMAXPROCS}, deduplicated and sorted (so a
+// single-core machine measures just workers=1).
 func parseWorkers(s string) ([]int, error) {
 	if s == "" {
+		counts := []int{1}
 		max := runtime.GOMAXPROCS(0)
-		var counts []int
-		for w := 1; w < max; w *= 2 {
-			counts = append(counts, w)
+		if max >= 2 {
+			counts = append(counts, 2)
 		}
-		return append(counts, max), nil
+		if max > 2 {
+			counts = append(counts, max)
+		}
+		return counts, nil
 	}
 	var counts []int
 	for _, part := range strings.Split(s, ",") {

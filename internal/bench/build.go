@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/workload"
+)
+
+// Build-scaling experiment: how does the cold build wall-clock change
+// with the worker-pool size now that the whole pipeline — parse, lower,
+// SSA, the Mod/Ref wavefront, the connector transform, PTA+SEG — runs
+// on the shared pool? The wavefront's dependency counting should keep
+// the curve near-linear until the condensed call graph's width runs out.
+
+// BuildScalingRow is one worker-count measurement.
+type BuildScalingRow struct {
+	Workers int
+	Wall    time.Duration
+	// Speedup is Wall(first row) / Wall; the first row is workers=1.
+	Speedup float64
+}
+
+// BuildScaling is the result of one build-scaling sweep.
+type BuildScaling struct {
+	Subject   string
+	Lines     int
+	Functions int
+	Units     int
+	Reports   int
+	// Equivalent records that reports and artifact fingerprints were
+	// byte-identical across every measured worker count; MeasureBuild
+	// fails instead of returning false.
+	Equivalent bool
+	Rows       []BuildScalingRow
+}
+
+// MeasureBuild generates a workload subject and times a cold
+// from-scratch session build (core.NewSession + first Update — the same
+// path serve mode holds its tenant lock for) at each worker count,
+// keeping the best of reps runs. Before timings are returned it
+// verifies the determinism contract: detect.JSONReport bytes and the
+// session artifact fingerprint must be identical at every worker count.
+func MeasureBuild(subj workload.Subject, scale int, workerCounts []int, reps int) (*BuildScaling, error) {
+	if len(workerCounts) == 0 {
+		return nil, fmt.Errorf("bench: no worker counts")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	gen := workload.Generate(subj, workload.GenOptions{Scale: scale, Taint: true})
+	out := &BuildScaling{Subject: subj.Name, Lines: gen.Lines, Units: len(gen.Units)}
+
+	specs := checkers.All()
+	var baseWall time.Duration
+	var baseReports []byte
+	var baseFP string
+	for wi, w := range workerCounts {
+		var best time.Duration
+		var fp string
+		var a *core.Analysis
+		for r := 0; r < reps; r++ {
+			sess := core.NewSession(core.BuildOptions{Workers: w})
+			t0 := time.Now()
+			ar, err := sess.Update(gen.Units)
+			wall := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("workers=%d: %w", w, err)
+			}
+			if r == 0 || wall < best {
+				best = wall
+			}
+			a = ar
+			fp = sess.ArtifactFingerprint()
+		}
+		res := a.CheckAll(specs, detect.Options{Workers: w})
+		rj, err := reportsJSON(res.Reports)
+		if err != nil {
+			return nil, err
+		}
+		if wi == 0 {
+			baseWall, baseReports, baseFP = best, rj, fp
+			out.Functions = a.Sizes.Functions
+			out.Reports = len(res.Reports)
+		} else {
+			if !bytes.Equal(rj, baseReports) {
+				return nil, fmt.Errorf("workers=%d: reports differ from workers=%d — build nondeterminism", w, workerCounts[0])
+			}
+			if fp != baseFP {
+				return nil, fmt.Errorf("workers=%d: artifact fingerprint differs from workers=%d — build nondeterminism", w, workerCounts[0])
+			}
+		}
+		row := BuildScalingRow{Workers: w, Wall: best}
+		if best > 0 {
+			row.Speedup = float64(baseWall) / float64(best)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.Equivalent = true
+	return out, nil
+}

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,12 +44,14 @@ type BuildOptions struct {
 	// ablation approximating a design without §3.1.2's model (side
 	// effects stay invisible across calls).
 	DisableConnectors bool
-	// Workers runs the per-function stages (SSA conversion, points-to
-	// analysis, SEG construction) concurrently on that many goroutines.
-	// 0 or 1 means sequential; negative means GOMAXPROCS. Everything the
-	// paper's design makes function-local parallelizes trivially — of the
-	// cross-function stages only Mod/Ref and connectors stay sequential;
-	// detection parallelizes per demand source via detect.Options.Workers
+	// Workers runs the build concurrently on that many goroutines. 0 or 1
+	// means sequential; negative means GOMAXPROCS. Per-function stages
+	// (parse per unit, lowering, SSA conversion, points-to analysis, SEG
+	// construction) parallelize trivially; the cross-function stages —
+	// Mod/Ref and the connector transform — run as a dependency-counting
+	// wavefront over the condensed call graph (see DESIGN.md "Parallel
+	// build pipeline"). Output is byte-identical at every worker count.
+	// Detection parallelizes per demand source via detect.Options.Workers
 	// (see Analysis.CheckAll).
 	Workers int
 	// Obs, when non-nil, receives hierarchical phase spans for every build
@@ -139,7 +140,7 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 
 	sp := rec.Phase("lower")
 	t0 := time.Now()
-	m, err := lower.Program(prog)
+	m, err := lower.ProgramWith(prog, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
@@ -169,14 +170,18 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 
 	sp = rec.Phase("modref")
 	t0 = time.Now()
-	a.ModRef = modref.Analyze(m)
+	mr, width := modref.AnalyzeWith(m, opts.Workers)
+	a.ModRef = mr
+	rec.Gauge("modref.wavefront_width").Set(int64(width))
 	a.Timings.ModRef = time.Since(t0)
 	sp.End()
 
 	if !opts.DisableConnectors {
 		sp = rec.Phase("transform")
 		t0 = time.Now()
-		if err := transform.Apply(m, a.ModRef); err != nil {
+		if err := transform.ApplyFuncsWith(m, m.Funcs, func(f *ir.Func) *modref.Summary {
+			return mr.Summaries[f]
+		}, opts.Workers); err != nil {
 			return nil, fmt.Errorf("transform: %w", err)
 		}
 		a.Timings.Transform = time.Since(t0)
@@ -187,17 +192,22 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 	t0 = time.Now()
 	prs := make([]*pta.Result, len(m.Funcs))
 	graphs := make([]*seg.Graph, len(m.Funcs))
+	var ptaNs, segNs int64
 	if err := forEachFunc(m.Funcs, opts.Workers, func(w, i int, f *ir.Func) error {
+		t1 := time.Now()
 		endPTA := perFunc(rec, w, "build.pta", f.Name)
 		pr, err := pta.Analyze(f, a.Infos[f], opts.PTA)
 		endPTA()
+		atomic.AddInt64(&ptaNs, int64(time.Since(t1)))
 		if err != nil {
 			return fmt.Errorf("pta %s: %w", f.Name, err)
 		}
 		prs[i] = pr
+		t1 = time.Now()
 		endSEG := perFunc(rec, w, "build.seg", f.Name)
 		graphs[i] = seg.Build(f, a.Infos[f], pr)
 		endSEG()
+		atomic.AddInt64(&segNs, int64(time.Since(t1)))
 		return nil
 	}); err != nil {
 		return nil, err
@@ -209,10 +219,10 @@ func BuildFromAST(prog *minic.Program, opts BuildOptions) (*Analysis, error) {
 		a.Sizes.SEGNodes += g.NumNodes()
 		a.Sizes.SEGEdges += g.NumEdges()
 	}
-	// PTA and SEG run fused per function; attribute the fused time to
-	// the PTA stage and leave SEG assembly accounted as zero-extra (the
-	// observability layer's per-function histograms carry the split).
-	a.Timings.PTA = time.Since(t0)
+	// PTA and SEG run fused per function; apportion the fused stage wall
+	// across the two Timings fields by the measured per-function split so
+	// -stats/-stats-json report a real SEG cost instead of zero.
+	a.Timings.PTA, a.Timings.SEG = splitFused(time.Since(t0), ptaNs, segNs)
 	sp.End()
 
 	a.Sizes.Lines = m.LineCount()
@@ -291,48 +301,25 @@ func (a *Analysis) CheckAll(specs []*checkers.Spec, opts detect.Options) detect.
 }
 
 // forEachFunc applies fn to every function, on `workers` goroutines when
-// workers > 1 (negative selects GOMAXPROCS). The first error wins. fn
-// receives the index w of the worker running it (0 when sequential) so
-// callers can attribute work to trace tracks without locking.
+// workers > 1 (negative selects GOMAXPROCS). fn receives the index w of
+// the worker running it (0 when sequential) so callers can attribute
+// work to trace tracks without locking. Errors follow conc.ForEach's
+// deterministic lowest-index contract.
 func forEachFunc(funcs []*ir.Func, workers int, fn func(w, i int, f *ir.Func) error) error {
-	workers = conc.Workers(workers)
-	if workers <= 1 || len(funcs) < 2 {
-		for i, f := range funcs {
-			if err := fn(0, i, f); err != nil {
-				return err
-			}
-		}
-		return nil
+	return conc.ForEach(len(funcs), workers, func(w, i int) error {
+		return fn(w, i, funcs[i])
+	})
+}
+
+// splitFused apportions the wall clock of the fused pta+seg stage across
+// the two Timings fields in proportion to the measured per-function CPU
+// time of each half, so the reported totals still sum to the stage wall
+// even though the halves interleave across workers.
+func splitFused(wall time.Duration, ptaNs, segNs int64) (ptaT, segT time.Duration) {
+	total := ptaNs + segNs
+	if total <= 0 {
+		return wall, 0
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int64
-	)
-	if workers > len(funcs) {
-		workers = len(funcs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(funcs) {
-					return
-				}
-				if err := fn(w, i, funcs[i]); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	return firstErr
+	segT = time.Duration(float64(wall) * float64(segNs) / float64(total))
+	return wall - segT, segT
 }

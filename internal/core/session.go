@@ -35,8 +35,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/detect"
 	"repro/internal/ir"
 	"repro/internal/lower"
@@ -151,25 +153,48 @@ func (s *Session) ArtifactCount() int { return len(s.artifacts) }
 // parses are currently cached.
 func (s *Session) UnitCount() int { return len(s.files) }
 
+// ArtifactFingerprint digests the committed per-function artifact
+// metadata (name, AST hash, summary/signature/dependency fingerprints)
+// in declaration order. Two sessions that analyzed the same program —
+// at any worker count, cold or warm — produce equal fingerprints; the
+// build-determinism tests and bench.MeasureBuild gate on this.
+func (s *Session) ArtifactFingerprint() string {
+	h := sha256.New()
+	for _, name := range s.order {
+		art := s.artifacts[name]
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00", name, art.astHash, art.sumFP, art.sigFP, art.depFP)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Analysis returns the analysis committed by the last successful Update
 // (nil before the first).
 func (s *Session) Analysis() *Analysis { return s.analysis }
 
 // fnState is the per-function bookkeeping of one Update in progress.
+// During the build wavefront each field is written only by the node that
+// owns it (the function's L-node, its SCC's S-node, or its F-node) and
+// read by dependent nodes after that node completed — the scheduler's
+// dependency edges provide the happens-before ordering.
 type fnState struct {
 	decl    *minic.FuncDecl
 	astHash string
 	callees []string
 	old     *funcArtifact // nil when new or program-shape invalidated
 
-	sum   *modref.Summary
-	sumFP string
-	sigFP string
-	depFP string
+	sum        *modref.Summary
+	sumFP      string
+	sumChanged bool
+	sigFP      string
+	depFP      string
 
-	rebuild bool
-	fn      *ir.Func
-	info    *ssa.Info
+	rebuild   bool
+	fn        *ir.Func  // freshly lowered this update (nil if not lowered)
+	info      *ssa.Info // SSA info of fn
+	finalFn   *ir.Func  // the function entering the committed module
+	finalInfo *ssa.Info
+	prep      *transform.Prepped // extended signature awaiting body rewrite
+	art       *funcArtifact      // rebuilt artifact (F-node output)
 }
 
 // Update analyzes units incrementally against the session's previous state.
@@ -179,25 +204,36 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 	rec := s.opts.Obs
 	var tm Timings
 
-	// ---- Parse: re-parse only units whose source hash changed. All
-	// parsing happens before any shared AST is touched, so a syntax error
-	// in a later unit cannot leak partial state.
+	// ---- Parse: re-parse only units whose source hash changed, in
+	// parallel per translation unit. All parsing happens before any
+	// shared AST is touched, so a syntax error in a later unit cannot
+	// leak partial state; conc.ForEach's lowest-index error contract
+	// keeps the reported error independent of the worker count.
 	sp := rec.Phase("parse")
 	t0 := time.Now()
 	hashes := make([]string, len(units))
 	parsed := make([]*minic.File, len(units))
+	var toParse []int
 	for i, u := range units {
 		h := minic.HashSource(u.Name, u.Src)
 		hashes[i] = h
 		if f, ok := s.files[h]; ok {
 			parsed[i] = f
-			continue
+		} else {
+			toParse = append(toParse, i)
 		}
-		f, err := minic.ParseFile(u.Name, u.Src)
+	}
+	if err := conc.ForEach(len(toParse), s.opts.Workers, func(w, j int) error {
+		i := toParse[j]
+		defer perFunc(rec, w, "build.parse", units[i].Name)()
+		f, err := minic.ParseFile(units[i].Name, units[i].Src)
 		if err != nil {
-			return nil, fmt.Errorf("parse: parsing %s: %w", u.Name, err)
+			return fmt.Errorf("parse: parsing %s: %w", units[i].Name, err)
 		}
 		parsed[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for i, f := range parsed {
 		for _, fn := range f.Funcs {
@@ -288,71 +324,62 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		}
 	}
 
-	// ---- Lower + SSA the AST-dirty functions on the worker pool. These
-	// are rebuilt unconditionally; clean functions are lowered later only
-	// if summary recomputation or dependency changes demand it.
-	var dirtyNames []string
-	for _, name := range order {
-		if dirty(states[name]) {
-			dirtyNames = append(dirtyNames, name)
+	// ---- Wavefront: everything between parsing and commit — lowering,
+	// SSA, the Mod/Ref frontier recompute, connector fingerprints, the
+	// connector transform, and PTA+SEG — runs as one dependency-counting
+	// wavefront over the condensed AST call graph (see DESIGN.md
+	// "Parallel build pipeline"). Three node kinds:
+	//
+	//   - an L-node per AST-dirty function lowers and SSA-converts it;
+	//     L-nodes have no dependencies and run fully parallel;
+	//   - an S-node per SCC decides whether the Mod/Ref fixpoint must be
+	//     recomputed, scratch-lowers the clean members it needs, runs the
+	//     fixpoint, derives signature/dependency fingerprints and the
+	//     rebuild decision, and extends rebuilt members' signatures; it
+	//     depends on its members' L-nodes and on its callee S-nodes;
+	//   - an F-node per function finishes a rebuilt function — call-site
+	//     rewriting, PTA, SEG, artifact assembly — depending only on its
+	//     own S-node, so the expensive per-function tail never blocks the
+	//     interprocedural frontier.
+	//
+	// Each node writes only fnState fields it owns and reads callee state
+	// strictly after the owning node completed (the scheduler supplies
+	// the happens-before edge). Summary merges are commutative set
+	// unions and everything after the wavefront assembles in canonical
+	// declaration order, so output is byte-identical at any worker count.
+	var lowerNs, ssaNs, modrefNs, transformNs, ptaNs, segNs int64
+	lowerOne := func(w int, name string) error {
+		st := states[name]
+		t1 := time.Now()
+		endL := perFunc(rec, w, "build.lower", name)
+		lf, err := lower.FuncWith(m, st.decl, sigs, structs)
+		endL()
+		atomic.AddInt64(&lowerNs, int64(time.Since(t1)))
+		if err != nil {
+			return fmt.Errorf("lower: %w", err)
 		}
-	}
-	lowerSSA := func(names []string) error {
-		t0 := time.Now()
-		sp := rec.Phase("lower")
-		fns := make([]*ir.Func, len(names))
-		for i, name := range names {
-			lf, err := lower.FuncWith(m, states[name].decl, sigs, structs)
-			if err != nil {
-				return fmt.Errorf("lower: %w", err)
-			}
-			fns[i] = lf
+		t1 = time.Now()
+		endS := perFunc(rec, w, "build.ssa", name)
+		inf, err := ssa.Transform(lf)
+		endS()
+		atomic.AddInt64(&ssaNs, int64(time.Since(t1)))
+		if err != nil {
+			return fmt.Errorf("ssa %s: %w", name, err)
 		}
-		tm.Lower += time.Since(t0)
-		sp.End()
-		sp = rec.Phase("ssa")
-		t0 = time.Now()
-		infos := make([]*ssa.Info, len(names))
-		if err := forEachFunc(fns, s.opts.Workers, func(w, i int, f *ir.Func) error {
-			defer perFunc(rec, w, "build.ssa", f.Name)()
-			inf, err := ssa.Transform(f)
-			if err != nil {
-				return fmt.Errorf("ssa %s: %w", f.Name, err)
-			}
-			infos[i] = inf
-			return nil
-		}); err != nil {
-			return err
-		}
-		for i, name := range names {
-			states[name].fn = fns[i]
-			states[name].info = infos[i]
-		}
-		tm.SSA += time.Since(t0)
-		sp.End()
+		st.fn, st.info = lf, inf
 		return nil
 	}
-	if err := lowerSSA(dirtyNames); err != nil {
-		return nil, err
-	}
-
-	// ---- Mod/Ref: bottom-up over AST-level SCCs, recomputing only the
-	// frontier. A clean SCC none of whose external callees changed their
-	// summary keeps its old fixpoint.
-	sp = rec.Phase("modref")
-	t0 = time.Now()
-	sums := make(map[string]*modref.Summary, len(order))
-	sumChanged := make(map[string]bool, len(order))
-	ensureLowered := func(name string) error {
-		if states[name].fn != nil {
-			return nil
+	resolve := func(name string) *ir.Func {
+		if st, ok := states[name]; ok {
+			return st.finalFn
 		}
-		// Scratch-lower a clean function so its summary can be
-		// recomputed; the result doubles as the rebuild IR if dependency
-		// fingerprints later turn out to have changed.
-		return lowerSSA([]string{name})
+		return nil
 	}
-	for _, scc := range astSCCs(order, states) {
+	runSCC := func(w int, scc []string) error {
+		// Mod/Ref: recompute only the frontier. A clean SCC none of whose
+		// external callees changed their summary keeps its old fixpoint.
+		// Callee sumChanged flags are final: their S-nodes completed.
+		t1 := time.Now()
 		recompute := false
 		for _, name := range scc {
 			st := states[name]
@@ -361,7 +388,7 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 				break
 			}
 			for _, c := range st.callees {
-				if sumChanged[c] {
+				if cs, ok := states[c]; ok && cs.sumChanged {
 					recompute = true
 					break
 				}
@@ -373,74 +400,245 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		if !recompute {
 			for _, name := range scc {
 				st := states[name]
-				sums[name] = st.old.sum
 				st.sum, st.sumFP = st.old.sum, st.old.sumFP
 			}
-			continue
-		}
-		for _, name := range scc {
-			if err := ensureLowered(name); err != nil {
-				return nil, err
-			}
-			sums[name] = modref.NewSummary()
-		}
-		lookup := func(callee string) *modref.Summary { return sums[callee] }
-		for changed := true; changed; {
-			changed = false
+			atomic.AddInt64(&modrefNs, int64(time.Since(t1)))
+		} else {
+			atomic.AddInt64(&modrefNs, int64(time.Since(t1)))
 			for _, name := range scc {
-				if modref.AnalyzeFunc(states[name].fn, sums[name], lookup) {
-					changed = true
+				st := states[name]
+				if st.fn == nil {
+					// Scratch-lower a clean member so its summary can be
+					// recomputed; the result doubles as the rebuild IR if
+					// dependency fingerprints later turn out to have
+					// changed.
+					if err := lowerOne(w, name); err != nil {
+						return err
+					}
+				}
+				st.sum = modref.NewSummary()
+			}
+			lookup := func(callee string) *modref.Summary {
+				if st, ok := states[callee]; ok {
+					return st.sum
+				}
+				return nil
+			}
+			t1 = time.Now()
+			for changed := true; changed; {
+				changed = false
+				for _, name := range scc {
+					if modref.AnalyzeFunc(states[name].fn, states[name].sum, lookup) {
+						changed = true
+					}
 				}
 			}
+			for _, name := range scc {
+				st := states[name]
+				st.sumFP = st.sum.Fingerprint()
+				if st.old == nil || st.old.sumFP != st.sumFP {
+					st.sumChanged = true
+				}
+			}
+			atomic.AddInt64(&modrefNs, int64(time.Since(t1)))
+		}
+
+		// Connector signatures and dependency fingerprints. The firewall:
+		// a callee whose summary changed but whose signature fingerprint
+		// did not leaves its callers' depFPs — and artifacts — untouched.
+		// Callee sigFPs are final (dependency S-nodes completed; same-SCC
+		// members were fingerprinted in the loop above).
+		for _, name := range scc {
+			st := states[name]
+			st.sigFP = s.signatureFP(st, globalTypes)
+		}
+		sigOf := func(callee string) string {
+			if st, ok := states[callee]; ok {
+				return st.sigFP
+			}
+			return "extern"
 		}
 		for _, name := range scc {
 			st := states[name]
-			st.sum = sums[name]
-			st.sumFP = st.sum.Fingerprint()
-			if st.old == nil || st.old.sumFP != st.sumFP {
-				sumChanged[name] = true
+			h := sha256.New()
+			fmt.Fprintf(h, "self\x00%s\x00", st.sigFP)
+			for _, c := range st.callees {
+				fmt.Fprintf(h, "callee\x00%s\x00%s\x00", c, sigOf(c))
+			}
+			st.depFP = hex.EncodeToString(h.Sum(nil))[:24]
+			st.rebuild = dirty(st) || st.old.depFP != st.depFP
+		}
+
+		// Lower the clean members pulled in by dependency changes (edited
+		// callee signatures) and pick what enters the committed module:
+		// retained functions keep their old IR — scratch-lowered copies
+		// made for summary recomputation are deliberately discarded.
+		for _, name := range scc {
+			st := states[name]
+			if st.rebuild && st.fn == nil {
+				if err := lowerOne(w, name); err != nil {
+					return err
+				}
+			}
+			if st.rebuild {
+				st.finalFn, st.finalInfo = st.fn, st.info
+			} else {
+				st.finalFn, st.finalInfo = st.old.fn, st.old.info
+			}
+		}
+
+		// Extend rebuilt members' signatures now so dependent S- and
+		// F-nodes read final aux specs; bodies are rewritten in F-nodes.
+		if !s.opts.DisableConnectors {
+			t1 = time.Now()
+			for _, name := range scc {
+				st := states[name]
+				if st.rebuild {
+					st.prep = transform.Prep(m, st.finalFn, st.sum)
+				}
+			}
+			atomic.AddInt64(&transformNs, int64(time.Since(t1)))
+		}
+		return nil
+	}
+	runFinish := func(w int, name string) error {
+		st := states[name]
+		if !st.rebuild {
+			return nil
+		}
+		f := st.finalFn
+		if st.prep != nil {
+			t1 := time.Now()
+			endT := perFunc(rec, w, "build.transform", name)
+			err := st.prep.Rewrite(m, resolve)
+			endT()
+			atomic.AddInt64(&transformNs, int64(time.Since(t1)))
+			if err != nil {
+				return fmt.Errorf("transform: transform %s: %w", name, err)
+			}
+		}
+		t1 := time.Now()
+		endPTA := perFunc(rec, w, "build.pta", name)
+		pr, err := pta.Analyze(f, st.finalInfo, s.opts.PTA)
+		endPTA()
+		atomic.AddInt64(&ptaNs, int64(time.Since(t1)))
+		if err != nil {
+			return fmt.Errorf("pta %s: %w", name, err)
+		}
+		t1 = time.Now()
+		endSEG := perFunc(rec, w, "build.seg", name)
+		g := seg.Build(f, st.finalInfo, pr)
+		endSEG()
+		atomic.AddInt64(&segNs, int64(time.Since(t1)))
+		st.art = &funcArtifact{
+			astHash:   st.astHash,
+			sumFP:     st.sumFP,
+			sigFP:     st.sigFP,
+			depFP:     st.depFP,
+			decl:      st.decl,
+			callees:   st.callees,
+			sum:       st.sum,
+			fn:        f,
+			info:      st.finalInfo,
+			seg:       g,
+			segNodes:  g.NumNodes(),
+			segEdges:  g.NumEdges(),
+			condNodes: st.finalInfo.Conds.NumNodes(),
+			ptaStats:  pr.Stats,
+		}
+		return nil
+	}
+
+	// DAG layout: [0,nL) L-nodes for AST-dirty functions, [nL,nL+nS)
+	// S-nodes in astSCCs' callee-first order, [nL+nS,nL+nS+len(order))
+	// F-nodes in declaration order.
+	sccs := astSCCs(order, states)
+	var dirtyNames []string
+	for _, name := range order {
+		if dirty(states[name]) {
+			dirtyNames = append(dirtyNames, name)
+		}
+	}
+	nL, nS := len(dirtyNames), len(sccs)
+	lIdx := make(map[string]int, nL)
+	for i, name := range dirtyNames {
+		lIdx[name] = i
+	}
+	sccIdx := make(map[string]int, len(order))
+	for j, scc := range sccs {
+		for _, name := range scc {
+			sccIdx[name] = j
+		}
+	}
+	deps := make([][]int, nL+nS+len(order))
+	for j, scc := range sccs {
+		node := nL + j
+		seen := map[int]bool{node: true}
+		for _, name := range scc {
+			if li, ok := lIdx[name]; ok {
+				deps[node] = append(deps[node], li)
+			}
+			for _, c := range states[name].callees {
+				if jj, ok := sccIdx[c]; ok {
+					if d := nL + jj; !seen[d] {
+						seen[d] = true
+						deps[node] = append(deps[node], d)
+					}
+				}
 			}
 		}
 	}
-	tm.ModRef = time.Since(t0)
+	for k, name := range order {
+		deps[nL+nS+k] = []int{nL + sccIdx[name]}
+	}
+
+	sp = rec.Phase("wavefront")
+	t0 = time.Now()
+	width, err := conc.Wavefront(len(deps), deps, s.opts.Workers, func(w, i int) error {
+		switch {
+		case i < nL:
+			return lowerOne(w, dirtyNames[i])
+		case i < nL+nS:
+			return runSCC(w, sccs[i-nL])
+		default:
+			return runFinish(w, order[i-nL-nS])
+		}
+	})
+	wavefrontWall := time.Since(t0)
 	sp.End()
-
-	// ---- Connector signatures and dependency fingerprints. The firewall:
-	// a callee whose summary changed but whose signature fingerprint did
-	// not leaves its callers' depFPs — and artifacts — untouched.
-	for _, name := range order {
-		st := states[name]
-		st.sigFP = s.signatureFP(st, globalTypes)
-	}
-	sigOf := func(callee string) string {
-		if st, ok := states[callee]; ok {
-			return st.sigFP
-		}
-		return "extern"
-	}
-	for _, name := range order {
-		st := states[name]
-		h := sha256.New()
-		fmt.Fprintf(h, "self\x00%s\x00", st.sigFP)
-		for _, c := range st.callees {
-			fmt.Fprintf(h, "callee\x00%s\x00%s\x00", c, sigOf(c))
-		}
-		st.depFP = hex.EncodeToString(h.Sum(nil))[:24]
-		st.rebuild = dirty(st) || st.old.depFP != st.depFP
-	}
-
-	// ---- Lower + SSA the clean functions pulled in by dependency
-	// changes (edited callee signatures), then account the store.
-	var missing []string
-	for _, name := range order {
-		st := states[name]
-		if st.rebuild && st.fn == nil {
-			missing = append(missing, name)
-		}
-	}
-	if err := lowerSSA(missing); err != nil {
+	if err != nil {
 		return nil, err
 	}
+	rec.Gauge("modref.wavefront_width").Set(int64(width))
+
+	// Apportion the wavefront's wall clock across the per-stage Timings
+	// fields in proportion to the CPU time measured inside each stage, so
+	// the fields still sum to ≈ the build wall even though stages now
+	// overlap across workers (at workers=1 this reproduces the historical
+	// per-stage walls). The same split feeds the phase.* counters the
+	// staged pipeline used to emit.
+	if cpu := lowerNs + ssaNs + modrefNs + transformNs + ptaNs + segNs; cpu > 0 {
+		scale := float64(wavefrontWall) / float64(cpu)
+		stage := func(ns int64) time.Duration { return time.Duration(float64(ns) * scale) }
+		tm.Lower, tm.SSA, tm.ModRef = stage(lowerNs), stage(ssaNs), stage(modrefNs)
+		tm.Transform, tm.PTA, tm.SEG = stage(transformNs), stage(ptaNs), stage(segNs)
+	}
+	if rec != nil {
+		for _, pc := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"lower", tm.Lower}, {"ssa", tm.SSA}, {"modref", tm.ModRef},
+			{"transform", tm.Transform}, {"pta+seg", tm.PTA + tm.SEG},
+		} {
+			rec.Counter("phase." + pc.name + "_ns").Add(int64(pc.d))
+		}
+	}
+
+	// ---- Account the store and assemble the module in declaration
+	// order, mixing retained and rebuilt functions. Retained functions
+	// already carry their final aux signatures, which is exactly what
+	// rebuilt callers' call sites read during the wavefront.
 	for _, name := range order {
 		st := states[name]
 		switch {
@@ -451,84 +649,15 @@ func (s *Session) Update(units []minic.NamedSource) (*Analysis, error) {
 		default:
 			stats.Misses++
 		}
+		m.AddFunc(st.finalFn)
 	}
-
-	// ---- Assemble the module in declaration order, mixing retained and
-	// rebuilt functions, and apply the connector transformation to the
-	// rebuilt subset. Retained functions already carry their final aux
-	// signatures, which is exactly what rebuilt callers' call sites read.
-	var rebuilt []*ir.Func
-	for _, name := range order {
-		st := states[name]
-		if st.rebuild {
-			m.AddFunc(st.fn)
-			rebuilt = append(rebuilt, st.fn)
-		} else {
-			st.fn, st.info = st.old.fn, st.old.info
-			m.AddFunc(st.fn)
-		}
-	}
-	if !s.opts.DisableConnectors {
-		sp = rec.Phase("transform")
-		t0 = time.Now()
-		err := transform.ApplyFuncs(m, rebuilt, func(f *ir.Func) *modref.Summary {
-			return sums[f.Name]
-		})
-		if err != nil {
-			return nil, fmt.Errorf("transform: %w", err)
-		}
-		tm.Transform = time.Since(t0)
-		sp.End()
-	}
-
-	// ---- Local PTA + SEG for the rebuilt subset, fused per function as
-	// in the monolithic pipeline, with size counters snapshotted while the
-	// graphs are still pristine.
-	sp = rec.Phase("pta+seg")
-	t0 = time.Now()
-	arts := make([]*funcArtifact, len(rebuilt))
-	if err := forEachFunc(rebuilt, s.opts.Workers, func(w, i int, f *ir.Func) error {
-		st := states[f.Name]
-		endPTA := perFunc(rec, w, "build.pta", f.Name)
-		pr, err := pta.Analyze(f, st.info, s.opts.PTA)
-		endPTA()
-		if err != nil {
-			return fmt.Errorf("pta %s: %w", f.Name, err)
-		}
-		endSEG := perFunc(rec, w, "build.seg", f.Name)
-		g := seg.Build(f, st.info, pr)
-		endSEG()
-		arts[i] = &funcArtifact{
-			astHash:   st.astHash,
-			sumFP:     st.sumFP,
-			sigFP:     st.sigFP,
-			depFP:     st.depFP,
-			decl:      st.decl,
-			callees:   st.callees,
-			sum:       st.sum,
-			fn:        f,
-			info:      st.info,
-			seg:       g,
-			segNodes:  g.NumNodes(),
-			segEdges:  g.NumEdges(),
-			condNodes: st.info.Conds.NumNodes(),
-			ptaStats:  pr.Stats,
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	tm.PTA = time.Since(t0)
-	sp.End()
 
 	// ---- Commit: from here on nothing can fail.
 	newArts := make(map[string]*funcArtifact, len(order))
-	ri := 0
 	for _, name := range order {
 		st := states[name]
 		if st.rebuild {
-			newArts[name] = arts[ri]
-			ri++
+			newArts[name] = st.art
 			continue
 		}
 		// Retain the built IR/SEG but refresh the metadata: the firewall

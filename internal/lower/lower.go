@@ -21,6 +21,7 @@ package lower
 import (
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/ir"
 	"repro/internal/minic"
 )
@@ -35,6 +36,16 @@ const (
 // definitions (same name in any units) are rejected: the analysis resolves
 // calls by name, so a second body would silently shadow the first.
 func Program(prog *minic.Program) (*ir.Module, error) {
+	return ProgramWith(prog, 1)
+}
+
+// ProgramWith is Program on a bounded worker pool: function declarations
+// lower independently (FuncWith reads the module's global table and the
+// pre-collected signature/struct tables, all frozen by then), so they
+// run per-function in parallel and are appended to the module in
+// declaration order afterwards. Output is identical to the sequential
+// lowering at any worker count.
+func ProgramWith(prog *minic.Program, workers int) (*ir.Module, error) {
 	m := ir.NewModule()
 	m.Units = len(prog.Files)
 	for _, file := range prog.Files {
@@ -45,18 +56,29 @@ func Program(prog *minic.Program) (*ir.Module, error) {
 	sigs := Sigs(prog)
 	structs := Structs(prog)
 	seen := make(map[string]*minic.FuncDecl)
+	var decls []*minic.FuncDecl
 	for _, file := range prog.Files {
 		for _, fn := range file.Funcs {
 			if prev, ok := seen[fn.Name]; ok {
 				return nil, fmt.Errorf("duplicate function %q (at %s and %s)", fn.Name, prev.Pos, fn.Pos)
 			}
 			seen[fn.Name] = fn
-			lf, err := FuncWith(m, fn, sigs, structs)
-			if err != nil {
-				return nil, err
-			}
-			m.AddFunc(lf)
+			decls = append(decls, fn)
 		}
+	}
+	fns := make([]*ir.Func, len(decls))
+	if err := conc.ForEach(len(decls), workers, func(_, i int) error {
+		lf, err := FuncWith(m, decls[i], sigs, structs)
+		if err != nil {
+			return err
+		}
+		fns[i] = lf
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, lf := range fns {
+		m.AddFunc(lf)
 	}
 	return m, nil
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/conc"
 	"repro/internal/ir"
 )
 
@@ -116,6 +117,22 @@ type Result struct {
 // Analyze computes Mod/Ref summaries for every function in m, bottom-up
 // over the call graph.
 func Analyze(m *ir.Module) *Result {
+	res, _ := AnalyzeWith(m, 1)
+	return res
+}
+
+// AnalyzeWith is Analyze on a bounded worker pool: the SCCs of the
+// condensed call graph run as a dependency-counting wavefront, so every
+// SCC whose external callees are all summarized proceeds concurrently.
+// The result is identical to the sequential analysis at any worker
+// count — each SCC's fixpoint writes only its own members' summaries,
+// reads only completed callee summaries, and the merge into a summary
+// is a commutative set union.
+//
+// The second result is the peak wavefront width — the largest number of
+// SCCs simultaneously ready or running — which the build pipeline
+// surfaces as the modref.wavefront_width gauge.
+func AnalyzeWith(m *ir.Module, workers int) (*Result, int) {
 	res := &Result{Summaries: make(map[*ir.Func]*Summary, len(m.Funcs))}
 	for _, f := range m.Funcs {
 		res.Summaries[f] = NewSummary()
@@ -126,19 +143,60 @@ func Analyze(m *ir.Module) *Result {
 		}
 		return nil
 	}
-	for _, scc := range CallGraphSCCs(m) {
+	sccs := CallGraphSCCs(m)
+	width, err := conc.Wavefront(len(sccs), SCCDeps(m, sccs), workers, func(_, i int) error {
 		// Iterate to a fixpoint; this also covers self-recursion within
 		// singleton SCCs.
 		for changed := true; changed; {
 			changed = false
-			for _, f := range scc {
+			for _, f := range sccs[i] {
 				if AnalyzeFunc(f, res.Summaries[f], lookup) {
 					changed = true
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		// The node function never fails and CallGraphSCCs emits an acyclic
+		// condensation, so this is unreachable; guard against regressions.
+		panic(err)
 	}
-	return res
+	return res, width
+}
+
+// SCCDeps returns, for each SCC of sccs (as produced by CallGraphSCCs),
+// the indices of the SCCs containing its external callees — the edges
+// of the condensed call graph, deduplicated, in deterministic order.
+func SCCDeps(m *ir.Module, sccs [][]*ir.Func) [][]int {
+	idx := make(map[*ir.Func]int, len(m.Funcs))
+	for i, scc := range sccs {
+		for _, f := range scc {
+			idx[f] = i
+		}
+	}
+	deps := make([][]int, len(sccs))
+	for i, scc := range sccs {
+		seen := map[int]bool{i: true}
+		for _, f := range scc {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpCall {
+						continue
+					}
+					g, ok := m.ByName[in.Callee]
+					if !ok {
+						continue
+					}
+					if j := idx[g]; !seen[j] {
+						seen[j] = true
+						deps[i] = append(deps[i], j)
+					}
+				}
+			}
+		}
+	}
+	return deps
 }
 
 // tag is the access-path annotation of an SSA value.

@@ -26,6 +26,7 @@ package transform
 import (
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/modref"
@@ -55,27 +56,65 @@ func Apply(m *ir.Module, mr *modref.Result) error {
 // change. All signatures are extended before any body is rewritten so that
 // intra-subset call sites see final specs too.
 func ApplyFuncs(m *ir.Module, funcs []*ir.Func, sumOf func(*ir.Func) *modref.Summary) error {
-	// Phase 1: decide the connector interface of every function. The
-	// interface depends only on the summaries, so recursion needs no
-	// special handling.
-	plans := make(map[*ir.Func][]rootPlan, len(funcs))
-	for _, f := range funcs {
-		plans[f] = makePlans(paramTypes(f), moduleGlobalCap(m), sumOf(f))
-	}
+	return ApplyFuncsWith(m, funcs, sumOf, 1)
+}
 
-	// Phase 2: extend signatures (aux params, aux return specs).
-	auxParams := make(map[*ir.Func]map[modref.Path]*ir.Value, len(funcs))
-	for _, f := range funcs {
-		auxParams[f] = extendSignature(m, f, plans[f])
+// ApplyFuncsWith is ApplyFuncs on a bounded worker pool. Planning and
+// signature extension mutate only each function's own signature, and
+// body rewriting reads callees only through their (by then final)
+// parameter types and aux specs, so both phases parallelize per
+// function with a single barrier between them. Output is identical to
+// the sequential transformation at any worker count.
+func ApplyFuncsWith(m *ir.Module, funcs []*ir.Func, sumOf func(*ir.Func) *modref.Summary, workers int) error {
+	// Phases 1–2: plan the connector interface and extend the signature.
+	// Each Prep touches only funcs[i] itself.
+	preps := make([]*Prepped, len(funcs))
+	if err := conc.ForEach(len(funcs), workers, func(_, i int) error {
+		preps[i] = Prep(m, funcs[i], sumOf(funcs[i]))
+		return nil
+	}); err != nil {
+		return err
 	}
-
+	// Barrier: every signature is final before any body is rewritten.
 	// Phase 3: rewrite bodies — entry stores, exit loads, call sites.
-	for _, f := range funcs {
-		if err := rewriteBody(m, f, plans[f], auxParams[f]); err != nil {
-			return fmt.Errorf("transform %s: %w", f.Name, err)
+	return conc.ForEach(len(funcs), workers, func(_, i int) error {
+		if err := preps[i].Rewrite(m, nil); err != nil {
+			return fmt.Errorf("transform %s: %w", funcs[i].Name, err)
 		}
+		return nil
+	})
+}
+
+// Prepped carries one function's connector plan after its signature has
+// been extended (phases 1–2 of the transformation): the function is
+// ready for body rewriting, and callers can already read its final
+// AuxIn/AuxOut specs. The wavefront build extends a whole dependency
+// frontier before rewriting any body.
+type Prepped struct {
+	f     *ir.Func
+	plans []rootPlan
+	aux   map[modref.Path]*ir.Value
+}
+
+// Prep decides f's connector interface from its Mod/Ref summary and
+// extends its signature (aux formals and aux return specs). It mutates
+// only f, so distinct functions may be prepped concurrently.
+func Prep(m *ir.Module, f *ir.Func, sum *modref.Summary) *Prepped {
+	plans := makePlans(paramTypes(f), moduleGlobalCap(m), sum)
+	return &Prepped{f: f, plans: plans, aux: extendSignature(m, f, plans)}
+}
+
+// Rewrite performs phase 3 for the prepped function: entry stores, exit
+// loads, and call-site glue. resolve maps a callee name to the function
+// whose (final) signature governs the call site; nil falls back to
+// m.ByName. Every callee's signature must be final before Rewrite runs;
+// Rewrite itself mutates only p's function body, so distinct functions
+// may be rewritten concurrently.
+func (p *Prepped) Rewrite(m *ir.Module, resolve func(string) *ir.Func) error {
+	if resolve == nil {
+		resolve = func(name string) *ir.Func { return m.ByName[name] }
 	}
-	return nil
+	return rewriteBody(m, p.f, p.plans, p.aux, resolve)
 }
 
 // ConnectorSpecs predicts the aux parameter and aux return specs that a
@@ -235,7 +274,7 @@ func auxName(prefix string, r modref.Root, k int) string {
 }
 
 // rewriteBody inserts entry stores, exit loads, and call-site glue.
-func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path]*ir.Value) error {
+func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path]*ir.Value, resolve func(string) *ir.Func) error {
 	// Entry stores: *(root,k) ← F(root,k), chained through the aux
 	// values. Insert after any Alloc/param-spill prologue? Inserting at
 	// index 0 is safe: roots are parameters or globals, and the values
@@ -297,8 +336,8 @@ func rewriteBody(m *ir.Module, f *ir.Func, plans []rootPlan, aux map[modref.Path
 			if in.Op != ir.OpCall {
 				continue
 			}
-			callee, ok := m.ByName[in.Callee]
-			if !ok {
+			callee := resolve(in.Callee)
+			if callee == nil {
 				continue
 			}
 			n, err := rewriteCallSite(m, f, b, idx, in, callee)

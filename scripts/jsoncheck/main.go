@@ -11,6 +11,16 @@
 // silently. The multi-tenant pair is gated too: the tenants scenario must
 // drive at least two tenants and out-throughput tenants-serial, the
 // identical load serialized on one session.
+//
+// With -schema detect or -schema build, the file is validated as a
+// worker-scaling ladder (BENCH_detect.json / BENCH_build.json): rows
+// start at workers=1 with speedup 1, every row has positive wall time and
+// finite positive speedup, and — when the snapshot was taken on a
+// multi-core machine (gomaxprocs > 1) — the ladder must hold at least two
+// rows including one at workers=gomaxprocs. The build schema additionally
+// requires the determinism bit (`equivalent`: byte-identical reports and
+// artifact fingerprints across worker counts) and, on multi-core, a
+// strict speedup > 1 at the full-machine row.
 package main
 
 import (
@@ -23,10 +33,10 @@ import (
 )
 
 func main() {
-	schema := flag.String("schema", "", `optional schema to validate against ("serve")`)
+	schema := flag.String("schema", "", `optional schema to validate against ("serve", "detect", "build")`)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-schema serve] file.json...")
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-schema serve|detect|build] file.json...")
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
@@ -52,11 +62,114 @@ func main() {
 				fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
 				os.Exit(1)
 			}
+		case "detect":
+			if err := checkLadder(data, false); err != nil {
+				fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		case "build":
+			if err := checkLadder(data, true); err != nil {
+				fmt.Fprintf(os.Stderr, "jsoncheck: %s: %v\n", path, err)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "jsoncheck: unknown schema %q\n", *schema)
 			os.Exit(2)
 		}
 	}
+}
+
+// ladderDoc mirrors the worker-scaling snapshots (BENCH_detect.json and
+// BENCH_build.json). Pointers distinguish "absent" from "zero".
+type ladderDoc struct {
+	Subject    string `json:"subject"`
+	Lines      int    `json:"lines"`
+	Functions  *int   `json:"functions"`
+	GOMAXPROCS *int   `json:"gomaxprocs"`
+	Equivalent *bool  `json:"equivalent"`
+	Rows       []struct {
+		Workers *int     `json:"workers"`
+		WallNs  *int64   `json:"wall_ns"`
+		Speedup *float64 `json:"speedup"`
+	} `json:"rows"`
+}
+
+// checkLadder validates a worker-scaling ladder snapshot. With build=true
+// it applies the extra BENCH_build.json gates: the determinism bit must be
+// present and true, function counts must be positive, and on a multi-core
+// snapshot the full-machine row must show a strict speedup > 1.
+func checkLadder(data []byte, build bool) error {
+	kind := "detect"
+	if build {
+		kind = "build"
+	}
+	var doc ladderDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s schema: %w", kind, err)
+	}
+	if doc.Subject == "" || doc.Lines <= 0 {
+		return fmt.Errorf("%s schema: missing subject/lines", kind)
+	}
+	if doc.GOMAXPROCS == nil || *doc.GOMAXPROCS < 1 {
+		return fmt.Errorf("%s schema: missing gomaxprocs", kind)
+	}
+	if build {
+		if doc.Functions == nil || *doc.Functions <= 0 {
+			return fmt.Errorf("build schema: missing function count")
+		}
+		if doc.Equivalent == nil {
+			return fmt.Errorf("build schema: missing equivalent field")
+		}
+		if !*doc.Equivalent {
+			return fmt.Errorf("build schema: equivalent=false — output differed across worker counts")
+		}
+	}
+	if len(doc.Rows) == 0 {
+		return fmt.Errorf("%s schema: no rows", kind)
+	}
+	maxRowSpeedup := 0.0
+	sawMaxProcs := false
+	for i, r := range doc.Rows {
+		if r.Workers == nil || *r.Workers < 1 {
+			return fmt.Errorf("%s schema: row %d missing workers", kind, i)
+		}
+		if r.WallNs == nil || *r.WallNs <= 0 {
+			return fmt.Errorf("%s schema: row %d (workers=%d) missing wall_ns", kind, i, *r.Workers)
+		}
+		if r.Speedup == nil || *r.Speedup <= 0 ||
+			math.IsNaN(*r.Speedup) || math.IsInf(*r.Speedup, 0) {
+			return fmt.Errorf("%s schema: row %d (workers=%d) has bad speedup", kind, i, *r.Workers)
+		}
+		if i == 0 {
+			if *r.Workers != 1 {
+				return fmt.Errorf("%s schema: first row is workers=%d, want the workers=1 baseline", kind, *r.Workers)
+			}
+			if *r.Speedup != 1 {
+				return fmt.Errorf("%s schema: baseline row speedup = %g, want 1", kind, *r.Speedup)
+			}
+		}
+		if *r.Workers == *doc.GOMAXPROCS {
+			sawMaxProcs = true
+			if *r.Speedup > maxRowSpeedup {
+				maxRowSpeedup = *r.Speedup
+			}
+		}
+	}
+	// A snapshot from a multi-core machine must actually exercise the
+	// parallel path: at least two ladder rungs, one at the full machine
+	// width, and — for the build pipeline — a real speedup there.
+	if *doc.GOMAXPROCS > 1 {
+		if len(doc.Rows) < 2 {
+			return fmt.Errorf("%s schema: gomaxprocs=%d but only %d row — ladder must include a parallel rung", kind, *doc.GOMAXPROCS, len(doc.Rows))
+		}
+		if !sawMaxProcs {
+			return fmt.Errorf("%s schema: no row at workers=gomaxprocs=%d", kind, *doc.GOMAXPROCS)
+		}
+		if build && maxRowSpeedup <= 1 {
+			return fmt.Errorf("build schema: speedup %.2fx at workers=%d, want > 1 on a multi-core machine", maxRowSpeedup, *doc.GOMAXPROCS)
+		}
+	}
+	return nil
 }
 
 // serveDoc mirrors the parts of benchsnap's serve snapshot the gate
