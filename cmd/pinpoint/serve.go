@@ -31,6 +31,12 @@ func runServe(args []string) {
 	maxTenants := fs.Int("max-tenants", 0, "max concurrently resident per-project sessions; beyond this the least-recently-used idle project is evicted, persisting to the store first (0 = 64, negative = unlimited)")
 	tenantIdle := fs.Duration("tenant-idle", 0, "evict a project's session after this much idle time (0 = 15m, negative = never)")
 	tenantInflight := fs.Int("tenant-inflight", 0, "max concurrently admitted requests per project under -max-inflight (0 = no per-project bound)")
+	tsInterval := fs.Duration("ts-interval", 0, "flight recorder sampling interval: snapshot every metric into in-process ring buffers served by /v1/debug/timeseries (0 = off; auto-enabled at 10s when -slo-target is set)")
+	tsRetention := fs.Duration("ts-retention", 0, "time span the flight recorder's ring buffers cover (0 = 10m)")
+	sloTarget := fs.Duration("slo-target", 0, "analyze-latency objective: the -slo-p fraction of requests must finish within this duration; burn rates at /v1/debug/slo (0 = SLO tracking off)")
+	sloP := fs.Float64("slo-p", 0, "SLO quantile (0 = 0.95)")
+	sloFast := fs.Duration("slo-fast", 0, "fast burn-rate window (0 = 5m)")
+	sloSlow := fs.Duration("slo-slow", 0, "slow burn-rate window (0 = 1h)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "pinpoint serve: positional arguments are not accepted; programs are POSTed to /analyze")
@@ -64,6 +70,12 @@ func runServe(args []string) {
 		MaxTenants:        *maxTenants,
 		TenantIdle:        *tenantIdle,
 		TenantMaxInFlight: *tenantInflight,
+		TSInterval:        *tsInterval,
+		TSRetention:       *tsRetention,
+		SLOTarget:         *sloTarget,
+		SLOQuantile:       *sloP,
+		SLOFastWindow:     *sloFast,
+		SLOSlowWindow:     *sloSlow,
 		Logger:            slog.New(handler),
 	})
 	if err != nil {

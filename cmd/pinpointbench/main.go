@@ -11,6 +11,7 @@
 //	              [-checkers a,b] [-subject name] [-scale N] [-seed N]
 //	              [-timeout 60s] [-csv samples.csv] [-json summary.json]
 //	              [-sweep 1,2,4,8] [-sweep-step 5s] [-allow-errors]
+//	              [-slo-target 100ms] [-slo-p 0.95] [-slo-max-burn 1]
 //
 // Two disciplines are supported. Closed-loop (the scenario default) models
 // a fixed population of clients that wait for each response; open-loop
@@ -22,7 +23,10 @@
 // 5% of offered.
 //
 // The exit status is nonzero if any request failed (unless -allow-errors),
-// so a short pinpointbench run doubles as a CI smoke gate.
+// so a short pinpointbench run doubles as a CI smoke gate. -slo-target
+// evaluates a latency objective over the run (reported as a burn rate in
+// the summary and JSON output); -slo-max-burn turns it into a gate that
+// fails the run when the burn rate exceeds the bound.
 package main
 
 import (
@@ -60,6 +64,9 @@ func main() {
 		sweep       = flag.String("sweep", "", "comma-separated offered rates for a saturation sweep (req/s)")
 		sweepStep   = flag.Duration("sweep-step", 5*time.Second, "duration of each sweep rung")
 		allowErrors = flag.Bool("allow-errors", false, "exit 0 even if some requests failed")
+		sloTarget   = flag.Duration("slo-target", 0, "evaluate a latency objective over the run: the -slo-p fraction of requests must finish within this duration (0 = no SLO evaluation)")
+		sloP        = flag.Float64("slo-p", 0.95, "SLO quantile for -slo-target")
+		sloMaxBurn  = flag.Float64("slo-max-burn", 0, "exit 1 if the run's SLO burn rate exceeds this bound (0 = report only)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -111,6 +118,10 @@ func main() {
 		fatal(err)
 	}
 	sum := loadgen.Summarize(res)
+	if *sloTarget > 0 {
+		rep := loadgen.EvalSLO(res, sloTarget.Nanoseconds(), *sloP)
+		sum.SLO = &rep
+	}
 	printSummary(sum)
 
 	if *csvPath != "" {
@@ -129,6 +140,11 @@ func main() {
 	}
 	if sum.Errors > 0 && !*allowErrors {
 		fmt.Fprintf(os.Stderr, "pinpointbench: %d of %d requests failed\n", sum.Errors, sum.Requests)
+		os.Exit(1)
+	}
+	if sum.SLO != nil && *sloMaxBurn > 0 && sum.SLO.BurnRate > *sloMaxBurn {
+		fmt.Fprintf(os.Stderr, "pinpointbench: SLO burn rate %.2f exceeds -slo-max-burn %.2f (p%g target %s, %d violations)\n",
+			sum.SLO.BurnRate, *sloMaxBurn, sum.SLO.Quantile*100, time.Duration(sum.SLO.TargetNs), sum.SLO.Violations)
 		os.Exit(1)
 	}
 }
@@ -214,6 +230,15 @@ func printSummary(s loadgen.Summary) {
 		ms(l.Min), ms(l.P50), ms(l.P95), ms(l.P99), ms(l.Max), ms(l.Mean))
 	fmt.Printf("attribution gap: mean=%.1f%% p50=%.1f%% max=%.1f%%\n",
 		s.AttributionGap.Mean*100, s.AttributionGap.P50*100, s.AttributionGap.Max*100)
+	if s.SLO != nil {
+		verdict := "met"
+		if !s.SLO.Met {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("slo: p%g<=%.2fms achieved=%.2fms violations=%d (%.2f%%) burn=%.2f %s\n",
+			s.SLO.Quantile*100, ms(s.SLO.TargetNs), ms(s.SLO.QuantileNs),
+			s.SLO.Violations, s.SLO.ViolationRate*100, s.SLO.BurnRate, verdict)
+	}
 
 	// Phase means, largest first, so the breakdown reads as a profile.
 	type kv struct {

@@ -263,3 +263,54 @@ func TestSweepShortLadder(t *testing.T) {
 		t.Errorf("sweep rung had %d errors", pt.Summary.Errors)
 	}
 }
+
+func TestEvalSLO(t *testing.T) {
+	mk := func(lats ...int64) *Result {
+		r := &Result{Spec: smallSpec("x", "none", 1)}
+		for i, l := range lats {
+			r.Samples = append(r.Samples, Sample{
+				Client: "c", Seq: i, LatencyNs: l, Status: 200,
+			})
+		}
+		return r
+	}
+
+	// 10 samples, 2 over a 100ns target at p0.9: violation rate 0.2 on a
+	// 0.1 budget → burn 2, objective violated.
+	r := mk(10, 20, 30, 40, 50, 60, 70, 80, 150, 200)
+	rep := EvalSLO(r, 100, 0.9)
+	if rep.Violations != 2 || rep.ViolationRate != 0.2 {
+		t.Fatalf("violations = %d @ %g, want 2 @ 0.2", rep.Violations, rep.ViolationRate)
+	}
+	if rep.BurnRate < 1.999 || rep.BurnRate > 2.001 || rep.Met {
+		t.Errorf("burn = %g met=%v, want 2 and violated", rep.BurnRate, rep.Met)
+	}
+	if rep.QuantileNs != 150 {
+		t.Errorf("p90 = %d, want 150 (nearest rank of 10 samples)", rep.QuantileNs)
+	}
+
+	// All within target: zero burn, met.
+	rep = EvalSLO(mk(10, 20, 30), 100, 0.9)
+	if rep.BurnRate != 0 || !rep.Met || rep.Violations != 0 {
+		t.Errorf("clean run: %+v", rep)
+	}
+
+	// Failed samples don't count toward the objective.
+	r = mk(10)
+	r.Samples = append(r.Samples, Sample{Client: "c", Seq: 9, LatencyNs: 10_000, Status: 503})
+	rep = EvalSLO(r, 100, 0.9)
+	if rep.Violations != 0 || !rep.Met {
+		t.Errorf("errored sample counted: %+v", rep)
+	}
+
+	// No successes at all: zero everything, trivially met, finite.
+	rep = EvalSLO(&Result{Spec: smallSpec("x", "none", 1)}, 100, 0.9)
+	if !rep.Met || rep.BurnRate != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+
+	// Out-of-range quantile normalizes to 0.95.
+	if rep = EvalSLO(mk(1), 100, 7); rep.Quantile != 0.95 {
+		t.Errorf("quantile normalized to %g, want 0.95", rep.Quantile)
+	}
+}

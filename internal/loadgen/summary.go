@@ -86,8 +86,61 @@ type Summary struct {
 	// ((latency - totalNs) / latency), summarized over successes. Small
 	// values mean the phase attribution explains what clients feel.
 	AttributionGap GapStats `json:"attributionGap"`
+	// SLO is the run's latency-objective evaluation (EvalSLO); nil when no
+	// objective was requested.
+	SLO *SLOReport `json:"slo,omitempty"`
 	// Groups breaks the run down per client group.
 	Groups []GroupSummary `json:"groups"`
+}
+
+// SLOReport evaluates a latency objective over one run's successful
+// samples, mirroring the server's own burn-rate math (internal/server's
+// /v1/debug/slo): burn = violation rate / error budget, where the budget
+// is the objective quantile's complement. A burn above 1 means the run
+// violated the objective.
+type SLOReport struct {
+	// TargetNs and Quantile state the objective: the Quantile fraction of
+	// requests must finish within TargetNs.
+	TargetNs int64   `json:"targetNs"`
+	Quantile float64 `json:"quantile"`
+	// QuantileNs is the achieved latency at the objective quantile.
+	QuantileNs int64 `json:"quantileNs"`
+	// Violations counts successful requests slower than the target.
+	Violations    int64   `json:"violations"`
+	ViolationRate float64 `json:"violationRate"`
+	BurnRate      float64 `json:"burnRate"`
+	// Met reports BurnRate <= 1 — the run stayed inside the objective's
+	// error budget.
+	Met bool `json:"met"`
+}
+
+// EvalSLO evaluates the (target, quantile) latency objective over r's
+// successful samples. A quantile outside (0,1) means 0.95.
+func EvalSLO(r *Result, target int64, quantile float64) SLOReport {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.95
+	}
+	rep := SLOReport{TargetNs: target, Quantile: quantile, Met: true}
+	var lats []int64
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if !s.OK() {
+			continue
+		}
+		lats = append(lats, s.LatencyNs)
+		if s.LatencyNs > target {
+			rep.Violations++
+		}
+	}
+	if len(lats) == 0 {
+		return rep
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.QuantileNs = nearestRank(lats, quantile)
+	rep.ViolationRate = float64(rep.Violations) / float64(len(lats))
+	rep.BurnRate = rep.ViolationRate / (1 - quantile)
+	rep.Met = rep.BurnRate <= 1
+	return rep
 }
 
 // GapStats summarizes the client-vs-server attribution gap.

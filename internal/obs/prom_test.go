@@ -118,3 +118,81 @@ func TestPrometheusConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestPrometheusMultiLabelFamily pins family grouping for series carrying
+// two labels (phase + tenant, the server.phase_ns shape): one HELP/TYPE
+// pair for the whole family, series sorted by label block, label keys in
+// sorted order regardless of Labeled argument order, and the quantile
+// label merged into each summary series' own block.
+func TestPrometheusMultiLabelFamily(t *testing.T) {
+	r := New()
+	// Deliberately reversed argument order on one series: Labeled must
+	// canonicalize to the same key order.
+	for _, s := range []struct {
+		name string
+		v    int64
+	}{
+		{Labeled("server.phase_ns", "phase", "detect", "tenant", "beta"), 400},
+		{Labeled("server.phase_ns", "tenant", "alpha", "phase", "detect"), 200},
+		{Labeled("server.phase_ns", "phase", "build", "tenant", "alpha"), 100},
+	} {
+		r.Histogram(s.name).Observe(s.v)
+	}
+	r.Counter(Labeled("tenant.cost_requests", "tenant", "beta")).Add(2)
+	r.Counter(Labeled("tenant.cost_requests", "tenant", "alpha")).Add(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP pinpoint_tenant_cost_requests tenant.cost_requests
+# TYPE pinpoint_tenant_cost_requests counter
+pinpoint_tenant_cost_requests{tenant="alpha"} 1
+pinpoint_tenant_cost_requests{tenant="beta"} 2
+# HELP pinpoint_server_phase_ns server.phase_ns
+# TYPE pinpoint_server_phase_ns summary
+pinpoint_server_phase_ns{phase="build",tenant="alpha",quantile="0.5"} 100
+pinpoint_server_phase_ns{phase="build",tenant="alpha",quantile="0.95"} 100
+pinpoint_server_phase_ns{phase="build",tenant="alpha",quantile="0.99"} 100
+pinpoint_server_phase_ns_sum{phase="build",tenant="alpha"} 100
+pinpoint_server_phase_ns_count{phase="build",tenant="alpha"} 1
+pinpoint_server_phase_ns{phase="detect",tenant="alpha",quantile="0.5"} 200
+pinpoint_server_phase_ns{phase="detect",tenant="alpha",quantile="0.95"} 200
+pinpoint_server_phase_ns{phase="detect",tenant="alpha",quantile="0.99"} 200
+pinpoint_server_phase_ns_sum{phase="detect",tenant="alpha"} 200
+pinpoint_server_phase_ns_count{phase="detect",tenant="alpha"} 1
+pinpoint_server_phase_ns{phase="detect",tenant="beta",quantile="0.5"} 400
+pinpoint_server_phase_ns{phase="detect",tenant="beta",quantile="0.95"} 400
+pinpoint_server_phase_ns{phase="detect",tenant="beta",quantile="0.99"} 400
+pinpoint_server_phase_ns_sum{phase="detect",tenant="beta"} 400
+pinpoint_server_phase_ns_count{phase="detect",tenant="beta"} 1
+`
+	if got != want {
+		t.Errorf("multi-label exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusFloatGauge: float gauges expose as a gauge family with %g
+// formatting, after the int gauges.
+func TestPrometheusFloatGauge(t *testing.T) {
+	r := New()
+	r.Gauge("a.int").Set(3)
+	r.FloatGauge(Labeled("server.slo_burn_rate", "window", "fast")).Set(1.25)
+	r.FloatGauge(Labeled("server.slo_burn_rate", "window", "slow")).Set(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pinpoint_a_int a.int
+# TYPE pinpoint_a_int gauge
+pinpoint_a_int 3
+# HELP pinpoint_server_slo_burn_rate server.slo_burn_rate
+# TYPE pinpoint_server_slo_burn_rate gauge
+pinpoint_server_slo_burn_rate{window="fast"} 1.25
+pinpoint_server_slo_burn_rate{window="slow"} 0.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("float gauge exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sampler is the flight recorder: a fixed-memory time-series layer over a
+// Recorder's registry. On every tick it snapshots each metric into a
+// per-series ring buffer — counters and histogram counts as cumulative
+// values (served as windowed rates), gauges and histogram quantiles as
+// instantaneous values — so "what was the p95 five minutes ago" is
+// answerable in-process without an external TSDB.
+//
+// Memory is bounded by construction: each series owns one preallocated
+// ring of Capacity points, the series map grows only when a metric name
+// appears for the first time (never per sample), and MaxSeries caps the
+// map itself. A nil *Sampler is valid everywhere and does nothing, so a
+// disabled flight recorder costs zero goroutines and zero allocations —
+// the pre-recorder /metrics exposition stays byte-identical.
+type Sampler struct {
+	rec       *Recorder
+	interval  time.Duration
+	retention time.Duration
+	capacity  int
+	maxSeries int
+	now       func() time.Time
+	hooks     []func(now time.Time)
+
+	mu      sync.Mutex
+	series  map[string]*series
+	dropped int64
+	proc    ProcessSampler
+
+	startMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// SamplerConfig parameterizes a Sampler.
+type SamplerConfig struct {
+	// Interval is the sampling period. Zero or negative disables the
+	// sampler entirely: NewSampler returns nil (which every method
+	// tolerates).
+	Interval time.Duration
+	// Retention is the time span each ring buffer covers; older samples
+	// fall off. Zero means 10 minutes. The per-series capacity is
+	// Retention/Interval, clamped to [2, 4096] points.
+	Retention time.Duration
+	// MaxSeries caps the number of distinct (metric, field) series the
+	// sampler will track; series beyond the cap are counted as dropped
+	// rather than allocated. Zero means 8192.
+	MaxSeries int
+}
+
+// Series-count and ring-size bounds: the sampler's whole point is a fixed
+// memory budget, so both dimensions clamp rather than grow.
+const (
+	defaultRetention = 10 * time.Minute
+	defaultMaxSeries = 8192
+	maxRingPoints    = 4096
+)
+
+// Point is one sample: a wall-clock timestamp (UnixNano) and a value. For
+// cumulative series the query layer converts consecutive points into
+// per-second rates before returning them.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// series is one metric field's ring buffer. cum marks cumulative series
+// (counters, histogram counts) whose points are served as windowed rates.
+type series struct {
+	name  string // full registry name, labels included
+	base  string
+	field string // rate | value | p50 | p95 | p99 | count_rate
+	kind  string // counter | gauge | histogram
+	cum   bool
+	ring  []Point
+	head  int // next write slot
+	n     int // filled count
+}
+
+func (s *series) push(p Point) {
+	s.ring[s.head] = p
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// at returns the i-th oldest retained point (0 = oldest).
+func (s *series) at(i int) Point {
+	return s.ring[(s.head-s.n+i+2*len(s.ring))%len(s.ring)]
+}
+
+// NewSampler builds a flight recorder over rec's registry. It returns nil —
+// the inert sampler — when rec is nil or the interval is unset.
+func NewSampler(rec *Recorder, cfg SamplerConfig) *Sampler {
+	if rec == nil || cfg.Interval <= 0 {
+		return nil
+	}
+	retention := cfg.Retention
+	if retention <= 0 {
+		retention = defaultRetention
+	}
+	capacity := int(retention / cfg.Interval)
+	if capacity < 2 {
+		capacity = 2
+	}
+	if capacity > maxRingPoints {
+		capacity = maxRingPoints
+	}
+	maxSeries := cfg.MaxSeries
+	if maxSeries <= 0 {
+		maxSeries = defaultMaxSeries
+	}
+	return &Sampler{
+		rec:       rec,
+		interval:  cfg.Interval,
+		retention: retention,
+		capacity:  capacity,
+		maxSeries: maxSeries,
+		now:       time.Now,
+		series:    make(map[string]*series),
+	}
+}
+
+// Interval reports the sampling period (0 for a nil Sampler).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Capacity reports the per-series ring size in points.
+func (s *Sampler) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// OnSample registers a hook run after every tick (the SLO tracker updates
+// its burn-rate gauges here). Must be called before Start.
+func (s *Sampler) OnSample(f func(now time.Time)) {
+	if s == nil || f == nil {
+		return
+	}
+	s.hooks = append(s.hooks, f)
+}
+
+// Start launches the sampling goroutine: one immediate sample (so queries
+// and burn-rate baselines exist right away), then one per interval until
+// Stop. Start on an already-started or nil Sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.SampleNow()
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.SampleNow()
+			}
+		}
+	}(s.stop, s.done)
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Idempotent;
+// the rings stay queryable afterwards.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}
+
+// SampleNow takes one synchronous sample: process self-metrics into the
+// registry, then every registry metric into its ring. Tests (and the
+// ticker goroutine) drive ticks through here.
+func (s *Sampler) SampleNow() {
+	if s == nil {
+		return
+	}
+	now := s.now()
+	t := now.UnixNano()
+	s.mu.Lock()
+	s.proc.Sample(s.rec)
+	// The visitor runs under both s.mu and the registry's read lock; it
+	// only reads metric values into sampler-owned rings (see Each's
+	// contract), so the lock order s.mu > Registry.mu is acyclic.
+	s.rec.Registry().Each(Visitor{
+		Counter: func(name string, c *Counter) {
+			s.record(t, name, "rate", "counter", true, float64(c.Value()))
+		},
+		Gauge: func(name string, g *Gauge) {
+			s.record(t, name, "value", "gauge", false, float64(g.Value()))
+		},
+		FloatGauge: func(name string, g *FloatGauge) {
+			s.record(t, name, "value", "gauge", false, g.Value())
+		},
+		Histogram: func(name string, h *Histogram) {
+			s.record(t, name, "p50", "histogram", false, float64(h.Quantile(0.50)))
+			s.record(t, name, "p95", "histogram", false, float64(h.Quantile(0.95)))
+			s.record(t, name, "p99", "histogram", false, float64(h.Quantile(0.99)))
+			s.record(t, name, "count_rate", "histogram", true, float64(h.Count()))
+		},
+	})
+	s.mu.Unlock()
+	for _, f := range s.hooks {
+		f(now)
+	}
+}
+
+// record pushes one point, creating the series on first appearance. Caller
+// holds s.mu.
+func (s *Sampler) record(t int64, name, field, kind string, cum bool, v float64) {
+	key := name + "\x00" + field
+	sr := s.series[key]
+	if sr == nil {
+		if len(s.series) >= s.maxSeries {
+			s.dropped++
+			return
+		}
+		base, _ := SplitLabels(name)
+		sr = &series{
+			name: name, base: base, field: field, kind: kind, cum: cum,
+			ring: make([]Point, s.capacity),
+		}
+		s.series[key] = sr
+	}
+	sr.push(Point{T: t, V: v})
+}
+
+// Series is one metric field's retained points, as the query API returns
+// them (rates already computed for cumulative series).
+type Series struct {
+	// Name is the full registry name, label block included; Base is the
+	// name with labels stripped (what the metric query parameter matches).
+	Name string `json:"name"`
+	Base string `json:"base"`
+	// Field distinguishes the per-metric series: "rate" (counter),
+	// "value" (gauge), "p50"/"p95"/"p99"/"count_rate" (histogram).
+	Field string `json:"field"`
+	Kind  string `json:"kind"`
+	// Unit names the point unit: "ns" for _ns quantiles, "per_second" for
+	// rates, empty otherwise.
+	Unit   string  `json:"unit,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// QueryResult is the Query payload (and the /v1/debug/timeseries body).
+type QueryResult struct {
+	IntervalNs  int64 `json:"intervalNs"`
+	RetentionNs int64 `json:"retentionNs"`
+	// Capacity is the fixed per-series ring size; no series ever holds
+	// more points than this.
+	Capacity int      `json:"capacity"`
+	Series   []Series `json:"series"`
+	// DroppedSeries counts samples discarded because the MaxSeries bound
+	// was reached (0 in healthy configurations).
+	DroppedSeries int64 `json:"droppedSeries,omitempty"`
+}
+
+// Query returns the retained series matching metric, with points at or
+// after since. metric matches a series' base name or its full labeled
+// name; empty matches everything. A zero since means the full retention.
+// Series are sorted by (base, name, field); points are oldest-first.
+// Cumulative series (counters, histogram counts) come back as per-second
+// rates over each consecutive sample pair, so trends read directly.
+func (s *Sampler) Query(metric string, since time.Time) QueryResult {
+	if s == nil {
+		return QueryResult{}
+	}
+	var sinceNs int64
+	if !since.IsZero() {
+		sinceNs = since.UnixNano()
+	}
+	s.mu.Lock()
+	res := QueryResult{
+		IntervalNs:    int64(s.interval),
+		RetentionNs:   int64(s.retention),
+		Capacity:      s.capacity,
+		DroppedSeries: s.dropped,
+	}
+	for _, sr := range s.series {
+		if metric != "" && metric != sr.base && metric != sr.name {
+			continue
+		}
+		out := Series{Name: sr.name, Base: sr.base, Field: sr.field, Kind: sr.kind}
+		switch {
+		case sr.cum:
+			out.Unit = "per_second"
+		case strings.HasPrefix(sr.field, "p"):
+			out.Unit = UnitOf(sr.base)
+		}
+		if sr.cum {
+			// Rate between consecutive points; the predecessor may predate
+			// `since` — it only serves as the delta baseline.
+			for i := 1; i < sr.n; i++ {
+				prev, cur := sr.at(i-1), sr.at(i)
+				if cur.T < sinceNs {
+					continue
+				}
+				dt := float64(cur.T-prev.T) / float64(time.Second)
+				if dt <= 0 {
+					continue
+				}
+				out.Points = append(out.Points, Point{T: cur.T, V: (cur.V - prev.V) / dt})
+			}
+		} else {
+			for i := 0; i < sr.n; i++ {
+				if p := sr.at(i); p.T >= sinceNs {
+					out.Points = append(out.Points, p)
+				}
+			}
+		}
+		res.Series = append(res.Series, out)
+	}
+	s.mu.Unlock()
+	sort.Slice(res.Series, func(i, j int) bool {
+		a, b := &res.Series[i], &res.Series[j]
+		if a.Base != b.Base {
+			return a.Base < b.Base
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Field < b.Field
+	})
+	return res
+}
+
+// CounterDelta reports how much a cumulative series grew over the trailing
+// window: the increase from the newest retained sample at or before
+// (newest - window) — or the oldest retained sample if the ring doesn't
+// reach back that far — to the newest sample, along with the actual time
+// span covered. ok is false with fewer than two samples. The SLO tracker's
+// burn rates are ratios of two of these deltas.
+func (s *Sampler) CounterDelta(name string, window time.Duration) (delta float64, span time.Duration, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[name+"\x00rate"]
+	if sr == nil || sr.n < 2 {
+		return 0, 0, false
+	}
+	newest := sr.at(sr.n - 1)
+	cutoff := newest.T - int64(window)
+	base := sr.at(0)
+	for i := sr.n - 1; i >= 0; i-- {
+		if p := sr.at(i); p.T <= cutoff {
+			base = p
+			break
+		}
+	}
+	if newest.T <= base.T {
+		return 0, 0, false
+	}
+	return newest.V - base.V, time.Duration(newest.T - base.T), true
+}

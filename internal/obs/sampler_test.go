@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pinnedSampler builds a sampler over rec with a manually advanced clock.
+// Each SampleNow after calling tick() lands step later than the previous.
+func pinnedSampler(rec *Recorder, cfg SamplerConfig) (*Sampler, func(step time.Duration)) {
+	s := NewSampler(rec, cfg)
+	t0 := time.Unix(1700000000, 0)
+	now := t0
+	s.now = func() time.Time { return now }
+	return s, func(step time.Duration) { now = now.Add(step) }
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	if s := NewSampler(nil, SamplerConfig{Interval: time.Second}); s != nil {
+		t.Error("NewSampler(nil recorder) should be nil")
+	}
+	if s := NewSampler(New(), SamplerConfig{}); s != nil {
+		t.Error("NewSampler with zero interval should be nil")
+	}
+	// Every method on the nil sampler is a no-op.
+	var s *Sampler
+	s.Start()
+	s.SampleNow()
+	s.OnSample(func(time.Time) {})
+	if got := s.Query("", time.Time{}); len(got.Series) != 0 {
+		t.Errorf("nil Query returned %d series", len(got.Series))
+	}
+	if _, _, ok := s.CounterDelta("x", time.Minute); ok {
+		t.Error("nil CounterDelta reported ok")
+	}
+	if s.Capacity() != 0 || s.Interval() != 0 {
+		t.Error("nil sampler reports nonzero capacity/interval")
+	}
+	s.Stop()
+}
+
+// TestSamplerRingBounded asserts the fixed-memory property: many more ticks
+// than capacity never grow any ring past capacity, and the retained points
+// are the newest ones.
+func TestSamplerRingBounded(t *testing.T) {
+	rec := New()
+	s, tick := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: 5 * time.Second})
+	if s.Capacity() != 5 {
+		t.Fatalf("capacity = %d, want 5", s.Capacity())
+	}
+	g := rec.Gauge("app.value")
+	for i := 0; i < 20; i++ {
+		g.Set(int64(i))
+		s.SampleNow()
+		tick(time.Second)
+	}
+	res := s.Query("app.value", time.Time{})
+	if len(res.Series) != 1 {
+		t.Fatalf("got %d series, want 1", len(res.Series))
+	}
+	pts := res.Series[0].Points
+	if len(pts) != 5 {
+		t.Fatalf("ring retained %d points, want capacity 5", len(pts))
+	}
+	// Newest 5 of 20 samples: values 15..19, timestamps strictly increasing.
+	for i, p := range pts {
+		if want := float64(15 + i); p.V != want {
+			t.Errorf("point %d value = %g, want %g", i, p.V, want)
+		}
+		if i > 0 && pts[i].T <= pts[i-1].T {
+			t.Errorf("points not in time order at %d", i)
+		}
+	}
+	// And the reported capacity bound holds for every series in the result.
+	all := s.Query("", time.Time{})
+	for _, sr := range all.Series {
+		if len(sr.Points) > all.Capacity {
+			t.Errorf("series %s %s has %d points > capacity %d", sr.Name, sr.Field, len(sr.Points), all.Capacity)
+		}
+	}
+}
+
+// TestSamplerCounterRate checks cumulative→rate conversion: a counter
+// advancing 10/s samples as 10 per_second.
+func TestSamplerCounterRate(t *testing.T) {
+	rec := New()
+	s, tick := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute})
+	c := rec.Counter("app.requests")
+	for i := 0; i < 4; i++ {
+		s.SampleNow()
+		c.Add(10)
+		tick(time.Second)
+	}
+	res := s.Query("app.requests", time.Time{})
+	if len(res.Series) != 1 {
+		t.Fatalf("got %d series, want 1", len(res.Series))
+	}
+	sr := res.Series[0]
+	if sr.Field != "rate" || sr.Kind != "counter" || sr.Unit != "per_second" {
+		t.Fatalf("series meta = %+v", sr)
+	}
+	// 4 raw samples → 3 rate points, each (10 more counts)/(1s).
+	if len(sr.Points) != 3 {
+		t.Fatalf("got %d rate points, want 3", len(sr.Points))
+	}
+	for i, p := range sr.Points {
+		if math.Abs(p.V-10) > 1e-9 {
+			t.Errorf("rate point %d = %g, want 10", i, p.V)
+		}
+	}
+}
+
+func TestSamplerHistogramFields(t *testing.T) {
+	rec := New()
+	s, _ := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute})
+	h := rec.Histogram(Labeled("app.latency_ns", "tenant", "a"))
+	h.Observe(1000)
+	h.Observe(2000)
+	s.SampleNow()
+	res := s.Query("app.latency_ns", time.Time{})
+	fields := map[string]Series{}
+	for _, sr := range res.Series {
+		fields[sr.Field] = sr
+		if sr.Base != "app.latency_ns" || sr.Name != `app.latency_ns{tenant="a"}` {
+			t.Errorf("series base/name = %q / %q", sr.Base, sr.Name)
+		}
+	}
+	for _, f := range []string{"p50", "p95", "p99", "count_rate"} {
+		if _, ok := fields[f]; !ok {
+			t.Errorf("missing histogram field %q", f)
+		}
+	}
+	if fields["p50"].Unit != "ns" {
+		t.Errorf("p50 unit = %q, want ns", fields["p50"].Unit)
+	}
+	// Querying by the full labeled name matches too; a different base does not.
+	if got := s.Query(`app.latency_ns{tenant="a"}`, time.Time{}); len(got.Series) != 4 {
+		t.Errorf("labeled-name query got %d series, want 4", len(got.Series))
+	}
+	if got := s.Query("no.such_metric", time.Time{}); len(got.Series) != 0 {
+		t.Errorf("mismatched query got %d series", len(got.Series))
+	}
+}
+
+func TestSamplerSinceFilter(t *testing.T) {
+	rec := New()
+	s, tick := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute})
+	g := rec.Gauge("app.value")
+	var mid time.Time
+	for i := 0; i < 6; i++ {
+		if i == 3 {
+			mid = s.now()
+		}
+		g.Set(int64(i))
+		s.SampleNow()
+		tick(time.Second)
+	}
+	res := s.Query("app.value", mid)
+	if len(res.Series) != 1 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	if got := len(res.Series[0].Points); got != 3 {
+		t.Errorf("since filter kept %d points, want 3", got)
+	}
+}
+
+func TestSamplerCounterDelta(t *testing.T) {
+	rec := New()
+	s, tick := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute})
+	c := rec.Counter("app.requests")
+	if _, _, ok := s.CounterDelta("app.requests", 2*time.Second); ok {
+		t.Error("CounterDelta ok before any samples")
+	}
+	for i := 0; i < 5; i++ {
+		s.SampleNow() // counter values 0, 3, 6, 9, 12
+		c.Add(3)
+		tick(time.Second)
+	}
+	// Trailing 2s window: newest (12) minus the sample 2s back (6).
+	delta, span, ok := s.CounterDelta("app.requests", 2*time.Second)
+	if !ok {
+		t.Fatal("CounterDelta not ok")
+	}
+	if delta != 6 || span != 2*time.Second {
+		t.Errorf("delta=%g span=%v, want 6 over 2s", delta, span)
+	}
+	// Window longer than retention falls back to the oldest point.
+	delta, span, ok = s.CounterDelta("app.requests", time.Hour)
+	if !ok || delta != 12 || span != 4*time.Second {
+		t.Errorf("long-window delta=%g span=%v ok=%v, want 12 over 4s", delta, span, ok)
+	}
+}
+
+func TestSamplerMaxSeries(t *testing.T) {
+	rec := New()
+	s, _ := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute, MaxSeries: 3})
+	rec.Gauge("a.one").Set(1)
+	rec.Gauge("a.two").Set(2)
+	rec.Gauge("a.three").Set(3)
+	rec.Gauge("a.four").Set(4)
+	s.SampleNow()
+	res := s.Query("", time.Time{})
+	if len(res.Series) != 3 {
+		t.Errorf("tracked %d series, want MaxSeries=3", len(res.Series))
+	}
+	if res.DroppedSeries == 0 {
+		t.Error("DroppedSeries not counted")
+	}
+}
+
+// TestSamplerHooks: OnSample hooks run outside the sampler lock — a hook
+// that queries the sampler and records new metrics must not deadlock.
+func TestSamplerHooks(t *testing.T) {
+	rec := New()
+	s, tick := pinnedSampler(rec, SamplerConfig{Interval: time.Second, Retention: time.Minute})
+	rec.Counter("app.requests").Add(5)
+	var calls int
+	s.OnSample(func(now time.Time) {
+		calls++
+		s.Query("app.requests", time.Time{})
+		rec.FloatGauge("app.derived").Set(1.5)
+	})
+	s.SampleNow()
+	tick(time.Second)
+	s.SampleNow()
+	if calls != 2 {
+		t.Errorf("hook ran %d times, want 2", calls)
+	}
+	// The hook's derived gauge was itself sampled on the second tick.
+	if got := s.Query("app.derived", time.Time{}); len(got.Series) != 1 {
+		t.Errorf("derived gauge series count = %d, want 1", len(got.Series))
+	}
+}
+
+// TestSamplerStartStop exercises the real goroutine path: ticks accumulate,
+// Stop is idempotent, and Start after Stop resumes.
+func TestSamplerStartStop(t *testing.T) {
+	rec := New()
+	s := NewSampler(rec, SamplerConfig{Interval: time.Millisecond, Retention: time.Second})
+	rec.Gauge("app.value").Set(42)
+	s.Start()
+	s.Start() // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res := s.Query("app.value", time.Time{})
+		if len(res.Series) == 1 && len(res.Series[0].Points) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler goroutine produced <2 points in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop()
+	s.Start()
+	s.Stop()
+}
+
+// TestSamplerConcurrent drives recording, sampling, and querying from
+// separate goroutines; run under -race this pins the locking story.
+func TestSamplerConcurrent(t *testing.T) {
+	rec := New()
+	s := NewSampler(rec, SamplerConfig{Interval: time.Millisecond, Retention: 100 * time.Millisecond})
+	s.Start()
+	defer s.Stop()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := rec.Counter(Labeled("app.requests", "tenant", string(rune('a'+i))))
+			h := rec.Histogram("app.latency_ns")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(int64(i+1) * 100)
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Query("app.latency_ns", time.Time{})
+				s.CounterDelta("app.requests", 50*time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestProcessSampler(t *testing.T) {
+	rec := New()
+	var p ProcessSampler
+	p.Sample(rec)
+	if rec.Gauge("process.goroutines").Value() <= 0 {
+		t.Error("process.goroutines not positive")
+	}
+	if rec.Gauge("process.heap_bytes").Value() <= 0 {
+		t.Error("process.heap_bytes not positive")
+	}
+	// Nil recorder is a no-op.
+	p.Sample(nil)
+}

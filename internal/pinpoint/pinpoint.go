@@ -96,6 +96,21 @@ type Config struct {
 	// TenantMaxInFlight bounds concurrently admitted requests per tenant
 	// under the global MaxInFlight gate (0 = no per-tenant bound).
 	TenantMaxInFlight int
+	// TSInterval enables the server's flight recorder: metrics snapshot
+	// into in-process ring buffers every interval (0 = disabled, unless
+	// SLOTarget forces it on; see server.Config.TSInterval).
+	TSInterval time.Duration
+	// TSRetention is the ring buffers' covered time span (0 = 10m).
+	TSRetention time.Duration
+	// SLOTarget sets the analyze-latency objective evaluated over the
+	// flight recorder (0 = SLO tracking off).
+	SLOTarget time.Duration
+	// SLOQuantile is the objective's quantile (0 = 0.95).
+	SLOQuantile float64
+	// SLOFastWindow and SLOSlowWindow are the burn-rate windows
+	// (0 = 5m / 1h).
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
 	// Logger receives the service's structured request log.
 	Logger *slog.Logger
 }
@@ -181,6 +196,12 @@ func (rt *Runtime) ServerConfig() server.Config {
 		MaxTenants:        rt.cfg.MaxTenants,
 		TenantIdle:        rt.cfg.TenantIdle,
 		TenantMaxInFlight: rt.cfg.TenantMaxInFlight,
+		TSInterval:        rt.cfg.TSInterval,
+		TSRetention:       rt.cfg.TSRetention,
+		SLOTarget:         rt.cfg.SLOTarget,
+		SLOQuantile:       rt.cfg.SLOQuantile,
+		SLOFastWindow:     rt.cfg.SLOFastWindow,
+		SLOSlowWindow:     rt.cfg.SLOSlowWindow,
 	}
 }
 

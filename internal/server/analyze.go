@@ -305,6 +305,16 @@ func (s *Server) analyze(ctx context.Context, r *http.Request, ri *requestInfo) 
 	timing.OtherNs = timing.TotalNs - timing.DecodeNs - timing.QueueWaitNs -
 		timing.SessionWaitNs - timing.BuildNs - timing.DetectNs
 	s.observePhases(h.Project(), timing)
+	// The cost ledger reuses the response's exact timing partition, so
+	// /v1/debug/costs attributes precisely what the client was told it
+	// paid. Store bytes are metered separately at the store boundary.
+	h.RecordCost(tenant.CostDelta{
+		BuildNs:       timing.BuildNs,
+		DetectNs:      timing.DetectNs,
+		SMTNs:         timing.SMTNs,
+		SMTSolved:     int64(stats.SMTSolved),
+		SMTEliminated: int64(stats.SMTCacheHits + stats.SMTPrefilterUnsat),
+	})
 	return &AnalyzeResponse{TraceID: ri.TraceID, Project: req.Project, Reports: reports, Stats: stats, Timing: timing}, nil
 }
 

@@ -1,0 +1,198 @@
+package tenant_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// TestCostLedger: request deltas accumulate per project, the ranked report
+// orders by attributed CPU with shares summing to 1, and the labeled
+// tenant.cost_* metrics mirror the ledger.
+func TestCostLedger(t *testing.T) {
+	rec := obs.New()
+	m := tenant.NewManager(tenant.Config{Obs: rec})
+
+	add := func(project string, d tenant.CostDelta) {
+		t.Helper()
+		h, err := m.Acquire(t.Context(), project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RecordCost(d)
+		h.Release()
+	}
+	add("alpha", tenant.CostDelta{BuildNs: 100, DetectNs: 200, SMTNs: 50, SMTSolved: 3, SMTEliminated: 7})
+	add("alpha", tenant.CostDelta{BuildNs: 100, DetectNs: 200})
+	add("beta", tenant.CostDelta{BuildNs: 10, DetectNs: 20, SMTNs: 5, SMTSolved: 1})
+
+	rep := m.Costs()
+	// default + alpha + beta ledgers exist; ranked alpha > beta > default.
+	if len(rep.Tenants) != 3 {
+		t.Fatalf("report has %d tenants, want 3: %+v", len(rep.Tenants), rep.Tenants)
+	}
+	if rep.Tenants[0].Project != "alpha" || rep.Tenants[1].Project != "beta" {
+		t.Fatalf("ranking = %s, %s; want alpha, beta", rep.Tenants[0].Project, rep.Tenants[1].Project)
+	}
+	a := rep.Tenants[0]
+	if a.Requests != 2 || a.BuildNs != 200 || a.DetectNs != 400 || a.CPUNs != 600 ||
+		a.SMTNs != 50 || a.SMTSolved != 3 || a.SMTEliminated != 7 {
+		t.Fatalf("alpha ledger = %+v", a)
+	}
+	if !a.Resident {
+		t.Error("alpha should be resident")
+	}
+	if rep.TotalCPUNs != 630 {
+		t.Fatalf("TotalCPUNs = %d, want 630", rep.TotalCPUNs)
+	}
+	var shares float64
+	for _, ts := range rep.Tenants {
+		shares += ts.Share
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("shares sum to %g, want 1", shares)
+	}
+
+	// Metrics mirror the ledger.
+	if got := rec.Counter(obs.Labeled("tenant.cost_cpu_ns", "phase", "detect", "tenant", "alpha")).Value(); got != 400 {
+		t.Errorf("cost_cpu_ns{detect,alpha} = %d, want 400", got)
+	}
+	if got := rec.Counter(obs.Labeled("tenant.cost_requests", "tenant", "beta")).Value(); got != 1 {
+		t.Errorf("cost_requests{beta} = %d, want 1", got)
+	}
+
+	// The per-tenant snapshot rides /v1/debug/tenants rows too.
+	snap := m.Snapshot()
+	for _, info := range snap.Tenants {
+		if info.Cost == nil {
+			t.Fatalf("tenant %s row has no cost", info.Project)
+		}
+		if info.Project == "alpha" && info.Cost.CPUNs != 600 {
+			t.Errorf("alpha row CPUNs = %d, want 600", info.Cost.CPUNs)
+		}
+	}
+}
+
+// TestCostSurvivesEviction: eviction drops the session but not the ledger,
+// and readmission continues it.
+func TestCostSurvivesEviction(t *testing.T) {
+	m := tenant.NewManager(tenant.Config{MaxResident: 2, IdleTTL: -1})
+	clock := newFakeClock(m)
+
+	add := func(project string, d tenant.CostDelta) {
+		t.Helper()
+		h, err := m.Acquire(t.Context(), project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RecordCost(d)
+		h.Release()
+		clock.advance(time.Second)
+	}
+	add("alpha", tenant.CostDelta{BuildNs: 100, DetectNs: 100})
+	add("beta", tenant.CostDelta{BuildNs: 1, DetectNs: 1}) // evicts alpha (cap 2: default+alpha)
+
+	rep := m.Costs()
+	var alpha *tenant.CostSnapshot
+	for i := range rep.Tenants {
+		if rep.Tenants[i].Project == "alpha" {
+			alpha = &rep.Tenants[i]
+		}
+	}
+	if alpha == nil {
+		t.Fatal("evicted alpha missing from cost report")
+	}
+	if alpha.Resident {
+		t.Error("alpha should be evicted")
+	}
+	if alpha.CPUNs != 200 {
+		t.Errorf("evicted alpha CPUNs = %d, want 200", alpha.CPUNs)
+	}
+
+	add("alpha", tenant.CostDelta{BuildNs: 50, DetectNs: 50})
+	rep = m.Costs()
+	for _, ts := range rep.Tenants {
+		if ts.Project == "alpha" && ts.CPUNs != 300 {
+			t.Errorf("readmitted alpha CPUNs = %d, want 300 (ledger continued)", ts.CPUNs)
+		}
+	}
+}
+
+// TestCostStoreAttribution: with a persistent store, each tenant's writes
+// land on its own ledger — cumulative bytes plus a resident-artifact figure
+// that replaces, not accumulates, superseded keys.
+func TestCostStoreAttribution(t *testing.T) {
+	rec := obs.New()
+	st := openDisk(t, t.TempDir())
+	defer st.Close()
+	m := tenant.NewManager(tenant.Config{Obs: rec, Build: core.BuildOptions{Store: st}})
+
+	genA := workload.Generate(workload.Subjects[0], workload.GenOptions{Scale: 30})
+	genB := workload.Generate(workload.Subjects[1], workload.GenOptions{Scale: 20})
+	analyzeOnce(t, m, "alpha", genA)
+	analyzeOnce(t, m, "beta", genB)
+
+	rep := m.Costs()
+	byProject := map[string]tenant.CostSnapshot{}
+	for _, ts := range rep.Tenants {
+		byProject[ts.Project] = ts
+	}
+	for _, p := range []string{"alpha", "beta"} {
+		ts := byProject[p]
+		if ts.StoreBytesWritten <= 0 {
+			t.Errorf("%s StoreBytesWritten = %d, want > 0", p, ts.StoreBytesWritten)
+		}
+		if ts.ResidentArtifactBytes <= 0 {
+			t.Errorf("%s ResidentArtifactBytes = %d, want > 0", p, ts.ResidentArtifactBytes)
+		}
+		if ts.ResidentArtifactBytes > ts.StoreBytesWritten {
+			t.Errorf("%s resident %d > written %d", p, ts.ResidentArtifactBytes, ts.StoreBytesWritten)
+		}
+		if g := rec.Gauge(obs.Labeled("tenant.cost_artifact_bytes", "tenant", p)).Value(); g != ts.ResidentArtifactBytes {
+			t.Errorf("%s gauge %d != ledger %d", p, g, ts.ResidentArtifactBytes)
+		}
+	}
+
+	// Re-analyzing identical sources re-puts identical artifacts: the store
+	// dedups them, but even if it re-accepted them the resident figure must
+	// not grow (same keys, same sizes).
+	before := byProject["alpha"].ResidentArtifactBytes
+	analyzeOnce(t, m, "alpha", genA)
+	rep = m.Costs()
+	for _, ts := range rep.Tenants {
+		if ts.Project == "alpha" && ts.ResidentArtifactBytes != before {
+			t.Errorf("resident bytes grew on identical re-analysis: %d -> %d", before, ts.ResidentArtifactBytes)
+		}
+	}
+
+	// The default tenant did nothing and must have a zero store ledger —
+	// attribution, not pooling.
+	if ts := byProject["default"]; ts.StoreBytesWritten != 0 {
+		t.Errorf("default tenant charged %d store bytes for others' writes", ts.StoreBytesWritten)
+	}
+}
+
+// TestCostProjectLabelNames: project IDs flow into label values unescaped
+// only through Labeled's escaping; a dot-bearing project stays intact.
+func TestCostProjectLabelNames(t *testing.T) {
+	rec := obs.New()
+	m := tenant.NewManager(tenant.Config{Obs: rec})
+	h, err := m.Acquire(t.Context(), "svc.web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.RecordCost(tenant.CostDelta{BuildNs: 1})
+	h.Release()
+	var sb strings.Builder
+	if err := rec.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pinpoint_tenant_cost_requests{tenant="svc.web-1"} 1`) {
+		t.Errorf("exposition missing cost series for svc.web-1:\n%s", sb.String())
+	}
+}

@@ -87,7 +87,8 @@ type Manager struct {
 
 	mu        sync.Mutex
 	tenants   map[string]*Tenant
-	evicted   map[string]bool // projects evicted at least once
+	evicted   map[string]bool  // projects evicted at least once
+	costs     map[string]*Cost // per-project ledgers; entries survive eviction
 	evictions int64
 }
 
@@ -112,6 +113,7 @@ type Tenant struct {
 	// it).
 	lock *conc.Gate
 	sess *core.Session
+	cost *Cost
 
 	requests atomic.Int64
 }
@@ -125,6 +127,7 @@ func NewManager(cfg Config) *Manager {
 		now:     time.Now,
 		tenants: make(map[string]*Tenant),
 		evicted: make(map[string]bool),
+		costs:   make(map[string]*Cost),
 	}
 	m.mu.Lock()
 	m.newTenantLocked(store.DefaultProject)
@@ -236,12 +239,20 @@ func (m *Manager) release(t *Tenant) {
 
 // newTenantLocked creates and registers a tenant. Caller holds m.mu.
 func (m *Manager) newTenantLocked(project string) *Tenant {
+	cost := m.costLocked(project)
 	opts := m.cfg.Build
 	opts.Store = store.Namespaced(opts.Store, project)
+	if opts.Store != nil {
+		// Meter the tenant's writes at the store boundary, inside the
+		// namespace rewrite, so logical namespaces ("artifact", ...) are
+		// still visible to the meter.
+		opts.Store = &costStore{Store: opts.Store, cost: cost}
+	}
 	t := &Tenant{
 		project:  project,
 		lock:     conc.NewGate(1),
 		sess:     core.NewSession(opts),
+		cost:     cost,
 		lastUsed: m.now(),
 	}
 	if m.cfg.MaxInFlight != 0 {
@@ -413,6 +424,9 @@ type Info struct {
 	// IdleNs is the age relative to the snapshot time.
 	LastUsedUnixNano int64 `json:"lastUsedUnixNano"`
 	IdleNs           int64 `json:"idleNs"`
+	// Cost is the tenant's cumulative resource ledger (Share is left 0
+	// here; the ranked view with shares is GET /v1/debug/costs).
+	Cost *CostSnapshot `json:"cost,omitempty"`
 }
 
 // Snapshot is the manager-wide view behind GET /v1/debug/tenants.
@@ -450,11 +464,14 @@ func (m *Manager) Snapshot() Snapshot {
 
 	for _, t := range pinned {
 		t.lock.Enter(context.Background())
+		cost := t.cost.snapshot(t.project)
+		cost.Resident = true
 		info := Info{
 			Project:   t.project,
 			Units:     t.sess.UnitCount(),
 			Artifacts: t.sess.ArtifactCount(),
 			Requests:  t.requests.Load(),
+			Cost:      &cost,
 		}
 		if a := t.sess.Analysis(); a != nil {
 			info.Functions = a.Sizes.Functions

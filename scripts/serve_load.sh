@@ -53,11 +53,15 @@ if [ -z "$ready" ]; then
   exit 1
 fi
 
-echo "== pinpointbench burst ($REQUESTS requests, scale $SCALE)"
-# pinpointbench exits nonzero if any request failed, so this line is the
-# zero-errors assertion.
+SLO_TARGET="${PINPOINT_LOAD_SLO:-30s}"
+MAX_BURN="${PINPOINT_LOAD_MAX_BURN:-1}"
+echo "== pinpointbench burst ($REQUESTS requests, scale $SCALE, SLO p95<=$SLO_TARGET, max burn $MAX_BURN)"
+# pinpointbench exits nonzero if any request failed, or if the run's SLO
+# burn rate exceeds -slo-max-burn — so this line is both the zero-errors
+# assertion and the latency-objective gate.
 "$tmpdir/pinpointbench" -addr "$BASE" -scenario burst \
   -requests "$REQUESTS" -scale "$SCALE" -duration 60s \
+  -slo-target "$SLO_TARGET" -slo-p 0.95 -slo-max-burn "$MAX_BURN" \
   -csv "$outdir/load_samples.csv" -json "$outdir/load_summary.json"
 
 echo "== validate output"
@@ -75,6 +79,12 @@ if [ "$rows" -le 1 ]; then
   exit 1
 fi
 echo "   $((rows - 1)) sample rows"
+# The SLO evaluation must be present in the JSON summary (the burn-rate
+# gate above already enforced its value).
+if ! grep -q '"burnRate"' "$outdir/load_summary.json"; then
+  echo "serve_load.sh: summary JSON carries no SLO burn rate" >&2
+  exit 1
+fi
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"

@@ -28,8 +28,11 @@ trap cleanup EXIT
 echo "== build"
 go build -o "$tmpdir/pinpoint" ./cmd/pinpoint
 
-echo "== start serve on $ADDR"
-"$tmpdir/pinpoint" serve -addr "$ADDR" -log-json >"$tmpdir/serve.log" 2>&1 &
+echo "== start serve on $ADDR (flight recorder + SLO on)"
+"$tmpdir/pinpoint" serve -addr "$ADDR" -log-json \
+  -ts-interval 200ms -ts-retention 1m \
+  -slo-target 30s -slo-p 0.9 -slo-fast 30s -slo-slow 2m \
+  >"$tmpdir/serve.log" 2>&1 &
 server_pid=$!
 
 # Wait for readiness (the binary is prebuilt, so this is fast).
@@ -140,6 +143,54 @@ curl -fsS "$BASE/debug/tenants" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/debug/session" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/debug/inflight" | go run ./scripts/jsoncheck /dev/stdin
 curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== flight recorder: /v1/debug/timeseries"
+# The sampler ticks every 200ms; poll until the phase histograms have at
+# least two retained points (two distinct sample timestamps).
+ts_ok=""
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/v1/debug/timeseries?metric=server.phase_ns" >"$tmpdir/timeseries.json"
+  points="$(grep -o '"t":' "$tmpdir/timeseries.json" | wc -l)"
+  if grep -q '"enabled": true' "$tmpdir/timeseries.json" && [ "$points" -ge 2 ]; then
+    ts_ok=1; break
+  fi
+  sleep 0.2
+done
+if [ -z "$ts_ok" ]; then
+  echo "serve_smoke.sh: /v1/debug/timeseries never accumulated >=2 points for server.phase_ns" >&2
+  cat "$tmpdir/timeseries.json" >&2
+  exit 1
+fi
+go run ./scripts/jsoncheck "$tmpdir/timeseries.json"
+grep -q '"base": "server.phase_ns"' "$tmpdir/timeseries.json"
+echo "   $points ring points for server.phase_ns"
+
+echo "== flight recorder: /v1/debug/costs"
+curl -fsS "$BASE/v1/debug/costs" >"$tmpdir/costs.json"
+go run ./scripts/jsoncheck "$tmpdir/costs.json"
+for project in default alpha; do
+  if ! grep -q "\"project\": \"$project\"" "$tmpdir/costs.json"; then
+    echo "serve_smoke.sh: /v1/debug/costs missing project $project" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"cpuNs": [1-9]' "$tmpdir/costs.json"; then
+  echo "serve_smoke.sh: /v1/debug/costs attributes no CPU to any tenant" >&2
+  exit 1
+fi
+
+echo "== flight recorder: /v1/debug/slo"
+curl -fsS "$BASE/v1/debug/slo" >"$tmpdir/slo.json"
+go run ./scripts/jsoncheck "$tmpdir/slo.json"
+grep -q '"enabled": true' "$tmpdir/slo.json"
+grep -q '"burnRate"' "$tmpdir/slo.json"
+if ! grep -q '"requests": [1-9]' "$tmpdir/slo.json"; then
+  echo "serve_smoke.sh: /v1/debug/slo counted no analyze requests" >&2
+  exit 1
+fi
+# The burn gauges ride /metrics once the sampler hook has run.
+curl -fsS "$BASE/metrics" >"$tmpdir/metrics2.txt"
+grep -q 'pinpoint_server_slo_burn_rate{window="fast"}' "$tmpdir/metrics2.txt"
 
 echo "== graceful shutdown"
 kill -TERM "$server_pid"
